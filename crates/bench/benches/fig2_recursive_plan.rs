@@ -1,0 +1,60 @@
+//! Figure 2 — the recursive Moe→Apu plan.
+//!
+//! Measures the evaluation of the introduction's query
+//! `(Moe)-[(:Knows+)|(:Likes/:Has_creator)+]->(Apu)` under the restricted
+//! semantics on the Figure 1 graph, end to end through the evaluator, and the
+//! same query text through the full parse → optimize → execute pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{figure1, figure2_plan};
+use pathalg_core::eval::{EvalConfig, Evaluator};
+use pathalg_core::ops::recursive::PathSemantics;
+use pathalg_engine::runner::QueryRunner;
+use std::time::Duration;
+
+fn bench_figure2_semantics(c: &mut Criterion) {
+    let f = figure1();
+    let mut group = c.benchmark_group("fig2/semantics");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for semantics in [
+        PathSemantics::Simple,
+        PathSemantics::Trail,
+        PathSemantics::Acyclic,
+        PathSemantics::Shortest,
+    ] {
+        let plan = figure2_plan(semantics);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(semantics.keyword()),
+            &plan,
+            |b, plan| b.iter(|| Evaluator::new(&f.graph).eval_paths(plan).unwrap().len()),
+        );
+    }
+    let bounded_walk = figure2_plan(PathSemantics::Walk);
+    group.bench_function("WALK_bounded_6", |b| {
+        b.iter(|| {
+            Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(6))
+                .eval_paths(&bounded_walk)
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_figure2_end_to_end(c: &mut Criterion) {
+    let f = figure1();
+    let query = "MATCH ALL SIMPLE p = (?x {name:\"Moe\"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:\"Apu\"})";
+    let mut group = c.benchmark_group("fig2/end_to_end");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("parse_optimize_execute", |b| {
+        let runner = QueryRunner::new(&f.graph);
+        b.iter(|| runner.run(query).unwrap().paths().len())
+    });
+    group.bench_function("parse_only", |b| {
+        b.iter(|| pathalg_parser::parse_query(query).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2_semantics, bench_figure2_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 3 — the core-algebra plan (selection, join, union only).
+//!
+//! The friends / friends-of-friends query is non-recursive, so it isolates the
+//! cost of the core operators. Measured on Figure 1 and on SNB-shaped graphs
+//! of growing size (the join is the dominant cost and grows with the square of
+//! the Knows degree).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{figure1, figure3_plan, snb};
+use pathalg_core::eval::Evaluator;
+use std::time::Duration;
+
+fn bench_figure1(c: &mut Criterion) {
+    let f = figure1();
+    let plan = figure3_plan();
+    let mut group = c.benchmark_group("fig3/figure1");
+    group.sample_size(30).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("friends_of_friends", |b| {
+        b.iter(|| Evaluator::new(&f.graph).eval_paths(&plan).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_snb_scaling(c: &mut Criterion) {
+    let plan = figure3_plan();
+    let mut group = c.benchmark_group("fig3/snb_scaling");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    for persons in [50usize, 100, 200, 400] {
+        let graph = snb(persons);
+        group.bench_with_input(BenchmarkId::from_parameter(persons), &graph, |b, graph| {
+            b.iter(|| Evaluator::new(graph).eval_paths(&plan).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1, bench_snb_scaling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 4 — the Kleene-star plan `(Likes/Has_creator)*`.
+//!
+//! The star translation adds `∪ Nodes(G)` to the recursive branch, so the
+//! result always contains the zero-length paths. Measured on Figure 1 under
+//! the restricted semantics and on SNB-shaped graphs under the shortest-path
+//! semantics (the outer Likes/Has_creator cycle is what makes the unrestricted
+//! variant explode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{figure1, snb};
+use pathalg_core::eval::{EvalConfig, Evaluator};
+use pathalg_core::ops::recursive::PathSemantics;
+use pathalg_rpq::compile::compile_to_algebra;
+use pathalg_rpq::parse::parse_regex;
+use std::time::Duration;
+
+fn star_plan(semantics: PathSemantics) -> pathalg_core::expr::PlanExpr {
+    let regex = parse_regex("(:Likes/:Has_creator)*").unwrap();
+    compile_to_algebra(&regex, semantics)
+}
+
+fn bench_figure1_star(c: &mut Criterion) {
+    let f = figure1();
+    let mut group = c.benchmark_group("fig4/figure1_star");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for semantics in [
+        PathSemantics::Trail,
+        PathSemantics::Acyclic,
+        PathSemantics::Simple,
+        PathSemantics::Shortest,
+    ] {
+        let plan = star_plan(semantics);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(semantics.keyword()),
+            &plan,
+            |b, plan| b.iter(|| Evaluator::new(&f.graph).eval_paths(plan).unwrap().len()),
+        );
+    }
+    let walk = star_plan(PathSemantics::Walk);
+    group.bench_function("WALK_bounded_6", |b| {
+        b.iter(|| {
+            Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(6))
+                .eval_paths(&walk)
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_snb_star_shortest(c: &mut Criterion) {
+    let plan = star_plan(PathSemantics::Shortest);
+    let mut group = c.benchmark_group("fig4/snb_star_shortest");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    for persons in [20usize, 40, 80] {
+        let graph = snb(persons);
+        group.bench_with_input(BenchmarkId::from_parameter(persons), &graph, |b, graph| {
+            b.iter(|| Evaluator::new(graph).eval_paths(&plan).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1_star, bench_snb_star_shortest);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 5 — the path-mode pipeline γST → τA → π(*,*,1).
+//!
+//! Measures the extended operators both individually (over pre-computed trail
+//! sets of controlled size, produced on directed cycles) and as the complete
+//! Figure 5 pipeline including the recursive operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{cycle, figure1, label_scan};
+use pathalg_core::condition::Condition;
+use pathalg_core::eval::Evaluator;
+use pathalg_core::ops::group_by::{group_by, GroupKey};
+use pathalg_core::ops::order_by::{order_by, OrderKey};
+use pathalg_core::ops::projection::{projection, ProjectionSpec, Take};
+use pathalg_core::ops::recursive::{recursive, PathSemantics, RecursionConfig};
+use pathalg_core::ops::selection::selection;
+use pathalg_core::pathset::PathSet;
+use std::time::Duration;
+
+/// The trail closure of a Knows cycle with `n` nodes: n·(n-1) + n paths.
+fn trails_on_cycle(n: usize) -> PathSet {
+    let graph = cycle(n);
+    let base = selection(
+        &graph,
+        &Condition::edge_label(1, "Knows"),
+        &PathSet::edges(&graph),
+    );
+    recursive(PathSemantics::Trail, &base, &RecursionConfig::default()).unwrap()
+}
+
+fn bench_extended_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/extended_operators");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for n in [8usize, 16, 32] {
+        let paths = trails_on_cycle(n);
+        group.bench_with_input(BenchmarkId::new("group_by_ST", n), &paths, |b, paths| {
+            b.iter(|| group_by(GroupKey::SourceTarget, paths).partition_count())
+        });
+        let space = group_by(GroupKey::SourceTarget, &paths);
+        group.bench_with_input(BenchmarkId::new("order_by_A", n), &space, |b, space| {
+            b.iter(|| order_by(OrderKey::Path, space).path_count())
+        });
+        let ordered = order_by(OrderKey::Path, &space);
+        let spec = ProjectionSpec::new(Take::All, Take::All, Take::Count(1));
+        group.bench_with_input(BenchmarkId::new("project_first", n), &ordered, |b, ordered| {
+            b.iter(|| projection(&spec, ordered).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let f = figure1();
+    let plan = label_scan("Knows")
+        .recursive(PathSemantics::Trail)
+        .group_by(GroupKey::SourceTarget)
+        .order_by(OrderKey::Path)
+        .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+    let mut group = c.benchmark_group("fig5/full_pipeline");
+    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("figure1_any_shortest_trail", |b| {
+        b.iter(|| Evaluator::new(&f.graph).eval_paths(&plan).unwrap().len())
+    });
+    for n in [8usize, 16, 32] {
+        let graph = cycle(n);
+        group.bench_with_input(BenchmarkId::new("cycle", n), &graph, |b, graph| {
+            b.iter(|| Evaluator::new(graph).eval_paths(&plan).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extended_operators, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 6 — predicate pushdown: the basic plan vs. the optimized plan.
+//!
+//! The paper's classical example of logical optimization. The bench evaluates
+//! the same query with the selection above the join (Figure 6a) and pushed
+//! below it (Figure 6b), on Figure 1 and on SNB-shaped graphs, plus the cost
+//! of running the optimizer itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{figure1, figure6_basic, snb};
+use pathalg_core::eval::Evaluator;
+use pathalg_core::optimizer::Optimizer;
+use std::time::Duration;
+
+fn bench_basic_vs_optimized(c: &mut Criterion) {
+    let basic = figure6_basic();
+    let optimized = Optimizer::new().optimize(&basic);
+    assert_ne!(basic, optimized, "pushdown must fire for this plan");
+
+    let mut group = c.benchmark_group("fig6/basic_vs_optimized");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+
+    let f = figure1();
+    group.bench_function("figure1/basic", |b| {
+        b.iter(|| Evaluator::new(&f.graph).eval_paths(&basic).unwrap().len())
+    });
+    group.bench_function("figure1/optimized", |b| {
+        b.iter(|| Evaluator::new(&f.graph).eval_paths(&optimized).unwrap().len())
+    });
+
+    for persons in [100usize, 300] {
+        let graph = snb(persons);
+        group.bench_with_input(
+            BenchmarkId::new("snb_basic", persons),
+            &graph,
+            |b, graph| b.iter(|| Evaluator::new(graph).eval_paths(&basic).unwrap().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snb_optimized", persons),
+            &graph,
+            |b, graph| b.iter(|| Evaluator::new(graph).eval_paths(&optimized).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_optimizer_overhead(c: &mut Criterion) {
+    let basic = figure6_basic();
+    let mut group = c.benchmark_group("fig6/optimizer_overhead");
+    group.sample_size(30).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("optimize_figure6_plan", |b| {
+        let optimizer = Optimizer::new();
+        b.iter(|| optimizer.optimize(&basic))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_basic_vs_optimized, bench_optimizer_overhead);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Scaling study — the recursive operator's semantics vs. graph size and
+//! topology.
+//!
+//! Chains isolate the cost of path construction without any filtering effect
+//! (all semantics coincide); cycles separate the restricted semantics from one
+//! another; SNB-shaped graphs show the shortest-path semantics (the only one
+//! that stays polynomial on dense cyclic data) at realistic shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{chain, cycle, label_scan, snb};
+use pathalg_core::eval::Evaluator;
+use pathalg_core::ops::recursive::PathSemantics;
+use std::time::Duration;
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_semantics/chain_walk");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let plan = label_scan("Knows").recursive(PathSemantics::Walk);
+    for n in [16usize, 32, 64, 128] {
+        let graph = chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| Evaluator::new(graph).eval_paths(&plan).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_semantics/cycle");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for n in [8usize, 16, 32] {
+        let graph = cycle(n);
+        for semantics in [
+            PathSemantics::Trail,
+            PathSemantics::Simple,
+            PathSemantics::Shortest,
+        ] {
+            let plan = label_scan("Knows").recursive(semantics);
+            group.bench_with_input(
+                BenchmarkId::new(semantics.keyword(), n),
+                &graph,
+                |b, graph| b.iter(|| Evaluator::new(graph).eval_paths(&plan).unwrap().len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_snb_shortest_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_semantics/snb_shortest");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    let plan = label_scan("Knows").recursive(PathSemantics::Shortest);
+    for persons in [20usize, 40, 80] {
+        let graph = snb(persons);
+        group.bench_with_input(BenchmarkId::from_parameter(persons), &graph, |b, graph| {
+            b.iter(|| Evaluator::new(graph).eval_paths(&plan).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_scaling,
+    bench_cycle_scaling,
+    bench_snb_shortest_scaling
+);
+criterion_main!(benches);

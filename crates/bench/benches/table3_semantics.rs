@@ -1,0 +1,78 @@
+//! Table 3 — the recursive operator under the five path semantics.
+//!
+//! The paper's Table 3 enumerates which `Knows+` paths survive each semantics
+//! on the Figure 1 graph. This bench measures what that costs: ϕ is evaluated
+//! under Walk (bounded), Trail, Acyclic, Simple and Shortest over the Figure 1
+//! graph and over directed cycles, the topology that separates the semantics
+//! most sharply (Walk is infinite, Trail/Simple are quadratic, Shortest is
+//! linear per source).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{cycle, figure1, label_scan};
+use pathalg_core::eval::{EvalConfig, Evaluator};
+use pathalg_core::ops::recursive::PathSemantics;
+use std::time::Duration;
+
+fn bench_figure1_semantics(c: &mut Criterion) {
+    let f = figure1();
+    let mut group = c.benchmark_group("table3/figure1_knows_plus");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for semantics in PathSemantics::ALL {
+        let plan = label_scan("Knows").recursive(semantics);
+        let config = if semantics == PathSemantics::Walk {
+            EvalConfig::with_walk_bound(4)
+        } else {
+            EvalConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(semantics.keyword()),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    Evaluator::with_config(&f.graph, config)
+                        .eval_paths(plan)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cycle_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/cycle_knows_plus");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for n in [4usize, 8, 12, 16] {
+        let graph = cycle(n);
+        for semantics in [
+            PathSemantics::Trail,
+            PathSemantics::Acyclic,
+            PathSemantics::Simple,
+            PathSemantics::Shortest,
+        ] {
+            let plan = label_scan("Knows").recursive(semantics);
+            group.bench_with_input(
+                BenchmarkId::new(semantics.keyword(), n),
+                &plan,
+                |b, plan| {
+                    b.iter(|| Evaluator::new(&graph).eval_paths(plan).unwrap().len())
+                },
+            );
+        }
+        // Walk needs a bound on a cycle; bound it to the cycle length.
+        let plan = label_scan("Knows").recursive(PathSemantics::Walk);
+        group.bench_with_input(BenchmarkId::new("WALK_bounded", n), &plan, |b, plan| {
+            b.iter(|| {
+                Evaluator::with_config(&graph, EvalConfig::with_walk_bound(n))
+                    .eval_paths(plan)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1_semantics, bench_cycle_semantics);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 7 — every selector × restrictor combination, evaluated end to end.
+//!
+//! GQL allows 7 selectors × 4 restrictors; Table 7 shows how each combination
+//! translates into a γ/τ/π pipeline around ϕ. This bench evaluates all 28
+//! translated plans over the Figure 1 graph (walks bounded to length 4) and
+//! the seven selectors over a ladder graph, where many equal-length shortest
+//! paths make the selector choice matter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalg_bench::{figure1, label_scan, ladder};
+use pathalg_core::eval::{EvalConfig, Evaluator};
+use pathalg_core::gql::{translate, Restrictor, Selector};
+use std::time::Duration;
+
+fn bench_all_28_combinations(c: &mut Criterion) {
+    let f = figure1();
+    let mut group = c.benchmark_group("table7/figure1_all_combinations");
+    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    for restrictor in Restrictor::GQL {
+        for selector in Selector::all_with_k(2) {
+            let plan = translate(selector, restrictor, label_scan("Knows"));
+            let id = format!(
+                "{}+{}",
+                selector.keyword().replace(' ', "_"),
+                restrictor.keyword()
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(id), &plan, |b, plan| {
+                b.iter(|| {
+                    Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(4))
+                        .eval_paths(plan)
+                        .unwrap()
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_selectors_on_ladder(c: &mut Criterion) {
+    let graph = ladder(5);
+    let mut group = c.benchmark_group("table7/ladder_selectors_acyclic");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for selector in Selector::all_with_k(2) {
+        let plan = translate(selector, Restrictor::Acyclic, label_scan("Knows"));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(selector.keyword().replace(' ', "_")),
+            &plan,
+            |b, plan| b.iter(|| Evaluator::new(&graph).eval_paths(plan).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_28_combinations, bench_selectors_on_ladder);
+criterion_main!(benches);

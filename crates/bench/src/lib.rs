@@ -1,0 +1,102 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target corresponds to a table or figure of the paper (see
+//! DESIGN.md §2 for the index) plus the scaling and ablation studies. The
+//! helpers here build the workload graphs and the recurring plans so the
+//! individual bench files stay focused on the measurement.
+
+#![forbid(unsafe_code)]
+
+use pathalg_core::condition::Condition;
+use pathalg_core::expr::PlanExpr;
+use pathalg_core::ops::recursive::PathSemantics;
+use pathalg_graph::fixtures::figure1::Figure1;
+use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
+use pathalg_graph::generator::structured::{chain_graph, cycle_graph, ladder_graph};
+use pathalg_graph::graph::PropertyGraph;
+
+/// The Figure 1 graph (7 nodes, 11 edges) — the paper's running example.
+pub fn figure1() -> Figure1 {
+    Figure1::new()
+}
+
+/// An SNB-shaped graph with `persons` Person nodes (messages = 2 × persons),
+/// deterministic for a fixed scale.
+pub fn snb(persons: usize) -> PropertyGraph {
+    snb_like_graph(&SnbConfig::scale(persons, 0xBEEF + persons as u64))
+}
+
+/// A Knows-labelled chain of `n` nodes (acyclic, so even unbounded walks are
+/// finite).
+pub fn chain(n: usize) -> PropertyGraph {
+    chain_graph(n, "Knows")
+}
+
+/// A Knows-labelled directed cycle of `n` nodes (the smallest graph where the
+/// restrictors matter).
+pub fn cycle(n: usize) -> PropertyGraph {
+    cycle_graph(n, "Knows")
+}
+
+/// A Knows-labelled ladder with `rungs` squares (many same-length shortest
+/// paths — the interesting case for ALL SHORTEST / SHORTEST k GROUP).
+pub fn ladder(rungs: usize) -> PropertyGraph {
+    ladder_graph(rungs, "Knows")
+}
+
+/// `σ label(edge(1)) = label (Edges(G))` — the scan every example plan starts
+/// from.
+pub fn label_scan(label: &str) -> PlanExpr {
+    PlanExpr::edges().select(Condition::edge_label(1, label))
+}
+
+/// `ϕ_semantics(σ Knows (Edges(G)))` — the recursive core of most benches.
+pub fn knows_closure(semantics: PathSemantics) -> PlanExpr {
+    label_scan("Knows").recursive(semantics)
+}
+
+/// The Figure 2 plan (Moe→Apu over Knows+ | (Likes/Has_creator)+) under the
+/// given semantics.
+pub fn figure2_plan(semantics: PathSemantics) -> PlanExpr {
+    let knows = label_scan("Knows").recursive(semantics);
+    let outer = label_scan("Likes")
+        .join(label_scan("Has_creator"))
+        .recursive(semantics);
+    knows.union(outer).select(
+        Condition::first_property("name", "Moe").and(Condition::last_property("name", "Apu")),
+    )
+}
+
+/// The Figure 3 plan (friends and friends-of-friends of Moe).
+pub fn figure3_plan() -> PlanExpr {
+    let knows = label_scan("Knows");
+    knows
+        .clone()
+        .union(knows.clone().join(knows))
+        .select(Condition::first_property("name", "Moe"))
+}
+
+/// The Figure 6(a) plan: filter above the join.
+pub fn figure6_basic() -> PlanExpr {
+    label_scan("Knows")
+        .join(label_scan("Knows"))
+        .select(Condition::first_property("name", "Moe"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builders_produce_expected_shapes() {
+        assert_eq!(figure1().graph.node_count(), 7);
+        assert_eq!(snb(10).node_count(), 30);
+        assert_eq!(chain(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert!(ladder(3).edge_count() > 0);
+        assert!(figure2_plan(PathSemantics::Simple).type_check().is_ok());
+        assert!(figure3_plan().type_check().is_ok());
+        assert!(figure6_basic().type_check().is_ok());
+        assert_eq!(knows_closure(PathSemantics::Trail).operator_count(), 3);
+    }
+}

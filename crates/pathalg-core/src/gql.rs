@@ -1,0 +1,367 @@
+//! GQL / SQL-PGQ selectors and restrictors, and their translation into the
+//! path algebra (Sections 2.3, 5 and 6 of the paper; Tables 1, 2 and 7).
+//!
+//! A GQL path query has the shape `selector? restrictor (x, regex, y)`. The
+//! restrictor decides *how* paths are computed (which [`PathSemantics`] the
+//! recursive operator uses); the selector decides *which* of the computed
+//! paths are returned, and translates to a γ/τ/π pipeline. Table 7 of the
+//! paper lists the translations for the `WALK` restrictor; the same templates
+//! apply verbatim to the other restrictors, giving the 28 combinations GQL
+//! supports (and which [`translate`] reproduces).
+
+use crate::expr::PlanExpr;
+use crate::ops::group_by::GroupKey;
+use crate::ops::order_by::OrderKey;
+use crate::ops::projection::{ProjectionSpec, Take};
+use crate::ops::recursive::PathSemantics;
+use std::fmt;
+
+/// A GQL selector (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Selector {
+    /// `ALL`: every path, every group, every partition.
+    All,
+    /// `ANY SHORTEST`: one shortest path per partition (non-deterministic).
+    AnyShortest,
+    /// `ALL SHORTEST`: all minimal-length paths per partition (deterministic).
+    AllShortest,
+    /// `ANY`: one arbitrary path per partition (non-deterministic).
+    Any,
+    /// `ANY k`: k arbitrary paths per partition (non-deterministic).
+    AnyK(usize),
+    /// `SHORTEST k`: the k shortest paths per partition (non-deterministic
+    /// among equal lengths).
+    ShortestK(usize),
+    /// `SHORTEST k GROUP`: all paths of the k shortest lengths per partition
+    /// (deterministic).
+    ShortestKGroup(usize),
+}
+
+/// A GQL restrictor (Table 2), extended with `SHORTEST` as in the paper's
+/// Section 7.1 grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Restrictor {
+    /// `WALK`: arbitrary paths (the default).
+    Walk,
+    /// `TRAIL`: no repeated edges.
+    Trail,
+    /// `ACYCLIC`: no repeated nodes.
+    Acyclic,
+    /// `SIMPLE`: no repeated nodes except first = last.
+    Simple,
+    /// `SHORTEST`: only minimal-length paths per endpoint pair (the extended
+    /// restrictor of Section 7.1).
+    Shortest,
+}
+
+impl Selector {
+    /// The seven selectors of Table 1, with `k = 2` for the parameterised
+    /// ones (useful for enumerating all combinations in tests and benches).
+    pub fn all_with_k(k: usize) -> [Selector; 7] {
+        [
+            Selector::All,
+            Selector::AnyShortest,
+            Selector::AllShortest,
+            Selector::Any,
+            Selector::AnyK(k),
+            Selector::ShortestK(k),
+            Selector::ShortestKGroup(k),
+        ]
+    }
+
+    /// The GQL keyword(s) for the selector.
+    pub fn keyword(&self) -> String {
+        match self {
+            Selector::All => "ALL".into(),
+            Selector::AnyShortest => "ANY SHORTEST".into(),
+            Selector::AllShortest => "ALL SHORTEST".into(),
+            Selector::Any => "ANY".into(),
+            Selector::AnyK(k) => format!("ANY {k}"),
+            Selector::ShortestK(k) => format!("SHORTEST {k}"),
+            Selector::ShortestKGroup(k) => format!("SHORTEST {k} GROUP"),
+        }
+    }
+
+    /// True if the selector's result is fully determined by the input set
+    /// (per Table 1's "Deterministic" column).
+    pub fn is_deterministic(&self) -> bool {
+        matches!(
+            self,
+            Selector::All | Selector::AllShortest | Selector::ShortestKGroup(_)
+        )
+    }
+}
+
+impl Restrictor {
+    /// All restrictors of Table 2 (the GQL core, without the extended
+    /// `SHORTEST`).
+    pub const GQL: [Restrictor; 4] = [
+        Restrictor::Walk,
+        Restrictor::Trail,
+        Restrictor::Acyclic,
+        Restrictor::Simple,
+    ];
+
+    /// The path semantics the restrictor maps to.
+    pub fn semantics(&self) -> PathSemantics {
+        match self {
+            Restrictor::Walk => PathSemantics::Walk,
+            Restrictor::Trail => PathSemantics::Trail,
+            Restrictor::Acyclic => PathSemantics::Acyclic,
+            Restrictor::Simple => PathSemantics::Simple,
+            Restrictor::Shortest => PathSemantics::Shortest,
+        }
+    }
+
+    /// The GQL keyword for the restrictor.
+    pub fn keyword(&self) -> &'static str {
+        self.semantics().keyword()
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keyword())
+    }
+}
+
+impl fmt::Display for Restrictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keyword())
+    }
+}
+
+/// Translates a `selector restrictor ppe` combination into a path-algebra
+/// expression, following Table 7.
+///
+/// `inner` is the algebra expression for the regular path pattern `RE` (for
+/// instance `σ label(edge(1))="Knows" (Edges(G))`, or whatever the RPQ
+/// compiler produced); the function wraps it in `ϕ` under the restrictor's
+/// semantics and in the selector's γ/τ/π pipeline.
+pub fn translate(selector: Selector, restrictor: Restrictor, inner: PlanExpr) -> PlanExpr {
+    let phi = inner.recursive(restrictor.semantics());
+    match selector {
+        // ALL: π(*,*,*)(γ(ϕ(RE)))
+        Selector::All => phi
+            .group_by(GroupKey::Empty)
+            .project(ProjectionSpec::all()),
+        // ANY SHORTEST: π(*,*,1)(τA(γST(ϕ(RE))))
+        Selector::AnyShortest => phi
+            .group_by(GroupKey::SourceTarget)
+            .order_by(OrderKey::Path)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
+        // ALL SHORTEST: π(*,1,*)(τG(γSTL(ϕ(RE))))
+        Selector::AllShortest => phi
+            .group_by(GroupKey::SourceTargetLength)
+            .order_by(OrderKey::Group)
+            .project(ProjectionSpec::new(Take::All, Take::Count(1), Take::All)),
+        // ANY: π(*,*,1)(γST(ϕ(RE)))
+        Selector::Any => phi
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
+        // ANY k: π(*,*,k)(γST(ϕ(RE)))
+        Selector::AnyK(k) => phi
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
+        // SHORTEST k: π(*,*,k)(τA(γST(ϕ(RE))))
+        Selector::ShortestK(k) => phi
+            .group_by(GroupKey::SourceTarget)
+            .order_by(OrderKey::Path)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
+        // SHORTEST k GROUP: π(*,k,*)(τG(γSTL(ϕ(RE))))
+        Selector::ShortestKGroup(k) => phi
+            .group_by(GroupKey::SourceTargetLength)
+            .order_by(OrderKey::Group)
+            .project(ProjectionSpec::new(Take::All, Take::Count(k), Take::All)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::eval::{EvalConfig, Evaluator};
+    use crate::path::Path;
+    use pathalg_graph::fixtures::figure1::Figure1;
+    use std::collections::HashMap;
+
+    fn knows_re() -> PlanExpr {
+        PlanExpr::edges().select(Condition::edge_label(1, "Knows"))
+    }
+
+    fn eval_combo(f: &Figure1, sel: Selector, res: Restrictor) -> crate::pathset::PathSet {
+        let plan = translate(sel, res, knows_re());
+        plan.type_check().unwrap();
+        let mut ev = Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(6));
+        ev.eval_paths(&plan).unwrap()
+    }
+
+    #[test]
+    fn table7_shapes_match_the_paper() {
+        let expected = [
+            (Selector::All, "π(*,*,*)(γ∅(ϕWALK("),
+            (Selector::AnyShortest, "π(*,*,1)(τA(γST(ϕWALK("),
+            (Selector::AllShortest, "π(*,1,*)(τG(γSTL(ϕWALK("),
+            (Selector::Any, "π(*,*,1)(γST(ϕWALK("),
+            (Selector::AnyK(2), "π(*,*,2)(γST(ϕWALK("),
+            (Selector::ShortestK(2), "π(*,*,2)(τA(γST(ϕWALK("),
+            (Selector::ShortestKGroup(2), "π(*,2,*)(τG(γSTL(ϕWALK("),
+        ];
+        for (sel, prefix) in expected {
+            let plan = translate(sel, Restrictor::Walk, knows_re());
+            let text = plan.to_string();
+            assert!(
+                text.starts_with(prefix),
+                "{sel}: expected prefix {prefix}, got {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_28_gql_combinations_type_check_and_evaluate() {
+        let f = Figure1::new();
+        for res in Restrictor::GQL {
+            for sel in Selector::all_with_k(2) {
+                let out = eval_combo(&f, sel, res);
+                assert!(!out.is_empty(), "{sel} {res} returned nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn any_shortest_trail_returns_one_shortest_trail_per_endpoint_pair() {
+        let f = Figure1::new();
+        let out = eval_combo(&f, Selector::AnyShortest, Restrictor::Trail);
+        // 9 endpoint pairs are connected by Knows+ trails.
+        assert_eq!(out.len(), 9);
+        let mut best: HashMap<_, usize> = HashMap::new();
+        let all_trails = eval_combo(&f, Selector::All, Restrictor::Trail);
+        for p in all_trails.iter() {
+            let e = best.entry((p.first(), p.last())).or_insert(usize::MAX);
+            *e = (*e).min(p.len());
+        }
+        for p in out.iter() {
+            assert_eq!(p.len(), best[&(p.first(), p.last())], "not a shortest path");
+        }
+    }
+
+    #[test]
+    fn all_shortest_returns_every_minimal_path_per_partition() {
+        let f = Figure1::new();
+        let out = eval_combo(&f, Selector::AllShortest, Restrictor::Walk);
+        // For the Knows subgraph every endpoint pair has a unique shortest
+        // walk, so ALL SHORTEST == ANY SHORTEST here (9 paths).
+        assert_eq!(out.len(), 9);
+        // And it must equal the ϕShortest result.
+        let shortest_sem = eval_combo(&f, Selector::All, Restrictor::Walk);
+        let mut best: HashMap<_, usize> = HashMap::new();
+        for p in shortest_sem.iter() {
+            let e = best.entry((p.first(), p.last())).or_insert(usize::MAX);
+            *e = (*e).min(p.len());
+        }
+        for p in out.iter() {
+            assert_eq!(p.len(), best[&(p.first(), p.last())]);
+        }
+    }
+
+    #[test]
+    fn any_k_caps_each_partition() {
+        let f = Figure1::new();
+        let any2 = eval_combo(&f, Selector::AnyK(2), Restrictor::Trail);
+        let all = eval_combo(&f, Selector::All, Restrictor::Trail);
+        assert!(any2.len() <= all.len());
+        // No endpoint pair contributes more than 2 paths.
+        let mut counts: HashMap<_, usize> = HashMap::new();
+        for p in any2.iter() {
+            *counts.entry((p.first(), p.last())).or_default() += 1;
+        }
+        assert!(counts.values().all(|&c| c <= 2));
+        // Pairs with fewer than k paths keep them all.
+        let mut totals: HashMap<_, usize> = HashMap::new();
+        for p in all.iter() {
+            *totals.entry((p.first(), p.last())).or_default() += 1;
+        }
+        for (pair, &total) in &totals {
+            let kept = counts.get(pair).copied().unwrap_or(0);
+            assert_eq!(kept, total.min(2));
+        }
+    }
+
+    #[test]
+    fn shortest_k_takes_k_shortest_per_partition() {
+        let f = Figure1::new();
+        let out = eval_combo(&f, Selector::ShortestK(1), Restrictor::Trail);
+        let any_shortest = eval_combo(&f, Selector::AnyShortest, Restrictor::Trail);
+        // SHORTEST 1 ≡ ANY SHORTEST by construction of the translation.
+        assert_eq!(out, any_shortest);
+    }
+
+    #[test]
+    fn shortest_k_group_keeps_whole_length_groups() {
+        let f = Figure1::new();
+        // (n1, n4) is connected by trails of length 2 (e1e4) and 4 (e1e2e3e4).
+        let out = eval_combo(&f, Selector::ShortestKGroup(2), Restrictor::Trail);
+        let p_short = Path::edge(&f.graph, f.e1)
+            .concat(&Path::edge(&f.graph, f.e4))
+            .unwrap();
+        let p_long = Path::edge(&f.graph, f.e1)
+            .concat(&Path::edge(&f.graph, f.e2))
+            .unwrap()
+            .concat(&Path::edge(&f.graph, f.e3))
+            .unwrap()
+            .concat(&Path::edge(&f.graph, f.e4))
+            .unwrap();
+        assert!(out.contains(&p_short));
+        assert!(out.contains(&p_long), "k=2 must keep the second length group");
+        let out1 = eval_combo(&f, Selector::ShortestKGroup(1), Restrictor::Trail);
+        assert!(out1.contains(&p_short));
+        assert!(!out1.contains(&p_long), "k=1 keeps only the first length group");
+    }
+
+    #[test]
+    fn example_from_section_6_all_shortest_acyclic() {
+        // π(*,1,*)(τG(γSTL(ϕAcyclic(σKnows(Edges(G)))))).
+        let f = Figure1::new();
+        let plan = translate(Selector::AllShortest, Restrictor::Acyclic, knows_re());
+        assert!(plan
+            .to_string()
+            .starts_with("π(*,1,*)(τG(γSTL(ϕACYCLIC(σ["));
+        let mut ev = Evaluator::new(&f.graph);
+        let out = ev.eval_paths(&plan).unwrap();
+        // 7 acyclic endpoint pairs, each with a unique shortest path.
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn restrictor_semantics_mapping_and_keywords() {
+        assert_eq!(Restrictor::Walk.semantics(), PathSemantics::Walk);
+        assert_eq!(Restrictor::Trail.semantics(), PathSemantics::Trail);
+        assert_eq!(Restrictor::Acyclic.semantics(), PathSemantics::Acyclic);
+        assert_eq!(Restrictor::Simple.semantics(), PathSemantics::Simple);
+        assert_eq!(Restrictor::Shortest.semantics(), PathSemantics::Shortest);
+        assert_eq!(Restrictor::Trail.to_string(), "TRAIL");
+        assert_eq!(Selector::AnyShortest.to_string(), "ANY SHORTEST");
+        assert_eq!(Selector::ShortestKGroup(3).keyword(), "SHORTEST 3 GROUP");
+        assert_eq!(Restrictor::GQL.len(), 4);
+    }
+
+    #[test]
+    fn determinism_flags_match_table1() {
+        assert!(Selector::All.is_deterministic());
+        assert!(Selector::AllShortest.is_deterministic());
+        assert!(Selector::ShortestKGroup(2).is_deterministic());
+        assert!(!Selector::Any.is_deterministic());
+        assert!(!Selector::AnyShortest.is_deterministic());
+        assert!(!Selector::AnyK(2).is_deterministic());
+        assert!(!Selector::ShortestK(2).is_deterministic());
+    }
+
+    #[test]
+    fn extended_shortest_restrictor_works_with_selectors() {
+        let f = Figure1::new();
+        let plan = translate(Selector::All, Restrictor::Shortest, knows_re());
+        let mut ev = Evaluator::new(&f.graph);
+        let out = ev.eval_paths(&plan).unwrap();
+        assert_eq!(out.len(), 9);
+    }
+}

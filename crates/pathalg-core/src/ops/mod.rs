@@ -1,0 +1,18 @@
+//! The algebra operators.
+//!
+//! * Core algebra (Definition 3.1): [`selection`], [`join`], [`union`].
+//! * Recursive algebra (Definition 4.1): [`recursive`].
+//! * Extended algebra (Section 5): [`group_by`], [`order_by`], [`projection`].
+//!
+//! Each module exposes a plain function that implements the operator over
+//! [`crate::pathset::PathSet`] / [`crate::solution_space::SolutionSpace`];
+//! the logical-plan layer ([`crate::expr`], [`crate::eval`]) simply calls
+//! these functions, so they can also be used directly as a library API.
+
+pub mod group_by;
+pub mod join;
+pub mod order_by;
+pub mod projection;
+pub mod recursive;
+pub mod selection;
+pub mod union;

@@ -1,0 +1,92 @@
+//! The selection operator σ (Definition 3.1).
+//!
+//! `σc(S) = { p ∈ S | ev(p, c) = True }` — keep exactly the paths satisfying
+//! the selection condition.
+
+use crate::condition::Condition;
+use crate::pathset::PathSet;
+use pathalg_graph::graph::PropertyGraph;
+
+/// Evaluates `σ_condition(input)` over `graph`.
+pub fn selection(graph: &PropertyGraph, condition: &Condition, input: &PathSet) -> PathSet {
+    let mut out = PathSet::with_capacity(input.len());
+    for p in input.iter() {
+        if condition.eval(p, graph) {
+            out.insert(p.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::path::Path;
+    use pathalg_graph::fixtures::figure1::Figure1;
+
+    #[test]
+    fn filters_edges_by_label() {
+        let f = Figure1::new();
+        let edges = PathSet::edges(&f.graph);
+        let knows = selection(&f.graph, &Condition::edge_label(1, "Knows"), &edges);
+        assert_eq!(knows.len(), 4);
+        assert!(knows.contains(&Path::edge(&f.graph, f.e1)));
+        assert!(knows.contains(&Path::edge(&f.graph, f.e4)));
+        assert!(!knows.contains(&Path::edge(&f.graph, f.e8)));
+
+        let likes = selection(&f.graph, &Condition::edge_label(1, "Likes"), &edges);
+        assert_eq!(likes.len(), 4);
+        let creator = selection(&f.graph, &Condition::edge_label(1, "Has_creator"), &edges);
+        assert_eq!(creator.len(), 3);
+    }
+
+    #[test]
+    fn filters_nodes_by_property() {
+        let f = Figure1::new();
+        let nodes = PathSet::nodes(&f.graph);
+        let moe = selection(&f.graph, &Condition::first_property("name", "Moe"), &nodes);
+        assert_eq!(moe.len(), 1);
+        assert_eq!(moe.iter().next().unwrap().first(), f.n1);
+    }
+
+    #[test]
+    fn selection_is_idempotent_and_monotone() {
+        let f = Figure1::new();
+        let edges = PathSet::edges(&f.graph);
+        let c = Condition::edge_label(1, "Knows");
+        let once = selection(&f.graph, &c, &edges);
+        let twice = selection(&f.graph, &c, &once);
+        assert_eq!(once, twice);
+        assert!(once.len() <= edges.len());
+    }
+
+    #[test]
+    fn true_condition_is_identity_and_contradiction_is_empty() {
+        let f = Figure1::new();
+        let edges = PathSet::edges(&f.graph);
+        assert_eq!(selection(&f.graph, &Condition::True, &edges), edges);
+        let never = Condition::True.not();
+        assert!(selection(&f.graph, &never, &edges).is_empty());
+    }
+
+    #[test]
+    fn selection_over_empty_set_is_empty() {
+        let f = Figure1::new();
+        let empty = PathSet::new();
+        assert!(selection(&f.graph, &Condition::True, &empty).is_empty());
+    }
+
+    #[test]
+    fn conjunctive_condition_equals_nested_selections() {
+        let f = Figure1::new();
+        let edges = PathSet::edges(&f.graph);
+        let c1 = Condition::edge_label(1, "Knows");
+        let c2 = Condition::first_property("name", "Lisa");
+        let combined = selection(&f.graph, &c1.clone().and(c2.clone()), &edges);
+        let nested = selection(&f.graph, &c2, &selection(&f.graph, &c1, &edges));
+        assert_eq!(combined, nested);
+        // Lisa (n2) has two outgoing Knows edges: e2 and e4.
+        assert_eq!(combined.len(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! The union operator ∪ (Definition 3.1).
+//!
+//! `S ∪ S' = { p | p ∈ S ∨ p ∈ S' }` with the usual set semantics, i.e.
+//! duplicates are eliminated.
+
+use crate::pathset::PathSet;
+
+/// Evaluates `left ∪ right`.
+pub fn union(left: &PathSet, right: &PathSet) -> PathSet {
+    let mut out = PathSet::with_capacity(left.len() + right.len());
+    for p in left.iter() {
+        out.insert(p.clone());
+    }
+    for p in right.iter() {
+        out.insert(p.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+    use pathalg_graph::fixtures::figure1::Figure1;
+
+    #[test]
+    fn union_contains_paths_of_both_sides_without_duplicates() {
+        let f = Figure1::new();
+        let a: PathSet = [Path::edge(&f.graph, f.e1), Path::edge(&f.graph, f.e2)]
+            .into_iter()
+            .collect();
+        let b: PathSet = [Path::edge(&f.graph, f.e2), Path::edge(&f.graph, f.e3)]
+            .into_iter()
+            .collect();
+        let u = union(&a, &b);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(&Path::edge(&f.graph, f.e1)));
+        assert!(u.contains(&Path::edge(&f.graph, f.e2)));
+        assert!(u.contains(&Path::edge(&f.graph, f.e3)));
+    }
+
+    #[test]
+    fn union_is_commutative_associative_idempotent() {
+        let f = Figure1::new();
+        let a = PathSet::edges(&f.graph);
+        let b = PathSet::nodes(&f.graph);
+        let c: PathSet = [Path::node(f.n1)].into_iter().collect();
+        assert_eq!(union(&a, &b), union(&b, &a));
+        assert_eq!(union(&union(&a, &b), &c), union(&a, &union(&b, &c)));
+        assert_eq!(union(&a, &a), a);
+    }
+
+    #[test]
+    fn empty_set_is_the_neutral_element() {
+        let f = Figure1::new();
+        let a = PathSet::edges(&f.graph);
+        let empty = PathSet::new();
+        assert_eq!(union(&a, &empty), a);
+        assert_eq!(union(&empty, &a), a);
+        assert!(union(&empty, &empty).is_empty());
+    }
+
+    #[test]
+    fn union_mixes_path_lengths() {
+        // Nodes(G) ∪ Edges(G): zero- and one-length paths side by side, as in
+        // the Kleene-star translation of Figure 4.
+        let f = Figure1::new();
+        let u = union(&PathSet::nodes(&f.graph), &PathSet::edges(&f.graph));
+        assert_eq!(u.len(), 18);
+        assert_eq!(u.iter().filter(|p| p.len() == 0).count(), 7);
+        assert_eq!(u.iter().filter(|p| p.len() == 1).count(), 11);
+    }
+}

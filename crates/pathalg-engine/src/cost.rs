@@ -1,0 +1,252 @@
+//! A simple cardinality and cost model for algebra plans.
+//!
+//! Section 7.3 argues that the whole point of an algebra is to enable
+//! cost-based optimization. This module provides the minimal ingredient: a
+//! bottom-up cardinality estimator over [`GraphStats`] plus a cost function
+//! that charges each operator for the paths it is expected to touch. The
+//! numbers are deliberately coarse (textbook selectivity heuristics), but they
+//! are already enough to rank the Figure 6 plans correctly — which is what the
+//! `fig6_pushdown` bench demonstrates.
+
+use pathalg_core::condition::{Accessor, Condition, Position};
+use pathalg_core::expr::PlanExpr;
+use pathalg_core::ops::projection::Take;
+use pathalg_core::ops::recursive::PathSemantics;
+use pathalg_graph::stats::GraphStats;
+
+/// Default selectivity of a property-equality predicate when nothing better is
+/// known (the classic 1/10 heuristic).
+const DEFAULT_PROPERTY_SELECTIVITY: f64 = 0.1;
+
+/// Expected number of expansion levels charged to a recursive operator when
+/// the expansion factor is at least one (bounded by graph size in reality; we
+/// charge a fixed horizon to keep the model simple and monotone).
+const RECURSION_HORIZON: f64 = 8.0;
+
+/// The estimated cardinality (number of paths) and cumulative cost of a plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated number of output paths.
+    pub cardinality: f64,
+    /// Estimated total work (paths touched across all operators).
+    pub cost: f64,
+}
+
+/// Estimates the cardinality and cost of a plan against graph statistics.
+pub fn estimate(plan: &PlanExpr, stats: &GraphStats) -> CostEstimate {
+    match plan {
+        PlanExpr::Nodes => leaf(stats.node_count() as f64),
+        PlanExpr::Edges => leaf(stats.edge_count() as f64),
+        PlanExpr::Selection { condition, input } => {
+            let child = estimate(input, stats);
+            let selectivity = condition_selectivity(condition, stats);
+            CostEstimate {
+                cardinality: child.cardinality * selectivity,
+                cost: child.cost + child.cardinality,
+            }
+        }
+        PlanExpr::Join { left, right } => {
+            let l = estimate(left, stats);
+            let r = estimate(right, stats);
+            // Paths join on a single endpoint: expected matches per left path
+            // is |right| / #nodes.
+            let nodes = stats.node_count().max(1) as f64;
+            let cardinality = (l.cardinality * r.cardinality / nodes).max(0.0);
+            CostEstimate {
+                cardinality,
+                cost: l.cost + r.cost + l.cardinality + r.cardinality + cardinality,
+            }
+        }
+        PlanExpr::Union { left, right } => {
+            let l = estimate(left, stats);
+            let r = estimate(right, stats);
+            CostEstimate {
+                cardinality: l.cardinality + r.cardinality,
+                cost: l.cost + r.cost + l.cardinality + r.cardinality,
+            }
+        }
+        PlanExpr::Recursive { semantics, input } => {
+            let child = estimate(input, stats);
+            let nodes = stats.node_count().max(1) as f64;
+            // Expansion factor of one self-join round.
+            let expansion = (child.cardinality / nodes).max(0.0);
+            let growth = match semantics {
+                // Restricted semantics saturate; unrestricted walks are charged
+                // the full horizon.
+                PathSemantics::Shortest | PathSemantics::Acyclic | PathSemantics::Simple => {
+                    expansion.min(2.0)
+                }
+                PathSemantics::Trail => expansion.min(4.0),
+                PathSemantics::Walk => expansion,
+            };
+            let cardinality = if growth <= 1.0 {
+                child.cardinality * RECURSION_HORIZON.min(1.0 / (1.0 - growth + 1e-9)).max(1.0)
+            } else {
+                child.cardinality * growth.powf(RECURSION_HORIZON)
+            };
+            CostEstimate {
+                cardinality,
+                cost: child.cost + cardinality,
+            }
+        }
+        PlanExpr::GroupBy { input, .. } | PlanExpr::OrderBy { input, .. } => {
+            let child = estimate(input, stats);
+            CostEstimate {
+                cardinality: child.cardinality,
+                cost: child.cost + child.cardinality,
+            }
+        }
+        PlanExpr::Projection { spec, input } => {
+            let child = estimate(input, stats);
+            let keep = |take: Take| match take {
+                Take::All => 1.0,
+                Take::Count(_) => 0.5,
+            };
+            let fraction = keep(spec.partitions) * keep(spec.groups) * keep(spec.paths);
+            CostEstimate {
+                cardinality: child.cardinality * fraction,
+                cost: child.cost + child.cardinality,
+            }
+        }
+    }
+}
+
+fn leaf(cardinality: f64) -> CostEstimate {
+    CostEstimate {
+        cardinality,
+        cost: cardinality,
+    }
+}
+
+/// Estimated fraction of paths satisfying a condition.
+pub fn condition_selectivity(condition: &Condition, stats: &GraphStats) -> f64 {
+    match condition {
+        Condition::True => 1.0,
+        Condition::And(a, b) => condition_selectivity(a, stats) * condition_selectivity(b, stats),
+        Condition::Or(a, b) => {
+            let sa = condition_selectivity(a, stats);
+            let sb = condition_selectivity(b, stats);
+            (sa + sb - sa * sb).clamp(0.0, 1.0)
+        }
+        Condition::Not(c) => 1.0 - condition_selectivity(c, stats),
+        Condition::Bound(_) => 0.9,
+        Condition::Substr(_, _) => 0.25,
+        // Whole-path restrictor predicates: most short paths satisfy them.
+        Condition::IsTrail | Condition::IsAcyclic | Condition::IsSimple => 0.8,
+        Condition::Compare { accessor, op, value } => {
+            use pathalg_core::condition::CompareOp::*;
+            let equality = match accessor {
+                Accessor::EdgeLabel(_) => value
+                    .as_str()
+                    .map(|l| stats.edge_label_selectivity(l))
+                    .unwrap_or(DEFAULT_PROPERTY_SELECTIVITY),
+                Accessor::NodeLabel(_) => value
+                    .as_str()
+                    .map(|l| {
+                        let total = stats.node_count().max(1) as f64;
+                        stats.nodes_with_label(l) as f64 / total
+                    })
+                    .unwrap_or(DEFAULT_PROPERTY_SELECTIVITY),
+                Accessor::NodeProperty(Position::First, _)
+                | Accessor::NodeProperty(Position::Last, _)
+                | Accessor::NodeProperty(Position::Index(_), _)
+                | Accessor::EdgeProperty(_, _) => DEFAULT_PROPERTY_SELECTIVITY,
+                Accessor::Len => 0.2,
+            };
+            match op {
+                Eq => equality,
+                Ne => 1.0 - equality,
+                Lt | Le | Gt | Ge => 0.33,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalg_core::condition::Condition;
+    use pathalg_core::ops::projection::ProjectionSpec;
+    use pathalg_core::GroupKey;
+    use pathalg_graph::fixtures::figure1::figure1_graph;
+    use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
+
+    fn stats() -> GraphStats {
+        GraphStats::compute(&figure1_graph())
+    }
+
+    fn knows_scan() -> PlanExpr {
+        PlanExpr::edges().select(Condition::edge_label(1, "Knows"))
+    }
+
+    #[test]
+    fn leaves_estimate_exact_counts() {
+        let s = stats();
+        assert_eq!(estimate(&PlanExpr::nodes(), &s).cardinality, 7.0);
+        assert_eq!(estimate(&PlanExpr::edges(), &s).cardinality, 11.0);
+    }
+
+    #[test]
+    fn label_selection_uses_real_selectivity() {
+        let s = stats();
+        let est = estimate(&knows_scan(), &s);
+        // 4 of 11 edges are Knows.
+        assert!((est.cardinality - 4.0).abs() < 1e-6);
+        assert!(est.cost > est.cardinality);
+    }
+
+    #[test]
+    fn condition_selectivities_are_sane() {
+        let s = stats();
+        assert!((condition_selectivity(&Condition::edge_label(1, "Knows"), &s) - 4.0 / 11.0).abs() < 1e-9);
+        assert_eq!(condition_selectivity(&Condition::True, &s), 1.0);
+        let and = Condition::edge_label(1, "Knows").and(Condition::first_property("name", "Moe"));
+        assert!(condition_selectivity(&and, &s) < 4.0 / 11.0);
+        let or = Condition::edge_label(1, "Knows").or(Condition::edge_label(1, "Likes"));
+        let sel_or = condition_selectivity(&or, &s);
+        assert!(sel_or > 4.0 / 11.0 && sel_or <= 1.0);
+        let not = Condition::edge_label(1, "Knows").not();
+        assert!((condition_selectivity(&not, &s) - (1.0 - 4.0 / 11.0)).abs() < 1e-9);
+        assert!(condition_selectivity(&Condition::first_label("Person"), &s) > 0.5);
+    }
+
+    #[test]
+    fn pushed_down_plans_cost_less() {
+        // Figure 6: filtering before the join must be estimated cheaper than
+        // filtering after it.
+        let s = stats();
+        let filter = Condition::first_property("name", "Moe");
+        let unpushed = knows_scan().join(knows_scan()).select(filter.clone());
+        let pushed = knows_scan().select(filter).join(knows_scan());
+        let a = estimate(&unpushed, &s);
+        let b = estimate(&pushed, &s);
+        assert!(b.cost < a.cost, "pushed {} vs unpushed {}", b.cost, a.cost);
+        // Cardinality of the final result is (approximately) the same.
+        assert!((a.cardinality - b.cardinality).abs() < 1e-6);
+    }
+
+    #[test]
+    fn restricted_recursion_is_estimated_cheaper_than_walks() {
+        let s = GraphStats::compute(&snb_like_graph(&SnbConfig::scale(50, 4)));
+        let base = knows_scan();
+        let walk = base.clone().recursive(PathSemantics::Walk);
+        let shortest = base.recursive(PathSemantics::Shortest);
+        let cw = estimate(&walk, &s);
+        let cs = estimate(&shortest, &s);
+        assert!(cs.cost <= cw.cost);
+    }
+
+    #[test]
+    fn extended_operators_add_their_input_cost() {
+        let s = stats();
+        let plan = knows_scan()
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::all());
+        let est = estimate(&plan, &s);
+        assert!(est.cost > 0.0);
+        assert!(est.cardinality > 0.0);
+        let inner = estimate(&knows_scan().recursive(PathSemantics::Trail), &s);
+        assert!(est.cost > inner.cost);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pathalg-engine — executing path-algebra plans
+//!
+//! The paper deliberately leaves the algorithms for each operator out of scope
+//! ("to build a reference implementation, one only needs to specify an
+//! algorithm for each operator", Section 7.2). This crate supplies those
+//! algorithms and ties the whole stack together:
+//!
+//! * [`physical`] — alternative physical implementations of the recursive
+//!   operator: the semi-naïve fixpoint from `pathalg-core`, a literal
+//!   (naïve) transcription of Definition 4.1 used as an ablation baseline,
+//!   a DFS enumeration with restrictor pruning, and a BFS specialised to the
+//!   shortest-path semantics. All of them are cross-checked against each
+//!   other in the tests and raced in the benchmark harness.
+//! * [`cost`] — a simple cardinality/cost model over
+//!   [`pathalg_graph::stats::GraphStats`], the ingredient Section 7.3 says a
+//!   cost-based optimizer needs.
+//! * [`baseline`] — end-to-end evaluation of a parsed query with the
+//!   classical automaton-product algorithm instead of the algebra, used as an
+//!   independent correctness oracle and benchmark comparator.
+//! * [`runner`] — [`runner::QueryRunner`]: parse → type-check → optimize →
+//!   evaluate, the "reference implementation of GQL / SQL-PGQ" the paper
+//!   sketches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cost;
+pub mod physical;
+pub mod runner;
+
+pub use runner::{QueryResult, QueryRunner, RunnerConfig};

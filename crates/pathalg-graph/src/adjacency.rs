@@ -1,0 +1,173 @@
+//! Per-node adjacency indexes.
+//!
+//! The traversal-based operators of the engine (recursive expansion, BFS
+//! shortest paths, automaton-product search) need fast access to the outgoing
+//! and incoming edges of a node. [`AdjacencyIndex`] stores both directions in
+//! flattened vectors indexed by node, built once when [`crate::graph::GraphBuilder::build`]
+//! finalises the graph.
+
+use crate::graph::EdgeData;
+use crate::ids::{EdgeId, NodeId};
+
+/// Outgoing and incoming adjacency lists for every node of a graph.
+///
+/// Both directions are stored as a flattened offset/edge-list pair
+/// (one level of indirection, contiguous memory), which is the same layout a
+/// CSR representation uses but keyed by the original edge identifiers so the
+/// algebra can reconstruct paths.
+#[derive(Clone, Debug, Default)]
+pub struct AdjacencyIndex {
+    out_offsets: Vec<usize>,
+    out_edges: Vec<EdgeId>,
+    in_offsets: Vec<usize>,
+    in_edges: Vec<EdgeId>,
+}
+
+impl AdjacencyIndex {
+    /// Builds the index for `node_count` nodes from the edge table.
+    ///
+    /// Edges appear in each adjacency list in ascending edge-identifier order,
+    /// which keeps traversal deterministic.
+    pub fn build(node_count: usize, edges: &[EdgeData]) -> Self {
+        let mut out_degree = vec![0usize; node_count];
+        let mut in_degree = vec![0usize; node_count];
+        for edge in edges {
+            out_degree[edge.source.index()] += 1;
+            in_degree[edge.target.index()] += 1;
+        }
+
+        let mut out_offsets = Vec::with_capacity(node_count + 1);
+        let mut in_offsets = Vec::with_capacity(node_count + 1);
+        let mut out_total = 0usize;
+        let mut in_total = 0usize;
+        for i in 0..node_count {
+            out_offsets.push(out_total);
+            in_offsets.push(in_total);
+            out_total += out_degree[i];
+            in_total += in_degree[i];
+        }
+        out_offsets.push(out_total);
+        in_offsets.push(in_total);
+
+        let mut out_edges = vec![EdgeId(0); out_total];
+        let mut in_edges = vec![EdgeId(0); in_total];
+        let mut out_cursor = out_offsets[..node_count].to_vec();
+        let mut in_cursor = in_offsets[..node_count].to_vec();
+        // Edges are scanned in identifier order, so each adjacency list ends up
+        // sorted by edge identifier.
+        for (idx, edge) in edges.iter().enumerate() {
+            let id = EdgeId(idx as u32);
+            let s = edge.source.index();
+            let t = edge.target.index();
+            out_edges[out_cursor[s]] = id;
+            out_cursor[s] += 1;
+            in_edges[in_cursor[t]] = id;
+            in_cursor[t] += 1;
+        }
+
+        Self {
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+        }
+    }
+
+    /// Outgoing edges of `node`, sorted by edge identifier.
+    pub fn outgoing(&self, node: NodeId) -> &[EdgeId] {
+        let i = node.index();
+        if i + 1 >= self.out_offsets.len() {
+            return &[];
+        }
+        &self.out_edges[self.out_offsets[i]..self.out_offsets[i + 1]]
+    }
+
+    /// Incoming edges of `node`, sorted by edge identifier.
+    pub fn incoming(&self, node: NodeId) -> &[EdgeId] {
+        let i = node.index();
+        if i + 1 >= self.in_offsets.len() {
+            return &[];
+        }
+        &self.in_edges[self.in_offsets[i]..self.in_offsets[i + 1]]
+    }
+
+    /// Total number of (directed) adjacency entries, i.e. the edge count.
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn index_matches_edge_table() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("A", Vec::<(&str, Value)>::new());
+        let n1 = b.add_node("A", Vec::<(&str, Value)>::new());
+        let n2 = b.add_node("A", Vec::<(&str, Value)>::new());
+        let e0 = b.add_edge(n0, n1, "x", Vec::<(&str, Value)>::new());
+        let e1 = b.add_edge(n1, n2, "x", Vec::<(&str, Value)>::new());
+        let e2 = b.add_edge(n0, n2, "x", Vec::<(&str, Value)>::new());
+        let e3 = b.add_edge(n2, n0, "x", Vec::<(&str, Value)>::new());
+        let g = b.build();
+
+        assert_eq!(g.outgoing(n0), &[e0, e2]);
+        assert_eq!(g.outgoing(n1), &[e1]);
+        assert_eq!(g.outgoing(n2), &[e3]);
+        assert_eq!(g.incoming(n0), &[e3]);
+        assert_eq!(g.incoming(n1), &[e0]);
+        assert_eq!(g.incoming(n2), &[e1, e2]);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_lists() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("A", Vec::<(&str, Value)>::new());
+        let _n1 = b.add_node("A", Vec::<(&str, Value)>::new());
+        let g = b.build();
+        assert!(g.outgoing(n0).is_empty());
+        assert!(g.incoming(n0).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_node_yields_empty_slices() {
+        let idx = AdjacencyIndex::build(0, &[]);
+        assert!(idx.outgoing(NodeId(5)).is_empty());
+        assert!(idx.incoming(NodeId(5)).is_empty());
+        assert_eq!(idx.edge_count(), 0);
+    }
+
+    #[test]
+    fn self_loop_appears_in_both_directions() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node("A", Vec::<(&str, Value)>::new());
+        let e = b.add_edge(n, n, "loop", Vec::<(&str, Value)>::new());
+        let g = b.build();
+        assert_eq!(g.outgoing(n), &[e]);
+        assert_eq!(g.incoming(n), &[e]);
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count() {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..10)
+            .map(|_| b.add_node("A", Vec::<(&str, Value)>::new()))
+            .collect();
+        for i in 0..nodes.len() {
+            for j in 0..nodes.len() {
+                if (i + j) % 3 == 0 {
+                    b.add_edge(nodes[i], nodes[j], "x", Vec::<(&str, Value)>::new());
+                }
+            }
+        }
+        let g = b.build();
+        let out_sum: usize = g.nodes().map(|n| g.out_degree(n)).sum();
+        let in_sum: usize = g.nodes().map(|n| g.in_degree(n)).sum();
+        assert_eq!(out_sum, g.edge_count());
+        assert_eq!(in_sum, g.edge_count());
+    }
+}

@@ -1,0 +1,181 @@
+//! Compressed-Sparse-Row snapshot of a property graph.
+//!
+//! Oracle PGX (Section 8.3 of the paper) evaluates path queries over a CSR
+//! representation. We provide an equivalent immutable snapshot: node-indexed
+//! offset arrays over neighbour/edge arrays, optionally restricted to a single
+//! edge label. The engine uses label-restricted CSRs for the hot loops of the
+//! recursive operator, where chasing `Vec<EdgeId>` adjacency lists and
+//! re-checking labels per edge would dominate the cost.
+
+use crate::graph::PropertyGraph;
+use crate::ids::{EdgeId, NodeId};
+
+/// An immutable CSR view of (a label-restricted subset of) a graph's edges.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+    label: Option<String>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR over all edges of the graph.
+    pub fn from_graph(graph: &PropertyGraph) -> Self {
+        Self::build(graph, None)
+    }
+
+    /// Builds a CSR restricted to edges carrying `label`.
+    pub fn with_label(graph: &PropertyGraph, label: &str) -> Self {
+        Self::build(graph, Some(label))
+    }
+
+    fn build(graph: &PropertyGraph, label: Option<&str>) -> Self {
+        let n = graph.node_count();
+        let mut degree = vec![0usize; n];
+        let keep = |e: EdgeId| match label {
+            None => true,
+            Some(l) => graph.edge(e).label.as_deref() == Some(l),
+        };
+        for e in graph.edges().filter(|&e| keep(e)) {
+            degree[graph.source(e).index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0;
+        for d in &degree {
+            offsets.push(total);
+            total += d;
+        }
+        offsets.push(total);
+        let mut targets = vec![NodeId(0); total];
+        let mut edges = vec![EdgeId(0); total];
+        let mut cursor = offsets[..n].to_vec();
+        for e in graph.edges().filter(|&e| keep(e)) {
+            let s = graph.source(e).index();
+            targets[cursor[s]] = graph.target(e);
+            edges[cursor[s]] = e;
+            cursor[s] += 1;
+        }
+        Self {
+            offsets,
+            targets,
+            edges,
+            label: label.map(str::to_owned),
+        }
+    }
+
+    /// The label this CSR is restricted to, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Number of nodes covered by the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `(target, edge)` pairs reachable from `node` in one hop.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let i = node.index();
+        let (lo, hi) = if i + 1 < self.offsets.len() {
+            (self.offsets[i], self.offsets[i + 1])
+        } else {
+            (0, 0)
+        };
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.edges[lo..hi].iter().copied())
+    }
+
+    /// Out-degree of `node` within the snapshot.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        if i + 1 < self.offsets.len() {
+            self.offsets[i + 1] - self.offsets[i]
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::value::Value;
+
+    fn labeled_graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node("N", Vec::<(&str, Value)>::new()))
+            .collect();
+        b.add_edge(n[0], n[1], "a", Vec::<(&str, Value)>::new());
+        b.add_edge(n[0], n[2], "b", Vec::<(&str, Value)>::new());
+        b.add_edge(n[1], n[2], "a", Vec::<(&str, Value)>::new());
+        b.add_edge(n[2], n[3], "a", Vec::<(&str, Value)>::new());
+        b.add_edge(n[3], n[0], "b", Vec::<(&str, Value)>::new());
+        b.build()
+    }
+
+    #[test]
+    fn full_csr_covers_all_edges() {
+        let g = labeled_graph();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 5);
+        assert_eq!(csr.label(), None);
+        let from0: Vec<_> = csr.neighbors(NodeId(0)).collect();
+        assert_eq!(from0, vec![(NodeId(1), EdgeId(0)), (NodeId(2), EdgeId(1))]);
+        assert_eq!(csr.out_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn label_restricted_csr_filters_edges() {
+        let g = labeled_graph();
+        let csr = CsrGraph::with_label(&g, "a");
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(csr.label(), Some("a"));
+        let from0: Vec<_> = csr.neighbors(NodeId(0)).collect();
+        assert_eq!(from0, vec![(NodeId(1), EdgeId(0))]);
+        assert_eq!(csr.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn csr_agrees_with_adjacency_index() {
+        let g = labeled_graph();
+        let csr = CsrGraph::from_graph(&g);
+        for n in g.nodes() {
+            let via_adj: Vec<_> = g
+                .outgoing(n)
+                .iter()
+                .map(|&e| (g.target(e), e))
+                .collect();
+            let via_csr: Vec<_> = csr.neighbors(n).collect();
+            assert_eq!(via_adj, via_csr);
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_is_empty() {
+        let g = labeled_graph();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.neighbors(NodeId(99)).count(), 0);
+        assert_eq!(csr.out_degree(NodeId(99)), 0);
+    }
+
+    #[test]
+    fn unknown_label_yields_empty_csr() {
+        let g = labeled_graph();
+        let csr = CsrGraph::with_label(&g, "nope");
+        assert_eq!(csr.edge_count(), 0);
+        for n in g.nodes() {
+            assert_eq!(csr.out_degree(n), 0);
+        }
+    }
+}

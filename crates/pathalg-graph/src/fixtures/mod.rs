@@ -1,0 +1,5 @@
+//! Fixed example graphs used throughout the paper, tests and documentation.
+
+pub mod figure1;
+
+pub use figure1::{figure1_graph, Figure1};

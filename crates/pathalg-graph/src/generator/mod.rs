@@ -1,0 +1,22 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper's running example is a snippet of the LDBC Social Network
+//! Benchmark (SNB) graph. We do not ship the (large, generator-produced) LDBC
+//! datasets; instead this module provides scale-parameterised synthetic
+//! generators that preserve the structural features the paper's queries
+//! exercise — the label vocabulary (`Person`, `Message`; `Knows`, `Likes`,
+//! `Has_creator`), the cyclic `Knows` core, and the `Likes`/`Has_creator`
+//! bipartite structure — plus a set of simpler topologies (chains, cycles,
+//! grids, Erdős–Rényi labelled digraphs) used to control the combinatorial
+//! explosion of path enumeration in benchmarks.
+//!
+//! All generators are deterministic given a seed, so tests and Criterion
+//! benches are reproducible.
+
+pub mod random;
+pub mod snb;
+pub mod structured;
+
+pub use random::{random_labeled_graph, RandomGraphConfig};
+pub use snb::{snb_like_graph, SnbConfig};
+pub use structured::{chain_graph, complete_graph, cycle_graph, grid_graph, ladder_graph};

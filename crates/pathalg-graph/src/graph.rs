@@ -1,0 +1,577 @@
+//! The property graph — Definition 2.1 of the paper.
+//!
+//! A [`PropertyGraph`] is the tuple `G = (N, E, ρ, λ, ν)`:
+//!
+//! * `N` — a finite set of node identifiers ([`NodeId`]),
+//! * `E` — a finite set of edge identifiers ([`EdgeId`]) disjoint from `N`,
+//! * `ρ : E → N × N` — a total function giving each edge its (source, target),
+//! * `λ : (N ∪ E) ⇀ L` — a partial function assigning at most one label to
+//!   each object,
+//! * `ν : (N ∪ E) × P ⇀ V` — a partial function assigning property values.
+//!
+//! Graphs are constructed with [`GraphBuilder`] and are immutable afterwards,
+//! which lets the adjacency/CSR indexes, the optimizer statistics, and the
+//! engine all borrow the same graph without synchronisation.
+
+use crate::adjacency::AdjacencyIndex;
+use crate::ids::{EdgeId, NodeId, ObjectId};
+use crate::property::PropertyMap;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Data stored per node: its optional label and its properties.
+#[derive(Clone, Debug, Default)]
+pub struct NodeData {
+    /// The node's label (λ), if any.
+    pub label: Option<String>,
+    /// The node's properties (ν).
+    pub properties: PropertyMap,
+}
+
+/// Data stored per edge: endpoints (ρ), optional label (λ) and properties (ν).
+#[derive(Clone, Debug)]
+pub struct EdgeData {
+    /// Source node of the edge.
+    pub source: NodeId,
+    /// Target node of the edge.
+    pub target: NodeId,
+    /// The edge's label (λ), if any.
+    pub label: Option<String>,
+    /// The edge's properties (ν).
+    pub properties: PropertyMap,
+}
+
+/// A directed, labelled property multigraph (Definition 2.1).
+///
+/// The graph is immutable once built; see [`GraphBuilder`].
+#[derive(Clone, Debug, Default)]
+pub struct PropertyGraph {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    /// Interned label strings, so statistics and the optimizer can enumerate
+    /// the label vocabulary cheaply.
+    labels: Vec<String>,
+    label_ids: HashMap<String, usize>,
+    adjacency: AdjacencyIndex,
+}
+
+impl PropertyGraph {
+    /// Number of nodes, `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges, `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all node identifiers. This is the `Nodes(G)` atom of the
+    /// algebra (paths of length zero).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge identifiers. This is the `Edges(G)` atom of the
+    /// algebra (paths of length one).
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// True if the node identifier belongs to the graph.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.nodes.len()
+    }
+
+    /// True if the edge identifier belongs to the graph.
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        edge.index() < self.edges.len()
+    }
+
+    /// Per-node data; panics if the identifier is out of range.
+    pub fn node(&self, node: NodeId) -> &NodeData {
+        &self.nodes[node.index()]
+    }
+
+    /// Per-edge data; panics if the identifier is out of range.
+    pub fn edge(&self, edge: EdgeId) -> &EdgeData {
+        &self.edges[edge.index()]
+    }
+
+    /// The ρ function: the `(source, target)` pair of an edge.
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let data = self.edge(edge);
+        (data.source, data.target)
+    }
+
+    /// Source node of an edge.
+    pub fn source(&self, edge: EdgeId) -> NodeId {
+        self.edge(edge).source
+    }
+
+    /// Target node of an edge.
+    pub fn target(&self, edge: EdgeId) -> NodeId {
+        self.edge(edge).target
+    }
+
+    /// The λ function on an arbitrary object: the label of a node or an edge,
+    /// or `None` if the object has no label.
+    pub fn label(&self, object: impl Into<ObjectId>) -> Option<&str> {
+        match object.into() {
+            ObjectId::Node(n) => self.node(n).label.as_deref(),
+            ObjectId::Edge(e) => self.edge(e).label.as_deref(),
+        }
+    }
+
+    /// The ν function: the value of property `prop` on an object, or `None`.
+    pub fn property(&self, object: impl Into<ObjectId>, prop: &str) -> Option<&Value> {
+        match object.into() {
+            ObjectId::Node(n) => self.node(n).properties.get(prop),
+            ObjectId::Edge(e) => self.edge(e).properties.get(prop),
+        }
+    }
+
+    /// All properties of an object.
+    pub fn properties(&self, object: impl Into<ObjectId>) -> &PropertyMap {
+        match object.into() {
+            ObjectId::Node(n) => &self.node(n).properties,
+            ObjectId::Edge(e) => &self.edge(e).properties,
+        }
+    }
+
+    /// The interned label vocabulary of the graph (nodes and edges combined),
+    /// in first-seen order.
+    pub fn label_vocabulary(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Outgoing edges of a node, in edge-identifier order.
+    pub fn outgoing(&self, node: NodeId) -> &[EdgeId] {
+        self.adjacency.outgoing(node)
+    }
+
+    /// Incoming edges of a node, in edge-identifier order.
+    pub fn incoming(&self, node: NodeId) -> &[EdgeId] {
+        self.adjacency.incoming(node)
+    }
+
+    /// Outgoing edges of a node restricted to a given edge label.
+    pub fn outgoing_with_label<'g>(
+        &'g self,
+        node: NodeId,
+        label: &'g str,
+    ) -> impl Iterator<Item = EdgeId> + 'g {
+        self.outgoing(node)
+            .iter()
+            .copied()
+            .filter(move |&e| self.edge(e).label.as_deref() == Some(label))
+    }
+
+    /// Incoming edges of a node restricted to a given edge label.
+    pub fn incoming_with_label<'g>(
+        &'g self,
+        node: NodeId,
+        label: &'g str,
+    ) -> impl Iterator<Item = EdgeId> + 'g {
+        self.incoming(node)
+            .iter()
+            .copied()
+            .filter(move |&e| self.edge(e).label.as_deref() == Some(label))
+    }
+
+    /// All edges carrying a given label.
+    pub fn edges_with_label<'g>(&'g self, label: &'g str) -> impl Iterator<Item = EdgeId> + 'g {
+        self.edges()
+            .filter(move |&e| self.edge(e).label.as_deref() == Some(label))
+    }
+
+    /// All nodes carrying a given label.
+    pub fn nodes_with_label<'g>(&'g self, label: &'g str) -> impl Iterator<Item = NodeId> + 'g {
+        self.nodes()
+            .filter(move |&n| self.node(n).label.as_deref() == Some(label))
+    }
+
+    /// Finds nodes whose property `prop` equals `value`.
+    pub fn nodes_with_property<'g>(
+        &'g self,
+        prop: &'g str,
+        value: &'g Value,
+    ) -> impl Iterator<Item = NodeId> + 'g {
+        self.nodes()
+            .filter(move |&n| self.node(n).properties.get(prop).map(|v| v.condition_eq(value)) == Some(true))
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.outgoing(node).len()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.incoming(node).len()
+    }
+}
+
+impl fmt::Display for PropertyGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "PropertyGraph {{ nodes: {}, edges: {} }}",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        for n in self.nodes() {
+            let data = self.node(n);
+            writeln!(
+                f,
+                "  ({n}:{} {})",
+                data.label.as_deref().unwrap_or("_"),
+                data.properties
+            )?;
+        }
+        for e in self.edges() {
+            let data = self.edge(e);
+            writeln!(
+                f,
+                "  ({})-[{e}:{} {}]->({})",
+                data.source,
+                data.label.as_deref().unwrap_or("_"),
+                data.properties,
+                data.target
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental constructor for [`PropertyGraph`].
+///
+/// ```
+/// use pathalg_graph::graph::GraphBuilder;
+///
+/// let mut builder = GraphBuilder::new();
+/// let moe = builder.add_node("Person", [("name", "Moe")]);
+/// let apu = builder.add_node("Person", [("name", "Apu")]);
+/// builder.add_edge(moe, apu, "Knows", [("since", 2010i64)]);
+/// let graph = builder.build();
+/// assert_eq!(graph.node_count(), 2);
+/// assert_eq!(graph.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    labels: Vec<String>,
+    label_ids: HashMap<String, usize>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-allocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            labels: Vec::new(),
+            label_ids: HashMap::new(),
+        }
+    }
+
+    fn intern_label(&mut self, label: &str) {
+        if !self.label_ids.contains_key(label) {
+            self.label_ids.insert(label.to_owned(), self.labels.len());
+            self.labels.push(label.to_owned());
+        }
+    }
+
+    /// Adds a labelled node with properties and returns its identifier.
+    pub fn add_node<K, V>(
+        &mut self,
+        label: impl Into<String>,
+        properties: impl IntoIterator<Item = (K, V)>,
+    ) -> NodeId
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        let label = label.into();
+        self.intern_label(&label);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label: Some(label),
+            properties: PropertyMap::from_iter(properties),
+        });
+        id
+    }
+
+    /// Adds a node without a label (λ is partial).
+    pub fn add_unlabeled_node<K, V>(
+        &mut self,
+        properties: impl IntoIterator<Item = (K, V)>,
+    ) -> NodeId
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label: None,
+            properties: PropertyMap::from_iter(properties),
+        });
+        id
+    }
+
+    /// Adds a labelled edge and returns its identifier.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added to the builder.
+    pub fn add_edge<K, V>(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        label: impl Into<String>,
+        properties: impl IntoIterator<Item = (K, V)>,
+    ) -> EdgeId
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        assert!(
+            source.index() < self.nodes.len() && target.index() < self.nodes.len(),
+            "edge endpoints must refer to existing nodes"
+        );
+        let label = label.into();
+        self.intern_label(&label);
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData {
+            source,
+            target,
+            label: Some(label),
+            properties: PropertyMap::from_iter(properties),
+        });
+        id
+    }
+
+    /// Adds an unlabelled edge.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added to the builder.
+    pub fn add_unlabeled_edge<K, V>(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        properties: impl IntoIterator<Item = (K, V)>,
+    ) -> EdgeId
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        assert!(
+            source.index() < self.nodes.len() && target.index() < self.nodes.len(),
+            "edge endpoints must refer to existing nodes"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData {
+            source,
+            target,
+            label: None,
+            properties: PropertyMap::from_iter(properties),
+        });
+        id
+    }
+
+    /// Sets a property on an already-added node.
+    pub fn set_node_property(
+        &mut self,
+        node: NodeId,
+        prop: impl Into<String>,
+        value: impl Into<Value>,
+    ) {
+        self.nodes[node.index()].properties.insert(prop, value);
+    }
+
+    /// Sets a property on an already-added edge.
+    pub fn set_edge_property(
+        &mut self,
+        edge: EdgeId,
+        prop: impl Into<String>,
+        value: impl Into<Value>,
+    ) {
+        self.edges[edge.index()].properties.insert(prop, value);
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the graph, building the adjacency index.
+    pub fn build(self) -> PropertyGraph {
+        let adjacency = AdjacencyIndex::build(self.nodes.len(), &self.edges);
+        PropertyGraph {
+            nodes: self.nodes,
+            edges: self.edges,
+            labels: self.labels,
+            label_ids: self.label_ids,
+            adjacency,
+        }
+    }
+}
+
+impl PropertyGraph {
+    /// Returns the interned identifier of a label, if the label occurs in the
+    /// graph's vocabulary.
+    pub fn label_id(&self, label: &str) -> Option<usize> {
+        self.label_ids.get(label).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("Person", [("name", "Moe")]);
+        let c = b.add_node("Person", [("name", "Apu")]);
+        let m = b.add_node("Message", [("content", "hi")]);
+        b.add_edge(a, c, "Knows", [("since", 2010i64)]);
+        b.add_edge(a, m, "Likes", Vec::<(&str, Value)>::new());
+        b.add_edge(m, c, "Has_creator", Vec::<(&str, Value)>::new());
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let g = small_graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.is_empty());
+        assert!(g.contains_node(NodeId(2)));
+        assert!(!g.contains_node(NodeId(3)));
+        assert!(g.contains_edge(EdgeId(2)));
+        assert!(!g.contains_edge(EdgeId(3)));
+    }
+
+    #[test]
+    fn rho_lambda_nu_accessors() {
+        let g = small_graph();
+        assert_eq!(g.endpoints(EdgeId(0)), (NodeId(0), NodeId(1)));
+        assert_eq!(g.source(EdgeId(1)), NodeId(0));
+        assert_eq!(g.target(EdgeId(2)), NodeId(1));
+        assert_eq!(g.label(NodeId(0)), Some("Person"));
+        assert_eq!(g.label(EdgeId(0)), Some("Knows"));
+        assert_eq!(g.property(NodeId(0), "name"), Some(&Value::str("Moe")));
+        assert_eq!(g.property(EdgeId(0), "since"), Some(&Value::Int(2010)));
+        assert_eq!(g.property(NodeId(0), "missing"), None);
+    }
+
+    #[test]
+    fn unlabeled_objects_have_no_label() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_unlabeled_node([("k", 1i64)]);
+        let y = b.add_unlabeled_node(Vec::<(&str, Value)>::new());
+        let e = b.add_unlabeled_edge(x, y, Vec::<(&str, Value)>::new());
+        let g = b.build();
+        assert_eq!(g.label(x), None);
+        assert_eq!(g.label(e), None);
+        assert_eq!(g.property(x, "k"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = small_graph();
+        assert_eq!(g.outgoing(NodeId(0)), &[EdgeId(0), EdgeId(1)]);
+        assert_eq!(g.incoming(NodeId(1)), &[EdgeId(0), EdgeId(2)]);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(1)), 2);
+        let knows: Vec<_> = g.outgoing_with_label(NodeId(0), "Knows").collect();
+        assert_eq!(knows, vec![EdgeId(0)]);
+        let incoming_creator: Vec<_> = g.incoming_with_label(NodeId(1), "Has_creator").collect();
+        assert_eq!(incoming_creator, vec![EdgeId(2)]);
+    }
+
+    #[test]
+    fn label_based_scans() {
+        let g = small_graph();
+        let people: Vec<_> = g.nodes_with_label("Person").collect();
+        assert_eq!(people, vec![NodeId(0), NodeId(1)]);
+        let likes: Vec<_> = g.edges_with_label("Likes").collect();
+        assert_eq!(likes, vec![EdgeId(1)]);
+        let moe: Vec<_> = g.nodes_with_property("name", &Value::str("Moe")).collect();
+        assert_eq!(moe, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn label_vocabulary_is_interned_in_first_seen_order() {
+        let g = small_graph();
+        assert_eq!(
+            g.label_vocabulary(),
+            &["Person", "Message", "Knows", "Likes", "Has_creator"]
+        );
+        assert_eq!(g.label_id("Knows"), Some(2));
+        assert_eq!(g.label_id("Unknown"), None);
+    }
+
+    #[test]
+    fn builder_property_mutation() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node("Person", Vec::<(&str, Value)>::new());
+        let m = b.add_node("Person", Vec::<(&str, Value)>::new());
+        let e = b.add_edge(n, m, "Knows", Vec::<(&str, Value)>::new());
+        b.set_node_property(n, "name", "Moe");
+        b.set_edge_property(e, "since", 1999i64);
+        let g = b.build();
+        assert_eq!(g.property(n, "name"), Some(&Value::str("Moe")));
+        assert_eq!(g.property(e, "since"), Some(&Value::Int(1999)));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoints")]
+    fn adding_edge_with_unknown_endpoint_panics() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node("Person", Vec::<(&str, Value)>::new());
+        b.add_edge(n, NodeId(99), "Knows", Vec::<(&str, Value)>::new());
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_edges_and_self_loops() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("Person", Vec::<(&str, Value)>::new());
+        let c = b.add_node("Person", Vec::<(&str, Value)>::new());
+        let e1 = b.add_edge(a, c, "Knows", Vec::<(&str, Value)>::new());
+        let e2 = b.add_edge(a, c, "Knows", Vec::<(&str, Value)>::new());
+        let loop_edge = b.add_edge(a, a, "Knows", Vec::<(&str, Value)>::new());
+        let g = b.build();
+        assert_ne!(e1, e2);
+        assert_eq!(g.endpoints(e1), g.endpoints(e2));
+        assert_eq!(g.endpoints(loop_edge), (a, a));
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(a), 1);
+    }
+
+    #[test]
+    fn display_mentions_every_object() {
+        let g = small_graph();
+        let text = g.to_string();
+        assert!(text.contains("nodes: 3"));
+        assert!(text.contains("Knows"));
+        assert!(text.contains("n0"));
+        assert!(text.contains("e2"));
+    }
+}

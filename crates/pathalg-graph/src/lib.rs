@@ -1,0 +1,42 @@
+//! # pathalg-graph — the property-graph substrate
+//!
+//! This crate implements the property-graph data model of Definition 2.1 of
+//! *Path-based Algebraic Foundations of Graph Query Languages* (Angles,
+//! Bonifati, García, Vrgoč — EDBT 2025), together with everything the path
+//! algebra needs from the storage layer:
+//!
+//! * [`ids`] — strongly-typed node / edge / object identifiers.
+//! * [`value`] — property values (the set `V` of the paper) with total ordering
+//!   and the comparison operators used by selection conditions.
+//! * [`property`] — property maps (the partial function ν).
+//! * [`graph`] — the [`graph::PropertyGraph`] itself (`N`, `E`, ρ, λ, ν`), its
+//!   builder, and lookup accessors.
+//! * [`adjacency`] — per-node outgoing / incoming adjacency indexes, optionally
+//!   keyed by edge label, used by the traversal-based physical operators.
+//! * [`csr`] — an immutable Compressed-Sparse-Row snapshot (the representation
+//!   Oracle PGX uses; handy for cache-friendly BFS).
+//! * [`stats`] — label-frequency and degree statistics feeding the optimizer's
+//!   cost model.
+//! * [`generator`] — deterministic synthetic graph generators (LDBC-SNB-shaped,
+//!   Erdős–Rényi labelled, cycles, chains, grids) used by tests and benches.
+//! * [`fixtures`] — the exact graph of the paper's Figure 1.
+//!
+//! The crate has no knowledge of paths or the algebra; that lives in
+//! `pathalg-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod csr;
+pub mod fixtures;
+pub mod generator;
+pub mod graph;
+pub mod ids;
+pub mod property;
+pub mod stats;
+pub mod value;
+
+pub use graph::{GraphBuilder, PropertyGraph};
+pub use ids::{EdgeId, NodeId, ObjectId};
+pub use value::Value;

@@ -1,0 +1,256 @@
+//! Graph statistics used by the optimizer's cost model.
+//!
+//! Section 7.3 of the paper notes that algebraic plans enable cost-based
+//! optimization "as a standard part of any cost-based query execution plan in
+//! SQL databases". The statistics collected here — label frequencies, degree
+//! distributions, and per-label average out-degree (the expansion factor of
+//! one ϕ iteration) — are what such a cost model needs.
+
+use crate::graph::PropertyGraph;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Summary statistics of a property graph.
+#[derive(Clone, Debug, Default)]
+pub struct GraphStats {
+    node_count: usize,
+    edge_count: usize,
+    node_label_counts: HashMap<String, usize>,
+    edge_label_counts: HashMap<String, usize>,
+    max_out_degree: usize,
+    max_in_degree: usize,
+    avg_out_degree: f64,
+    /// Average out-degree restricted to each edge label: the expected fan-out
+    /// of one expansion step of ϕ over that label.
+    label_expansion: HashMap<String, f64>,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph in a single pass over nodes and edges.
+    pub fn compute(graph: &PropertyGraph) -> Self {
+        let node_count = graph.node_count();
+        let edge_count = graph.edge_count();
+
+        let mut node_label_counts: HashMap<String, usize> = HashMap::new();
+        for n in graph.nodes() {
+            if let Some(l) = graph.node(n).label.as_deref() {
+                *node_label_counts.entry(l.to_owned()).or_default() += 1;
+            }
+        }
+
+        let mut edge_label_counts: HashMap<String, usize> = HashMap::new();
+        // Nodes with at least one outgoing edge of a given label.
+        let mut label_sources: HashMap<String, std::collections::HashSet<u32>> = HashMap::new();
+        for e in graph.edges() {
+            if let Some(l) = graph.edge(e).label.as_deref() {
+                *edge_label_counts.entry(l.to_owned()).or_default() += 1;
+                label_sources
+                    .entry(l.to_owned())
+                    .or_default()
+                    .insert(graph.source(e).0);
+            }
+        }
+
+        let mut max_out_degree = 0;
+        let mut max_in_degree = 0;
+        for n in graph.nodes() {
+            max_out_degree = max_out_degree.max(graph.out_degree(n));
+            max_in_degree = max_in_degree.max(graph.in_degree(n));
+        }
+
+        let avg_out_degree = if node_count == 0 {
+            0.0
+        } else {
+            edge_count as f64 / node_count as f64
+        };
+
+        let label_expansion = edge_label_counts
+            .iter()
+            .map(|(l, &count)| {
+                let sources = label_sources.get(l).map_or(0, |s| s.len());
+                let expansion = if sources == 0 {
+                    0.0
+                } else {
+                    count as f64 / sources as f64
+                };
+                (l.clone(), expansion)
+            })
+            .collect();
+
+        Self {
+            node_count,
+            edge_count,
+            node_label_counts,
+            edge_label_counts,
+            max_out_degree,
+            max_in_degree,
+            avg_out_degree,
+            label_expansion,
+        }
+    }
+
+    /// Number of nodes in the graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of nodes carrying a given label.
+    pub fn nodes_with_label(&self, label: &str) -> usize {
+        self.node_label_counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// Number of edges carrying a given label.
+    pub fn edges_with_label(&self, label: &str) -> usize {
+        self.edge_label_counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// Selectivity of an edge-label predicate: fraction of edges matching.
+    pub fn edge_label_selectivity(&self, label: &str) -> f64 {
+        if self.edge_count == 0 {
+            0.0
+        } else {
+            self.edges_with_label(label) as f64 / self.edge_count as f64
+        }
+    }
+
+    /// Maximum out-degree over all nodes.
+    pub fn max_out_degree(&self) -> usize {
+        self.max_out_degree
+    }
+
+    /// Maximum in-degree over all nodes.
+    pub fn max_in_degree(&self) -> usize {
+        self.max_in_degree
+    }
+
+    /// Average out-degree (`|E| / |N|`).
+    pub fn avg_out_degree(&self) -> f64 {
+        self.avg_out_degree
+    }
+
+    /// Average out-degree restricted to a label, over nodes that have at least
+    /// one outgoing edge of that label; 0 if the label does not occur.
+    pub fn label_expansion(&self, label: &str) -> f64 {
+        self.label_expansion.get(label).copied().unwrap_or(0.0)
+    }
+
+    /// Edge labels seen in the graph, in arbitrary order.
+    pub fn edge_labels(&self) -> impl Iterator<Item = &str> {
+        self.edge_label_counts.keys().map(String::as_str)
+    }
+
+    /// Node labels seen in the graph, in arbitrary order.
+    pub fn node_labels(&self) -> impl Iterator<Item = &str> {
+        self.node_label_counts.keys().map(String::as_str)
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "GraphStats {{ nodes: {}, edges: {}, avg_out_degree: {:.2}, max_out: {}, max_in: {} }}",
+            self.node_count,
+            self.edge_count,
+            self.avg_out_degree,
+            self.max_out_degree,
+            self.max_in_degree
+        )?;
+        let mut labels: Vec<_> = self.edge_label_counts.iter().collect();
+        labels.sort();
+        for (l, c) in labels {
+            writeln!(
+                f,
+                "  edge label {l}: {c} edges (selectivity {:.3}, expansion {:.2})",
+                self.edge_label_selectivity(l),
+                self.label_expansion(l)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::value::Value;
+
+    fn sample() -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let p: Vec<_> = (0..4)
+            .map(|i| b.add_node("Person", [("id", i as i64)]))
+            .collect();
+        let m = b.add_node("Message", Vec::<(&str, Value)>::new());
+        b.add_edge(p[0], p[1], "Knows", Vec::<(&str, Value)>::new());
+        b.add_edge(p[1], p[2], "Knows", Vec::<(&str, Value)>::new());
+        b.add_edge(p[0], p[2], "Knows", Vec::<(&str, Value)>::new());
+        b.add_edge(p[3], m, "Likes", Vec::<(&str, Value)>::new());
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let stats = GraphStats::compute(&sample());
+        assert_eq!(stats.node_count(), 5);
+        assert_eq!(stats.edge_count(), 4);
+        assert_eq!(stats.nodes_with_label("Person"), 4);
+        assert_eq!(stats.nodes_with_label("Message"), 1);
+        assert_eq!(stats.nodes_with_label("Forum"), 0);
+        assert_eq!(stats.edges_with_label("Knows"), 3);
+        assert_eq!(stats.edges_with_label("Likes"), 1);
+    }
+
+    #[test]
+    fn selectivity_and_expansion() {
+        let stats = GraphStats::compute(&sample());
+        assert!((stats.edge_label_selectivity("Knows") - 0.75).abs() < 1e-9);
+        assert!((stats.edge_label_selectivity("Likes") - 0.25).abs() < 1e-9);
+        assert_eq!(stats.edge_label_selectivity("Nope"), 0.0);
+        // Knows: 3 edges from 2 distinct sources (p0, p1) => expansion 1.5.
+        assert!((stats.label_expansion("Knows") - 1.5).abs() < 1e-9);
+        assert!((stats.label_expansion("Likes") - 1.0).abs() < 1e-9);
+        assert_eq!(stats.label_expansion("Nope"), 0.0);
+    }
+
+    #[test]
+    fn degrees() {
+        let stats = GraphStats::compute(&sample());
+        assert_eq!(stats.max_out_degree(), 2);
+        assert_eq!(stats.max_in_degree(), 2);
+        assert!((stats.avg_out_degree() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let stats = GraphStats::compute(&GraphBuilder::new().build());
+        assert_eq!(stats.node_count(), 0);
+        assert_eq!(stats.edge_count(), 0);
+        assert_eq!(stats.avg_out_degree(), 0.0);
+        assert_eq!(stats.edge_label_selectivity("x"), 0.0);
+    }
+
+    #[test]
+    fn label_enumeration() {
+        let stats = GraphStats::compute(&sample());
+        let mut edge_labels: Vec<_> = stats.edge_labels().collect();
+        edge_labels.sort();
+        assert_eq!(edge_labels, vec!["Knows", "Likes"]);
+        let mut node_labels: Vec<_> = stats.node_labels().collect();
+        node_labels.sort();
+        assert_eq!(node_labels, vec!["Message", "Person"]);
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let stats = GraphStats::compute(&sample());
+        let text = stats.to_string();
+        assert!(text.contains("Knows"));
+        assert!(text.contains("Likes"));
+    }
+}

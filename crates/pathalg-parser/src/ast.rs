@@ -1,0 +1,145 @@
+//! Abstract syntax tree for extended-GQL path queries.
+
+use pathalg_core::condition::Condition;
+use pathalg_core::gql::{Restrictor, Selector};
+use pathalg_core::ops::group_by::GroupKey;
+use pathalg_core::ops::order_by::OrderKey;
+use pathalg_core::ops::projection::ProjectionSpec;
+use pathalg_graph::value::Value;
+use pathalg_rpq::regex::LabelRegex;
+use std::fmt;
+
+/// A node pattern such as `(?x:Person {name:"Moe"})`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodePattern {
+    /// The variable name, if any (`x` in `(?x)` / `(x)`).
+    pub variable: Option<String>,
+    /// The label constraint, if any (`Person` in `(?x:Person)`).
+    pub label: Option<String>,
+    /// Property constraints (`name = "Moe"`).
+    pub properties: Vec<(String, Value)>,
+}
+
+impl NodePattern {
+    /// True if the pattern imposes no constraints (any node matches).
+    pub fn is_unconstrained(&self) -> bool {
+        self.label.is_none() && self.properties.is_empty()
+    }
+}
+
+impl fmt::Display for NodePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        if let Some(v) = &self.variable {
+            write!(f, "?{v}")?;
+        }
+        if let Some(l) = &self.label {
+            write!(f, ":{l}")?;
+        }
+        if !self.properties.is_empty() {
+            write!(f, " {{")?;
+            for (i, (k, v)) in self.properties.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}:{v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// How the matched paths are returned: either a GQL selector (standard form)
+/// or an explicit projection triple (the extended §7.1 form).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutputSpec {
+    /// Standard GQL: `ALL`, `ANY SHORTEST`, `SHORTEST 3 GROUP`, …
+    Selector(Selector),
+    /// Extended form: `ALL PARTITIONS 2 GROUPS 1 PATHS`.
+    Projection(ProjectionSpec),
+}
+
+impl fmt::Display for OutputSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputSpec::Selector(s) => write!(f, "{s}"),
+            OutputSpec::Projection(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A parsed path query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathQuery {
+    /// The selector or explicit projection.
+    pub output: OutputSpec,
+    /// The restrictor (path semantics).
+    pub restrictor: Restrictor,
+    /// The path variable (`p` in `p = (…)-[…]->(…)`), if present.
+    pub path_variable: Option<String>,
+    /// The source node pattern.
+    pub source: NodePattern,
+    /// The regular expression of the edge pattern.
+    pub regex: LabelRegex,
+    /// The target node pattern.
+    pub target: NodePattern,
+    /// The optional `WHERE` condition.
+    pub where_clause: Option<Condition>,
+    /// The optional `GROUP BY` clause of the extended form.
+    pub group_by: Option<GroupKey>,
+    /// The optional `ORDER BY` clause of the extended form.
+    pub order_by: Option<OrderKey>,
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MATCH {} {} ", self.output, self.restrictor)?;
+        if let Some(v) = &self.path_variable {
+            write!(f, "{v} = ")?;
+        }
+        write!(f, "{}-[{}]->{}", self.source, self.regex, self.target)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " GROUP BY {g}")?;
+        }
+        if let Some(o) = &self.order_by {
+            write!(f, " ORDER BY {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_pattern_display_and_constraints() {
+        let p = NodePattern {
+            variable: Some("x".into()),
+            label: Some("Person".into()),
+            properties: vec![("name".into(), Value::str("Moe"))],
+        };
+        assert_eq!(p.to_string(), "(?x:Person {name:\"Moe\"})");
+        assert!(!p.is_unconstrained());
+        assert!(NodePattern::default().is_unconstrained());
+        assert_eq!(NodePattern::default().to_string(), "()");
+    }
+
+    #[test]
+    fn output_spec_display() {
+        use pathalg_core::ops::projection::{ProjectionSpec, Take};
+        assert_eq!(
+            OutputSpec::Selector(Selector::AnyShortest).to_string(),
+            "ANY SHORTEST"
+        );
+        assert_eq!(
+            OutputSpec::Projection(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
+                .to_string(),
+            "(*,*,1)"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing a path query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the query text where the error was detected.
+    pub position: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error.
+    pub fn new(position: usize, message: impl Into<String>) -> Self {
+        Self {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_includes_position_and_message() {
+        let e = ParseError::new(17, "expected MATCH");
+        assert_eq!(e.to_string(), "parse error at offset 17: expected MATCH");
+        assert_eq!(e.position, 17);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ParseError::new(0, "x"));
+    }
+}

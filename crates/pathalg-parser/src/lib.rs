@@ -1,0 +1,45 @@
+//! # pathalg-parser — the extended-GQL surface syntax
+//!
+//! Section 7.1 of the paper extends the GQL path-query grammar so that every
+//! operator of the path algebra can be written in a declarative query, and
+//! Section 7.2 describes a parser that turns such queries into logical plans.
+//! The paper's reference parser is a Java/ANTLR application; this crate is the
+//! equivalent component in Rust: a hand-written lexer and recursive-descent
+//! parser, an AST, and a plan generator producing
+//! [`pathalg_core::expr::PlanExpr`] trees.
+//!
+//! Two query forms are accepted:
+//!
+//! * **Extended form** (the paper's §7.1 grammar):
+//!   `MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y)
+//!    GROUP BY TARGET ORDER BY PATH`
+//! * **Standard GQL form** (selector + restrictor, §2.3):
+//!   `MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)`
+//!
+//! Both compile to the same algebra. Node patterns may carry label and
+//! property constraints (`(?x:Person {name:"Moe"})`), and an optional `WHERE`
+//! clause accepts the full selection-condition language of §3.1.
+//!
+//! ```
+//! use pathalg_parser::parse_query;
+//!
+//! let q = parse_query(
+//!     "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) \
+//!      GROUP BY TARGET ORDER BY PATH",
+//! ).unwrap();
+//! let plan = q.to_plan();
+//! assert!(plan.to_string().starts_with("π(*,*,1)(τA(γT("));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod plan_gen;
+
+pub use ast::PathQuery;
+pub use error::ParseError;
+pub use parser::parse_query;

@@ -1,0 +1,750 @@
+//! Recursive-descent parser for extended-GQL path queries (Section 7.1).
+//!
+//! The grammar, with the standard GQL selector form accepted alongside the
+//! paper's extended projection form:
+//!
+//! ```text
+//! pathQuery  := MATCH output restrictor pathPattern groupby? orderby?
+//! output     := projection | selector?
+//! projection := (ALL | int) PARTITIONS (ALL | int) GROUPS (ALL | int) PATHS
+//! selector   := ALL | ANY SHORTEST | ALL SHORTEST | ANY int? |
+//!               SHORTEST int GROUP?
+//! restrictor := WALK | TRAIL | SIMPLE | ACYCLIC | SHORTEST
+//! pathPattern:= (ident '=')? nodePattern edgePattern nodePattern (WHERE condition)?
+//! nodePattern:= '(' '?'? ident? (':' ident)? propertyMap? ')'
+//! groupby    := GROUP BY (SOURCE | TARGET | LENGTH)+
+//! orderby    := ORDER BY (PARTITION | GROUP | PATH)+
+//! ```
+
+use crate::ast::{NodePattern, OutputSpec, PathQuery};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, SpannedToken, Token};
+use pathalg_core::condition::{Accessor, CompareOp, Condition, Position};
+use pathalg_core::gql::{Restrictor, Selector};
+use pathalg_core::ops::group_by::GroupKey;
+use pathalg_core::ops::order_by::OrderKey;
+use pathalg_core::ops::projection::{ProjectionSpec, Take};
+use pathalg_graph::value::Value;
+use pathalg_rpq::parse::parse_regex;
+
+/// Parses a path query.
+pub fn parse_query(input: &str) -> Result<PathQuery, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = QueryParser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    parser.expect_eof()?;
+    Ok(query)
+}
+
+struct QueryParser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl QueryParser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.offset(), message)
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Keyword(k) if k == kw)
+    }
+
+    fn is_keyword_ahead(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_ahead(n), Token::Keyword(k) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing input: {}", self.peek())))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<PathQuery, ParseError> {
+        self.expect_keyword("MATCH")?;
+        let output = self.parse_output()?;
+        let restrictor = self.parse_restrictor()?;
+        let path_variable = self.parse_path_variable();
+        let source = self.parse_node_pattern()?;
+        let regex_text = match self.bump() {
+            Token::EdgePattern(text) => text,
+            other => {
+                return Err(self.error(format!("expected an edge pattern -[…]->, found {other}")))
+            }
+        };
+        let regex = parse_regex(&regex_text)
+            .map_err(|e| self.error(format!("invalid regular expression: {e}")))?;
+        let target = self.parse_node_pattern()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_condition()?)
+        } else {
+            None
+        };
+        let group_by = self.parse_group_by()?;
+        let order_by = self.parse_order_by()?;
+        Ok(PathQuery {
+            output,
+            restrictor,
+            path_variable,
+            source,
+            regex,
+            target,
+            where_clause,
+            group_by,
+            order_by,
+        })
+    }
+
+    /// `output`: either the extended projection (`… PARTITIONS … GROUPS …
+    /// PATHS`) or a GQL selector (possibly absent, defaulting to `ALL`).
+    fn parse_output(&mut self) -> Result<OutputSpec, ParseError> {
+        // Extended form: (ALL | int) PARTITIONS …
+        let starts_projection = match self.peek() {
+            Token::Keyword(k) if k == "ALL" => self.is_keyword_ahead(1, "PARTITIONS"),
+            Token::Int(_) => self.is_keyword_ahead(1, "PARTITIONS"),
+            _ => false,
+        };
+        if starts_projection {
+            let partitions = self.parse_take()?;
+            self.expect_keyword("PARTITIONS")?;
+            let groups = self.parse_take()?;
+            self.expect_keyword("GROUPS")?;
+            let paths = self.parse_take()?;
+            self.expect_keyword("PATHS")?;
+            return Ok(OutputSpec::Projection(ProjectionSpec::new(
+                partitions, groups, paths,
+            )));
+        }
+
+        // Selector form.
+        if self.is_keyword("ALL") && self.is_keyword_ahead(1, "SHORTEST") {
+            // Careful: ALL SHORTEST (selector) vs ALL + SHORTEST (restrictor).
+            // `ALL SHORTEST` followed by another restrictor keyword or a path
+            // pattern start means the SHORTEST belongs to the selector.
+            self.bump();
+            self.bump();
+            return Ok(OutputSpec::Selector(Selector::AllShortest));
+        }
+        if self.eat_keyword("ANY") {
+            if self.eat_keyword("SHORTEST") {
+                return Ok(OutputSpec::Selector(Selector::AnyShortest));
+            }
+            if let Token::Int(k) = self.peek() {
+                let k = *k as usize;
+                self.bump();
+                return Ok(OutputSpec::Selector(Selector::AnyK(k)));
+            }
+            return Ok(OutputSpec::Selector(Selector::Any));
+        }
+        if self.is_keyword("SHORTEST") && matches!(self.peek_ahead(1), Token::Int(_)) {
+            self.bump();
+            let k = match self.bump() {
+                Token::Int(k) => k as usize,
+                _ => unreachable!("checked by peek_ahead"),
+            };
+            if self.eat_keyword("GROUP") {
+                return Ok(OutputSpec::Selector(Selector::ShortestKGroup(k)));
+            }
+            return Ok(OutputSpec::Selector(Selector::ShortestK(k)));
+        }
+        if self.is_keyword("ALL") && !self.is_keyword_ahead(1, "PARTITIONS") {
+            self.bump();
+            return Ok(OutputSpec::Selector(Selector::All));
+        }
+        // No selector: default ALL (e.g. `MATCH TRAIL p = …`).
+        Ok(OutputSpec::Selector(Selector::All))
+    }
+
+    fn parse_take(&mut self) -> Result<Take, ParseError> {
+        match self.bump() {
+            Token::Keyword(k) if k == "ALL" => Ok(Take::All),
+            Token::Int(n) if n > 0 => Ok(Take::Count(n as usize)),
+            Token::Int(_) => Err(self.error("projection counts must be positive")),
+            other => Err(self.error(format!("expected ALL or a positive integer, found {other}"))),
+        }
+    }
+
+    fn parse_restrictor(&mut self) -> Result<Restrictor, ParseError> {
+        let restrictor = match self.peek() {
+            Token::Keyword(k) => match k.as_str() {
+                "WALK" => Restrictor::Walk,
+                "TRAIL" => Restrictor::Trail,
+                "SIMPLE" => Restrictor::Simple,
+                "ACYCLIC" => Restrictor::Acyclic,
+                "SHORTEST" => Restrictor::Shortest,
+                other => {
+                    return Err(self.error(format!(
+                        "expected a restrictor (WALK, TRAIL, SIMPLE, ACYCLIC or SHORTEST), found {other}"
+                    )))
+                }
+            },
+            other => {
+                return Err(self.error(format!(
+                    "expected a restrictor (WALK, TRAIL, SIMPLE, ACYCLIC or SHORTEST), found {other}"
+                )))
+            }
+        };
+        self.bump();
+        Ok(restrictor)
+    }
+
+    fn parse_path_variable(&mut self) -> Option<String> {
+        if let Token::Ident(name) = self.peek() {
+            if matches!(self.peek_ahead(1), Token::Eq) {
+                let name = name.clone();
+                self.bump();
+                self.bump();
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    fn parse_node_pattern(&mut self) -> Result<NodePattern, ParseError> {
+        if !matches!(self.bump(), Token::LParen) {
+            return Err(self.error("expected '(' to start a node pattern"));
+        }
+        let mut pattern = NodePattern::default();
+        // Optional '?' before the variable.
+        if matches!(self.peek(), Token::Question) {
+            self.bump();
+        }
+        if let Token::Ident(name) = self.peek() {
+            pattern.variable = Some(name.clone());
+            self.bump();
+        }
+        if matches!(self.peek(), Token::Colon) {
+            self.bump();
+            match self.bump() {
+                Token::Ident(label) => pattern.label = Some(label),
+                Token::Keyword(label) => pattern.label = Some(label),
+                other => return Err(self.error(format!("expected a label after ':', found {other}"))),
+            }
+        }
+        if matches!(self.peek(), Token::LBrace) {
+            self.bump();
+            loop {
+                if matches!(self.peek(), Token::RBrace) {
+                    self.bump();
+                    break;
+                }
+                let key = match self.bump() {
+                    Token::Ident(k) => k,
+                    Token::Keyword(k) => k.to_lowercase(),
+                    other => {
+                        return Err(self.error(format!("expected a property name, found {other}")))
+                    }
+                };
+                if !matches!(self.bump(), Token::Colon) {
+                    return Err(self.error("expected ':' between property name and value"));
+                }
+                let value = self.parse_value()?;
+                pattern.properties.push((key, value));
+                if matches!(self.peek(), Token::Comma) {
+                    self.bump();
+                }
+            }
+        }
+        if !matches!(self.bump(), Token::RParen) {
+            return Err(self.error("expected ')' to close the node pattern"));
+        }
+        Ok(pattern)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.bump() {
+            Token::Str(s) => Ok(Value::Str(s)),
+            Token::Int(i) => Ok(Value::Int(i)),
+            Token::Float(f) => Ok(Value::Float(f)),
+            Token::Keyword(k) if k == "TRUE" => Ok(Value::Bool(true)),
+            Token::Keyword(k) if k == "FALSE" => Ok(Value::Bool(false)),
+            Token::Keyword(k) if k == "NULL" => Ok(Value::Null),
+            other => Err(self.error(format!("expected a literal value, found {other}"))),
+        }
+    }
+
+    fn parse_group_by(&mut self) -> Result<Option<GroupKey>, ParseError> {
+        if !(self.is_keyword("GROUP") && self.is_keyword_ahead(1, "BY")) {
+            return Ok(None);
+        }
+        self.bump();
+        self.bump();
+        let mut source = false;
+        let mut target = false;
+        let mut length = false;
+        loop {
+            if self.eat_keyword("SOURCE") {
+                source = true;
+            } else if self.eat_keyword("TARGET") {
+                target = true;
+            } else if self.eat_keyword("LENGTH") {
+                length = true;
+            } else {
+                break;
+            }
+        }
+        if !source && !target && !length {
+            return Err(self.error("GROUP BY needs at least one of SOURCE, TARGET, LENGTH"));
+        }
+        let key = match (source, target, length) {
+            (false, false, false) => unreachable!("checked above"),
+            (true, false, false) => GroupKey::Source,
+            (false, true, false) => GroupKey::Target,
+            (false, false, true) => GroupKey::Length,
+            (true, true, false) => GroupKey::SourceTarget,
+            (true, false, true) => GroupKey::SourceLength,
+            (false, true, true) => GroupKey::TargetLength,
+            (true, true, true) => GroupKey::SourceTargetLength,
+        };
+        Ok(Some(key))
+    }
+
+    fn parse_order_by(&mut self) -> Result<Option<OrderKey>, ParseError> {
+        if !(self.is_keyword("ORDER") && self.is_keyword_ahead(1, "BY")) {
+            return Ok(None);
+        }
+        self.bump();
+        self.bump();
+        let mut partition = false;
+        let mut group = false;
+        let mut path = false;
+        loop {
+            if self.eat_keyword("PARTITION") {
+                partition = true;
+            } else if self.eat_keyword("GROUP") {
+                group = true;
+            } else if self.eat_keyword("PATH") {
+                path = true;
+            } else {
+                break;
+            }
+        }
+        if !partition && !group && !path {
+            return Err(self.error("ORDER BY needs at least one of PARTITION, GROUP, PATH"));
+        }
+        let key = match (partition, group, path) {
+            (false, false, false) => unreachable!("checked above"),
+            (true, false, false) => OrderKey::Partition,
+            (false, true, false) => OrderKey::Group,
+            (false, false, true) => OrderKey::Path,
+            (true, true, false) => OrderKey::PartitionGroup,
+            (true, false, true) => OrderKey::PartitionPath,
+            (false, true, true) => OrderKey::GroupPath,
+            (true, true, true) => OrderKey::PartitionGroupPath,
+        };
+        Ok(Some(key))
+    }
+
+    // ---- selection conditions ----
+
+    fn parse_condition(&mut self) -> Result<Condition, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Condition, ParseError> {
+        if self.eat_keyword("NOT") {
+            return Ok(self.parse_not()?.not());
+        }
+        self.parse_condition_primary()
+    }
+
+    fn parse_condition_primary(&mut self) -> Result<Condition, ParseError> {
+        match self.peek().clone() {
+            Token::LParen => {
+                self.bump();
+                let inner = self.parse_or()?;
+                if !matches!(self.bump(), Token::RParen) {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Token::Keyword(k) if k == "BOUND" => {
+                self.bump();
+                if !matches!(self.bump(), Token::LParen) {
+                    return Err(self.error("expected '(' after BOUND"));
+                }
+                let accessor = self.parse_accessor()?;
+                if !matches!(self.bump(), Token::RParen) {
+                    return Err(self.error("expected ')' after BOUND argument"));
+                }
+                Ok(Condition::Bound(accessor))
+            }
+            Token::Keyword(k) if k == "SUBSTR" => {
+                self.bump();
+                if !matches!(self.bump(), Token::LParen) {
+                    return Err(self.error("expected '(' after SUBSTR"));
+                }
+                let accessor = self.parse_accessor()?;
+                if !matches!(self.bump(), Token::Comma) {
+                    return Err(self.error("expected ',' between SUBSTR arguments"));
+                }
+                let needle = match self.bump() {
+                    Token::Str(s) => s,
+                    other => {
+                        return Err(self.error(format!("expected a string literal, found {other}")))
+                    }
+                };
+                if !matches!(self.bump(), Token::RParen) {
+                    return Err(self.error("expected ')' after SUBSTR arguments"));
+                }
+                Ok(Condition::Substr(accessor, needle))
+            }
+            _ => {
+                let accessor = self.parse_accessor()?;
+                let op = match self.bump() {
+                    Token::Eq => CompareOp::Eq,
+                    Token::Ne => CompareOp::Ne,
+                    Token::Lt => CompareOp::Lt,
+                    Token::Le => CompareOp::Le,
+                    Token::Gt => CompareOp::Gt,
+                    Token::Ge => CompareOp::Ge,
+                    other => {
+                        return Err(self.error(format!("expected a comparison operator, found {other}")))
+                    }
+                };
+                let value = self.parse_value()?;
+                Ok(Condition::Compare { accessor, op, value })
+            }
+        }
+    }
+
+    fn parse_accessor(&mut self) -> Result<Accessor, ParseError> {
+        match self.bump() {
+            Token::Keyword(k) if k == "LABEL" => {
+                if !matches!(self.bump(), Token::LParen) {
+                    return Err(self.error("expected '(' after label"));
+                }
+                let accessor = match self.bump() {
+                    Token::Keyword(k) if k == "FIRST" => Accessor::NodeLabel(Position::First),
+                    Token::Keyword(k) if k == "LAST" => Accessor::NodeLabel(Position::Last),
+                    Token::Keyword(k) if k == "NODE" => {
+                        let i = self.parse_indexed_position()?;
+                        Accessor::NodeLabel(Position::Index(i))
+                    }
+                    Token::Keyword(k) if k == "EDGE" => {
+                        let i = self.parse_indexed_position()?;
+                        Accessor::EdgeLabel(Position::Index(i))
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "expected first, last, node(i) or edge(i) inside label(), found {other}"
+                        )))
+                    }
+                };
+                if !matches!(self.bump(), Token::RParen) {
+                    return Err(self.error("expected ')' to close label()"));
+                }
+                Ok(accessor)
+            }
+            Token::Keyword(k) if k == "LEN" => {
+                if !matches!(self.bump(), Token::LParen) {
+                    return Err(self.error("expected '(' after len"));
+                }
+                if !matches!(self.bump(), Token::RParen) {
+                    return Err(self.error("expected ')' after len("));
+                }
+                Ok(Accessor::Len)
+            }
+            Token::Keyword(k) if k == "FIRST" => {
+                let prop = self.parse_property_suffix()?;
+                Ok(Accessor::NodeProperty(Position::First, prop))
+            }
+            Token::Keyword(k) if k == "LAST" => {
+                let prop = self.parse_property_suffix()?;
+                Ok(Accessor::NodeProperty(Position::Last, prop))
+            }
+            Token::Keyword(k) if k == "NODE" => {
+                let i = self.parse_indexed_position()?;
+                let prop = self.parse_property_suffix()?;
+                Ok(Accessor::NodeProperty(Position::Index(i), prop))
+            }
+            Token::Keyword(k) if k == "EDGE" => {
+                let i = self.parse_indexed_position()?;
+                let prop = self.parse_property_suffix()?;
+                Ok(Accessor::EdgeProperty(Position::Index(i), prop))
+            }
+            other => Err(self.error(format!(
+                "expected an accessor (label(…), first.…, last.…, node(i).…, edge(i).…, len()), found {other}"
+            ))),
+        }
+    }
+
+    fn parse_indexed_position(&mut self) -> Result<usize, ParseError> {
+        if !matches!(self.bump(), Token::LParen) {
+            return Err(self.error("expected '('"));
+        }
+        let i = match self.bump() {
+            Token::Int(i) if i >= 1 => i as usize,
+            other => return Err(self.error(format!("expected a 1-based position, found {other}"))),
+        };
+        if !matches!(self.bump(), Token::RParen) {
+            return Err(self.error("expected ')'"));
+        }
+        Ok(i)
+    }
+
+    fn parse_property_suffix(&mut self) -> Result<String, ParseError> {
+        if !matches!(self.bump(), Token::Dot) {
+            return Err(self.error("expected '.' before a property name"));
+        }
+        match self.bump() {
+            Token::Ident(p) => Ok(p),
+            Token::Keyword(p) => Ok(p.to_lowercase()),
+            other => Err(self.error(format!("expected a property name, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalg_rpq::regex::LabelRegex;
+
+    #[test]
+    fn parses_the_section_7_1_example() {
+        let q = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) \
+             GROUP BY TARGET ORDER BY PATH",
+        )
+        .unwrap();
+        assert_eq!(
+            q.output,
+            OutputSpec::Projection(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
+        );
+        assert_eq!(q.restrictor, Restrictor::Trail);
+        assert_eq!(q.path_variable.as_deref(), Some("p"));
+        assert_eq!(q.source.variable.as_deref(), Some("x"));
+        assert_eq!(q.target.variable.as_deref(), Some("y"));
+        assert_eq!(q.regex, LabelRegex::label("Knows").star());
+        assert_eq!(q.group_by, Some(GroupKey::Target));
+        assert_eq!(q.order_by, Some(OrderKey::Path));
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn parses_standard_gql_selector_form() {
+        let q = parse_query("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::AnyShortest));
+        assert_eq!(q.restrictor, Restrictor::Trail);
+        assert_eq!(q.regex, LabelRegex::label("Knows").plus());
+
+        let q = parse_query("MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::AllShortest));
+        assert_eq!(q.restrictor, Restrictor::Walk);
+
+        let q = parse_query("MATCH SHORTEST 3 GROUP ACYCLIC p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::ShortestKGroup(3)));
+        assert_eq!(q.restrictor, Restrictor::Acyclic);
+
+        let q = parse_query("MATCH SHORTEST 2 SIMPLE p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::ShortestK(2)));
+
+        let q = parse_query("MATCH ANY 4 WALK p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::AnyK(4)));
+
+        let q = parse_query("MATCH ANY TRAIL p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::Any));
+
+        let q = parse_query("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::All));
+    }
+
+    #[test]
+    fn selector_defaults_to_all_when_absent() {
+        let q = parse_query("MATCH TRAIL p = (?x)-[:Knows]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::All));
+        assert_eq!(q.restrictor, Restrictor::Trail);
+    }
+
+    #[test]
+    fn shortest_restrictor_without_count_is_a_restrictor() {
+        let q = parse_query("MATCH SHORTEST p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert_eq!(q.output, OutputSpec::Selector(Selector::All));
+        assert_eq!(q.restrictor, Restrictor::Shortest);
+    }
+
+    #[test]
+    fn parses_node_patterns_with_labels_and_properties() {
+        let q = parse_query(
+            "MATCH ALL TRAIL p = (?x:Person {name:\"Moe\"})-[:Knows+]->(?y:Person {name:\"Apu\", age: 39})",
+        )
+        .unwrap();
+        assert_eq!(q.source.label.as_deref(), Some("Person"));
+        assert_eq!(q.source.properties, vec![("name".into(), Value::str("Moe"))]);
+        assert_eq!(q.target.properties.len(), 2);
+        assert_eq!(q.target.properties[1], ("age".into(), Value::Int(39)));
+    }
+
+    #[test]
+    fn parses_anonymous_and_unconstrained_nodes() {
+        let q = parse_query("MATCH ALL WALK ()-[:Knows]->()").unwrap();
+        assert!(q.source.is_unconstrained());
+        assert!(q.source.variable.is_none());
+        assert!(q.path_variable.is_none());
+        let q = parse_query("MATCH ALL WALK (x)-[:Knows]->(y {name:\"Apu\"})").unwrap();
+        assert_eq!(q.source.variable.as_deref(), Some("x"));
+        assert!(!q.target.is_unconstrained());
+    }
+
+    #[test]
+    fn parses_where_conditions() {
+        let q = parse_query(
+            "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y) \
+             WHERE first.name = \"Moe\" AND NOT (last.age < 30 OR len() >= 4)",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let text = w.to_string();
+        assert!(text.contains("first.name = \"Moe\""));
+        assert!(text.contains("NOT"));
+        assert!(text.contains("last.age < 30"));
+        assert!(text.contains("len() >= 4"));
+    }
+
+    #[test]
+    fn parses_label_and_builtin_conditions() {
+        let q = parse_query(
+            "MATCH ALL TRAIL p = (?x)-[:_+]->(?y) \
+             WHERE label(edge(1)) = \"Knows\" AND label(first) = \"Person\" \
+               AND bound(edge(2).since) AND substr(first.name, \"o\") \
+               AND node(2).name != \"Bart\" AND edge(1).since > 2005",
+        )
+        .unwrap();
+        let text = q.where_clause.unwrap().to_string();
+        assert!(text.contains("label(edge(1)) = \"Knows\""));
+        assert!(text.contains("label(first) = \"Person\""));
+        assert!(text.contains("bound(edge(2).since)"));
+        assert!(text.contains("substr(first.name, \"o\")"));
+        assert!(text.contains("node(2).name != \"Bart\""));
+        assert!(text.contains("edge(1).since > 2005"));
+    }
+
+    #[test]
+    fn parses_all_group_by_and_order_by_combinations() {
+        let cases = [
+            ("GROUP BY SOURCE", GroupKey::Source),
+            ("GROUP BY TARGET", GroupKey::Target),
+            ("GROUP BY LENGTH", GroupKey::Length),
+            ("GROUP BY SOURCE TARGET", GroupKey::SourceTarget),
+            ("GROUP BY SOURCE LENGTH", GroupKey::SourceLength),
+            ("GROUP BY TARGET LENGTH", GroupKey::TargetLength),
+            ("GROUP BY SOURCE TARGET LENGTH", GroupKey::SourceTargetLength),
+        ];
+        for (clause, expected) in cases {
+            let q = parse_query(&format!(
+                "MATCH ALL PARTITIONS ALL GROUPS ALL PATHS TRAIL p = (?x)-[:Knows+]->(?y) {clause}"
+            ))
+            .unwrap();
+            assert_eq!(q.group_by, Some(expected), "{clause}");
+        }
+        let cases = [
+            ("ORDER BY PARTITION", OrderKey::Partition),
+            ("ORDER BY GROUP", OrderKey::Group),
+            ("ORDER BY PATH", OrderKey::Path),
+            ("ORDER BY PARTITION GROUP", OrderKey::PartitionGroup),
+            ("ORDER BY PARTITION PATH", OrderKey::PartitionPath),
+            ("ORDER BY GROUP PATH", OrderKey::GroupPath),
+            ("ORDER BY PARTITION GROUP PATH", OrderKey::PartitionGroupPath),
+        ];
+        for (clause, expected) in cases {
+            let q = parse_query(&format!(
+                "MATCH ALL PARTITIONS ALL GROUPS ALL PATHS TRAIL p = (?x)-[:Knows+]->(?y) \
+                 GROUP BY SOURCE TARGET {clause}"
+            ))
+            .unwrap();
+            assert_eq!(q.order_by, Some(expected), "{clause}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        let err = parse_query("RETURN p").unwrap_err();
+        assert!(err.message.contains("MATCH"));
+        let err = parse_query("MATCH ALL BOGUS p = (?x)-[:a]->(?y)").unwrap_err();
+        assert!(err.message.contains("restrictor"));
+        let err = parse_query("MATCH ALL TRAIL p = (?x)-[:a]->(?y) WHERE name = 1").unwrap_err();
+        assert!(err.message.contains("accessor"));
+        let err = parse_query("MATCH ALL TRAIL p = (?x)(?y)").unwrap_err();
+        assert!(err.message.contains("edge pattern"));
+        let err = parse_query("MATCH ALL TRAIL p = (?x)-[:a(]->(?y)").unwrap_err();
+        assert!(err.message.contains("regular expression"));
+        let err = parse_query("MATCH 0 PARTITIONS ALL GROUPS ALL PATHS TRAIL p = (?x)-[:a]->(?y)")
+            .unwrap_err();
+        assert!(err.message.contains("positive"));
+        let err = parse_query("MATCH ALL TRAIL p = (?x)-[:a]->(?y) GROUP BY").unwrap_err();
+        assert!(err.message.contains("GROUP BY"));
+        let err =
+            parse_query("MATCH ALL TRAIL p = (?x)-[:a]->(?y) trailing garbage").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn query_display_round_trips_key_clauses() {
+        let q = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) \
+             GROUP BY TARGET ORDER BY PATH",
+        )
+        .unwrap();
+        let text = q.to_string();
+        assert!(text.contains("MATCH (*,*,1) TRAIL"));
+        assert!(text.contains("GROUP BY T"));
+        assert!(text.contains("ORDER BY A"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Logical-plan generation (Section 7.2).
+//!
+//! The plan generator walks a parsed [`PathQuery`] and produces the
+//! corresponding path-algebra expression:
+//!
+//! 1. the regular expression of the edge pattern is compiled with
+//!    [`pathalg_rpq::compile::compile_to_algebra`] under the restrictor's
+//!    path semantics (this yields the σ/⋈/∪/ϕ part of Figures 2–4);
+//! 2. the endpoint constraints of the node patterns and the `WHERE` clause
+//!    become a selection over the matched paths (the root σ of Figure 2);
+//! 3. the selector — or, in the extended form, the explicit
+//!    `GROUP BY` / `ORDER BY` / projection clauses — become the γ/τ/π
+//!    pipeline of Table 7.
+//!
+//! [`explain`] renders the result in the textual format of Section 7.2.
+
+use crate::ast::{NodePattern, OutputSpec, PathQuery};
+use pathalg_core::condition::Condition;
+use pathalg_core::display::plan_tree;
+use pathalg_core::expr::PlanExpr;
+use pathalg_core::gql::{Restrictor, Selector};
+use pathalg_core::ops::group_by::GroupKey;
+use pathalg_core::ops::order_by::OrderKey;
+use pathalg_core::ops::projection::{ProjectionSpec, Take};
+use pathalg_rpq::compile::compile_to_algebra;
+use pathalg_rpq::regex::LabelRegex;
+
+impl PathQuery {
+    /// Generates the logical plan (path-algebra expression) for this query.
+    pub fn to_plan(&self) -> PlanExpr {
+        generate_plan(self)
+    }
+
+    /// Renders the query plan in the textual format of Section 7.2.
+    pub fn explain(&self) -> String {
+        explain(self)
+    }
+}
+
+/// Generates the logical plan for a parsed query.
+pub fn generate_plan(query: &PathQuery) -> PlanExpr {
+    // 1. Compile the regular path expression under the restrictor semantics.
+    let compiled = compile_to_algebra(&query.regex, query.restrictor.semantics());
+
+    // 2. Endpoint constraints and WHERE clause become a selection over the
+    //    matched paths.
+    let condition = pattern_condition(query);
+    let filtered = match condition {
+        Some(c) => compiled.select(c),
+        None => compiled,
+    };
+
+    // 3. Selector / extended clauses become the γ/τ/π pipeline.
+    match &query.output {
+        OutputSpec::Projection(spec) => {
+            let grouped = filtered.group_by(query.group_by.unwrap_or(GroupKey::Empty));
+            let ordered = match query.order_by {
+                Some(key) => grouped.order_by(key),
+                None => grouped,
+            };
+            ordered.project(*spec)
+        }
+        OutputSpec::Selector(selector) => selector_pipeline(*selector, filtered),
+    }
+}
+
+/// Builds the combined endpoint/WHERE condition of a query, if any.
+fn pattern_condition(query: &PathQuery) -> Option<Condition> {
+    let mut parts: Vec<Condition> = Vec::new();
+    parts.extend(node_conditions(&query.source, true));
+    parts.extend(node_conditions(&query.target, false));
+    if let Some(w) = &query.where_clause {
+        parts.push(w.clone());
+    }
+    // The recursive operator enforces the restrictor on everything it
+    // produces, but parts of the pattern that compile without recursion
+    // (plain labels, concatenations, bounded repetitions) are built from σ, ⋈
+    // and ∪ only — there the restrictor must be enforced with an explicit
+    // whole-path predicate (GQL applies restrictors to the entire matched
+    // path, not only to its repeated portions).
+    if let Some(predicate) = restrictor_filter(query.restrictor, &query.regex) {
+        parts.push(predicate);
+    }
+    parts.into_iter().reduce(|a, b| a.and(b))
+}
+
+/// The whole-path predicate needed to enforce `restrictor` on paths matched by
+/// `regex`, or `None` when the compiled plan already enforces it (every way of
+/// matching goes through a recursive operator, or the restrictor is trivially
+/// satisfied by the shapes the regex can produce).
+fn restrictor_filter(restrictor: Restrictor, regex: &LabelRegex) -> Option<Condition> {
+    let predicate = match restrictor {
+        Restrictor::Walk | Restrictor::Shortest => return None,
+        Restrictor::Trail => Condition::IsTrail,
+        Restrictor::Acyclic => Condition::IsAcyclic,
+        Restrictor::Simple => Condition::IsSimple,
+    };
+    if fully_guarded(regex, restrictor) {
+        None
+    } else {
+        Some(predicate)
+    }
+}
+
+/// True if every path matched by `regex` is guaranteed to satisfy the
+/// restrictor already — either because it is produced by a recursive operator
+/// (which filters), or because its shape cannot violate the restrictor (a
+/// single edge is always a trail; the empty path satisfies everything).
+fn fully_guarded(regex: &LabelRegex, restrictor: Restrictor) -> bool {
+    match regex {
+        LabelRegex::Epsilon => true,
+        // A single edge always is a trail and is simple (a self loop has
+        // first = last); it is *not* necessarily acyclic (self loops).
+        LabelRegex::Label(_) | LabelRegex::AnyLabel => {
+            matches!(restrictor, Restrictor::Trail | Restrictor::Simple)
+        }
+        LabelRegex::Alt(a, b) => fully_guarded(a, restrictor) && fully_guarded(b, restrictor),
+        LabelRegex::Optional(a) => fully_guarded(a, restrictor),
+        // Plus and Star compile to ϕ, which enforces the restrictor on the
+        // complete concatenation.
+        LabelRegex::Plus(_) | LabelRegex::Star(_) => true,
+        // Concatenations and bounded repetitions compile to plain joins.
+        LabelRegex::Concat(_, _) | LabelRegex::Repeat { .. } => false,
+    }
+}
+
+fn node_conditions(pattern: &NodePattern, is_source: bool) -> Vec<Condition> {
+    let mut out = Vec::new();
+    if let Some(label) = &pattern.label {
+        out.push(if is_source {
+            Condition::first_label(label.clone())
+        } else {
+            Condition::last_label(label.clone())
+        });
+    }
+    for (prop, value) in &pattern.properties {
+        out.push(if is_source {
+            Condition::first_property(prop.clone(), value.clone())
+        } else {
+            Condition::last_property(prop.clone(), value.clone())
+        });
+    }
+    out
+}
+
+/// The γ/τ/π pipeline of a GQL selector (the selector columns of Table 7),
+/// applied to an already-compiled path expression.
+fn selector_pipeline(selector: Selector, expr: PlanExpr) -> PlanExpr {
+    match selector {
+        Selector::All => expr.group_by(GroupKey::Empty).project(ProjectionSpec::all()),
+        Selector::AnyShortest => expr
+            .group_by(GroupKey::SourceTarget)
+            .order_by(OrderKey::Path)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
+        Selector::AllShortest => expr
+            .group_by(GroupKey::SourceTargetLength)
+            .order_by(OrderKey::Group)
+            .project(ProjectionSpec::new(Take::All, Take::Count(1), Take::All)),
+        Selector::Any => expr
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
+        Selector::AnyK(k) => expr
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
+        Selector::ShortestK(k) => expr
+            .group_by(GroupKey::SourceTarget)
+            .order_by(OrderKey::Path)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
+        Selector::ShortestKGroup(k) => expr
+            .group_by(GroupKey::SourceTargetLength)
+            .order_by(OrderKey::Group)
+            .project(ProjectionSpec::new(Take::All, Take::Count(k), Take::All)),
+    }
+}
+
+/// Renders a query and its plan in the Section 7.2 output format:
+///
+/// ```text
+/// Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)
+/// OrderBy (Path)
+/// Group (Target)
+/// Restrictor (TRAIL)
+/// -> Recursive Join (restrictor: TRAIL)
+///     -> Select: (label(edge(1)) = "Knows" , EDGES(G))
+/// ```
+pub fn explain(query: &PathQuery) -> String {
+    let mut out = String::new();
+    match &query.output {
+        OutputSpec::Projection(spec) => {
+            out.push_str(&format!(
+                "Projection ({} PARTITIONS {} GROUPS {} PATHS)\n",
+                take_word(spec.partitions),
+                take_word(spec.groups),
+                take_word(spec.paths)
+            ));
+        }
+        OutputSpec::Selector(sel) => {
+            out.push_str(&format!("Selector ({sel})\n"));
+        }
+    }
+    if let Some(order) = query.order_by {
+        out.push_str(&format!("OrderBy ({})\n", order_word(order)));
+    }
+    if let Some(group) = query.group_by {
+        out.push_str(&format!("Group ({})\n", group_word(group)));
+    }
+    out.push_str(&format!("Restrictor ({})\n", query.restrictor));
+    out.push_str(&plan_tree(&query.to_plan()));
+    out
+}
+
+fn take_word(take: Take) -> String {
+    match take {
+        Take::All => "ALL".to_owned(),
+        Take::Count(k) => k.to_string(),
+    }
+}
+
+fn group_word(key: GroupKey) -> &'static str {
+    match key {
+        GroupKey::Empty => "None",
+        GroupKey::Source => "Source",
+        GroupKey::Target => "Target",
+        GroupKey::Length => "Length",
+        GroupKey::SourceTarget => "Source-Target",
+        GroupKey::SourceLength => "Source-Length",
+        GroupKey::TargetLength => "Target-Length",
+        GroupKey::SourceTargetLength => "Source-Target-Length",
+    }
+}
+
+fn order_word(key: OrderKey) -> &'static str {
+    match key {
+        OrderKey::Partition => "Partition",
+        OrderKey::Group => "Group",
+        OrderKey::Path => "Path",
+        OrderKey::PartitionGroup => "Partition-Group",
+        OrderKey::PartitionPath => "Partition-Path",
+        OrderKey::GroupPath => "Group-Path",
+        OrderKey::PartitionGroupPath => "Partition-Group-Path",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+    use pathalg_core::eval::{EvalConfig, Evaluator};
+    use pathalg_core::path::Path;
+    use pathalg_graph::fixtures::figure1::Figure1;
+
+    #[test]
+    fn section_7_1_example_produces_the_published_algebra_expression() {
+        // The paper: MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y)
+        //            GROUP BY TARGET ORDER BY PATH
+        // corresponds to π(*,*,1)(τA(γT(ϕTrail(σ label(edge(1))="Knows" (Edges(G)))))).
+        let q = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)+]->(?y) \
+             GROUP BY TARGET ORDER BY PATH",
+        )
+        .unwrap();
+        let plan = q.to_plan();
+        assert_eq!(
+            plan.to_string(),
+            "π(*,*,1)(τA(γT(ϕTRAIL(σ[label(edge(1)) = \"Knows\"](Edges(G))))))"
+        );
+        plan.type_check().unwrap();
+    }
+
+    #[test]
+    fn kleene_star_pattern_adds_the_nodes_union() {
+        let q = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) \
+             GROUP BY TARGET ORDER BY PATH",
+        )
+        .unwrap();
+        let text = q.to_plan().to_string();
+        assert!(text.contains("∪ Nodes(G)"));
+    }
+
+    #[test]
+    fn selector_form_matches_table7_pipeline() {
+        let q = parse_query("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)").unwrap();
+        let text = q.to_plan().to_string();
+        assert!(text.starts_with("π(*,*,1)(τA(γST(ϕTRAIL("));
+        let q = parse_query("MATCH SHORTEST 2 GROUP WALK p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert!(q.to_plan().to_string().starts_with("π(*,2,*)(τG(γSTL(ϕWALK("));
+        let q = parse_query("MATCH ANY 3 ACYCLIC p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert!(q.to_plan().to_string().starts_with("π(*,*,3)(γST(ϕACYCLIC("));
+    }
+
+    #[test]
+    fn node_pattern_constraints_become_the_root_selection() {
+        // The introduction's query: Moe to Apu over Knows+ | (Likes/Has_creator)+.
+        let q = parse_query(
+            "MATCH ALL SIMPLE p = (?x {name:\"Moe\"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:\"Apu\"})",
+        )
+        .unwrap();
+        let plan = q.to_plan();
+        let text = plan.to_string();
+        assert!(text.contains("first.name = \"Moe\""));
+        assert!(text.contains("last.name = \"Apu\""));
+        // Evaluating it over Figure 1 returns exactly path1 and path2.
+        let f = Figure1::new();
+        let mut ev = Evaluator::new(&f.graph);
+        let out = ev.eval_paths(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+        let path1 = Path::edge(&f.graph, f.e1)
+            .concat(&Path::edge(&f.graph, f.e4))
+            .unwrap();
+        assert!(out.contains(&path1));
+    }
+
+    #[test]
+    fn label_constraints_and_where_clause_are_combined() {
+        let q = parse_query(
+            "MATCH ALL TRAIL p = (?x:Person)-[:Knows+]->(?y:Person) WHERE len() <= 2",
+        )
+        .unwrap();
+        let text = q.to_plan().to_string();
+        assert!(text.contains("label(first) = \"Person\""));
+        assert!(text.contains("label(last) = \"Person\""));
+        assert!(text.contains("len() <= 2"));
+        let f = Figure1::new();
+        let mut ev = Evaluator::new(&f.graph);
+        let out = ev.eval_paths(&q.to_plan()).unwrap();
+        assert!(out.iter().all(|p| p.len() <= 2));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn extended_form_without_group_by_defaults_to_a_single_partition() {
+        let q = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS 2 PATHS TRAIL p = (?x)-[:Knows+]->(?y)",
+        )
+        .unwrap();
+        let text = q.to_plan().to_string();
+        assert!(text.starts_with("π(*,*,2)(γ∅("));
+        // Without ORDER BY there is no τ operator.
+        assert!(!text.contains("τ"));
+        let f = Figure1::new();
+        let mut ev = Evaluator::new(&f.graph);
+        let out = ev.eval_paths(&q.to_plan()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_evaluation_of_the_section_5_query() {
+        // MATCH ANY SHORTEST TRAIL p = (x)-[:Knows]->+(y): one shortest trail
+        // per endpoint pair — the Figure 5 pipeline.
+        let q = parse_query("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)").unwrap();
+        let f = Figure1::new();
+        let mut ev = Evaluator::with_config(&f.graph, EvalConfig::default());
+        let out = ev.eval_paths(&q.to_plan()).unwrap();
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn non_recursive_patterns_get_an_explicit_restrictor_filter() {
+        // :Likes/:Has_creator compiles to a join, so the ACYCLIC restrictor
+        // must be enforced with a whole-path predicate…
+        let q = parse_query("MATCH ALL ACYCLIC p = (?x)-[:Likes/:Has_creator]->(?y)").unwrap();
+        let text = q.to_plan().to_string();
+        assert!(text.contains("is_acyclic()"), "got {text}");
+        // …and the self-loop-free evaluation result reflects it.
+        let f = Figure1::new();
+        let mut ev = Evaluator::new(&f.graph);
+        let out = ev.eval_paths(&q.to_plan()).unwrap();
+        assert!(out.iter().all(|p| p.is_acyclic()));
+
+        // :Knows+ is fully guarded by ϕ, so no extra predicate is added.
+        let q = parse_query("MATCH ALL ACYCLIC p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert!(!q.to_plan().to_string().contains("is_acyclic()"));
+        // WALK never needs a filter.
+        let q = parse_query("MATCH ALL WALK p = (?x)-[:Likes/:Has_creator]->(?y)").unwrap();
+        assert!(!q.to_plan().to_string().contains("is_"));
+        // A single-edge pattern is always a trail but not necessarily acyclic.
+        let q = parse_query("MATCH ALL TRAIL p = (?x)-[:Knows]->(?y)").unwrap();
+        assert!(!q.to_plan().to_string().contains("is_trail()"));
+        let q = parse_query("MATCH ALL ACYCLIC p = (?x)-[:Knows]->(?y)").unwrap();
+        assert!(q.to_plan().to_string().contains("is_acyclic()"));
+    }
+
+    #[test]
+    fn explain_output_matches_the_section_7_2_format() {
+        let q = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)+]->(?y) \
+             GROUP BY TARGET ORDER BY PATH",
+        )
+        .unwrap();
+        let text = q.explain();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines[0], "Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)");
+        assert_eq!(lines[1], "OrderBy (Path)");
+        assert_eq!(lines[2], "Group (Target)");
+        assert_eq!(lines[3], "Restrictor (TRAIL)");
+        assert!(lines[4].contains("Projection (*,*,1)"));
+        assert!(text.contains("Recursive Join (restrictor: TRAIL)"));
+        assert!(text.contains("Select: (label(edge(1)) = \"Knows\")"));
+        assert!(text.contains("EDGES(G)"));
+    }
+
+    #[test]
+    fn explain_selector_form_mentions_the_selector() {
+        let q = parse_query("MATCH ANY SHORTEST WALK p = (?x)-[:Knows+]->(?y)").unwrap();
+        let text = q.explain();
+        assert!(text.starts_with("Selector (ANY SHORTEST)\n"));
+        assert!(text.contains("Restrictor (WALK)"));
+    }
+
+    #[test]
+    fn all_parsed_plans_type_check() {
+        let queries = [
+            "MATCH ALL WALK p = (?x)-[:Knows]->(?y)",
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)",
+            "MATCH ALL SHORTEST ACYCLIC p = (?x)-[:Knows+]->(?y)",
+            "MATCH SHORTEST 3 GROUP SIMPLE p = (?x)-[:Knows+]->(?y)",
+            "MATCH 2 PARTITIONS 1 GROUPS ALL PATHS TRAIL p = (?x)-[:Knows+]->(?y) \
+             GROUP BY SOURCE TARGET LENGTH ORDER BY PARTITION GROUP PATH",
+            "MATCH ALL SIMPLE p = (?x {name:\"Moe\"})-[(:Likes/:Has_creator)*]->(?y) \
+             WHERE NOT label(last) = \"Message\"",
+        ];
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            parsed.to_plan().type_check().unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic finite automata via subset construction.
+//!
+//! Index-based and matrix-based RPQ engines (Section 8.2) prefer a DFA because
+//! each graph edge then maps to at most one automaton transition. The DFA here
+//! is built from the ε-free [`Nfa`] with the textbook subset construction,
+//! specialised to the label alphabet actually used by the expression (plus the
+//! `Any` wildcard when present).
+
+use crate::nfa::{Nfa, Symbol};
+use std::collections::{BTreeSet, HashMap};
+
+/// A deterministic finite automaton over edge labels.
+///
+/// Transitions are total over the automaton's alphabet plus an implicit dead
+/// state: [`Dfa::step`] returns `None` when the word can no longer be
+/// completed to a match.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// For each state, transitions keyed by symbol.
+    transitions: Vec<HashMap<Symbol, usize>>,
+    start: usize,
+    accepting: Vec<bool>,
+    alphabet: Vec<Symbol>,
+    has_wildcard: bool,
+}
+
+impl Dfa {
+    /// Builds a DFA equivalent to `nfa` by subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        let alphabet = nfa.alphabet();
+        let has_wildcard = alphabet.contains(&Symbol::Any);
+
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut transitions: Vec<HashMap<Symbol, usize>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+
+        let start_set = BTreeSet::from([nfa.start()]);
+        subsets.push(start_set.clone());
+        index.insert(start_set, 0);
+        transitions.push(HashMap::new());
+        accepting.push(nfa.is_accepting(nfa.start()));
+
+        let mut work = vec![0usize];
+        while let Some(current) = work.pop() {
+            let current_set = subsets[current].clone();
+            for symbol in &alphabet {
+                // The set of NFA states reachable from the subset on `symbol`.
+                // A concrete label also follows `Any` transitions; the `Any`
+                // symbol only follows `Any` transitions.
+                let mut next = BTreeSet::new();
+                for &s in &current_set {
+                    for (sym, t) in nfa.transitions_from(s) {
+                        let follows = match (symbol, sym) {
+                            (Symbol::Any, Symbol::Any) => true,
+                            (Symbol::Any, Symbol::Label(_)) => false,
+                            (Symbol::Label(a), Symbol::Label(b)) => a == b,
+                            (Symbol::Label(_), Symbol::Any) => true,
+                        };
+                        if follows {
+                            next.insert(*t);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue;
+                }
+                let target = *index.entry(next.clone()).or_insert_with(|| {
+                    subsets.push(next.clone());
+                    transitions.push(HashMap::new());
+                    accepting.push(next.iter().any(|&s| nfa.is_accepting(s)));
+                    work.push(subsets.len() - 1);
+                    subsets.len() - 1
+                });
+                transitions[current].insert(symbol.clone(), target);
+            }
+        }
+
+        Self {
+            transitions,
+            start: 0,
+            accepting,
+            alphabet,
+            has_wildcard,
+        }
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// True if `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// The automaton's alphabet.
+    pub fn alphabet(&self) -> &[Symbol] {
+        &self.alphabet
+    }
+
+    /// Follows the transition for an edge labelled `label` (or unlabelled when
+    /// `None`). Returns the next state, or `None` when no match can follow.
+    pub fn step(&self, state: usize, label: Option<&str>) -> Option<usize> {
+        // An exact label transition wins; otherwise fall back to the wildcard.
+        if let Some(l) = label {
+            if let Some(&t) = self.transitions[state].get(&Symbol::Label(l.to_owned())) {
+                return Some(t);
+            }
+        }
+        if self.has_wildcard {
+            if let Some(&t) = self.transitions[state].get(&Symbol::Any) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// True if the automaton accepts the word.
+    pub fn accepts(&self, word: &[&str]) -> bool {
+        let mut state = self.start;
+        for &label in word {
+            match self.step(state, Some(label)) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.accepting[state]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_regex;
+
+    fn dfa(pattern: &str) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(&parse_regex(pattern).unwrap()))
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_and_direct_matching() {
+        let patterns = [
+            ":Knows+",
+            "(:Knows+)|(:Likes/:Has_creator)*",
+            "Knows|(Knows/Knows)",
+            "a?/b*",
+            "a{2,3}",
+            "(a|b)+/c",
+        ];
+        let words: Vec<Vec<&str>> = vec![
+            vec![],
+            vec!["Knows"],
+            vec!["Knows", "Knows"],
+            vec!["Likes", "Has_creator"],
+            vec!["Likes", "Has_creator", "Likes", "Has_creator"],
+            vec!["Knows", "Likes"],
+            vec!["a"],
+            vec!["a", "b"],
+            vec!["a", "a", "a"],
+            vec!["b", "b", "c"],
+            vec!["a", "b", "c"],
+            vec!["c"],
+        ];
+        for pattern in patterns {
+            let re = parse_regex(pattern).unwrap();
+            let nfa = Nfa::from_regex(&re);
+            let dfa = Dfa::from_nfa(&nfa);
+            for word in &words {
+                assert_eq!(dfa.accepts(word), re.matches(word), "pattern {pattern} word {word:?}");
+                assert_eq!(dfa.accepts(word), nfa.accepts(word), "pattern {pattern} word {word:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_is_deterministic() {
+        let d = dfa("(:Knows+)|(:Likes/:Has_creator)*");
+        // From any state, stepping on a label gives at most one next state —
+        // guaranteed by the return type; spot-check the start state.
+        let s = d.start();
+        let a = d.step(s, Some("Knows"));
+        let b = d.step(s, Some("Knows"));
+        assert_eq!(a, b);
+        assert!(d.state_count() >= 3);
+    }
+
+    #[test]
+    fn dead_ends_return_none() {
+        let d = dfa(":Likes/:Has_creator");
+        let s = d.start();
+        let after_likes = d.step(s, Some("Likes")).unwrap();
+        assert!(d.step(s, Some("Has_creator")).is_none());
+        assert!(d.step(after_likes, Some("Likes")).is_none());
+        assert!(d.step(after_likes, None).is_none());
+        let done = d.step(after_likes, Some("Has_creator")).unwrap();
+        assert!(d.is_accepting(done));
+        assert!(!d.is_accepting(s));
+    }
+
+    #[test]
+    fn wildcard_transitions_apply_to_any_label() {
+        let d = dfa(":_/:Knows");
+        let s = d.start();
+        let mid = d.step(s, Some("whatever")).unwrap();
+        assert!(d.step(mid, Some("Knows")).is_some());
+        assert!(d.accepts(&["x", "Knows"]));
+        assert!(!d.accepts(&["x", "y"]));
+        // Unlabelled edges match only the wildcard.
+        assert!(d.step(s, None).is_some());
+    }
+
+    #[test]
+    fn alphabet_is_exposed() {
+        let d = dfa("(:Knows+)|(:Likes/:Has_creator)*");
+        assert_eq!(d.alphabet().len(), 3);
+    }
+}

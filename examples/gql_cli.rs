@@ -1,0 +1,57 @@
+//! A tiny interactive GQL shell over the Figure 1 graph.
+//!
+//! Reads extended-GQL path queries from stdin (one per line), prints the
+//! logical plan and the matching paths. This mirrors the command-line parser
+//! the paper ships (Section 7.2), but backed by the full evaluator.
+//!
+//! ```bash
+//! echo 'MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)' | cargo run --example gql_cli
+//! ```
+
+use pathalg::prelude::*;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let fixture = pathalg::graph::fixtures::figure1::Figure1::new();
+    let runner = QueryRunner::new(&fixture.graph);
+
+    println!("path-algebra shell over the paper's Figure 1 graph (7 nodes, 11 edges)");
+    println!("enter a query, e.g.:");
+    println!("  MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)");
+    println!("  MATCH ALL SIMPLE p = (?x {{name:\"Moe\"}})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {{name:\"Apu\"}})");
+    println!("  MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) GROUP BY TARGET ORDER BY PATH");
+    println!("(empty line or EOF quits)\n");
+
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    loop {
+        print!("pathalg> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(err) => {
+                eprintln!("input error: {err}");
+                break;
+            }
+        }
+        let query = line.trim();
+        if query.is_empty() {
+            break;
+        }
+        match runner.run(query) {
+            Ok(result) => {
+                println!("-- plan --");
+                println!("{}", pathalg::algebra::display::plan_tree(result.optimized_plan()));
+                println!("-- {} paths --", result.paths().len());
+                for path in result.paths().sorted() {
+                    println!("  {}", path.display(&fixture.graph));
+                }
+            }
+            Err(err) => println!("error: {err}"),
+        }
+        println!();
+    }
+    println!("bye");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a graph, run a GQL-style path query, inspect the plan.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use pathalg::prelude::*;
+
+fn main() {
+    // 1. Build a small property graph with the builder API.
+    //    (This is the paper's Figure 1 social network; `figure1_graph()` from
+    //    the prelude returns the same thing prebuilt.)
+    let mut builder = GraphBuilder::new();
+    let moe = builder.add_node("Person", [("name", Value::str("Moe"))]);
+    let lisa = builder.add_node("Person", [("name", Value::str("Lisa"))]);
+    let bart = builder.add_node("Person", [("name", Value::str("Bart"))]);
+    let apu = builder.add_node("Person", [("name", Value::str("Apu"))]);
+    builder.add_edge(moe, lisa, "Knows", [("since", 2010i64)]);
+    builder.add_edge(lisa, bart, "Knows", [("since", 2012i64)]);
+    builder.add_edge(bart, lisa, "Knows", [("since", 2012i64)]);
+    builder.add_edge(lisa, apu, "Knows", [("since", 2015i64)]);
+    let graph = builder.build();
+    println!("built a graph with {} nodes and {} edges\n", graph.node_count(), graph.edge_count());
+
+    // 2. Run a path query: one shortest trail between every pair of people.
+    let runner = QueryRunner::new(&graph);
+    let query = "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)";
+    let result = runner.run(query).expect("query runs");
+    println!("{query}\n=> {} paths:", result.paths().len());
+    for path in result.paths().sorted() {
+        println!("  {}", path.display(&graph));
+    }
+
+    // 3. Inspect the logical plan the query compiled to — an evaluation tree
+    //    of the paper's path algebra.
+    println!("\nlogical plan:\n{}", pathalg::algebra::display::plan_tree(result.plan()));
+
+    // 4. The algebra is a library too: the same query written directly as an
+    //    expression tree.
+    let plan = PlanExpr::edges()
+        .select(Condition::edge_label(1, "Knows"))
+        .recursive(PathSemantics::Trail)
+        .group_by(GroupKey::SourceTarget)
+        .order_by(OrderKey::Path)
+        .project(pathalg::algebra::ops::projection::ProjectionSpec::new(
+            pathalg::algebra::ops::projection::Take::All,
+            pathalg::algebra::ops::projection::Take::All,
+            pathalg::algebra::ops::projection::Take::Count(1),
+        ));
+    let (paths, stats) = runner.run_plan(&plan).expect("plan runs");
+    println!("hand-built plan returned {} paths ({stats})", paths.len());
+}

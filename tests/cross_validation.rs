@@ -1,0 +1,215 @@
+//! Cross-validation of the independent evaluation strategies.
+//!
+//! Three stacks compute the same queries through completely different code
+//! paths — the algebraic evaluator (ϕ fixpoint), the physical algorithms of
+//! the engine (naïve fixpoint, DFS enumeration, BFS shortest), and the
+//! classical automaton-product baseline. They must agree on every graph.
+
+use pathalg::algebra::condition::Condition;
+use pathalg::algebra::eval::{EvalConfig, Evaluator};
+use pathalg::algebra::ops::recursive::{PathSemantics, RecursionConfig};
+use pathalg::algebra::ops::selection::selection;
+use pathalg::algebra::pathset::PathSet;
+use pathalg::engine::baseline::evaluate_query_with_automaton;
+use pathalg::engine::physical::{phi_bfs_shortest, phi_dfs, phi_naive, phi_seminaive};
+use pathalg::engine::runner::{QueryRunner, RunnerConfig};
+use pathalg::graph::fixtures::figure1::Figure1;
+use pathalg::graph::generator::random::{random_labeled_graph, RandomGraphConfig};
+use pathalg::graph::generator::snb::{snb_like_graph, SnbConfig};
+use pathalg::graph::generator::structured::{chain_graph, cycle_graph, grid_graph, ladder_graph};
+use pathalg::graph::graph::PropertyGraph;
+use pathalg::rpq::automaton_eval::AutomatonEvaluator;
+use pathalg::rpq::compile::compile_to_algebra;
+use pathalg::rpq::parse::parse_regex;
+
+fn test_graphs() -> Vec<(String, PropertyGraph)> {
+    let mut graphs = vec![
+        ("figure1".to_string(), Figure1::new().graph),
+        ("chain8".to_string(), chain_graph(8, "Knows")),
+        ("cycle7".to_string(), cycle_graph(7, "Knows")),
+        ("ladder3".to_string(), ladder_graph(3, "Knows")),
+        ("grid3x3".to_string(), grid_graph(3, 3, "Knows")),
+        // Small SNB-shaped graph: kept deliberately sparse so the full
+        // trail/simple closures computed below stay small.
+        (
+            "snb8".to_string(),
+            snb_like_graph(&SnbConfig {
+                persons: 8,
+                messages: 10,
+                knows_per_person: 2,
+                likes_per_person: 1,
+                seed: 3,
+                ..SnbConfig::default()
+            }),
+        ),
+    ];
+    for seed in [1u64, 2, 3] {
+        graphs.push((
+            format!("random{seed}"),
+            random_labeled_graph(&RandomGraphConfig {
+                nodes: 10,
+                edges: 16,
+                edge_labels: vec!["Knows".into(), "Likes".into()],
+                node_labels: vec!["Person".into()],
+                seed,
+            }),
+        ));
+    }
+    graphs
+}
+
+fn knows_base(graph: &PropertyGraph) -> PathSet {
+    selection(
+        graph,
+        &Condition::edge_label(1, "Knows"),
+        &PathSet::edges(graph),
+    )
+}
+
+#[test]
+fn physical_implementations_agree_with_the_algebra_everywhere() {
+    let cfg = RecursionConfig::default();
+    for (name, graph) in test_graphs() {
+        let base = knows_base(&graph);
+        for semantics in [
+            PathSemantics::Trail,
+            PathSemantics::Acyclic,
+            PathSemantics::Simple,
+            PathSemantics::Shortest,
+        ] {
+            let reference = phi_seminaive(semantics, &base, &cfg).unwrap();
+            let naive = phi_naive(semantics, &base, &cfg).unwrap();
+            let dfs = phi_dfs(semantics, &base, &cfg).unwrap();
+            assert_eq!(reference, naive, "{name}: naive differs under {semantics:?}");
+            assert_eq!(reference, dfs, "{name}: dfs differs under {semantics:?}");
+        }
+        let shortest = phi_bfs_shortest(&base, &cfg).unwrap();
+        assert_eq!(
+            shortest,
+            phi_seminaive(PathSemantics::Shortest, &base, &cfg).unwrap(),
+            "{name}: bfs-shortest differs"
+        );
+    }
+}
+
+#[test]
+fn automaton_product_agrees_with_compiled_algebra_everywhere() {
+    // Non-recursive patterns are compared under Walk only: the bare algebra
+    // translation enforces restrictors inside ϕ (the plan generator adds the
+    // explicit whole-path predicate for such patterns — that layer is covered
+    // by `end_to_end_queries_agree_between_runner_and_baseline`).
+    let patterns = [
+        (":Knows+", true),
+        (":Knows/:Knows", false),
+        ("(:Knows|:Likes)+", true),
+        (":Knows*", true),
+    ];
+    for (name, graph) in test_graphs() {
+        for (pattern, recursive_pattern) in patterns {
+            let semantics_to_check: &[PathSemantics] = if recursive_pattern {
+                &[
+                    PathSemantics::Trail,
+                    PathSemantics::Acyclic,
+                    PathSemantics::Simple,
+                    PathSemantics::Shortest,
+                ]
+            } else {
+                &[PathSemantics::Walk]
+            };
+            for &semantics in semantics_to_check {
+                let re = parse_regex(pattern).unwrap();
+                let via_automaton = AutomatonEvaluator::new(&graph, &re)
+                    .eval_all(semantics, &RecursionConfig::default())
+                    .unwrap();
+                let plan = compile_to_algebra(&re, semantics);
+                let via_algebra = Evaluator::new(&graph).eval_paths(&plan).unwrap();
+                assert_eq!(
+                    via_automaton, via_algebra,
+                    "{name}: {pattern} under {semantics:?} ({} vs {} paths)",
+                    via_automaton.len(),
+                    via_algebra.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn end_to_end_queries_agree_between_runner_and_baseline() {
+    let queries = [
+        "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
+        "MATCH ALL ACYCLIC p = (?x)-[(:Knows|:Likes)+]->(?y)",
+        "MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)",
+        "MATCH ALL SIMPLE p = (?x)-[:Knows+]->(?y) WHERE len() >= 2",
+    ];
+    let recursion = RecursionConfig {
+        max_length: Some(6),
+        ..RecursionConfig::default()
+    };
+    for (name, graph) in test_graphs() {
+        let runner = QueryRunner::with_config(
+            &graph,
+            RunnerConfig {
+                optimize: true,
+                recursion,
+            },
+        );
+        for query in queries {
+            let algebraic = runner.run(query).unwrap();
+            let baseline = evaluate_query_with_automaton(&graph, query, &recursion).unwrap();
+            assert_eq!(
+                algebraic.paths(),
+                &baseline,
+                "{name}: {query} ({} vs {} paths)",
+                algebraic.paths().len(),
+                baseline.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizer_never_changes_results() {
+    let queries = [
+        "MATCH ALL TRAIL p = (?x {name:\"Moe\"})-[:Knows+]->(?y)",
+        "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y {name:\"Apu\"})",
+        "MATCH ALL SIMPLE p = (?x {name:\"Moe\"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:\"Apu\"})",
+        "MATCH ALL ACYCLIC p = (?x:Person)-[:Likes/:Has_creator]->(?y:Person)",
+    ];
+    let f = Figure1::new();
+    let with_opt = QueryRunner::new(&f.graph);
+    let without_opt =
+        QueryRunner::with_config(&f.graph, RunnerConfig::default().without_optimizer());
+    for query in queries {
+        let a = with_opt.run(query).unwrap();
+        let b = without_opt.run(query).unwrap();
+        assert_eq!(a.paths(), b.paths(), "optimizer changed the result of {query}");
+    }
+}
+
+#[test]
+fn evaluation_config_bounds_are_respected_end_to_end() {
+    let f = Figure1::new();
+    let runner = QueryRunner::with_config(&f.graph, RunnerConfig::with_walk_bound(3));
+    let result = runner
+        .run("MATCH ALL WALK p = (?x)-[:Knows+]->(?y)")
+        .unwrap();
+    assert!(result.paths().iter().all(|p| p.len() <= 3));
+    // The same query without a bound is rejected, not looped on.
+    let unbounded = QueryRunner::with_config(
+        &f.graph,
+        RunnerConfig {
+            optimize: false,
+            recursion: RecursionConfig::unbounded(),
+        },
+    );
+    assert!(unbounded
+        .run("MATCH ALL WALK p = (?x)-[:Knows+]->(?y)")
+        .is_err());
+    // Evaluator-level configuration behaves identically.
+    let plan = compile_to_algebra(&parse_regex(":Knows+").unwrap(), PathSemantics::Walk);
+    let out = Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(2))
+        .eval_paths(&plan)
+        .unwrap();
+    assert!(out.iter().all(|p| p.len() <= 2));
+}

@@ -1,0 +1,273 @@
+//! Integration tests that pin the paper's tables and figures (see DESIGN.md §2
+//! for the experiment index). Every expected value below is quoted from the
+//! paper, not from the implementation.
+
+use pathalg::algebra::condition::Condition;
+use pathalg::algebra::eval::{EvalConfig, Evaluator};
+use pathalg::algebra::gql::{translate, Restrictor, Selector};
+use pathalg::algebra::ops::group_by::{group_by, GroupKey};
+use pathalg::algebra::ops::order_by::OrderKey;
+use pathalg::algebra::ops::projection::{ProjectionSpec, Take};
+use pathalg::algebra::ops::recursive::{recursive, PathSemantics, RecursionConfig};
+use pathalg::algebra::ops::selection::selection;
+use pathalg::algebra::path::Path;
+use pathalg::algebra::pathset::PathSet;
+use pathalg::algebra::expr::PlanExpr;
+use pathalg::graph::fixtures::figure1::Figure1;
+
+/// Builds a path from a list of Figure 1 edges.
+fn path(f: &Figure1, edges: &[pathalg::graph::ids::EdgeId]) -> Path {
+    edges
+        .iter()
+        .skip(1)
+        .fold(Path::edge(&f.graph, edges[0]), |acc, &e| {
+            acc.concat(&Path::edge(&f.graph, e)).unwrap()
+        })
+}
+
+/// The 14 rows of Table 3, in paper order.
+fn table3_rows(f: &Figure1) -> Vec<(&'static str, Path)> {
+    vec![
+        ("p1", path(f, &[f.e1])),
+        ("p2", path(f, &[f.e1, f.e2, f.e3])),
+        ("p3", path(f, &[f.e1, f.e2])),
+        ("p4", path(f, &[f.e1, f.e2, f.e3, f.e2])),
+        ("p5", path(f, &[f.e1, f.e4])),
+        ("p6", path(f, &[f.e1, f.e2, f.e3, f.e4])),
+        ("p7", path(f, &[f.e2, f.e3])),
+        ("p8", path(f, &[f.e2, f.e3, f.e2, f.e3])),
+        ("p9", path(f, &[f.e2])),
+        ("p10", path(f, &[f.e2, f.e3, f.e2])),
+        ("p11", path(f, &[f.e4])),
+        ("p12", path(f, &[f.e2, f.e3, f.e4])),
+        ("p13", path(f, &[f.e3, f.e4])),
+        ("p14", path(f, &[f.e3, f.e2, f.e3, f.e4])),
+    ]
+}
+
+fn knows_plus(f: &Figure1, semantics: PathSemantics) -> PathSet {
+    let knows = selection(
+        &f.graph,
+        &Condition::edge_label(1, "Knows"),
+        &PathSet::edges(&f.graph),
+    );
+    let config = if semantics == PathSemantics::Walk {
+        RecursionConfig::with_max_length(4)
+    } else {
+        RecursionConfig::default()
+    };
+    recursive(semantics, &knows, &config).unwrap()
+}
+
+#[test]
+fn figure1_shape_matches_the_paper() {
+    let f = Figure1::new();
+    assert_eq!(f.graph.node_count(), 7);
+    assert_eq!(f.graph.edge_count(), 11);
+    assert_eq!(f.graph.nodes_with_label("Person").count(), 4);
+    assert_eq!(f.graph.nodes_with_label("Message").count(), 3);
+    // The inner Knows cycle and the outer Likes/Has_creator cycle exist.
+    assert_eq!(f.graph.endpoints(f.e2), (f.n2, f.n3));
+    assert_eq!(f.graph.endpoints(f.e3), (f.n3, f.n2));
+    assert_eq!(f.graph.label(f.e8), Some("Likes"));
+    assert_eq!(f.graph.label(f.e11), Some("Has_creator"));
+}
+
+#[test]
+fn table3_membership_per_semantics() {
+    let f = Figure1::new();
+    let rows = table3_rows(&f);
+    // Every listed path is a walk satisfying Knows+.
+    let walks = knows_plus(&f, PathSemantics::Walk);
+    for (id, p) in &rows {
+        assert!(walks.contains(p), "{id} must be a Knows+ walk");
+    }
+    // Trail column: the paper (Section 5, step 3) lists exactly these ids.
+    let trails = knows_plus(&f, PathSemantics::Trail);
+    let expected_trails = ["p1", "p2", "p3", "p5", "p6", "p7", "p9", "p11", "p12", "p13"];
+    for (id, p) in &rows {
+        assert_eq!(
+            trails.contains(p),
+            expected_trails.contains(id),
+            "trail column mismatch for {id}"
+        );
+    }
+    // Acyclic column: no repeated nodes.
+    let acyclic = knows_plus(&f, PathSemantics::Acyclic);
+    let expected_acyclic = ["p1", "p3", "p5", "p9", "p11", "p13"];
+    for (id, p) in &rows {
+        assert_eq!(
+            acyclic.contains(p),
+            expected_acyclic.contains(id),
+            "acyclic column mismatch for {id}"
+        );
+    }
+    // Simple column: acyclic plus the two simple cycles p7 (n2→n3→n2) and the
+    // symmetric one not listed in the table.
+    let simple = knows_plus(&f, PathSemantics::Simple);
+    let expected_simple = ["p1", "p3", "p5", "p7", "p9", "p11", "p13"];
+    for (id, p) in &rows {
+        assert_eq!(
+            simple.contains(p),
+            expected_simple.contains(id),
+            "simple column mismatch for {id}"
+        );
+    }
+    // Shortest column: the unique shortest path per endpoint pair among the
+    // listed rows.
+    let shortest = knows_plus(&f, PathSemantics::Shortest);
+    let expected_shortest = ["p1", "p3", "p5", "p7", "p9", "p11", "p13"];
+    for (id, p) in &rows {
+        assert_eq!(
+            shortest.contains(p),
+            expected_shortest.contains(id),
+            "shortest column mismatch for {id}"
+        );
+    }
+}
+
+#[test]
+fn introduction_query_returns_path1_and_path2() {
+    // Figure 2 under ϕSimple: exactly two Moe→Apu paths.
+    let f = Figure1::new();
+    let knows = PlanExpr::edges()
+        .select(Condition::edge_label(1, "Knows"))
+        .recursive(PathSemantics::Simple);
+    let outer = PlanExpr::edges()
+        .select(Condition::edge_label(1, "Likes"))
+        .join(PlanExpr::edges().select(Condition::edge_label(1, "Has_creator")))
+        .recursive(PathSemantics::Simple);
+    let plan = knows.union(outer).select(
+        Condition::first_property("name", "Moe").and(Condition::last_property("name", "Apu")),
+    );
+    let out = Evaluator::new(&f.graph).eval_paths(&plan).unwrap();
+    let path1 = path(&f, &[f.e1, f.e4]);
+    let path2 = path(&f, &[f.e8, f.e11, f.e7, f.e10]);
+    assert_eq!(out.len(), 2);
+    assert!(out.contains(&path1), "path1 = (n1,e1,n2,e4,n4)");
+    assert!(out.contains(&path2), "path2 = (n1,e8,n6,e11,n3,e7,n7,e10,n4)");
+}
+
+#[test]
+fn figure3_returns_moes_friends_and_friends_of_friends() {
+    let f = Figure1::new();
+    let knows = PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
+    let plan = knows
+        .clone()
+        .union(knows.clone().join(knows))
+        .select(Condition::first_property("name", "Moe"));
+    let out = Evaluator::new(&f.graph).eval_paths(&plan).unwrap();
+    assert_eq!(out.len(), 3);
+    assert!(out.contains(&path(&f, &[f.e1])));
+    assert!(out.contains(&path(&f, &[f.e1, f.e2])));
+    assert!(out.contains(&path(&f, &[f.e1, f.e4])));
+}
+
+#[test]
+fn figure5_pipeline_returns_the_quoted_shortest_trails() {
+    let f = Figure1::new();
+    let plan = PlanExpr::edges()
+        .select(Condition::edge_label(1, "Knows"))
+        .recursive(PathSemantics::Trail)
+        .group_by(GroupKey::SourceTarget)
+        .order_by(OrderKey::Path)
+        .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+    let out = Evaluator::new(&f.graph).eval_paths(&plan).unwrap();
+    // The paper's step 6 output for the Table 5 partitions.
+    for expected in [
+        path(&f, &[f.e1]),          // p1
+        path(&f, &[f.e1, f.e2]),    // p3
+        path(&f, &[f.e1, f.e4]),    // p5
+        path(&f, &[f.e2, f.e3]),    // p7
+        path(&f, &[f.e2]),          // p9
+        path(&f, &[f.e4]),          // p11
+        path(&f, &[f.e3, f.e4]),    // p13
+    ] {
+        assert!(out.contains(&expected), "missing {}", expected.display_ids());
+    }
+    // One path per endpoint pair (9 pairs in the full trail closure).
+    assert_eq!(out.len(), 9);
+}
+
+#[test]
+fn table5_solution_space_organisation() {
+    let f = Figure1::new();
+    let trails = knows_plus(&f, PathSemantics::Trail);
+    let ss = group_by(GroupKey::SourceTarget, &trails);
+    ss.validate().unwrap();
+    // One partition per endpoint pair, one group per partition (Table 4 row ST).
+    assert_eq!(ss.partition_count(), 9);
+    assert_eq!(ss.group_count(), 9);
+    // The paper's part1 = {(n1,e1,n2), (n1,e1,n2,e2,n3,e3,n2)} with MinL 1.
+    let part1 = ss
+        .partitions()
+        .iter()
+        .position(|p| p.key.source == Some(f.n1) && p.key.target == Some(f.n2))
+        .expect("partition (n1, n2) exists");
+    assert_eq!(ss.min_len_of_partition(part1), 1);
+    let group = ss.partitions()[part1].groups[0];
+    let lengths: Vec<usize> = ss.groups()[group]
+        .paths
+        .iter()
+        .map(|&i| ss.path(i).len())
+        .collect();
+    assert_eq!(lengths.iter().min(), Some(&1));
+    assert_eq!(lengths.iter().max(), Some(&3));
+    // part3 in the paper: (n1, n4) with MinL 2 and paths of length 2 and 4.
+    let part3 = ss
+        .partitions()
+        .iter()
+        .position(|p| p.key.source == Some(f.n1) && p.key.target == Some(f.n4))
+        .expect("partition (n1, n4) exists");
+    assert_eq!(ss.min_len_of_partition(part3), 2);
+}
+
+#[test]
+fn table7_all_28_combinations_evaluate_and_match_their_semantics() {
+    let f = Figure1::new();
+    let re = PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
+    for restrictor in Restrictor::GQL {
+        let all = {
+            let plan = translate(Selector::All, restrictor, re.clone());
+            Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(4))
+                .eval_paths(&plan)
+                .unwrap()
+        };
+        for selector in Selector::all_with_k(2) {
+            let plan = translate(selector, restrictor, re.clone());
+            plan.type_check().unwrap();
+            let out = Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(4))
+                .eval_paths(&plan)
+                .unwrap();
+            assert!(!out.is_empty(), "{selector} {restrictor} returned nothing");
+            // Every selector returns a subset of ALL.
+            for p in out.iter() {
+                assert!(all.contains(p), "{selector} {restrictor} invented a path");
+            }
+            // Deterministic selectors are idempotent across evaluations.
+            if selector.is_deterministic() {
+                let again = Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(4))
+                    .eval_paths(&plan)
+                    .unwrap();
+                assert_eq!(out, again);
+            }
+        }
+    }
+}
+
+#[test]
+fn section6_beyond_gql_expression_returns_a_sample_trail_per_length() {
+    let f = Figure1::new();
+    let plan = PlanExpr::edges()
+        .select(Condition::edge_label(1, "Knows"))
+        .recursive(PathSemantics::Trail)
+        .group_by(GroupKey::Length)
+        .order_by(OrderKey::Group)
+        .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+    let out = Evaluator::new(&f.graph).eval_paths(&plan).unwrap();
+    // Knows+ trails have lengths 1..4, so exactly four samples come back.
+    assert_eq!(out.len(), 4);
+    let mut lengths: Vec<usize> = out.iter().map(|p| p.len()).collect();
+    lengths.sort();
+    assert_eq!(lengths, vec![1, 2, 3, 4]);
+}
