@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate for the pathalg workspace. Run from the repo root: ./ci.sh
+#
+# Everything here must stay green; `cargo build --release && cargo test -q`
+# is the tier-1 subset (see ROADMAP.md), the rest keeps the tree lint- and
+# doc-clean. No network access is required (deps are vendored, see
+# vendor/README.md).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test"
+cargo test -q
+
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+step "cargo bench --no-run (compile all bench targets)"
+cargo bench --no-run -q
+
+step "examples compile"
+cargo build -q --examples
+
+printf '\nci.sh: all checks passed\n'

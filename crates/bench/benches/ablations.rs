@@ -37,13 +37,20 @@ fn knows_base(graph: &pathalg_graph::graph::PropertyGraph) -> PathSet {
 
 fn bench_phi_implementations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/phi_implementations");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     let cfg = RecursionConfig::default();
     for n in [8usize, 16] {
         let graph = cycle(n);
         let base = knows_base(&graph);
         group.bench_with_input(BenchmarkId::new("seminaive_trail", n), &base, |b, base| {
-            b.iter(|| phi_seminaive(PathSemantics::Trail, base, &cfg).unwrap().len())
+            b.iter(|| {
+                phi_seminaive(PathSemantics::Trail, base, &cfg)
+                    .unwrap()
+                    .len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("naive_trail", n), &base, |b, base| {
             b.iter(|| phi_naive(PathSemantics::Trail, base, &cfg).unwrap().len())
@@ -51,34 +58,51 @@ fn bench_phi_implementations(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dfs_trail", n), &base, |b, base| {
             b.iter(|| phi_dfs(PathSemantics::Trail, base, &cfg).unwrap().len())
         });
-        group.bench_with_input(BenchmarkId::new("seminaive_shortest", n), &base, |b, base| {
-            b.iter(|| phi_seminaive(PathSemantics::Shortest, base, &cfg).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("seminaive_shortest", n),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    phi_seminaive(PathSemantics::Shortest, base, &cfg)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("bfs_shortest", n), &base, |b, base| {
             b.iter(|| phi_bfs_shortest(base, &cfg).unwrap().len())
         });
         // The classical automaton-product baseline answering the same RPQ.
         let regex = parse_regex(":Knows+").unwrap();
-        group.bench_with_input(BenchmarkId::new("automaton_trail", n), &graph, |b, graph| {
-            let eval = AutomatonEvaluator::new(graph, &regex);
-            b.iter(|| eval.eval_all(PathSemantics::Trail, &cfg).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("automaton_trail", n),
+            &graph,
+            |b, graph| {
+                let eval = AutomatonEvaluator::new(graph, &regex);
+                b.iter(|| eval.eval_all(PathSemantics::Trail, &cfg).unwrap().len())
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_join_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/join_strategy");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     for persons in [100usize, 300] {
         let graph = snb(persons);
         let knows = knows_base(&graph);
         group.bench_with_input(BenchmarkId::new("hash", persons), &knows, |b, knows| {
             b.iter(|| join(knows, knows).len())
         });
-        group.bench_with_input(BenchmarkId::new("nested_loop", persons), &knows, |b, knows| {
-            b.iter(|| nested_loop_join(knows, knows).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nested_loop", persons),
+            &knows,
+            |b, knows| b.iter(|| nested_loop_join(knows, knows).len()),
+        );
     }
     group.finish();
 }
@@ -86,7 +110,10 @@ fn bench_join_strategies(c: &mut Criterion) {
 fn bench_restrictor_pushdown_vs_postfilter(c: &mut Criterion) {
     // Enforcing TRAIL inside ϕ vs. generating bounded walks and filtering.
     let mut group = c.benchmark_group("ablation/restrictor_pushdown");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     for n in [6usize, 8, 10] {
         let graph = cycle(n);
         let base = knows_base(&graph);
@@ -114,7 +141,10 @@ fn bench_restrictor_pushdown_vs_postfilter(c: &mut Criterion) {
 
 fn bench_projection_sort_shortcut(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/projection_sort");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     let graph = cycle(24);
     let base = knows_base(&graph);
     let trails = recursive(PathSemantics::Trail, &base, &RecursionConfig::default()).unwrap();
@@ -134,7 +164,10 @@ fn bench_optimizer_on_off(c: &mut Criterion) {
     let plan = translate(Selector::AllShortest, Restrictor::Walk, label_scan("Knows"));
     let optimized = Optimizer::new().optimize(&plan);
     let mut group = c.benchmark_group("ablation/optimizer_on_off");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("all_shortest_walk_unoptimized_bounded", |b| {
         b.iter(|| {
             Evaluator::with_config(&f.graph, EvalConfig::with_walk_bound(6))
@@ -144,7 +177,12 @@ fn bench_optimizer_on_off(c: &mut Criterion) {
         })
     });
     group.bench_function("all_shortest_walk_rewritten_to_shortest", |b| {
-        b.iter(|| Evaluator::new(&f.graph).eval_paths(&optimized).unwrap().len())
+        b.iter(|| {
+            Evaluator::new(&f.graph)
+                .eval_paths(&optimized)
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 }

@@ -15,7 +15,10 @@ use std::time::Duration;
 fn bench_figure2_semantics(c: &mut Criterion) {
     let f = figure1();
     let mut group = c.benchmark_group("fig2/semantics");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for semantics in [
         PathSemantics::Simple,
         PathSemantics::Trail,
@@ -45,7 +48,10 @@ fn bench_figure2_end_to_end(c: &mut Criterion) {
     let f = figure1();
     let query = "MATCH ALL SIMPLE p = (?x {name:\"Moe\"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:\"Apu\"})";
     let mut group = c.benchmark_group("fig2/end_to_end");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("parse_optimize_execute", |b| {
         let runner = QueryRunner::new(&f.graph);
         b.iter(|| runner.run(query).unwrap().paths().len())

@@ -14,7 +14,10 @@ fn bench_figure1(c: &mut Criterion) {
     let f = figure1();
     let plan = figure3_plan();
     let mut group = c.benchmark_group("fig3/figure1");
-    group.sample_size(30).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("friends_of_friends", |b| {
         b.iter(|| Evaluator::new(&f.graph).eval_paths(&plan).unwrap().len())
     });
@@ -24,7 +27,10 @@ fn bench_figure1(c: &mut Criterion) {
 fn bench_snb_scaling(c: &mut Criterion) {
     let plan = figure3_plan();
     let mut group = c.benchmark_group("fig3/snb_scaling");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     for persons in [50usize, 100, 200, 400] {
         let graph = snb(persons);
         group.bench_with_input(BenchmarkId::from_parameter(persons), &graph, |b, graph| {

@@ -22,7 +22,10 @@ fn star_plan(semantics: PathSemantics) -> pathalg_core::expr::PlanExpr {
 fn bench_figure1_star(c: &mut Criterion) {
     let f = figure1();
     let mut group = c.benchmark_group("fig4/figure1_star");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for semantics in [
         PathSemantics::Trail,
         PathSemantics::Acyclic,
@@ -51,7 +54,10 @@ fn bench_figure1_star(c: &mut Criterion) {
 fn bench_snb_star_shortest(c: &mut Criterion) {
     let plan = star_plan(PathSemantics::Shortest);
     let mut group = c.benchmark_group("fig4/snb_star_shortest");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     for persons in [20usize, 40, 80] {
         let graph = snb(persons);
         group.bench_with_input(BenchmarkId::from_parameter(persons), &graph, |b, graph| {

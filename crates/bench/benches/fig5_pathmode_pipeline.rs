@@ -29,7 +29,10 @@ fn trails_on_cycle(n: usize) -> PathSet {
 
 fn bench_extended_operators(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5/extended_operators");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for n in [8usize, 16, 32] {
         let paths = trails_on_cycle(n);
         group.bench_with_input(BenchmarkId::new("group_by_ST", n), &paths, |b, paths| {
@@ -41,9 +44,11 @@ fn bench_extended_operators(c: &mut Criterion) {
         });
         let ordered = order_by(OrderKey::Path, &space);
         let spec = ProjectionSpec::new(Take::All, Take::All, Take::Count(1));
-        group.bench_with_input(BenchmarkId::new("project_first", n), &ordered, |b, ordered| {
-            b.iter(|| projection(&spec, ordered).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("project_first", n),
+            &ordered,
+            |b, ordered| b.iter(|| projection(&spec, ordered).len()),
+        );
     }
     group.finish();
 }
@@ -56,7 +61,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
         .order_by(OrderKey::Path)
         .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
     let mut group = c.benchmark_group("fig5/full_pipeline");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("figure1_any_shortest_trail", |b| {
         b.iter(|| Evaluator::new(&f.graph).eval_paths(&plan).unwrap().len())
     });

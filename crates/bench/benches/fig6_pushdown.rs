@@ -17,14 +17,22 @@ fn bench_basic_vs_optimized(c: &mut Criterion) {
     assert_ne!(basic, optimized, "pushdown must fire for this plan");
 
     let mut group = c.benchmark_group("fig6/basic_vs_optimized");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
 
     let f = figure1();
     group.bench_function("figure1/basic", |b| {
         b.iter(|| Evaluator::new(&f.graph).eval_paths(&basic).unwrap().len())
     });
     group.bench_function("figure1/optimized", |b| {
-        b.iter(|| Evaluator::new(&f.graph).eval_paths(&optimized).unwrap().len())
+        b.iter(|| {
+            Evaluator::new(&f.graph)
+                .eval_paths(&optimized)
+                .unwrap()
+                .len()
+        })
     });
 
     for persons in [100usize, 300] {
@@ -46,7 +54,10 @@ fn bench_basic_vs_optimized(c: &mut Criterion) {
 fn bench_optimizer_overhead(c: &mut Criterion) {
     let basic = figure6_basic();
     let mut group = c.benchmark_group("fig6/optimizer_overhead");
-    group.sample_size(30).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("optimize_figure6_plan", |b| {
         let optimizer = Optimizer::new();
         b.iter(|| optimizer.optimize(&basic))

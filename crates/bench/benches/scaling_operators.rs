@@ -17,7 +17,10 @@ use std::time::Duration;
 
 fn bench_atoms_and_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/atoms_and_selection");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for persons in [100usize, 200, 400, 800] {
         let graph = snb(persons);
         group.throughput(Throughput::Elements(graph.edge_count() as u64));
@@ -43,7 +46,10 @@ fn bench_atoms_and_selection(c: &mut Criterion) {
 
 fn bench_join_and_union(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/join_and_union");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     for persons in [100usize, 200, 400] {
         let graph = snb(persons);
         let knows = selection(

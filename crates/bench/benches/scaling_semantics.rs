@@ -14,7 +14,10 @@ use std::time::Duration;
 
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_semantics/chain_walk");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     let plan = label_scan("Knows").recursive(PathSemantics::Walk);
     for n in [16usize, 32, 64, 128] {
         let graph = chain(n);
@@ -27,7 +30,10 @@ fn bench_chain_scaling(c: &mut Criterion) {
 
 fn bench_cycle_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_semantics/cycle");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for n in [8usize, 16, 32] {
         let graph = cycle(n);
         for semantics in [
@@ -48,7 +54,10 @@ fn bench_cycle_scaling(c: &mut Criterion) {
 
 fn bench_snb_shortest_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_semantics/snb_shortest");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     let plan = label_scan("Knows").recursive(PathSemantics::Shortest);
     for persons in [20usize, 40, 80] {
         let graph = snb(persons);

@@ -16,7 +16,10 @@ use std::time::Duration;
 fn bench_figure1_semantics(c: &mut Criterion) {
     let f = figure1();
     let mut group = c.benchmark_group("table3/figure1_knows_plus");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for semantics in PathSemantics::ALL {
         let plan = label_scan("Knows").recursive(semantics);
         let config = if semantics == PathSemantics::Walk {
@@ -42,7 +45,10 @@ fn bench_figure1_semantics(c: &mut Criterion) {
 
 fn bench_cycle_semantics(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/cycle_knows_plus");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for n in [4usize, 8, 12, 16] {
         let graph = cycle(n);
         for semantics in [
@@ -55,9 +61,7 @@ fn bench_cycle_semantics(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(semantics.keyword(), n),
                 &plan,
-                |b, plan| {
-                    b.iter(|| Evaluator::new(&graph).eval_paths(plan).unwrap().len())
-                },
+                |b, plan| b.iter(|| Evaluator::new(&graph).eval_paths(plan).unwrap().len()),
             );
         }
         // Walk needs a bound on a cycle; bound it to the cycle length.

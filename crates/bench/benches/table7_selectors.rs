@@ -15,7 +15,10 @@ use std::time::Duration;
 fn bench_all_28_combinations(c: &mut Criterion) {
     let f = figure1();
     let mut group = c.benchmark_group("table7/figure1_all_combinations");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     for restrictor in Restrictor::GQL {
         for selector in Selector::all_with_k(2) {
             let plan = translate(selector, restrictor, label_scan("Knows"));
@@ -40,7 +43,10 @@ fn bench_all_28_combinations(c: &mut Criterion) {
 fn bench_selectors_on_ladder(c: &mut Criterion) {
     let graph = ladder(5);
     let mut group = c.benchmark_group("table7/ladder_selectors_acyclic");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for selector in Selector::all_with_k(2) {
         let plan = translate(selector, Restrictor::Acyclic, label_scan("Knows"));
         group.bench_with_input(
@@ -52,5 +58,9 @@ fn bench_selectors_on_ladder(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_all_28_combinations, bench_selectors_on_ladder);
+criterion_group!(
+    benches,
+    bench_all_28_combinations,
+    bench_selectors_on_ladder
+);
 criterion_main!(benches);

@@ -256,22 +256,24 @@ impl Condition {
     /// The evaluation function `ev(c, p)` of the paper.
     pub fn eval(&self, path: &Path, graph: &PropertyGraph) -> bool {
         match self {
-            Condition::Compare { accessor, op, value } => {
-                match Condition::resolve(accessor, path, graph) {
+            Condition::Compare {
+                accessor,
+                op,
+                value,
+            } => match Condition::resolve(accessor, path, graph) {
+                None => false,
+                Some(actual) => match actual.compare(value) {
                     None => false,
-                    Some(actual) => match actual.compare(value) {
-                        None => false,
-                        Some(ord) => match op {
-                            CompareOp::Eq => ord == Ordering::Equal,
-                            CompareOp::Ne => ord != Ordering::Equal,
-                            CompareOp::Lt => ord == Ordering::Less,
-                            CompareOp::Le => ord != Ordering::Greater,
-                            CompareOp::Gt => ord == Ordering::Greater,
-                            CompareOp::Ge => ord != Ordering::Less,
-                        },
+                    Some(ord) => match op {
+                        CompareOp::Eq => ord == Ordering::Equal,
+                        CompareOp::Ne => ord != Ordering::Equal,
+                        CompareOp::Lt => ord == Ordering::Less,
+                        CompareOp::Le => ord != Ordering::Greater,
+                        CompareOp::Gt => ord == Ordering::Greater,
+                        CompareOp::Ge => ord != Ordering::Less,
                     },
-                }
-            }
+                },
+            },
             Condition::Bound(accessor) => Condition::resolve(accessor, path, graph).is_some(),
             Condition::Substr(accessor, needle) => {
                 match Condition::resolve(accessor, path, graph) {
@@ -327,8 +329,7 @@ impl Condition {
             && self.accessors().iter().all(|a| {
                 matches!(
                     a,
-                    Accessor::NodeLabel(Position::Last)
-                        | Accessor::NodeProperty(Position::Last, _)
+                    Accessor::NodeLabel(Position::Last) | Accessor::NodeProperty(Position::Last, _)
                 )
             })
     }
@@ -349,10 +350,7 @@ impl Condition {
                 b.collect_accessors(out);
             }
             Condition::Not(c) => c.collect_accessors(out),
-            Condition::True
-            | Condition::IsTrail
-            | Condition::IsAcyclic
-            | Condition::IsSimple => {}
+            Condition::True | Condition::IsTrail | Condition::IsAcyclic | Condition::IsSimple => {}
         }
     }
 }
@@ -400,7 +398,11 @@ impl fmt::Display for CompareOp {
 impl fmt::Display for Condition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Condition::Compare { accessor, op, value } => write!(f, "{accessor} {op} {value}"),
+            Condition::Compare {
+                accessor,
+                op,
+                value,
+            } => write!(f, "{accessor} {op} {value}"),
             Condition::Bound(a) => write!(f, "bound({a})"),
             Condition::Substr(a, s) => write!(f, "substr({a}, \"{s}\")"),
             Condition::IsTrail => write!(f, "is_trail()"),
@@ -444,8 +446,8 @@ mod tests {
         let f = Figure1::new();
         let p = knows_path(&f);
         // σ first.name = "Moe" ∧ last.name = "Apu" — the root filter of Fig. 2.
-        let cond = Condition::first_property("name", "Moe")
-            .and(Condition::last_property("name", "Apu"));
+        let cond =
+            Condition::first_property("name", "Moe").and(Condition::last_property("name", "Apu"));
         assert!(cond.eval(&p, &f.graph));
         let wrong = Condition::first_property("name", "Apu");
         assert!(!wrong.eval(&p, &f.graph));
@@ -515,15 +517,20 @@ mod tests {
     fn builtins_bound_and_substr() {
         let f = Figure1::new();
         let p = knows_path(&f);
-        assert!(Condition::Bound(Accessor::NodeProperty(Position::First, "name".into()))
-            .eval(&p, &f.graph));
-        assert!(!Condition::Bound(Accessor::NodeProperty(Position::First, "email".into()))
-            .eval(&p, &f.graph));
-        assert!(Condition::Bound(Accessor::Len).eval(&p, &f.graph));
         assert!(
-            Condition::Substr(Accessor::NodeProperty(Position::First, "name".into()), "Mo".into())
+            Condition::Bound(Accessor::NodeProperty(Position::First, "name".into()))
                 .eval(&p, &f.graph)
         );
+        assert!(
+            !Condition::Bound(Accessor::NodeProperty(Position::First, "email".into()))
+                .eval(&p, &f.graph)
+        );
+        assert!(Condition::Bound(Accessor::Len).eval(&p, &f.graph));
+        assert!(Condition::Substr(
+            Accessor::NodeProperty(Position::First, "name".into()),
+            "Mo".into()
+        )
+        .eval(&p, &f.graph));
         assert!(!Condition::Substr(
             Accessor::NodeProperty(Position::First, "name".into()),
             "Apu".into()
@@ -544,8 +551,8 @@ mod tests {
 
     #[test]
     fn pushdown_analysis_helpers() {
-        let first_only = Condition::first_property("name", "Moe")
-            .and(Condition::first_label("Person"));
+        let first_only =
+            Condition::first_property("name", "Moe").and(Condition::first_label("Person"));
         assert!(first_only.only_references_first_node());
         assert!(!first_only.only_references_last_node());
 
@@ -553,8 +560,8 @@ mod tests {
         assert!(last_only.only_references_last_node());
         assert!(!last_only.only_references_first_node());
 
-        let mixed = Condition::first_property("name", "Moe")
-            .and(Condition::last_property("name", "Apu"));
+        let mixed =
+            Condition::first_property("name", "Moe").and(Condition::last_property("name", "Apu"));
         assert!(!mixed.only_references_first_node());
         assert!(!mixed.only_references_last_node());
 
@@ -599,8 +606,8 @@ mod tests {
 
     #[test]
     fn display_round_trips_readably() {
-        let c = Condition::edge_label(1, "Knows")
-            .and(Condition::first_property("name", "Moe").not());
+        let c =
+            Condition::edge_label(1, "Knows").and(Condition::first_property("name", "Moe").not());
         let text = c.to_string();
         assert!(text.contains("label(edge(1)) = \"Knows\""));
         assert!(text.contains("NOT"));

@@ -400,7 +400,10 @@ mod tests {
     fn stats_count_operators_and_intermediates() {
         let f = Figure1::new();
         let knows = PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
-        let plan = knows.clone().join(knows).select(Condition::first_property("name", "Moe"));
+        let plan = knows
+            .clone()
+            .join(knows)
+            .select(Condition::first_property("name", "Moe"));
         let mut ev = Evaluator::new(&f.graph);
         let _ = ev.eval_paths(&plan).unwrap();
         let stats = ev.stats();

@@ -181,7 +181,11 @@ impl PlanExpr {
 
     /// Number of operators in the tree (including leaves).
     pub fn operator_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.operator_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.operator_count())
+            .sum::<usize>()
     }
 
     /// Height of the tree (a leaf has height 1).
@@ -350,7 +354,9 @@ mod tests {
 
     #[test]
     fn solution_space_detection() {
-        assert!(PlanExpr::edges().group_by(GroupKey::Empty).produces_solution_space());
+        assert!(PlanExpr::edges()
+            .group_by(GroupKey::Empty)
+            .produces_solution_space());
         assert!(PlanExpr::edges()
             .group_by(GroupKey::Empty)
             .order_by(OrderKey::Path)

@@ -142,9 +142,7 @@ pub fn translate(selector: Selector, restrictor: Restrictor, inner: PlanExpr) ->
     let phi = inner.recursive(restrictor.semantics());
     match selector {
         // ALL: π(*,*,*)(γ(ϕ(RE)))
-        Selector::All => phi
-            .group_by(GroupKey::Empty)
-            .project(ProjectionSpec::all()),
+        Selector::All => phi.group_by(GroupKey::Empty).project(ProjectionSpec::all()),
         // ANY SHORTEST: π(*,*,1)(τA(γST(ϕ(RE))))
         Selector::AnyShortest => phi
             .group_by(GroupKey::SourceTarget)
@@ -312,10 +310,16 @@ mod tests {
             .concat(&Path::edge(&f.graph, f.e4))
             .unwrap();
         assert!(out.contains(&p_short));
-        assert!(out.contains(&p_long), "k=2 must keep the second length group");
+        assert!(
+            out.contains(&p_long),
+            "k=2 must keep the second length group"
+        );
         let out1 = eval_combo(&f, Selector::ShortestKGroup(1), Restrictor::Trail);
         assert!(out1.contains(&p_short));
-        assert!(!out1.contains(&p_long), "k=1 keeps only the first length group");
+        assert!(
+            !out1.contains(&p_long),
+            "k=1 keeps only the first length group"
+        );
     }
 
     #[test]
@@ -323,9 +327,7 @@ mod tests {
         // π(*,1,*)(τG(γSTL(ϕAcyclic(σKnows(Edges(G)))))).
         let f = Figure1::new();
         let plan = translate(Selector::AllShortest, Restrictor::Acyclic, knows_re());
-        assert!(plan
-            .to_string()
-            .starts_with("π(*,1,*)(τG(γSTL(ϕACYCLIC(σ["));
+        assert!(plan.to_string().starts_with("π(*,1,*)(τG(γSTL(ϕACYCLIC(σ["));
         let mut ev = Evaluator::new(&f.graph);
         let out = ev.eval_paths(&plan).unwrap();
         // 7 acyclic endpoint pairs, each with a unique shortest path.

@@ -205,7 +205,11 @@ mod tests {
         }
         let ga = order_by(OrderKey::GroupPath, &base);
         for pi in 0..ga.partition_count() {
-            assert_eq!(ga.partition_rank(pi), 1, "GA must not touch partition ranks");
+            assert_eq!(
+                ga.partition_rank(pi),
+                1,
+                "GA must not touch partition ranks"
+            );
         }
         let pg = order_by(OrderKey::PartitionGroup, &base);
         for xi in 0..pg.path_count() {

@@ -179,7 +179,10 @@ mod tests {
     fn figure5_pipeline_returns_one_shortest_path_per_endpoint_pair() {
         // π(*,*,1)(τA(γST(ϕTrail(σ Knows (Edges(G)))))) — the Section 5 example.
         let f = Figure1::new();
-        let ss = order_by(OrderKey::Path, &group_by(GroupKey::SourceTarget, &trails(&f)));
+        let ss = order_by(
+            OrderKey::Path,
+            &group_by(GroupKey::SourceTarget, &trails(&f)),
+        );
         let spec = ProjectionSpec::new(Take::All, Take::All, Take::Count(1));
         let out = projection(&spec, &ss);
         // One path per endpoint pair; 9 pairs in the full trail set.
@@ -188,13 +191,21 @@ mod tests {
         // it shows; all of those must be present and each must be the
         // shortest of its endpoint pair.
         let expected = [
-            Path::edge(&f.graph, f.e1),                                            // p1
-            Path::edge(&f.graph, f.e1).concat(&Path::edge(&f.graph, f.e2)).unwrap(), // p3
-            Path::edge(&f.graph, f.e1).concat(&Path::edge(&f.graph, f.e4)).unwrap(), // p5
-            Path::edge(&f.graph, f.e2).concat(&Path::edge(&f.graph, f.e3)).unwrap(), // p7
-            Path::edge(&f.graph, f.e2),                                            // p9
-            Path::edge(&f.graph, f.e4),                                            // p11
-            Path::edge(&f.graph, f.e3).concat(&Path::edge(&f.graph, f.e4)).unwrap(), // p13
+            Path::edge(&f.graph, f.e1), // p1
+            Path::edge(&f.graph, f.e1)
+                .concat(&Path::edge(&f.graph, f.e2))
+                .unwrap(), // p3
+            Path::edge(&f.graph, f.e1)
+                .concat(&Path::edge(&f.graph, f.e4))
+                .unwrap(), // p5
+            Path::edge(&f.graph, f.e2)
+                .concat(&Path::edge(&f.graph, f.e3))
+                .unwrap(), // p7
+            Path::edge(&f.graph, f.e2), // p9
+            Path::edge(&f.graph, f.e4), // p11
+            Path::edge(&f.graph, f.e3)
+                .concat(&Path::edge(&f.graph, f.e4))
+                .unwrap(), // p13
         ];
         for p in &expected {
             assert!(out.contains(p), "missing {}", p.display_ids());
@@ -254,7 +265,10 @@ mod tests {
         let f = Figure1::new();
         let paths = trails(&f);
         // γST + τP: partitions ranked by their shortest path length.
-        let ss = order_by(OrderKey::Partition, &group_by(GroupKey::SourceTarget, &paths));
+        let ss = order_by(
+            OrderKey::Partition,
+            &group_by(GroupKey::SourceTarget, &paths),
+        );
         let spec = ProjectionSpec::new(Take::Count(1), Take::All, Take::All);
         let out = projection(&spec, &ss);
         // The chosen partition is one whose MinL(P) = 1 (several tie; stable
@@ -274,9 +288,14 @@ mod tests {
         let f = Figure1::new();
         let paths = trails(&f);
         let ss = order_by(OrderKey::Path, &group_by(GroupKey::Empty, &paths));
-        let asc = projection(&ProjectionSpec::new(Take::All, Take::All, Take::Count(1)), &ss);
-        let desc =
-            projection_desc(&ProjectionSpec::new(Take::All, Take::All, Take::Count(1)), &ss);
+        let asc = projection(
+            &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+            &ss,
+        );
+        let desc = projection_desc(
+            &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+            &ss,
+        );
         assert_eq!(asc.iter().next().unwrap().len(), 1);
         assert_eq!(desc.iter().next().unwrap().len(), 4);
     }
@@ -299,9 +318,11 @@ mod tests {
             .validate()
             .is_err());
         assert!(ProjectionSpec::all().validate().is_ok());
-        assert!(ProjectionSpec::new(Take::Count(3), Take::Count(1), Take::Count(2))
-            .validate()
-            .is_ok());
+        assert!(
+            ProjectionSpec::new(Take::Count(3), Take::Count(1), Take::Count(2))
+                .validate()
+                .is_ok()
+        );
     }
 
     #[test]

@@ -199,7 +199,7 @@ pub fn recursive(
             for p2 in candidates {
                 // Zero-length base elements only reproduce p1; skip them to
                 // keep the frontier from cycling on identities.
-                if p2.len() == 0 {
+                if p2.is_empty() {
                     continue;
                 }
                 let cand = p1.concat(p2).expect("endpoints match via the index");
@@ -298,16 +298,16 @@ mod tests {
         // Table 3 marks p1, p2, p3, p5, p6, p7, p9, p11, p12, p13 as trails
         // (the set Section 5, Step 3 quotes explicitly).
         let expected = [
-            table3_path(&f, &[f.e1]),                     // p1
-            table3_path(&f, &[f.e1, f.e2, f.e3]),         // p2
-            table3_path(&f, &[f.e1, f.e2]),               // p3
-            table3_path(&f, &[f.e1, f.e4]),               // p5
-            table3_path(&f, &[f.e1, f.e2, f.e3, f.e4]),   // p6
-            table3_path(&f, &[f.e2, f.e3]),               // p7
-            table3_path(&f, &[f.e2]),                     // p9
-            table3_path(&f, &[f.e4]),                     // p11
-            table3_path(&f, &[f.e2, f.e3, f.e4]),         // p12
-            table3_path(&f, &[f.e3, f.e4]),               // p13
+            table3_path(&f, &[f.e1]),                   // p1
+            table3_path(&f, &[f.e1, f.e2, f.e3]),       // p2
+            table3_path(&f, &[f.e1, f.e2]),             // p3
+            table3_path(&f, &[f.e1, f.e4]),             // p5
+            table3_path(&f, &[f.e1, f.e2, f.e3, f.e4]), // p6
+            table3_path(&f, &[f.e2, f.e3]),             // p7
+            table3_path(&f, &[f.e2]),                   // p9
+            table3_path(&f, &[f.e4]),                   // p11
+            table3_path(&f, &[f.e2, f.e3, f.e4]),       // p12
+            table3_path(&f, &[f.e3, f.e4]),             // p13
         ];
         for p in &expected {
             assert!(trails.contains(p), "missing trail {}", p.display_ids());
@@ -341,8 +341,7 @@ mod tests {
     fn simple_semantics_additionally_allows_closing_cycles() {
         let f = Figure1::new();
         let base = knows_base(&f);
-        let simple =
-            recursive(PathSemantics::Simple, &base, &RecursionConfig::default()).unwrap();
+        let simple = recursive(PathSemantics::Simple, &base, &RecursionConfig::default()).unwrap();
         let acyclic =
             recursive(PathSemantics::Acyclic, &base, &RecursionConfig::default()).unwrap();
         assert!(simple.iter().all(|p| p.is_simple()));
@@ -369,7 +368,10 @@ mod tests {
         use std::collections::HashMap;
         let mut by_pair: HashMap<_, Vec<usize>> = HashMap::new();
         for p in shortest.iter() {
-            by_pair.entry((p.first(), p.last())).or_default().push(p.len());
+            by_pair
+                .entry((p.first(), p.last()))
+                .or_default()
+                .push(p.len());
         }
         assert_eq!(by_pair.len(), 9);
         assert_eq!(by_pair[&(f.n1, f.n4)], vec![2]);
@@ -395,8 +397,12 @@ mod tests {
     fn walk_semantics_with_length_bound_reproduces_table3_prefix() {
         let f = Figure1::new();
         let base = knows_base(&f);
-        let walks =
-            recursive(PathSemantics::Walk, &base, &RecursionConfig::with_max_length(4)).unwrap();
+        let walks = recursive(
+            PathSemantics::Walk,
+            &base,
+            &RecursionConfig::with_max_length(4),
+        )
+        .unwrap();
         // All 14 paths of Table 3 have length ≤ 4 and are walks.
         let table3: Vec<Path> = vec![
             table3_path(&f, &[f.e1]),
@@ -529,8 +535,7 @@ mod tests {
             &PathSet::edges(&f.graph),
         );
         let hops = crate::ops::join::join(&likes, &creator);
-        let simple =
-            recursive(PathSemantics::Simple, &hops, &RecursionConfig::default()).unwrap();
+        let simple = recursive(PathSemantics::Simple, &hops, &RecursionConfig::default()).unwrap();
         // path2 of the introduction must be among them.
         let path2 = Path::edge(&f.graph, f.e8)
             .concat(&Path::edge(&f.graph, f.e11))

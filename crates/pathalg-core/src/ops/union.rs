@@ -67,7 +67,7 @@ mod tests {
         let f = Figure1::new();
         let u = union(&PathSet::nodes(&f.graph), &PathSet::edges(&f.graph));
         assert_eq!(u.len(), 18);
-        assert_eq!(u.iter().filter(|p| p.len() == 0).count(), 7);
+        assert_eq!(u.iter().filter(|p| p.is_empty()).count(), 7);
         assert_eq!(u.iter().filter(|p| p.len() == 1).count(), 11);
     }
 }

@@ -136,13 +136,25 @@ impl RewriteRule for WalkToShortestRewrite {
         let PlanExpr::Projection { spec, input } = expr else {
             return None;
         };
-        let PlanExpr::OrderBy { key, input: ob_input } = input.as_ref() else {
+        let PlanExpr::OrderBy {
+            key,
+            input: ob_input,
+        } = input.as_ref()
+        else {
             return None;
         };
-        let PlanExpr::GroupBy { key: gkey, input: gb_input } = ob_input.as_ref() else {
+        let PlanExpr::GroupBy {
+            key: gkey,
+            input: gb_input,
+        } = ob_input.as_ref()
+        else {
             return None;
         };
-        let PlanExpr::Recursive { semantics, input: rec_input } = gb_input.as_ref() else {
+        let PlanExpr::Recursive {
+            semantics,
+            input: rec_input,
+        } = gb_input.as_ref()
+        else {
             return None;
         };
         if *semantics != PathSemantics::Walk {
@@ -151,12 +163,10 @@ impl RewriteRule for WalkToShortestRewrite {
 
         let any_shortest_shape = *key == OrderKey::Path
             && *gkey == GroupKey::SourceTarget
-            && *spec
-                == ProjectionSpec::new(Take::All, Take::All, Take::Count(1));
+            && *spec == ProjectionSpec::new(Take::All, Take::All, Take::Count(1));
         let all_shortest_shape = *key == OrderKey::Group
             && *gkey == GroupKey::SourceTargetLength
-            && *spec
-                == ProjectionSpec::new(Take::All, Take::Count(1), Take::All);
+            && *spec == ProjectionSpec::new(Take::All, Take::Count(1), Take::All);
 
         if any_shortest_shape {
             Some(
@@ -210,7 +220,10 @@ impl RewriteRule for RemoveRedundantOrderBy {
                 None
             }
             PlanExpr::Projection { spec, input } if *spec == ProjectionSpec::all() => {
-                if let PlanExpr::OrderBy { input: ob_input, .. } = input.as_ref() {
+                if let PlanExpr::OrderBy {
+                    input: ob_input, ..
+                } = input.as_ref()
+                {
                     return Some(ob_input.as_ref().clone().project(*spec));
                 }
                 None
@@ -232,8 +245,8 @@ mod tests {
     #[test]
     fn split_only_fires_above_joins_and_unions() {
         let rule = SplitConjunctiveSelection;
-        let cond = Condition::first_property("name", "Moe")
-            .and(Condition::last_property("name", "Apu"));
+        let cond =
+            Condition::first_property("name", "Moe").and(Condition::last_property("name", "Apu"));
         let over_join = knows().join(knows()).select(cond.clone());
         assert!(rule.apply(&over_join).is_some());
         let over_scan = PlanExpr::edges().select(cond);
@@ -246,7 +259,9 @@ mod tests {
     fn pushdown_requires_first_or_last_only_conditions_on_joins() {
         let rule = PushdownSelection;
         let join = knows().join(knows());
-        let first = join.clone().select(Condition::first_property("name", "Moe"));
+        let first = join
+            .clone()
+            .select(Condition::first_property("name", "Moe"));
         assert!(matches!(rule.apply(&first), Some(PlanExpr::Join { .. })));
         let last = join.clone().select(Condition::last_property("name", "Apu"));
         assert!(matches!(rule.apply(&last), Some(PlanExpr::Join { .. })));

@@ -97,7 +97,10 @@ impl Path {
     /// `Last(p)`: the last node of the path.
     #[inline]
     pub fn last(&self) -> NodeId {
-        *self.nodes.last().expect("a path always has at least one node")
+        *self
+            .nodes
+            .last()
+            .expect("a path always has at least one node")
     }
 
     /// `Len(p)`: the number of edges in the path.
@@ -413,7 +416,9 @@ mod tests {
     #[test]
     fn display_formats() {
         let f = Figure1::new();
-        let p = Path::edge(&f.graph, f.e1).concat(&Path::edge(&f.graph, f.e4)).unwrap();
+        let p = Path::edge(&f.graph, f.e1)
+            .concat(&Path::edge(&f.graph, f.e4))
+            .unwrap();
         assert_eq!(p.display_ids(), "(n0, e0, n1, e3, n3)");
         assert_eq!(p.display(&f.graph), "(Moe)-[Knows]->(Lisa)-[Knows]->(Apu)");
     }

@@ -176,7 +176,7 @@ mod tests {
         let edges = PathSet::edges(&f.graph);
         assert_eq!(nodes.len(), 7);
         assert_eq!(edges.len(), 11);
-        assert!(nodes.iter().all(|p| p.len() == 0));
+        assert!(nodes.iter().all(|p| p.is_empty()));
         assert!(edges.iter().all(|p| p.len() == 1));
         assert!(nodes.contains(&Path::node(f.n3)));
         assert!(edges.contains(&Path::edge(&f.graph, f.e7)));

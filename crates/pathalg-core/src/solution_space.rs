@@ -214,7 +214,10 @@ impl SolutionSpace {
                 return Err(format!("group {gi} is empty"));
             }
             if g.partition >= self.partitions.len() {
-                return Err(format!("group {gi} references unknown partition {}", g.partition));
+                return Err(format!(
+                    "group {gi} references unknown partition {}",
+                    g.partition
+                ));
             }
             if !self.partitions[g.partition].groups.contains(&gi) {
                 return Err(format!(
@@ -235,13 +238,17 @@ impl SolutionSpace {
             }
             for &g in &part.groups {
                 if self.groups[g].partition != pi {
-                    return Err(format!("partition {pi} lists group {g} owned by another partition"));
+                    return Err(format!(
+                        "partition {pi} lists group {g} owned by another partition"
+                    ));
                 }
             }
         }
         for (p, count) in seen_paths.iter().enumerate() {
             if *count != 1 {
-                return Err(format!("path {p} belongs to {count} groups (α must be total and single-valued)"));
+                return Err(format!(
+                    "path {p} belongs to {count} groups (α must be total and single-valued)"
+                ));
             }
         }
         Ok(())
@@ -275,23 +282,35 @@ mod tests {
         let p_c = Path::edge(&f.graph, f.e4);
         let groups = vec![
             Group {
-                key: GroupingKey { source: Some(f.n1), ..Default::default() },
+                key: GroupingKey {
+                    source: Some(f.n1),
+                    ..Default::default()
+                },
                 partition: 0,
                 paths: vec![0, 1],
             },
             Group {
-                key: GroupingKey { source: Some(f.n2), ..Default::default() },
+                key: GroupingKey {
+                    source: Some(f.n2),
+                    ..Default::default()
+                },
                 partition: 1,
                 paths: vec![2],
             },
         ];
         let partitions = vec![
             Partition {
-                key: GroupingKey { source: Some(f.n1), ..Default::default() },
+                key: GroupingKey {
+                    source: Some(f.n1),
+                    ..Default::default()
+                },
                 groups: vec![0],
             },
             Partition {
-                key: GroupingKey { source: Some(f.n2), ..Default::default() },
+                key: GroupingKey {
+                    source: Some(f.n2),
+                    ..Default::default()
+                },
                 groups: vec![1],
             },
         ];
@@ -352,16 +371,34 @@ mod tests {
         // A path assigned to two groups.
         let p = Path::edge(&f.graph, f.e1);
         let groups = vec![
-            Group { key: GroupingKey::default(), partition: 0, paths: vec![0] },
-            Group { key: GroupingKey::default(), partition: 0, paths: vec![0] },
+            Group {
+                key: GroupingKey::default(),
+                partition: 0,
+                paths: vec![0],
+            },
+            Group {
+                key: GroupingKey::default(),
+                partition: 0,
+                paths: vec![0],
+            },
         ];
-        let partitions = vec![Partition { key: GroupingKey::default(), groups: vec![0, 1] }];
+        let partitions = vec![Partition {
+            key: GroupingKey::default(),
+            groups: vec![0, 1],
+        }];
         let ss = SolutionSpace::new(vec![p.clone()], groups, partitions);
         assert!(ss.validate().is_err());
 
         // An empty group.
-        let groups = vec![Group { key: GroupingKey::default(), partition: 0, paths: vec![] }];
-        let partitions = vec![Partition { key: GroupingKey::default(), groups: vec![0] }];
+        let groups = vec![Group {
+            key: GroupingKey::default(),
+            partition: 0,
+            paths: vec![],
+        }];
+        let partitions = vec![Partition {
+            key: GroupingKey::default(),
+            groups: vec![0],
+        }];
         let ss = SolutionSpace::new(vec![p], groups, partitions);
         assert!(ss.validate().is_err());
     }

@@ -133,7 +133,10 @@ fn apply_pipeline(
 /// Convenience used by the query pipeline below (and by `OutputSpec` users):
 /// true if the query's output is the plain `ALL` selector.
 pub fn is_select_all(query: &PathQuery) -> bool {
-    matches!(query.output, OutputSpec::Selector(pathalg_core::gql::Selector::All))
+    matches!(
+        query.output,
+        OutputSpec::Selector(pathalg_core::gql::Selector::All)
+    )
 }
 
 #[cfg(test)]
@@ -201,7 +204,8 @@ mod tests {
     #[test]
     fn parse_errors_surface_as_invalid_argument() {
         let f = Figure1::new();
-        let err = evaluate_query_with_automaton(&f.graph, "NOT A QUERY", &RecursionConfig::default());
+        let err =
+            evaluate_query_with_automaton(&f.graph, "NOT A QUERY", &RecursionConfig::default());
         assert!(matches!(err, Err(AlgebraError::InvalidArgument(_))));
     }
 

@@ -133,7 +133,11 @@ pub fn condition_selectivity(condition: &Condition, stats: &GraphStats) -> f64 {
         Condition::Substr(_, _) => 0.25,
         // Whole-path restrictor predicates: most short paths satisfy them.
         Condition::IsTrail | Condition::IsAcyclic | Condition::IsSimple => 0.8,
-        Condition::Compare { accessor, op, value } => {
+        Condition::Compare {
+            accessor,
+            op,
+            value,
+        } => {
             use pathalg_core::condition::CompareOp::*;
             let equality = match accessor {
                 Accessor::EdgeLabel(_) => value
@@ -198,7 +202,10 @@ mod tests {
     #[test]
     fn condition_selectivities_are_sane() {
         let s = stats();
-        assert!((condition_selectivity(&Condition::edge_label(1, "Knows"), &s) - 4.0 / 11.0).abs() < 1e-9);
+        assert!(
+            (condition_selectivity(&Condition::edge_label(1, "Knows"), &s) - 4.0 / 11.0).abs()
+                < 1e-9
+        );
         assert_eq!(condition_selectivity(&Condition::True, &s), 1.0);
         let and = Condition::edge_label(1, "Knows").and(Condition::first_property("name", "Moe"));
         assert!(condition_selectivity(&and, &s) < 4.0 / 11.0);

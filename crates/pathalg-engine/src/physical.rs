@@ -45,8 +45,7 @@ pub fn phi_naive(
     config: &RecursionConfig,
 ) -> Result<PathSet, AlgebraError> {
     let admit = |p: &Path| -> bool {
-        semantics.admits(p)
-            && config.max_length.is_none_or(|l| p.len() <= l)
+        semantics.admits(p) && config.max_length.is_none_or(|l| p.len() <= l)
     };
     let filtered_base: PathSet = base.iter().filter(|p| admit(p)).cloned().collect();
 
@@ -107,7 +106,7 @@ pub fn phi_dfs(
 ) -> Result<PathSet, AlgebraError> {
     let mut by_first: HashMap<NodeId, Vec<&Path>> = HashMap::new();
     for p in base.iter() {
-        if p.len() > 0 {
+        if !p.is_empty() {
             by_first.entry(p.first()).or_default().push(p);
         }
     }
@@ -162,13 +161,10 @@ pub fn phi_dfs(
 /// expanded level by level (by number of joined base paths), and a candidate
 /// is dropped as soon as a strictly shorter path between the same endpoints is
 /// known.
-pub fn phi_bfs_shortest(
-    base: &PathSet,
-    config: &RecursionConfig,
-) -> Result<PathSet, AlgebraError> {
+pub fn phi_bfs_shortest(base: &PathSet, config: &RecursionConfig) -> Result<PathSet, AlgebraError> {
     let mut by_first: HashMap<NodeId, Vec<&Path>> = HashMap::new();
     for p in base.iter() {
-        if p.len() > 0 {
+        if !p.is_empty() {
             by_first.entry(p.first()).or_default().push(p);
         }
     }
@@ -193,7 +189,7 @@ pub fn phi_bfs_shortest(
                 continue;
             };
             for ext in extensions {
-                if ext.len() == 0 {
+                if ext.is_empty() {
                     continue;
                 }
                 let cand = current.concat(ext).expect("indexed by first node");
@@ -252,8 +248,8 @@ mod tests {
     use pathalg_core::condition::Condition;
     use pathalg_core::ops::selection::selection;
     use pathalg_graph::fixtures::figure1::Figure1;
-    use pathalg_graph::generator::structured::{chain_graph, cycle_graph, ladder_graph};
     use pathalg_graph::generator::random::{random_labeled_graph, RandomGraphConfig};
+    use pathalg_graph::generator::structured::{chain_graph, cycle_graph, ladder_graph};
     use pathalg_graph::graph::PropertyGraph;
 
     fn knows_base(graph: &PropertyGraph) -> PathSet {
@@ -376,7 +372,9 @@ mod tests {
         let f = Figure1::new();
         let empty = PathSet::new();
         let cfg = RecursionConfig::default();
-        assert!(phi_dfs(PathSemantics::Trail, &empty, &cfg).unwrap().is_empty());
+        assert!(phi_dfs(PathSemantics::Trail, &empty, &cfg)
+            .unwrap()
+            .is_empty());
         let nodes = PathSet::nodes(&f.graph);
         let out = phi_dfs(PathSemantics::Trail, &nodes, &cfg).unwrap();
         assert_eq!(out.len(), 7);

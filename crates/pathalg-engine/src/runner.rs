@@ -135,7 +135,11 @@ impl QueryResult {
             self.cost_after.cost,
             self.cost_after.cardinality
         ));
-        out.push_str(&format!("== execution ==\n  {}\n  {} result paths\n", self.stats, self.paths.len()));
+        out.push_str(&format!(
+            "== execution ==\n  {}\n  {} result paths\n",
+            self.stats,
+            self.paths.len()
+        ));
         out
     }
 }
@@ -276,15 +280,14 @@ mod tests {
         let optimized = QueryRunner::new(&f.graph).run(query).unwrap();
         // The ALL SHORTEST WALK pipeline is rewritten to ϕShortest, so it runs
         // even without a walk bound.
-        assert!(optimized
-            .optimized_plan()
-            .to_string()
-            .contains("ϕSHORTEST"));
+        assert!(optimized.optimized_plan().to_string().contains("ϕSHORTEST"));
         assert!(!optimized.rewrites().is_empty());
 
         // Without the optimizer the same query needs an explicit bound.
-        let unoptimized_runner =
-            QueryRunner::with_config(&f.graph, RunnerConfig::with_walk_bound(6).without_optimizer());
+        let unoptimized_runner = QueryRunner::with_config(
+            &f.graph,
+            RunnerConfig::with_walk_bound(6).without_optimizer(),
+        );
         let unoptimized = unoptimized_runner.run(query).unwrap();
         assert_eq!(optimized.paths(), unoptimized.paths());
         assert!(unoptimized.rewrites().is_empty());
@@ -294,16 +297,22 @@ mod tests {
     #[test]
     fn unbounded_walk_without_rewrite_is_an_error_not_a_hang() {
         let f = Figure1::new();
-        let runner = QueryRunner::with_config(&f.graph, RunnerConfig::default().without_optimizer());
+        let runner =
+            QueryRunner::with_config(&f.graph, RunnerConfig::default().without_optimizer());
         let err = runner.run("MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)");
-        assert!(matches!(err, Err(AlgebraError::RecursionLimitExceeded { .. })));
+        assert!(matches!(
+            err,
+            Err(AlgebraError::RecursionLimitExceeded { .. })
+        ));
     }
 
     #[test]
     fn parse_errors_are_reported_as_invalid_argument() {
         let f = Figure1::new();
         let err = QueryRunner::new(&f.graph).run("THIS IS NOT GQL");
-        assert!(matches!(err, Err(AlgebraError::InvalidArgument(msg)) if msg.contains("parse error")));
+        assert!(
+            matches!(err, Err(AlgebraError::InvalidArgument(msg)) if msg.contains("parse error"))
+        );
     }
 
     #[test]

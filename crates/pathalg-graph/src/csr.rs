@@ -151,11 +151,7 @@ mod tests {
         let g = labeled_graph();
         let csr = CsrGraph::from_graph(&g);
         for n in g.nodes() {
-            let via_adj: Vec<_> = g
-                .outgoing(n)
-                .iter()
-                .map(|&e| (g.target(e), e))
-                .collect();
+            let via_adj: Vec<_> = g.outgoing(n).iter().map(|&e| (g.target(e), e)).collect();
             let via_csr: Vec<_> = csr.neighbors(n).collect();
             assert_eq!(via_adj, via_csr);
         }

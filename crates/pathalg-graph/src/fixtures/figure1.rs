@@ -78,13 +78,28 @@ impl Figure1 {
     /// Builds the Figure 1 graph.
     pub fn new() -> Self {
         let mut b = GraphBuilder::with_capacity(7, 11);
-        let n1 = b.add_node("Person", [("name", Value::str("Moe")), ("id", Value::Int(1))]);
-        let n2 = b.add_node("Person", [("name", Value::str("Lisa")), ("id", Value::Int(2))]);
-        let n3 = b.add_node("Person", [("name", Value::str("Bart")), ("id", Value::Int(3))]);
-        let n4 = b.add_node("Person", [("name", Value::str("Apu")), ("id", Value::Int(4))]);
+        let n1 = b.add_node(
+            "Person",
+            [("name", Value::str("Moe")), ("id", Value::Int(1))],
+        );
+        let n2 = b.add_node(
+            "Person",
+            [("name", Value::str("Lisa")), ("id", Value::Int(2))],
+        );
+        let n3 = b.add_node(
+            "Person",
+            [("name", Value::str("Bart")), ("id", Value::Int(3))],
+        );
+        let n4 = b.add_node(
+            "Person",
+            [("name", Value::str("Apu")), ("id", Value::Int(4))],
+        );
         let n5 = b.add_node(
             "Message",
-            [("content", Value::str("I am out of beer")), ("id", Value::Int(5))],
+            [
+                ("content", Value::str("I am out of beer")),
+                ("id", Value::Int(5)),
+            ],
         );
         let n6 = b.add_node(
             "Message",
@@ -92,7 +107,10 @@ impl Figure1 {
         );
         let n7 = b.add_node(
             "Message",
-            [("content", Value::str("Thank you, come again")), ("id", Value::Int(7))],
+            [
+                ("content", Value::str("Thank you, come again")),
+                ("id", Value::Int(7)),
+            ],
         );
 
         let e1 = b.add_edge(n1, n2, "Knows", [("since", 2010i64)]);
@@ -257,7 +275,11 @@ mod tests {
         for e in g.edges_with_label("Likes") {
             let (s, t) = g.endpoints(e);
             assert_eq!(g.label(s), Some("Person"), "Likes source must be a Person");
-            assert_eq!(g.label(t), Some("Message"), "Likes target must be a Message");
+            assert_eq!(
+                g.label(t),
+                Some("Message"),
+                "Likes target must be a Message"
+            );
         }
         for e in g.edges_with_label("Has_creator") {
             let (s, t) = g.endpoints(e);

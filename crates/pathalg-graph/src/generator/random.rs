@@ -114,7 +114,10 @@ mod tests {
         let same = g1
             .edges()
             .all(|e| g1.endpoints(e) == g2.endpoints(e) && g1.label(e) == g2.label(e));
-        assert!(!same, "different seeds should produce different edge tables");
+        assert!(
+            !same,
+            "different seeds should produce different edge tables"
+        );
     }
 
     #[test]

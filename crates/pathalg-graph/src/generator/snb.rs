@@ -122,7 +122,12 @@ pub fn snb_like_graph(config: &SnbConfig) -> PropertyGraph {
                 while q == p {
                     q = persons[rng.random_range(0..persons.len())];
                 }
-                b.add_edge(p, q, "Knows", [("since", Value::Int(rng.random_range(2000..2025)))]);
+                b.add_edge(
+                    p,
+                    q,
+                    "Knows",
+                    [("since", Value::Int(rng.random_range(2000..2025)))],
+                );
             }
         }
     }

@@ -12,7 +12,13 @@ use crate::graph::{GraphBuilder, PropertyGraph};
 use crate::value::Value;
 
 fn person(b: &mut GraphBuilder, i: usize) -> crate::ids::NodeId {
-    b.add_node("Person", [("id", Value::Int(i as i64)), ("name", Value::str(format!("p{i}")))])
+    b.add_node(
+        "Person",
+        [
+            ("id", Value::Int(i as i64)),
+            ("name", Value::str(format!("p{i}"))),
+        ],
+    )
 }
 
 /// A directed chain `v0 → v1 → … → v(n-1)` with every edge labelled `label`.
@@ -22,7 +28,12 @@ pub fn chain_graph(n: usize, label: &str) -> PropertyGraph {
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     let nodes: Vec<_> = (0..n).map(|i| person(&mut b, i)).collect();
     for i in 1..n {
-        b.add_edge(nodes[i - 1], nodes[i], label, [("idx", Value::Int(i as i64 - 1))]);
+        b.add_edge(
+            nodes[i - 1],
+            nodes[i],
+            label,
+            [("idx", Value::Int(i as i64 - 1))],
+        );
     }
     b.build()
 }
@@ -36,7 +47,12 @@ pub fn cycle_graph(n: usize, label: &str) -> PropertyGraph {
     let mut b = GraphBuilder::with_capacity(n, n);
     let nodes: Vec<_> = (0..n).map(|i| person(&mut b, i)).collect();
     for i in 0..n {
-        b.add_edge(nodes[i], nodes[(i + 1) % n], label, [("idx", Value::Int(i as i64))]);
+        b.add_edge(
+            nodes[i],
+            nodes[(i + 1) % n],
+            label,
+            [("idx", Value::Int(i as i64))],
+        );
     }
     b.build()
 }

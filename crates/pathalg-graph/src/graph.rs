@@ -203,8 +203,13 @@ impl PropertyGraph {
         prop: &'g str,
         value: &'g Value,
     ) -> impl Iterator<Item = NodeId> + 'g {
-        self.nodes()
-            .filter(move |&n| self.node(n).properties.get(prop).map(|v| v.condition_eq(value)) == Some(true))
+        self.nodes().filter(move |&n| {
+            self.node(n)
+                .properties
+                .get(prop)
+                .map(|v| v.condition_eq(value))
+                == Some(true)
+        })
     }
 
     /// Out-degree of a node.

@@ -30,6 +30,7 @@
 pub mod adjacency;
 pub mod csr;
 pub mod fixtures;
+#[cfg(feature = "generators")]
 pub mod generator;
 pub mod graph;
 pub mod ids;

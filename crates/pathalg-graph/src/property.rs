@@ -21,27 +21,14 @@ impl PropertyMap {
         Self::default()
     }
 
-    /// Creates a property map from an iterator of `(name, value)` pairs.
-    ///
-    /// Later occurrences of the same property name overwrite earlier ones.
-    pub fn from_iter<I, K, V>(iter: I) -> Self
-    where
-        I: IntoIterator<Item = (K, V)>,
-        K: Into<String>,
-        V: Into<Value>,
-    {
-        let mut map = Self::new();
-        for (k, v) in iter {
-            map.insert(k, v);
-        }
-        map
-    }
-
     /// Sets the value of a property, replacing any previous value.
     pub fn insert(&mut self, name: impl Into<String>, value: impl Into<Value>) {
         let name = name.into();
         let value = value.into();
-        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(&name)) {
+        match self
+            .entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(&name))
+        {
             Ok(idx) => self.entries[idx].1 = value,
             Err(idx) => self.entries.insert(idx, (name, value)),
         }
@@ -103,9 +90,14 @@ impl fmt::Display for PropertyMap {
     }
 }
 
+/// Later occurrences of the same property name overwrite earlier ones.
 impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for PropertyMap {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        PropertyMap::from_iter(iter)
+        let mut map = PropertyMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
     }
 }
 

@@ -191,10 +191,7 @@ mod tests {
 
     #[test]
     fn typed_comparison_within_families() {
-        assert_eq!(
-            Value::Int(3).compare(&Value::Int(5)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(3).compare(&Value::Int(5)), Some(Ordering::Less));
         assert_eq!(
             Value::Float(2.5).compare(&Value::Int(2)),
             Some(Ordering::Greater)
@@ -272,7 +269,7 @@ mod tests {
 
     #[test]
     fn nan_sorts_last_among_numbers() {
-        let mut vs = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Int(3)];
+        let mut vs = [Value::Float(f64::NAN), Value::Float(1.0), Value::Int(3)];
         vs.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vs[0], Value::Float(1.0));
         assert_eq!(vs[1], Value::Int(3));

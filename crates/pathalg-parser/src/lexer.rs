@@ -96,10 +96,40 @@ impl fmt::Display for Token {
 
 /// Keywords recognised by the language (matched case-insensitively).
 const KEYWORDS: &[&str] = &[
-    "MATCH", "ALL", "ANY", "SHORTEST", "WALK", "TRAIL", "SIMPLE", "ACYCLIC", "PARTITIONS",
-    "GROUPS", "PATHS", "GROUP", "ORDER", "BY", "SOURCE", "TARGET", "LENGTH", "PARTITION", "PATH",
-    "WHERE", "AND", "OR", "NOT", "LABEL", "FIRST", "LAST", "NODE", "EDGE", "LEN", "BOUND",
-    "SUBSTR", "TRUE", "FALSE", "NULL",
+    "MATCH",
+    "ALL",
+    "ANY",
+    "SHORTEST",
+    "WALK",
+    "TRAIL",
+    "SIMPLE",
+    "ACYCLIC",
+    "PARTITIONS",
+    "GROUPS",
+    "PATHS",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "SOURCE",
+    "TARGET",
+    "LENGTH",
+    "PARTITION",
+    "PATH",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "LABEL",
+    "FIRST",
+    "LAST",
+    "NODE",
+    "EDGE",
+    "LEN",
+    "BOUND",
+    "SUBSTR",
+    "TRUE",
+    "FALSE",
+    "NULL",
 ];
 
 /// Tokenises a query string.
@@ -124,44 +154,74 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 i += 1;
             }
             '(' => {
-                out.push(SpannedToken { token: Token::LParen, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::LParen,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             ')' => {
-                out.push(SpannedToken { token: Token::RParen, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::RParen,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             '{' => {
-                out.push(SpannedToken { token: Token::LBrace, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::LBrace,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             '}' => {
-                out.push(SpannedToken { token: Token::RBrace, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::RBrace,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             ',' => {
-                out.push(SpannedToken { token: Token::Comma, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::Comma,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             ':' => {
-                out.push(SpannedToken { token: Token::Colon, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::Colon,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             '.' => {
-                out.push(SpannedToken { token: Token::Dot, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::Dot,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             '?' => {
-                out.push(SpannedToken { token: Token::Question, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::Question,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             '=' => {
-                out.push(SpannedToken { token: Token::Eq, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::Eq,
+                    offset: offset_of(start),
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(SpannedToken { token: Token::Ne, offset: offset_of(start) });
+                    out.push(SpannedToken {
+                        token: Token::Ne,
+                        offset: offset_of(start),
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(offset_of(start), "unexpected '!'"));
@@ -169,22 +229,37 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(SpannedToken { token: Token::Le, offset: offset_of(start) });
+                    out.push(SpannedToken {
+                        token: Token::Le,
+                        offset: offset_of(start),
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&'>') {
-                    out.push(SpannedToken { token: Token::Ne, offset: offset_of(start) });
+                    out.push(SpannedToken {
+                        token: Token::Ne,
+                        offset: offset_of(start),
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedToken { token: Token::Lt, offset: offset_of(start) });
+                    out.push(SpannedToken {
+                        token: Token::Lt,
+                        offset: offset_of(start),
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(SpannedToken { token: Token::Ge, offset: offset_of(start) });
+                    out.push(SpannedToken {
+                        token: Token::Ge,
+                        offset: offset_of(start),
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedToken { token: Token::Gt, offset: offset_of(start) });
+                    out.push(SpannedToken {
+                        token: Token::Gt,
+                        offset: offset_of(start),
+                    });
                     i += 1;
                 }
             }
@@ -199,7 +274,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                         j += 1;
                     }
                     if j >= bytes.len() {
-                        return Err(ParseError::new(offset_of(start), "unterminated edge pattern: missing ']'"));
+                        return Err(ParseError::new(
+                            offset_of(start),
+                            "unterminated edge pattern: missing ']'",
+                        ));
                     }
                     let regex_text: String = bytes[i + 2..j].iter().collect();
                     if bytes.get(j + 1) != Some(&'-') || bytes.get(j + 2) != Some(&'>') {
@@ -215,7 +293,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                     i = j + 3;
                 } else if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
                     let (tok, next) = lex_number(&bytes, i, offset_of(start))?;
-                    out.push(SpannedToken { token: tok, offset: offset_of(start) });
+                    out.push(SpannedToken {
+                        token: tok,
+                        offset: offset_of(start),
+                    });
                     i = next;
                 } else {
                     return Err(ParseError::new(
@@ -237,14 +318,23 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                     }
                 }
                 if j >= bytes.len() {
-                    return Err(ParseError::new(offset_of(start), "unterminated string literal"));
+                    return Err(ParseError::new(
+                        offset_of(start),
+                        "unterminated string literal",
+                    ));
                 }
-                out.push(SpannedToken { token: Token::Str(value), offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: Token::Str(value),
+                    offset: offset_of(start),
+                });
                 i = j + 1;
             }
             c if c.is_ascii_digit() => {
                 let (tok, next) = lex_number(&bytes, i, offset_of(start))?;
-                out.push(SpannedToken { token: tok, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token: tok,
+                    offset: offset_of(start),
+                });
                 i = next;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -259,7 +349,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 } else {
                     Token::Ident(word)
                 };
-                out.push(SpannedToken { token, offset: offset_of(start) });
+                out.push(SpannedToken {
+                    token,
+                    offset: offset_of(start),
+                });
                 i = j;
             }
             other => {
@@ -313,7 +406,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -367,9 +464,9 @@ mod tests {
     #[test]
     fn edge_pattern_captures_raw_regex() {
         let tokens = toks("(?x)-[(:Knows+)|(:Likes/:Has_creator)*]->(?y)");
-        assert!(tokens
-            .iter()
-            .any(|t| matches!(t, Token::EdgePattern(r) if r == "(:Knows+)|(:Likes/:Has_creator)*")));
+        assert!(tokens.iter().any(
+            |t| matches!(t, Token::EdgePattern(r) if r == "(:Knows+)|(:Likes/:Has_creator)*")
+        ));
     }
 
     #[test]

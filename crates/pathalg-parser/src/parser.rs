@@ -257,7 +257,9 @@ impl QueryParser {
             match self.bump() {
                 Token::Ident(label) => pattern.label = Some(label),
                 Token::Keyword(label) => pattern.label = Some(label),
-                other => return Err(self.error(format!("expected a label after ':', found {other}"))),
+                other => {
+                    return Err(self.error(format!("expected a label after ':', found {other}")))
+                }
             }
         }
         if matches!(self.peek(), Token::LBrace) {
@@ -456,11 +458,17 @@ impl QueryParser {
                     Token::Gt => CompareOp::Gt,
                     Token::Ge => CompareOp::Ge,
                     other => {
-                        return Err(self.error(format!("expected a comparison operator, found {other}")))
+                        return Err(
+                            self.error(format!("expected a comparison operator, found {other}"))
+                        )
                     }
                 };
                 let value = self.parse_value()?;
-                Ok(Condition::Compare { accessor, op, value })
+                Ok(Condition::Compare {
+                    accessor,
+                    op,
+                    value,
+                })
             }
         }
     }
@@ -627,7 +635,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.source.label.as_deref(), Some("Person"));
-        assert_eq!(q.source.properties, vec![("name".into(), Value::str("Moe"))]);
+        assert_eq!(
+            q.source.properties,
+            vec![("name".into(), Value::str("Moe"))]
+        );
         assert_eq!(q.target.properties.len(), 2);
         assert_eq!(q.target.properties[1], ("age".into(), Value::Int(39)));
     }
@@ -685,7 +696,10 @@ mod tests {
             ("GROUP BY SOURCE TARGET", GroupKey::SourceTarget),
             ("GROUP BY SOURCE LENGTH", GroupKey::SourceLength),
             ("GROUP BY TARGET LENGTH", GroupKey::TargetLength),
-            ("GROUP BY SOURCE TARGET LENGTH", GroupKey::SourceTargetLength),
+            (
+                "GROUP BY SOURCE TARGET LENGTH",
+                GroupKey::SourceTargetLength,
+            ),
         ];
         for (clause, expected) in cases {
             let q = parse_query(&format!(
@@ -701,7 +715,10 @@ mod tests {
             ("ORDER BY PARTITION GROUP", OrderKey::PartitionGroup),
             ("ORDER BY PARTITION PATH", OrderKey::PartitionPath),
             ("ORDER BY GROUP PATH", OrderKey::GroupPath),
-            ("ORDER BY PARTITION GROUP PATH", OrderKey::PartitionGroupPath),
+            (
+                "ORDER BY PARTITION GROUP PATH",
+                OrderKey::PartitionGroupPath,
+            ),
         ];
         for (clause, expected) in cases {
             let q = parse_query(&format!(
@@ -730,8 +747,7 @@ mod tests {
         assert!(err.message.contains("positive"));
         let err = parse_query("MATCH ALL TRAIL p = (?x)-[:a]->(?y) GROUP BY").unwrap_err();
         assert!(err.message.contains("GROUP BY"));
-        let err =
-            parse_query("MATCH ALL TRAIL p = (?x)-[:a]->(?y) trailing garbage").unwrap_err();
+        let err = parse_query("MATCH ALL TRAIL p = (?x)-[:a]->(?y) trailing garbage").unwrap_err();
         assert!(err.message.contains("trailing"));
     }
 

@@ -147,7 +147,9 @@ fn node_conditions(pattern: &NodePattern, is_source: bool) -> Vec<Condition> {
 /// applied to an already-compiled path expression.
 fn selector_pipeline(selector: Selector, expr: PlanExpr) -> PlanExpr {
     match selector {
-        Selector::All => expr.group_by(GroupKey::Empty).project(ProjectionSpec::all()),
+        Selector::All => expr
+            .group_by(GroupKey::Empty)
+            .project(ProjectionSpec::all()),
         Selector::AnyShortest => expr
             .group_by(GroupKey::SourceTarget)
             .order_by(OrderKey::Path)
@@ -283,9 +285,15 @@ mod tests {
         let text = q.to_plan().to_string();
         assert!(text.starts_with("π(*,*,1)(τA(γST(ϕTRAIL("));
         let q = parse_query("MATCH SHORTEST 2 GROUP WALK p = (?x)-[:Knows+]->(?y)").unwrap();
-        assert!(q.to_plan().to_string().starts_with("π(*,2,*)(τG(γSTL(ϕWALK("));
+        assert!(q
+            .to_plan()
+            .to_string()
+            .starts_with("π(*,2,*)(τG(γSTL(ϕWALK("));
         let q = parse_query("MATCH ANY 3 ACYCLIC p = (?x)-[:Knows+]->(?y)").unwrap();
-        assert!(q.to_plan().to_string().starts_with("π(*,*,3)(γST(ϕACYCLIC("));
+        assert!(q
+            .to_plan()
+            .to_string()
+            .starts_with("π(*,*,3)(γST(ϕACYCLIC("));
     }
 
     #[test]
@@ -312,10 +320,9 @@ mod tests {
 
     #[test]
     fn label_constraints_and_where_clause_are_combined() {
-        let q = parse_query(
-            "MATCH ALL TRAIL p = (?x:Person)-[:Knows+]->(?y:Person) WHERE len() <= 2",
-        )
-        .unwrap();
+        let q =
+            parse_query("MATCH ALL TRAIL p = (?x:Person)-[:Knows+]->(?y:Person) WHERE len() <= 2")
+                .unwrap();
         let text = q.to_plan().to_string();
         assert!(text.contains("label(first) = \"Person\""));
         assert!(text.contains("label(last) = \"Person\""));
@@ -329,10 +336,9 @@ mod tests {
 
     #[test]
     fn extended_form_without_group_by_defaults_to_a_single_partition() {
-        let q = parse_query(
-            "MATCH ALL PARTITIONS ALL GROUPS 2 PATHS TRAIL p = (?x)-[:Knows+]->(?y)",
-        )
-        .unwrap();
+        let q =
+            parse_query("MATCH ALL PARTITIONS ALL GROUPS 2 PATHS TRAIL p = (?x)-[:Knows+]->(?y)")
+                .unwrap();
         let text = q.to_plan().to_string();
         assert!(text.starts_with("π(*,*,2)(γ∅("));
         // Without ORDER BY there is no τ operator.
@@ -421,7 +427,10 @@ mod tests {
         ];
         for q in queries {
             let parsed = parse_query(q).unwrap();
-            parsed.to_plan().type_check().unwrap_or_else(|e| panic!("{q}: {e}"));
+            parsed
+                .to_plan()
+                .type_check()
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
         }
     }
 }

@@ -26,6 +26,11 @@ use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::ids::NodeId;
 use std::collections::{HashMap, VecDeque};
 
+/// One BFS frontier entry: the partial path, the automaton state it reached,
+/// and the product states already visited along this path (used to detect
+/// pumpable cycles under WALK).
+type ProductEntry = (Path, usize, Vec<(NodeId, usize)>);
+
 /// Evaluates a regular path query on a graph by searching the product of the
 /// graph and the expression's NFA.
 pub struct AutomatonEvaluator<'g> {
@@ -74,12 +79,18 @@ impl<'g> AutomatonEvaluator<'g> {
 
         for source in sources {
             if self.accepts_empty {
-                self.push(Path::node(source), semantics, &mut result, &mut best, config)?;
+                self.push(
+                    Path::node(source),
+                    semantics,
+                    &mut result,
+                    &mut best,
+                    config,
+                )?;
             }
             // BFS over the product graph. Each entry carries the partial path,
             // the automaton state, and the product states already visited
             // along this path (used to detect pumpable cycles under WALK).
-            let mut queue: VecDeque<(Path, usize, Vec<(NodeId, usize)>)> = VecDeque::new();
+            let mut queue: VecDeque<ProductEntry> = VecDeque::new();
             let start_state = self.nfa.start();
             queue.push_back((Path::node(source), start_state, vec![(source, start_state)]));
 
@@ -133,7 +144,7 @@ impl<'g> AutomatonEvaluator<'g> {
             // *after* the shortest filter.
             let mut filtered = PathSet::new();
             for p in result.iter() {
-                if p.len() == 0 || best.get(&(p.first(), p.last())) == Some(&p.len()) {
+                if p.is_empty() || best.get(&(p.first(), p.last())) == Some(&p.len()) {
                     filtered.insert(p.clone());
                 }
             }
@@ -150,7 +161,7 @@ impl<'g> AutomatonEvaluator<'g> {
         best: &mut HashMap<(NodeId, NodeId), usize>,
         config: &RecursionConfig,
     ) -> Result<(), AlgebraError> {
-        if semantics == PathSemantics::Shortest && path.len() > 0 {
+        if semantics == PathSemantics::Shortest && !path.is_empty() {
             let key = (path.first(), path.last());
             let entry = best.entry(key).or_insert(path.len());
             *entry = (*entry).min(path.len());
@@ -231,7 +242,9 @@ mod tests {
                 ..RecursionConfig::default()
             },
         };
-        Evaluator::with_config(graph, config).eval_paths(&plan).unwrap()
+        Evaluator::with_config(graph, config)
+            .eval_paths(&plan)
+            .unwrap()
     }
 
     #[test]
@@ -244,7 +257,11 @@ mod tests {
             (":Knows+", PathSemantics::Shortest, None),
             (":Knows+", PathSemantics::Walk, Some(4)),
             ("(:Likes/:Has_creator)+", PathSemantics::Simple, None),
-            ("(:Knows+)|(:Likes/:Has_creator)*", PathSemantics::Trail, None),
+            (
+                "(:Knows+)|(:Likes/:Has_creator)*",
+                PathSemantics::Trail,
+                None,
+            ),
             (":Knows/:Knows", PathSemantics::Walk, None),
             (":Likes/:Has_creator/:Likes", PathSemantics::Walk, None),
             (":Knows?", PathSemantics::Walk, None),
@@ -309,9 +326,19 @@ mod tests {
     #[test]
     fn kleene_star_includes_zero_length_paths_for_every_node() {
         let f = Figure1::new();
-        let out = automaton_result(&f.graph, "(:Likes/:Has_creator)*", PathSemantics::Trail, None);
-        assert_eq!(out.iter().filter(|p| p.len() == 0).count(), 7);
-        let alg = algebra_result(&f.graph, "(:Likes/:Has_creator)*", PathSemantics::Trail, None);
+        let out = automaton_result(
+            &f.graph,
+            "(:Likes/:Has_creator)*",
+            PathSemantics::Trail,
+            None,
+        );
+        assert_eq!(out.iter().filter(|p| p.is_empty()).count(), 7);
+        let alg = algebra_result(
+            &f.graph,
+            "(:Likes/:Has_creator)*",
+            PathSemantics::Trail,
+            None,
+        );
         assert_eq!(out, alg);
     }
 

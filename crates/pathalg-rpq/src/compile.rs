@@ -39,9 +39,7 @@ pub fn compile_to_algebra(re: &LabelRegex, semantics: PathSemantics) -> PlanExpr
             .recursive(semantics)
             .union(PlanExpr::nodes()),
         LabelRegex::Optional(a) => compile_to_algebra(a, semantics).union(PlanExpr::nodes()),
-        LabelRegex::Repeat { inner, min, max } => {
-            compile_repeat(inner, *min, *max, semantics)
-        }
+        LabelRegex::Repeat { inner, min, max } => compile_repeat(inner, *min, *max, semantics),
     }
 }
 
@@ -177,7 +175,7 @@ mod tests {
         let f = Figure1::new();
         let out = eval(&f.graph, "(:Likes/:Has_creator)*", PathSemantics::Trail);
         // All 7 zero-length paths are included.
-        assert_eq!(out.iter().filter(|p| p.len() == 0).count(), 7);
+        assert_eq!(out.iter().filter(|p| p.is_empty()).count(), 7);
         assert!(out.iter().any(|p| p.len() == 2));
         check_against_oracle("(:Likes/:Has_creator)*", PathSemantics::Trail);
     }
@@ -246,7 +244,8 @@ mod tests {
             ":_*",
         ] {
             let plan = compile_to_algebra(&parse_regex(pattern).unwrap(), PathSemantics::Trail);
-            plan.type_check().unwrap_or_else(|e| panic!("{pattern}: {e}"));
+            plan.type_check()
+                .unwrap_or_else(|e| panic!("{pattern}: {e}"));
         }
     }
 }

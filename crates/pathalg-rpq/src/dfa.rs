@@ -173,8 +173,16 @@ mod tests {
             let nfa = Nfa::from_regex(&re);
             let dfa = Dfa::from_nfa(&nfa);
             for word in &words {
-                assert_eq!(dfa.accepts(word), re.matches(word), "pattern {pattern} word {word:?}");
-                assert_eq!(dfa.accepts(word), nfa.accepts(word), "pattern {pattern} word {word:?}");
+                assert_eq!(
+                    dfa.accepts(word),
+                    re.matches(word),
+                    "pattern {pattern} word {word:?}"
+                );
+                assert_eq!(
+                    dfa.accepts(word),
+                    nfa.accepts(word),
+                    "pattern {pattern} word {word:?}"
+                );
             }
         }
     }

@@ -26,7 +26,11 @@ pub struct RegexParseError {
 
 impl fmt::Display for RegexParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -76,7 +80,12 @@ impl Parser {
         self.chars
             .get(self.pos)
             .map(|&(o, _)| o)
-            .unwrap_or_else(|| self.chars.last().map(|&(o, c)| o + c.len_utf8()).unwrap_or(0))
+            .unwrap_or_else(|| {
+                self.chars
+                    .last()
+                    .map(|&(o, c)| o + c.len_utf8())
+                    .unwrap_or(0)
+            })
     }
 
     fn error(&self, message: &str) -> RegexParseError {
@@ -169,7 +178,9 @@ impl Parser {
                         return Err(self.error("expected '}' to close repetition bounds"));
                     }
                     if max < min {
-                        return Err(self.error("repetition upper bound is smaller than lower bound"));
+                        return Err(
+                            self.error("repetition upper bound is smaller than lower bound")
+                        );
                     }
                     Ok((min, Some(max)))
                 }
@@ -256,9 +267,11 @@ mod tests {
         let re = parse_regex("(:Knows+)|(:Likes/:Has_creator)*").unwrap();
         assert_eq!(
             re,
-            LabelRegex::label("Knows").plus().or(LabelRegex::label("Likes")
-                .then(LabelRegex::label("Has_creator"))
-                .star())
+            LabelRegex::label("Knows")
+                .plus()
+                .or(LabelRegex::label("Likes")
+                    .then(LabelRegex::label("Has_creator"))
+                    .star())
         );
 
         let re = parse_regex("Knows|(Knows/Knows)").unwrap();
@@ -308,14 +321,23 @@ mod tests {
             parse_regex("a{2,}").unwrap(),
             LabelRegex::label("a").repeat(2, None)
         );
-        assert_eq!(parse_regex("a?").unwrap(), LabelRegex::label("a").optional());
+        assert_eq!(
+            parse_regex("a?").unwrap(),
+            LabelRegex::label("a").optional()
+        );
     }
 
     #[test]
     fn any_label_and_underscored_identifiers() {
         assert_eq!(parse_regex(":_").unwrap(), LabelRegex::AnyLabel);
-        assert_eq!(parse_regex(":_private").unwrap(), LabelRegex::label("_private"));
-        assert_eq!(parse_regex(":Has_creator").unwrap(), LabelRegex::label("Has_creator"));
+        assert_eq!(
+            parse_regex(":_private").unwrap(),
+            LabelRegex::label("_private")
+        );
+        assert_eq!(
+            parse_regex(":Has_creator").unwrap(),
+            LabelRegex::label("Has_creator")
+        );
     }
 
     #[test]

@@ -141,8 +141,9 @@ impl LabelRegex {
             LabelRegex::Epsilon => word.is_empty(),
             LabelRegex::Label(l) => word.len() == 1 && word[0] == l,
             LabelRegex::AnyLabel => word.len() == 1,
-            LabelRegex::Concat(a, b) => (0..=word.len())
-                .any(|i| a.matches(&word[..i]) && b.matches(&word[i..])),
+            LabelRegex::Concat(a, b) => {
+                (0..=word.len()).any(|i| a.matches(&word[..i]) && b.matches(&word[i..]))
+            }
             LabelRegex::Alt(a, b) => a.matches(word) || b.matches(word),
             LabelRegex::Star(a) => {
                 if word.is_empty() {
@@ -157,7 +158,13 @@ impl LabelRegex {
             }),
             LabelRegex::Optional(a) => word.is_empty() || a.matches(word),
             LabelRegex::Repeat { inner, min, max } => {
-                fn rec(inner: &LabelRegex, word: &[&str], done: usize, min: usize, max: Option<usize>) -> bool {
+                fn rec(
+                    inner: &LabelRegex,
+                    word: &[&str],
+                    done: usize,
+                    min: usize,
+                    max: Option<usize>,
+                ) -> bool {
                     if word.is_empty() {
                         return done >= min;
                     }
@@ -166,9 +173,9 @@ impl LabelRegex {
                             return false;
                         }
                     }
-                    (1..=word.len())
-                        .any(|i| inner.matches(&word[..i]) && rec(inner, &word[i..], done + 1, min, max))
-                        || (done >= min && word.is_empty())
+                    (1..=word.len()).any(|i| {
+                        inner.matches(&word[..i]) && rec(inner, &word[i..], done + 1, min, max)
+                    }) || (done >= min && word.is_empty())
                 }
                 if word.is_empty() {
                     *min == 0 || inner.is_nullable()
@@ -205,9 +212,11 @@ mod tests {
 
     fn knows_or_outer() -> LabelRegex {
         // (:Knows+)|(:Likes/:Has_creator)*
-        LabelRegex::label("Knows").plus().or(LabelRegex::label("Likes")
-            .then(LabelRegex::label("Has_creator"))
-            .star())
+        LabelRegex::label("Knows")
+            .plus()
+            .or(LabelRegex::label("Likes")
+                .then(LabelRegex::label("Has_creator"))
+                .star())
     }
 
     #[test]
@@ -227,7 +236,9 @@ mod tests {
         assert!(knows_or_outer().is_nullable()); // the star side is nullable
         assert!(LabelRegex::label("a").repeat(0, Some(3)).is_nullable());
         assert!(!LabelRegex::label("a").repeat(1, Some(3)).is_nullable());
-        assert!(!LabelRegex::label("a").then(LabelRegex::label("b")).is_nullable());
+        assert!(!LabelRegex::label("a")
+            .then(LabelRegex::label("b"))
+            .is_nullable());
     }
 
     #[test]
@@ -235,7 +246,9 @@ mod tests {
         assert!(!LabelRegex::label("Knows").is_recursive());
         assert!(LabelRegex::label("Knows").plus().is_recursive());
         assert!(LabelRegex::label("Knows").star().is_recursive());
-        assert!(!LabelRegex::label("a").or(LabelRegex::label("b")).is_recursive());
+        assert!(!LabelRegex::label("a")
+            .or(LabelRegex::label("b"))
+            .is_recursive());
         assert!(!LabelRegex::label("a").repeat(1, Some(5)).is_recursive());
         assert!(LabelRegex::label("a").repeat(2, None).is_recursive());
         assert!(knows_or_outer().is_recursive());

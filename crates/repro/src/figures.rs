@@ -129,7 +129,10 @@ pub fn figure5() {
     let f = Figure1::new();
     let mut ev = Evaluator::new(&f.graph);
     let out = ev.eval_paths(&plan).unwrap();
-    println!("Result — one shortest trail per endpoint pair ({} paths):", out.len());
+    println!(
+        "Result — one shortest trail per endpoint pair ({} paths):",
+        out.len()
+    );
     for p in out.sorted() {
         println!("  {}", paper_path(&f, &p));
     }
@@ -195,7 +198,10 @@ pub fn parser_demo() {
     let f = Figure1::new();
     let runner = QueryRunner::new(&f.graph);
     let result = runner.run(query_text).unwrap();
-    println!("Evaluating over Figure 1 returns {} paths.", result.paths().len());
+    println!(
+        "Evaluating over Figure 1 returns {} paths.",
+        result.paths().len()
+    );
 }
 
 /// Section 7.3: the ϕWalk → ϕShortest rewrite in action.

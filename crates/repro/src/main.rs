@@ -18,21 +18,65 @@ fn main() {
 
     let items: &[(&str, &str, fn())] = &[
         ("figure1", "the LDBC SNB example graph", figures::figure1),
-        ("figure2", "algebraic plan of the recursive Moe→Apu query", figures::figure2),
-        ("figure3", "core-algebra plan for friends and friends-of-friends", figures::figure3),
-        ("figure4", "recursive plan with Kleene star", figures::figure4),
-        ("figure5", "group-by / order-by / projection pipeline", figures::figure5),
-        ("figure6", "predicate pushdown (basic vs optimized plan)", figures::figure6),
+        (
+            "figure2",
+            "algebraic plan of the recursive Moe→Apu query",
+            figures::figure2,
+        ),
+        (
+            "figure3",
+            "core-algebra plan for friends and friends-of-friends",
+            figures::figure3,
+        ),
+        (
+            "figure4",
+            "recursive plan with Kleene star",
+            figures::figure4,
+        ),
+        (
+            "figure5",
+            "group-by / order-by / projection pipeline",
+            figures::figure5,
+        ),
+        (
+            "figure6",
+            "predicate pushdown (basic vs optimized plan)",
+            figures::figure6,
+        ),
         ("table1", "GQL selectors", tables::table1),
         ("table2", "GQL restrictors", tables::table2),
-        ("table3", "paths satisfying Knows+ under the five semantics", tables::table3),
-        ("table4", "group-by variants and solution-space organisation", tables::table4),
+        (
+            "table3",
+            "paths satisfying Knows+ under the five semantics",
+            tables::table3,
+        ),
+        (
+            "table4",
+            "group-by variants and solution-space organisation",
+            tables::table4,
+        ),
         ("table5", "solution space produced by γST", tables::table5),
         ("table6", "order-by semantics", tables::table6),
-        ("table7", "selector/restrictor translations to the algebra", tables::table7),
-        ("beyond-gql", "algebra expressions beyond GQL (Section 6)", tables::beyond_gql),
-        ("parser-demo", "Section 7.2 parser output", figures::parser_demo),
-        ("optimizer-demo", "Section 7.3 ϕWalk→ϕShortest rewrite", figures::optimizer_demo),
+        (
+            "table7",
+            "selector/restrictor translations to the algebra",
+            tables::table7,
+        ),
+        (
+            "beyond-gql",
+            "algebra expressions beyond GQL (Section 6)",
+            tables::beyond_gql,
+        ),
+        (
+            "parser-demo",
+            "Section 7.2 parser output",
+            figures::parser_demo,
+        ),
+        (
+            "optimizer-demo",
+            "Section 7.3 ϕWalk→ϕShortest rewrite",
+            figures::optimizer_demo,
+        ),
     ];
 
     let mut matched = false;

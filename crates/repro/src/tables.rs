@@ -27,13 +27,20 @@ pub fn paper_path(f: &Figure1, p: &Path) -> String {
 
 /// Table 1: the GQL selectors and their informal semantics.
 pub fn table1() {
-    println!("{:<22} {:<15} {}", "Selector", "Deterministic", "Algebra template (over WALK)");
+    println!(
+        "{:<22} {:<15} Algebra template (over WALK)",
+        "Selector", "Deterministic"
+    );
     for selector in Selector::all_with_k(2) {
         let plan = translate(selector, Restrictor::Walk, PlanExpr::edges());
         println!(
             "{:<22} {:<15} {}",
             selector.keyword(),
-            if selector.is_deterministic() { "yes" } else { "no" },
+            if selector.is_deterministic() {
+                "yes"
+            } else {
+                "no"
+            },
             plan
         );
     }
@@ -41,11 +48,15 @@ pub fn table1() {
 
 /// Table 2: the GQL restrictors and the path semantics they map to.
 pub fn table2() {
-    println!("{:<10} {}", "Restrictor", "Path semantics enforced by ϕ");
+    println!("{:<10} Path semantics enforced by ϕ", "Restrictor");
     for restrictor in Restrictor::GQL {
         println!("{:<10} {}", restrictor.keyword(), restrictor.semantics());
     }
-    println!("{:<10} {} (extended restrictor of Section 7.1)", "SHORTEST", Restrictor::Shortest.semantics());
+    println!(
+        "{:<10} {} (extended restrictor of Section 7.1)",
+        "SHORTEST",
+        Restrictor::Shortest.semantics()
+    );
 }
 
 /// The 14 paths of Table 3, constructed from the Figure 1 edge names.
@@ -108,7 +119,13 @@ pub fn table3() {
     for (id, path) in table3_paths(&f) {
         let marks: Vec<String> = by_semantics
             .iter()
-            .map(|(_, set)| if set.contains(&path) { "✓".into() } else { " ".into() })
+            .map(|(_, set)| {
+                if set.contains(&path) {
+                    "✓".into()
+                } else {
+                    " ".into()
+                }
+            })
             .collect();
         println!(
             "{:<5} {:<42} {:^3} {:^3} {:^3} {:^3} {:^3}",
@@ -133,8 +150,8 @@ pub fn table4() {
     let f = Figure1::new();
     let trails = knows_plus(&f, PathSemantics::Trail);
     println!(
-        "{:<6} {:<12} {:<18} {}",
-        "γψ", "partitions", "groups/partition", "interpretation"
+        "{:<6} {:<12} {:<18} interpretation",
+        "γψ", "partitions", "groups/partition"
     );
     for key in GroupKey::ALL {
         let ss = group_by(key, &trails);
@@ -201,14 +218,23 @@ pub fn table5() {
 
 /// Table 6: the order-by semantics (which △ values each θ rewrites).
 pub fn table6() {
-    println!(
-        "{:<5} {:<14} {:<14} {}",
-        "τθ", "△'(P)", "△'(G)", "△'(p)"
-    );
+    println!("{:<5} {:<14} {:<14} △'(p)", "τθ", "△'(P)", "△'(G)");
     for key in OrderKey::ALL {
-        let p = if key.orders_partitions() { "MinL(P)" } else { "△(P)" };
-        let g = if key.orders_groups() { "MinL(G)" } else { "△(G)" };
-        let a = if key.orders_paths() { "Len(p)" } else { "△(p)" };
+        let p = if key.orders_partitions() {
+            "MinL(P)"
+        } else {
+            "△(P)"
+        };
+        let g = if key.orders_groups() {
+            "MinL(G)"
+        } else {
+            "△(G)"
+        };
+        let a = if key.orders_paths() {
+            "Len(p)"
+        } else {
+            "△(p)"
+        };
         println!("{:<5} {:<14} {:<14} {}", key.symbol(), p, g, a);
     }
 }
@@ -217,13 +243,20 @@ pub fn table6() {
 /// restrictor, plus the count of all 28 selector×restrictor combinations.
 pub fn table7() {
     let re = PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
-    println!("{:<28} {}", "GQL expression", "Path algebra expression");
+    println!("{:<28} Path algebra expression", "GQL expression");
     for selector in Selector::all_with_k(2) {
         let plan = translate(selector, Restrictor::Walk, re.clone());
-        println!("{:<28} {}", format!("{} WALK ppe", selector.keyword()), plan);
+        println!(
+            "{:<28} {}",
+            format!("{} WALK ppe", selector.keyword()),
+            plan
+        );
     }
     println!();
-    println!("All {} selector × restrictor combinations evaluate on Figure 1:", 7 * 4);
+    println!(
+        "All {} selector × restrictor combinations evaluate on Figure 1:",
+        7 * 4
+    );
     let f = Figure1::new();
     for restrictor in Restrictor::GQL {
         for selector in Selector::all_with_k(2) {
@@ -232,7 +265,10 @@ pub fn table7() {
             let n = ev.eval_paths(&plan).map(|p| p.len()).unwrap_or(0);
             print!("{:>4}", n);
         }
-        println!("   <- {} (columns = selectors in Table 1 order)", restrictor.keyword());
+        println!(
+            "   <- {} (columns = selectors in Table 1 order)",
+            restrictor.keyword()
+        );
     }
 }
 

@@ -43,7 +43,10 @@ fn main() {
         match runner.run(query) {
             Ok(result) => {
                 println!("-- plan --");
-                println!("{}", pathalg::algebra::display::plan_tree(result.optimized_plan()));
+                println!(
+                    "{}",
+                    pathalg::algebra::display::plan_tree(result.optimized_plan())
+                );
                 println!("-- {} paths --", result.paths().len());
                 for path in result.paths().sorted() {
                     println!("  {}", path.display(&fixture.graph));

@@ -34,7 +34,10 @@ fn main() {
     let (optimized, trace) = optimizer.optimize_with_trace(&basic);
 
     println!("\n-- Figure 6(a): basic plan --\n{}", plan_tree(&basic));
-    println!("-- Figure 6(b): optimized plan --\n{}", plan_tree(&optimized));
+    println!(
+        "-- Figure 6(b): optimized plan --\n{}",
+        plan_tree(&optimized)
+    );
     for event in &trace {
         println!("  fired: {event}");
     }

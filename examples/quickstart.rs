@@ -20,7 +20,11 @@ fn main() {
     builder.add_edge(bart, lisa, "Knows", [("since", 2012i64)]);
     builder.add_edge(lisa, apu, "Knows", [("since", 2015i64)]);
     let graph = builder.build();
-    println!("built a graph with {} nodes and {} edges\n", graph.node_count(), graph.edge_count());
+    println!(
+        "built a graph with {} nodes and {} edges\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // 2. Run a path query: one shortest trail between every pair of people.
     let runner = QueryRunner::new(&graph);
@@ -33,7 +37,10 @@ fn main() {
 
     // 3. Inspect the logical plan the query compiled to — an evaluation tree
     //    of the paper's path algebra.
-    println!("\nlogical plan:\n{}", pathalg::algebra::display::plan_tree(result.plan()));
+    println!(
+        "\nlogical plan:\n{}",
+        pathalg::algebra::display::plan_tree(result.plan())
+    );
 
     // 4. The algebra is a library too: the same query written directly as an
     //    expression tree.

@@ -25,7 +25,12 @@ fn main() {
     let reachability = runner
         .run("MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)")
         .expect("reachability query");
-    let longest = reachability.paths().iter().map(|p| p.len()).max().unwrap_or(0);
+    let longest = reachability
+        .paths()
+        .iter()
+        .map(|p| p.len())
+        .max()
+        .unwrap_or(0);
     println!(
         "\nfriendship closure: {} shortest paths, longest chain = {} hops",
         reachability.paths().len(),

@@ -56,7 +56,7 @@ pub mod prelude {
     pub use pathalg_core::path::Path;
     pub use pathalg_core::pathset::PathSet;
     pub use pathalg_core::solution_space::SolutionSpace;
-    pub use pathalg_engine::runner::{QueryRunner, QueryResult};
+    pub use pathalg_engine::runner::{QueryResult, QueryRunner};
     pub use pathalg_graph::fixtures::figure1::figure1_graph;
     pub use pathalg_graph::graph::{GraphBuilder, PropertyGraph};
     pub use pathalg_graph::ids::{EdgeId, NodeId};

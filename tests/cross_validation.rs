@@ -80,7 +80,10 @@ fn physical_implementations_agree_with_the_algebra_everywhere() {
             let reference = phi_seminaive(semantics, &base, &cfg).unwrap();
             let naive = phi_naive(semantics, &base, &cfg).unwrap();
             let dfs = phi_dfs(semantics, &base, &cfg).unwrap();
-            assert_eq!(reference, naive, "{name}: naive differs under {semantics:?}");
+            assert_eq!(
+                reference, naive,
+                "{name}: naive differs under {semantics:?}"
+            );
             assert_eq!(reference, dfs, "{name}: dfs differs under {semantics:?}");
         }
         let shortest = phi_bfs_shortest(&base, &cfg).unwrap();
@@ -124,7 +127,8 @@ fn automaton_product_agrees_with_compiled_algebra_everywhere() {
                 let plan = compile_to_algebra(&re, semantics);
                 let via_algebra = Evaluator::new(&graph).eval_paths(&plan).unwrap();
                 assert_eq!(
-                    via_automaton, via_algebra,
+                    via_automaton,
+                    via_algebra,
                     "{name}: {pattern} under {semantics:?} ({} vs {} paths)",
                     via_automaton.len(),
                     via_algebra.len()
@@ -183,7 +187,11 @@ fn optimizer_never_changes_results() {
     for query in queries {
         let a = with_opt.run(query).unwrap();
         let b = without_opt.run(query).unwrap();
-        assert_eq!(a.paths(), b.paths(), "optimizer changed the result of {query}");
+        assert_eq!(
+            a.paths(),
+            b.paths(),
+            "optimizer changed the result of {query}"
+        );
     }
 }
 

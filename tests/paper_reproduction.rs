@@ -4,6 +4,7 @@
 
 use pathalg::algebra::condition::Condition;
 use pathalg::algebra::eval::{EvalConfig, Evaluator};
+use pathalg::algebra::expr::PlanExpr;
 use pathalg::algebra::gql::{translate, Restrictor, Selector};
 use pathalg::algebra::ops::group_by::{group_by, GroupKey};
 use pathalg::algebra::ops::order_by::OrderKey;
@@ -12,7 +13,6 @@ use pathalg::algebra::ops::recursive::{recursive, PathSemantics, RecursionConfig
 use pathalg::algebra::ops::selection::selection;
 use pathalg::algebra::path::Path;
 use pathalg::algebra::pathset::PathSet;
-use pathalg::algebra::expr::PlanExpr;
 use pathalg::graph::fixtures::figure1::Figure1;
 
 /// Builds a path from a list of Figure 1 edges.
@@ -84,7 +84,9 @@ fn table3_membership_per_semantics() {
     }
     // Trail column: the paper (Section 5, step 3) lists exactly these ids.
     let trails = knows_plus(&f, PathSemantics::Trail);
-    let expected_trails = ["p1", "p2", "p3", "p5", "p6", "p7", "p9", "p11", "p12", "p13"];
+    let expected_trails = [
+        "p1", "p2", "p3", "p5", "p6", "p7", "p9", "p11", "p12", "p13",
+    ];
     for (id, p) in &rows {
         assert_eq!(
             trails.contains(p),
@@ -145,7 +147,10 @@ fn introduction_query_returns_path1_and_path2() {
     let path2 = path(&f, &[f.e8, f.e11, f.e7, f.e10]);
     assert_eq!(out.len(), 2);
     assert!(out.contains(&path1), "path1 = (n1,e1,n2,e4,n4)");
-    assert!(out.contains(&path2), "path2 = (n1,e8,n6,e11,n3,e7,n7,e10,n4)");
+    assert!(
+        out.contains(&path2),
+        "path2 = (n1,e8,n6,e11,n3,e7,n7,e10,n4)"
+    );
 }
 
 #[test]
@@ -175,15 +180,19 @@ fn figure5_pipeline_returns_the_quoted_shortest_trails() {
     let out = Evaluator::new(&f.graph).eval_paths(&plan).unwrap();
     // The paper's step 6 output for the Table 5 partitions.
     for expected in [
-        path(&f, &[f.e1]),          // p1
-        path(&f, &[f.e1, f.e2]),    // p3
-        path(&f, &[f.e1, f.e4]),    // p5
-        path(&f, &[f.e2, f.e3]),    // p7
-        path(&f, &[f.e2]),          // p9
-        path(&f, &[f.e4]),          // p11
-        path(&f, &[f.e3, f.e4]),    // p13
+        path(&f, &[f.e1]),       // p1
+        path(&f, &[f.e1, f.e2]), // p3
+        path(&f, &[f.e1, f.e4]), // p5
+        path(&f, &[f.e2, f.e3]), // p7
+        path(&f, &[f.e2]),       // p9
+        path(&f, &[f.e4]),       // p11
+        path(&f, &[f.e3, f.e4]), // p13
     ] {
-        assert!(out.contains(&expected), "missing {}", expected.display_ids());
+        assert!(
+            out.contains(&expected),
+            "missing {}",
+            expected.display_ids()
+        );
     }
     // One path per endpoint pair (9 pairs in the full trail closure).
     assert_eq!(out.len(), 9);

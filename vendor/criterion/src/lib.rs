@@ -1,0 +1,351 @@
+//! A minimal, dependency-free micro-benchmark harness exposing the subset of
+//! the `criterion` API the `pathalg-bench` targets use.
+//!
+//! The build container has no crates.io access, so the workspace vendors its
+//! three external crates locally (see `vendor/README.md`). This harness keeps
+//! the bench sources byte-for-byte compatible with real criterion — the same
+//! `criterion_group!` / `criterion_main!` / `BenchmarkGroup` surface — while
+//! measuring with a simple warm-up + timed-loop scheme and printing one line
+//! per benchmark:
+//!
+//! ```text
+//! fig2/semantics/TRAIL    time: 812 ns/iter (1024 iters)
+//! ```
+//!
+//! It intentionally does not do statistical analysis, outlier rejection, or
+//! HTML reports. Swap the `[patch]`-free path dependency for the real crate
+//! when the build environment gains network access; no bench source changes
+//! are needed.
+//!
+//! Environment knobs:
+//! * `PATHALG_BENCH_MAX_MS` — cap per-benchmark measurement time in
+//!   milliseconds (default 200; the configured `measurement_time` is
+//!   honoured up to this cap so `cargo bench` stays fast).
+//! * Positional CLI arguments are substring filters on the benchmark id,
+//!   so `cargo bench -- fig2/semantics` behaves as with real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (reported, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterised benchmark, `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("seminaive_trail", 64)` → `seminaive_trail/64`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(64)` → `64`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Filled in by [`Bencher::iter`].
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up runs first, then as many timed iterations as
+    /// fit in the measurement window (at least one, so a routine slower than
+    /// the window still reports — and still honours `PATHALG_BENCH_MAX_MS`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            std_black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn max_measure() -> Duration {
+    let ms = std::env::var("PATHALG_BENCH_MAX_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Positional CLI arguments, i.e. benchmark filters: `cargo bench -- fig2`
+/// runs only benchmarks whose id contains `fig2`, like real criterion.
+/// Flags such as the `--bench` cargo forwards are ignored.
+fn cli_filters() -> &'static [String] {
+    static FILTERS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+fn matches_filters(id: &str, filters: &[String]) -> bool {
+    filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))
+}
+
+fn report(id: &str, throughput: Option<Throughput>, result: Option<(Duration, u64)>) {
+    match result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() / iters as u128;
+            let mut line = format!("{id:<48} time: {per_iter} ns/iter ({iters} iters)");
+            if let Some(tp) = throughput {
+                let (n, unit) = match tp {
+                    Throughput::Elements(n) => (n, "elem"),
+                    Throughput::Bytes(n) => (n, "B"),
+                };
+                if per_iter > 0 {
+                    let rate = (n as f64) * 1e9 / per_iter as f64;
+                    line.push_str(&format!("  ~{rate:.0} {unit}/s"));
+                }
+            }
+            println!("{line}");
+        }
+        _ => println!("{id:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this harness sizes by time, not samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement window (capped by
+    /// `PATHALG_BENCH_MAX_MS` so full `cargo bench` runs stay quick).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d.min(max_measure());
+        self
+    }
+
+    /// Sets the warm-up window (capped at 50 ms).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d.min(Duration::from_millis(50));
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group (skipped if a CLI filter excludes it).
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if !matches_filters(&full_id, cli_filters()) {
+            return self;
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b);
+        report(&full_id, self.throughput, b.result);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group (skipped if a CLI
+    /// filter excludes it).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if !matches_filters(&full_id, cli_filters()) {
+            return self;
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&full_id, self.throughput, b.result);
+        self
+    }
+
+    /// Ends the group (a no-op here; reports are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_millis(50),
+            measure: max_measure(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_string()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench-target `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Flags like the `--bench` cargo forwards are ignored; positional
+            // arguments act as benchmark filters (see `cli_filters`).
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            result: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        let (elapsed, iters) = b.result.expect("iter must record a measurement");
+        assert!(iters >= 10);
+        assert!(elapsed >= Duration::from_millis(5));
+        assert!(count >= iters);
+    }
+
+    #[test]
+    fn filters_match_by_substring_and_empty_matches_all() {
+        let none: [String; 0] = [];
+        assert!(matches_filters("fig2/semantics/TRAIL", &none));
+        let some = ["fig2/semantics".to_string()];
+        assert!(matches_filters("fig2/semantics/TRAIL", &some));
+        assert!(!matches_filters("fig3/core/join", &some));
+        let multi = ["table7".to_string(), "core".to_string()];
+        assert!(matches_filters("fig3/core/join", &multi));
+    }
+
+    #[test]
+    fn slow_routine_stops_at_the_measurement_window() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            result: None,
+        };
+        b.iter(|| std::thread::sleep(Duration::from_millis(4)));
+        let (_, iters) = b.result.expect("iter must record a measurement");
+        // One window's worth of 4 ms iterations, not a forced 10.
+        assert!(iters <= 3, "expected <=3 iterations, got {iters}");
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter("TRAIL").to_string(), "TRAIL");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("x", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
