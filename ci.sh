@@ -1,35 +1,116 @@
 #!/usr/bin/env bash
-# CI gate for the pathalg workspace. Run from the repo root: ./ci.sh
+# CI gate for the pathalg workspace. Run from the repo root:
 #
-# Everything here must stay green; `cargo build --release && cargo test -q`
-# is the tier-1 subset (see ROADMAP.md), the rest keeps the tree lint- and
-# doc-clean. No network access is required (deps are vendored, see
-# vendor/README.md).
+#   ./ci.sh               full gate: fmt, clippy -D warnings, release build,
+#                         tests, docs -D warnings, bench compile, examples
+#   ./ci.sh --quick       tier-1 subset only (see ROADMAP.md):
+#                         cargo build --release && cargo test -q
+#   ./ci.sh --bench-json  run every bench target under PATHALG_BENCH_MAX_MS
+#                         and write the BENCH_PR2.json perf-trajectory
+#                         artifact (bench id → ns/iter) at the repo root
+#
+# Everything in the full gate must stay green. No network access is required
+# (deps are vendored, see vendor/README.md).
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
 
-step "cargo fmt --check"
-cargo fmt --all -- --check
+quick() {
+    step "cargo build --release"
+    cargo build --release
 
-step "cargo clippy (all targets, -D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+    step "cargo test"
+    cargo test -q
+}
 
-step "cargo build --release"
-cargo build --release
+full() {
+    step "cargo fmt --check"
+    cargo fmt --all -- --check
 
-step "cargo test"
-cargo test -q
+    step "cargo clippy (all targets, -D warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-step "cargo doc --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+    quick
 
-step "cargo bench --no-run (compile all bench targets)"
-cargo bench --no-run -q
+    step "cargo doc --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
-step "examples compile"
-cargo build -q --examples
+    step "cargo bench --no-run (compile all bench targets)"
+    cargo bench --no-run -q
 
-printf '\nci.sh: all checks passed\n'
+    step "examples compile"
+    cargo build -q --examples
+
+    printf '\nci.sh: all checks passed\n'
+}
+
+# Runs every bench target with the vendored criterion's JSON-lines emitter
+# enabled, then assembles BENCH_PR2.json: a flat "target/bench-id" → ns/iter
+# map. PATHALG_BENCH_MAX_MS caps the per-benchmark measurement window.
+bench_json() {
+    local jsonl="BENCH_PR2.jsonl.tmp"
+    local out="BENCH_PR2.json"
+    rm -f "$jsonl" "$out"
+
+    step "cargo bench (PATHALG_BENCH_MAX_MS=${PATHALG_BENCH_MAX_MS:-200}, emitting $out)"
+    PATHALG_BENCH_MAX_MS="${PATHALG_BENCH_MAX_MS:-200}" \
+        PATHALG_BENCH_JSON="$PWD/$jsonl" \
+        cargo bench -q -p pathalg-bench
+
+    step "assembling $out"
+    # Each JSONL record carries its own target/bench/ns fields; fold them
+    # into one JSON object keyed "target/bench", in measurement order.
+    awk '
+        {
+            target = $0; sub(/.*"target":"/, "", target); sub(/".*/, "", target)
+            bench  = $0; sub(/.*"bench":"/,  "", bench);  sub(/".*/, "", bench)
+            ns     = $0; sub(/.*"ns_per_iter":/, "", ns); sub(/[,}].*/, "", ns)
+            key = target "/" bench
+            if (!(key in seen)) order[++n] = key
+            seen[key] = ns   # last measurement of a re-run id wins
+        }
+        END {
+            print "{"
+            for (i = 1; i <= n; i++)
+                printf "  \"%s\": %s%s\n", order[i], seen[order[i]], (i < n ? "," : "")
+            print "}"
+        }
+    ' "$jsonl" > "$out"
+    rm -f "$jsonl"
+
+    # Sanity gate: every [[bench]] target of crates/bench must have produced
+    # at least one entry, and the artifact must be valid JSON where jq exists.
+    local missing=0
+    while read -r target; do
+        if ! grep -q "\"$target/" "$out"; then
+            echo "ci.sh: bench target '$target' produced no entries in $out" >&2
+            missing=1
+        fi
+    done < <(sed -n 's/^name = "\(.*\)"$/\1/p' crates/bench/Cargo.toml | grep -v '^pathalg-bench$')
+    if [ "$missing" -ne 0 ]; then
+        exit 1
+    fi
+    if command -v jq >/dev/null 2>&1; then
+        jq empty "$out"
+    fi
+    printf '\nci.sh: wrote %s (%s entries)\n' "$out" "$(grep -c '":' "$out")"
+}
+
+case "${1:-}" in
+    --quick)
+        quick
+        printf '\nci.sh: quick checks passed\n'
+        ;;
+    --bench-json)
+        bench_json
+        ;;
+    "")
+        full
+        ;;
+    *)
+        echo "usage: ./ci.sh [--quick | --bench-json]" >&2
+        exit 2
+        ;;
+esac

@@ -1,0 +1,122 @@
+//! A shared, thread-safe result-size budget for path-producing operators.
+//!
+//! The `max_paths` bound of [`crate::ops::recursive::RecursionConfig`] caps
+//! the number of paths an evaluation may materialise before aborting with
+//! [`AlgebraError::ResultLimitExceeded`]. The single-threaded operators check
+//! a local counter; the engine's parallel frontier expansion splits one
+//! logical result across many workers, so the counter must be shared.
+//! [`PathBudget`] is that counter: an atomic tally against an optional limit.
+//!
+//! The success/failure *outcome* of a budgeted run is deterministic
+//! regardless of thread count: the total number of unique paths an expansion
+//! produces is fixed, so either every schedule stays within the limit or
+//! every schedule fails — only which worker happens to observe the overflow
+//! varies, and the error value (`ResultLimitExceeded { limit }`) is the same
+//! from any of them. One caveat: when a run violates *two* bounds at once
+//! (e.g. an unbounded-Walk cycle is detected while the path limit is also
+//! exceeded), which of the two error variants is reported first may depend
+//! on the schedule.
+
+use crate::error::AlgebraError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An atomic path counter with an optional upper limit.
+#[derive(Debug, Default)]
+pub struct PathBudget {
+    limit: Option<usize>,
+    count: AtomicUsize,
+}
+
+impl PathBudget {
+    /// Creates a budget; `None` means unlimited (claims always succeed).
+    pub fn new(limit: Option<usize>) -> Self {
+        Self {
+            limit,
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records `n` newly produced paths, failing once the running total
+    /// exceeds the limit (mirroring the `result.len() > limit` check of the
+    /// single-threaded operators).
+    pub fn claim(&self, n: usize) -> Result<(), AlgebraError> {
+        let total = self.count.fetch_add(n, Ordering::Relaxed) + n;
+        match self.limit {
+            Some(limit) if total > limit => Err(AlgebraError::ResultLimitExceeded { limit }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records `n` paths *without* enforcing the limit. The semi-naïve
+    /// fixpoint admits its base relation unconditionally and only checks
+    /// `max_paths` when a recursion candidate is inserted; base-level paths
+    /// therefore count toward the total (so the first candidate on top of an
+    /// oversized base still fails) but must not themselves trip the limit.
+    pub fn record(&self, n: usize) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The number of paths claimed so far.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_fails() {
+        let b = PathBudget::new(None);
+        for _ in 0..1000 {
+            b.claim(usize::MAX / 2000).unwrap();
+        }
+        assert!(b.limit().is_none());
+    }
+
+    #[test]
+    fn limit_is_exceeded_strictly() {
+        let b = PathBudget::new(Some(3));
+        b.claim(1).unwrap();
+        b.claim(2).unwrap(); // exactly at the limit: still fine
+        assert_eq!(b.count(), 3);
+        assert_eq!(
+            b.claim(1),
+            Err(AlgebraError::ResultLimitExceeded { limit: 3 })
+        );
+    }
+
+    #[test]
+    fn record_counts_but_never_fails() {
+        let b = PathBudget::new(Some(2));
+        b.record(10); // an oversized base relation is admitted…
+        assert_eq!(b.count(), 10);
+        // …but the very next enforced claim trips the limit.
+        assert_eq!(
+            b.claim(1),
+            Err(AlgebraError::ResultLimitExceeded { limit: 2 })
+        );
+    }
+
+    #[test]
+    fn claims_are_visible_across_threads() {
+        let b = PathBudget::new(Some(100));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        b.claim(1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.count(), 100);
+        assert!(b.claim(1).is_err());
+    }
+}

@@ -144,8 +144,9 @@ impl RecursionConfig {
 
 /// Hard ceiling on fixpoint iterations used when Walk semantics is run without
 /// an explicit length bound; reaching it means the join graph is cyclic and
-/// the expression has no finite fixpoint.
-const UNBOUNDED_WALK_ITERATION_LIMIT: usize = 10_000;
+/// the expression has no finite fixpoint. Public so the engine's alternative
+/// ϕ implementations report the same bound in their errors.
+pub const UNBOUNDED_WALK_ITERATION_LIMIT: usize = 10_000;
 
 /// Evaluates `ϕ_semantics(input)` under the given bounds.
 pub fn recursive(

@@ -187,6 +187,24 @@ impl Path {
         self.last() == other.first()
     }
 
+    /// `p ◦ (Last(p), edge, target)`: extends the path by one edge step.
+    ///
+    /// This is the hot-loop form of [`Path::concat`] for single-edge
+    /// extensions: the CSR frontier engine walks `(target, edge)` adjacency
+    /// pairs directly, and building a throwaway one-edge [`Path`] just to
+    /// concatenate it would double the allocations per expansion. The caller
+    /// asserts that `edge` really runs from `Last(p)` to `target` (the CSR
+    /// index guarantees it by construction).
+    pub fn with_step(&self, edge: EdgeId, target: NodeId) -> Path {
+        let mut nodes = Vec::with_capacity(self.nodes.len() + 1);
+        nodes.extend_from_slice(&self.nodes);
+        nodes.push(target);
+        let mut edges = Vec::with_capacity(self.edges.len() + 1);
+        edges.extend_from_slice(&self.edges);
+        edges.push(edge);
+        Path { nodes, edges }
+    }
+
     /// True if the path repeats no node (the paper's *acyclic* restrictor).
     pub fn is_acyclic(&self) -> bool {
         let mut seen: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
@@ -330,6 +348,17 @@ mod tests {
         assert_eq!(joined.edges(), &[f.e1, f.e2]);
         joined.validate(&f.graph).unwrap();
         assert_eq!(joined.label_word(&f.graph), "Knows·Knows");
+    }
+
+    #[test]
+    fn with_step_equals_concat_with_an_edge_path() {
+        let f = Figure1::new();
+        let p1 = Path::edge(&f.graph, f.e1);
+        let (_, target) = f.graph.endpoints(f.e2);
+        let stepped = p1.with_step(f.e2, target);
+        let concatenated = p1.concat(&Path::edge(&f.graph, f.e2)).unwrap();
+        assert_eq!(stepped, concatenated);
+        stepped.validate(&f.graph).unwrap();
     }
 
     #[test]

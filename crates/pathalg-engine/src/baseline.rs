@@ -159,6 +159,7 @@ mod tests {
             RunnerConfig {
                 optimize: true,
                 recursion,
+                ..RunnerConfig::default()
             },
         );
         let algebraic = runner.run(query).unwrap();

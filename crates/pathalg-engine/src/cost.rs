@@ -8,6 +8,7 @@
 //! are already enough to rank the Figure 6 plans correctly — which is what the
 //! `fig6_pushdown` bench demonstrates.
 
+use crate::exec::ExecutionConfig;
 use pathalg_core::condition::{Accessor, Condition, Position};
 use pathalg_core::expr::PlanExpr;
 use pathalg_core::ops::projection::Take;
@@ -116,6 +117,56 @@ fn leaf(cardinality: f64) -> CostEstimate {
         cardinality,
         cost: cardinality,
     }
+}
+
+/// The physical implementations of ϕ the engine can dispatch a `Recursive`
+/// node to (see [`crate::physical`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhiImpl {
+    /// The semi-naïve fixpoint — lowest setup cost, best for tiny bases.
+    Seminaive,
+    /// The parallel per-source frontier engine
+    /// ([`crate::physical::frontier::phi_frontier`]).
+    Frontier,
+    /// The BFS specialised to Shortest semantics
+    /// ([`crate::physical::phi_bfs_shortest`]).
+    BfsShortest,
+}
+
+/// Below this base size the frontier engine's index construction is not worth
+/// its setup cost and the semi-naïve fixpoint wins.
+const FRONTIER_MIN_BASE: usize = 24;
+
+/// Up to this base size the single-threaded Shortest BFS, which shares the
+/// fixpoint's simple data structures but prunes by endpoint distance, is
+/// competitive with the frontier engine; beyond it the frontier's per-source
+/// distance tables and clone-free level rotation dominate.
+const BFS_SHORTEST_MAX_BASE: usize = 96;
+
+/// Picks the physical implementation for one ϕ node.
+///
+/// Called by the engine evaluator *after* the base relation is materialised,
+/// so the decision uses the exact base cardinality rather than an estimate.
+/// Any multi-threaded configuration forces the frontier engine — it is the
+/// only implementation that can use the extra threads, and its deterministic
+/// merge keeps results order-stable. All three choices produce the same path
+/// set (cross-validated in `tests/cross_validation.rs`), so this function
+/// only ever affects performance.
+pub fn choose_phi_impl(
+    semantics: PathSemantics,
+    base_paths: usize,
+    exec: &ExecutionConfig,
+) -> PhiImpl {
+    if exec.threads > 1 {
+        return PhiImpl::Frontier;
+    }
+    if base_paths < FRONTIER_MIN_BASE {
+        return PhiImpl::Seminaive;
+    }
+    if semantics == PathSemantics::Shortest && base_paths <= BFS_SHORTEST_MAX_BASE {
+        return PhiImpl::BfsShortest;
+    }
+    PhiImpl::Frontier
 }
 
 /// Estimated fraction of paths satisfying a condition.
@@ -241,6 +292,25 @@ mod tests {
         let cw = estimate(&walk, &s);
         let cs = estimate(&shortest, &s);
         assert!(cs.cost <= cw.cost);
+    }
+
+    #[test]
+    fn phi_impl_choice_covers_all_three_implementations() {
+        use PathSemantics::*;
+        let serial = ExecutionConfig::default();
+        let parallel = ExecutionConfig::with_threads(4);
+        // Any parallel configuration forces the frontier engine.
+        assert_eq!(choose_phi_impl(Trail, 4, &parallel), PhiImpl::Frontier);
+        assert_eq!(choose_phi_impl(Shortest, 4, &parallel), PhiImpl::Frontier);
+        // Tiny bases stay on the semi-naïve fixpoint.
+        assert_eq!(choose_phi_impl(Trail, 4, &serial), PhiImpl::Seminaive);
+        assert_eq!(choose_phi_impl(Shortest, 4, &serial), PhiImpl::Seminaive);
+        // Medium Shortest bases go to the specialised BFS…
+        assert_eq!(choose_phi_impl(Shortest, 64, &serial), PhiImpl::BfsShortest);
+        // …while everything else at scale uses the frontier engine.
+        assert_eq!(choose_phi_impl(Trail, 64, &serial), PhiImpl::Frontier);
+        assert_eq!(choose_phi_impl(Shortest, 5000, &serial), PhiImpl::Frontier);
+        assert_eq!(choose_phi_impl(Walk, 5000, &serial), PhiImpl::Frontier);
     }
 
     #[test]

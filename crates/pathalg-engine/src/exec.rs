@@ -1,0 +1,342 @@
+//! Execution configuration and the engine-level plan evaluator.
+//!
+//! `pathalg-core`'s [`pathalg_core::eval::Evaluator`] is the
+//! *reference* interpreter: one algorithm per operator, single-threaded,
+//! always the semi-naïve fixpoint for ϕ. [`EngineEvaluator`] is the engine's
+//! physical counterpart: it walks the same logical plans and calls the same
+//! `pathalg-core` operator implementations for σ/⋈/∪/γ/τ/π, but dispatches
+//! every ϕ node through the cost model
+//! ([`crate::cost::choose_phi_impl`]) to one of the physical
+//! implementations in [`crate::physical`] — including the parallel CSR-native
+//! frontier engine, configured by [`ExecutionConfig`].
+//!
+//! Plans of the shape `ϕ(σ_{label(edge(1))=ℓ}(Edges(G)))` — the base relation
+//! of every `[:ℓ+]` pattern — additionally skip the base materialisation:
+//! the engine builds a label-restricted [`CsrGraph`] snapshot and expands
+//! directly over its adjacency. The collected [`EvalStats`] charge the
+//! skipped operators exactly as the reference evaluator would, so `EXPLAIN
+//! ANALYZE` output stays comparable between the two interpreters.
+//!
+//! Results are identical to the reference evaluator as *sets* for every
+//! plan, thread count, and batch size (cross-validated in
+//! `tests/cross_validation.rs`); the frontier engine's merge discipline
+//! additionally makes the engine's own output ordering independent of
+//! [`ExecutionConfig::threads`].
+
+use crate::cost::{choose_phi_impl, PhiImpl};
+use crate::physical::frontier::{phi_frontier, phi_frontier_csr};
+use crate::physical::{phi_bfs_shortest, phi_seminaive};
+use pathalg_core::condition::{Accessor, CompareOp, Condition, Position};
+use pathalg_core::error::AlgebraError;
+use pathalg_core::eval::{EvalOutput, EvalStats};
+use pathalg_core::expr::PlanExpr;
+use pathalg_core::ops::group_by::group_by;
+use pathalg_core::ops::join::join;
+use pathalg_core::ops::order_by::order_by;
+use pathalg_core::ops::projection::projection;
+use pathalg_core::ops::recursive::RecursionConfig;
+use pathalg_core::ops::selection::selection;
+use pathalg_core::ops::union::union;
+use pathalg_core::pathset::PathSet;
+use pathalg_core::solution_space::SolutionSpace;
+use pathalg_graph::csr::CsrGraph;
+use pathalg_graph::graph::PropertyGraph;
+
+/// Parallel-execution knobs of the [`QueryRunner`](crate::runner::QueryRunner).
+///
+/// The defaults are serial: parallelism is opt-in because the engine's
+/// workloads start paying for thread scheduling only once the per-source
+/// expansions are substantial. `batch_size` is the number of source nodes a
+/// worker claims at a time — large enough to amortise per-batch scratch
+/// allocations, small enough to balance skewed degree distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutionConfig {
+    /// Number of worker threads for the frontier engine (≤ 1 means inline
+    /// serial execution with zero synchronisation overhead).
+    pub threads: usize,
+    /// Number of source nodes per scheduling batch.
+    pub batch_size: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            batch_size: 32,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// A configuration with `threads` workers and the default batch size.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// The engine's physical plan interpreter (see the module docs).
+pub struct EngineEvaluator<'g> {
+    graph: &'g PropertyGraph,
+    recursion: RecursionConfig,
+    exec: ExecutionConfig,
+    stats: EvalStats,
+}
+
+impl<'g> EngineEvaluator<'g> {
+    /// Creates an evaluator over `graph` with the given recursion bounds and
+    /// execution configuration.
+    pub fn new(
+        graph: &'g PropertyGraph,
+        recursion: RecursionConfig,
+        exec: ExecutionConfig,
+    ) -> Self {
+        Self {
+            graph,
+            recursion,
+            exec,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The statistics collected so far (same counters as the reference
+    /// evaluator).
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Evaluates an expression, returning paths or a solution space according
+    /// to the root operator.
+    pub fn eval(&mut self, expr: &PlanExpr) -> Result<EvalOutput, AlgebraError> {
+        self.stats.operators_evaluated += 1;
+        let out = match expr {
+            PlanExpr::Nodes => EvalOutput::Paths(PathSet::nodes(self.graph)),
+            PlanExpr::Edges => EvalOutput::Paths(PathSet::edges(self.graph)),
+            PlanExpr::Selection { condition, input } => {
+                let input = self.eval_paths_internal(input, "selection")?;
+                EvalOutput::Paths(selection(self.graph, condition, &input))
+            }
+            PlanExpr::Join { left, right } => {
+                self.stats.join_calls += 1;
+                let l = self.eval_paths_internal(left, "join")?;
+                let r = self.eval_paths_internal(right, "join")?;
+                EvalOutput::Paths(join(&l, &r))
+            }
+            PlanExpr::Union { left, right } => {
+                let l = self.eval_paths_internal(left, "union")?;
+                let r = self.eval_paths_internal(right, "union")?;
+                EvalOutput::Paths(union(&l, &r))
+            }
+            PlanExpr::Recursive { semantics, input } => {
+                self.stats.recursive_calls += 1;
+                if let Some(label) = label_scan(input) {
+                    // CSR-native fast path: never materialise σℓ(Edges(G))
+                    // as a PathSet; expand over the label-restricted CSR.
+                    let csr = CsrGraph::with_label(self.graph, label);
+                    self.charge_skipped(self.graph.edge_count()); // Edges(G)
+                    self.charge_skipped(csr.edge_count()); // σ label
+                    EvalOutput::Paths(phi_frontier_csr(
+                        &csr,
+                        *semantics,
+                        &self.recursion,
+                        &self.exec,
+                    )?)
+                } else {
+                    let base = self.eval_paths_internal(input, "recursive")?;
+                    let out = match choose_phi_impl(*semantics, base.len(), &self.exec) {
+                        PhiImpl::Seminaive => phi_seminaive(*semantics, &base, &self.recursion)?,
+                        PhiImpl::BfsShortest => phi_bfs_shortest(&base, &self.recursion)?,
+                        PhiImpl::Frontier => {
+                            phi_frontier(*semantics, &base, &self.recursion, &self.exec)?
+                        }
+                    };
+                    EvalOutput::Paths(out)
+                }
+            }
+            PlanExpr::GroupBy { key, input } => {
+                let input = self.eval_paths_internal(input, "group-by")?;
+                EvalOutput::Space(group_by(*key, &input))
+            }
+            PlanExpr::OrderBy { key, input } => {
+                let input = self.eval_space_internal(input, "order-by")?;
+                EvalOutput::Space(order_by(*key, &input))
+            }
+            PlanExpr::Projection { spec, input } => {
+                spec.validate()?;
+                let input = self.eval_space_internal(input, "projection")?;
+                EvalOutput::Paths(projection(spec, &input))
+            }
+        };
+        let n = out.path_count();
+        self.stats.intermediate_paths += n;
+        self.stats.max_intermediate = self.stats.max_intermediate.max(n);
+        Ok(out)
+    }
+
+    /// Evaluates an expression that must produce a set of paths.
+    pub fn eval_paths(&mut self, expr: &PlanExpr) -> Result<PathSet, AlgebraError> {
+        self.eval(expr)?.into_paths()
+    }
+
+    /// Evaluates an expression that must produce a solution space.
+    pub fn eval_space(&mut self, expr: &PlanExpr) -> Result<SolutionSpace, AlgebraError> {
+        self.eval(expr)?.into_space()
+    }
+
+    /// Accounts for an operator the CSR fast path evaluated implicitly, with
+    /// the same counters the reference evaluator would have charged.
+    fn charge_skipped(&mut self, paths: usize) {
+        self.stats.operators_evaluated += 1;
+        self.stats.intermediate_paths += paths;
+        self.stats.max_intermediate = self.stats.max_intermediate.max(paths);
+    }
+
+    fn eval_paths_internal(
+        &mut self,
+        expr: &PlanExpr,
+        operator: &'static str,
+    ) -> Result<PathSet, AlgebraError> {
+        match self.eval(expr)? {
+            EvalOutput::Paths(p) => Ok(p),
+            EvalOutput::Space(_) => Err(AlgebraError::TypeMismatch {
+                operator,
+                expected: "a set of paths",
+                found: "a solution space",
+            }),
+        }
+    }
+
+    fn eval_space_internal(
+        &mut self,
+        expr: &PlanExpr,
+        operator: &'static str,
+    ) -> Result<SolutionSpace, AlgebraError> {
+        match self.eval(expr)? {
+            EvalOutput::Space(s) => Ok(s),
+            EvalOutput::Paths(_) => Err(AlgebraError::TypeMismatch {
+                operator,
+                expected: "a solution space",
+                found: "a set of paths",
+            }),
+        }
+    }
+}
+
+/// Recognises `σ_{label(edge(1)) = ℓ}(Edges(G))` — the shape every `[:ℓ+]`
+/// base compiles to — and returns `ℓ`.
+fn label_scan(plan: &PlanExpr) -> Option<&str> {
+    let PlanExpr::Selection { condition, input } = plan else {
+        return None;
+    };
+    if !matches!(**input, PlanExpr::Edges) {
+        return None;
+    }
+    let Condition::Compare {
+        accessor: Accessor::EdgeLabel(Position::Index(1)),
+        op: CompareOp::Eq,
+        value,
+    } = condition
+    else {
+        return None;
+    };
+    value.as_str()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalg_core::eval::Evaluator;
+    use pathalg_core::ops::projection::ProjectionSpec;
+    use pathalg_core::ops::recursive::PathSemantics;
+    use pathalg_core::GroupKey;
+    use pathalg_graph::fixtures::figure1::Figure1;
+    use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
+
+    fn plans() -> Vec<PlanExpr> {
+        let knows = PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
+        let outer = PlanExpr::edges()
+            .select(Condition::edge_label(1, "Likes"))
+            .join(PlanExpr::edges().select(Condition::edge_label(1, "Has_creator")));
+        vec![
+            knows.clone().recursive(PathSemantics::Trail),
+            knows.clone().recursive(PathSemantics::Shortest),
+            outer.clone().recursive(PathSemantics::Simple),
+            knows
+                .clone()
+                .recursive(PathSemantics::Acyclic)
+                .union(outer.recursive(PathSemantics::Acyclic)),
+            knows
+                .recursive(PathSemantics::Trail)
+                .group_by(GroupKey::SourceTarget)
+                .project(ProjectionSpec::all()),
+        ]
+    }
+
+    #[test]
+    fn engine_evaluator_matches_the_reference_on_every_plan() {
+        let f = Figure1::new();
+        let cfg = RecursionConfig::default();
+        for plan in plans() {
+            let reference = Evaluator::new(&f.graph).eval_paths(&plan).unwrap();
+            for threads in [1, 2, 8] {
+                let mut engine = EngineEvaluator::new(
+                    &f.graph,
+                    cfg,
+                    ExecutionConfig {
+                        threads,
+                        batch_size: 2,
+                    },
+                );
+                let out = engine.eval_paths(&plan).unwrap();
+                assert_eq!(out, reference, "plan {plan} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_fast_path_charges_the_same_stats_as_the_reference() {
+        let f = Figure1::new();
+        let plan = PlanExpr::edges()
+            .select(Condition::edge_label(1, "Knows"))
+            .recursive(PathSemantics::Trail);
+        let mut reference = Evaluator::new(&f.graph);
+        reference.eval_paths(&plan).unwrap();
+        let mut engine = EngineEvaluator::new(
+            &f.graph,
+            RecursionConfig::default(),
+            ExecutionConfig::default(),
+        );
+        engine.eval_paths(&plan).unwrap();
+        assert_eq!(engine.stats(), reference.stats());
+    }
+
+    #[test]
+    fn label_scan_shape_detection() {
+        let scan = PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
+        assert_eq!(label_scan(&scan), Some("Knows"));
+        // Wrong position, extra operator, or non-label condition: no match.
+        let wrong_pos = PlanExpr::edges().select(Condition::edge_label(2, "Knows"));
+        assert_eq!(label_scan(&wrong_pos), None);
+        let not_edges = PlanExpr::nodes().select(Condition::edge_label(1, "Knows"));
+        assert_eq!(label_scan(&not_edges), None);
+        let nested = scan.select(Condition::first_property("name", "Moe"));
+        assert_eq!(label_scan(&nested), None);
+    }
+
+    #[test]
+    fn bigger_graphs_agree_between_interpreters_in_parallel() {
+        let g = snb_like_graph(&SnbConfig::scale(40, 21));
+        let plan = PlanExpr::edges()
+            .select(Condition::edge_label(1, "Knows"))
+            .recursive(PathSemantics::Shortest);
+        let reference = Evaluator::new(&g).eval_paths(&plan).unwrap();
+        let mut engine = EngineEvaluator::new(
+            &g,
+            RecursionConfig::default(),
+            ExecutionConfig::with_threads(4),
+        );
+        assert_eq!(engine.eval_paths(&plan).unwrap(), reference);
+    }
+}

@@ -8,12 +8,18 @@
 //! * [`physical`] — alternative physical implementations of the recursive
 //!   operator: the semi-naïve fixpoint from `pathalg-core`, a literal
 //!   (naïve) transcription of Definition 4.1 used as an ablation baseline,
-//!   a DFS enumeration with restrictor pruning, and a BFS specialised to the
-//!   shortest-path semantics. All of them are cross-checked against each
-//!   other in the tests and raced in the benchmark harness.
+//!   a DFS enumeration with restrictor pruning, a BFS specialised to the
+//!   shortest-path semantics, and the parallel CSR-native frontier engine
+//!   ([`physical::frontier`], DESIGN.md §7). All of them are cross-checked
+//!   against each other in the tests and raced in the benchmark harness.
+//! * [`exec`] — [`exec::ExecutionConfig`] (thread count, source batch size)
+//!   and [`exec::EngineEvaluator`], the engine-level plan interpreter that
+//!   dispatches every ϕ through the cost model and recognises label-scan
+//!   bases for the CSR fast path.
 //! * [`cost`] — a simple cardinality/cost model over
 //!   [`pathalg_graph::stats::GraphStats`], the ingredient Section 7.3 says a
-//!   cost-based optimizer needs.
+//!   cost-based optimizer needs, plus the physical ϕ-implementation chooser
+//!   ([`cost::choose_phi_impl`]).
 //! * [`baseline`] — end-to-end evaluation of a parsed query with the
 //!   classical automaton-product algorithm instead of the algebra, used as an
 //!   independent correctness oracle and benchmark comparator.
@@ -26,7 +32,9 @@
 
 pub mod baseline;
 pub mod cost;
+pub mod exec;
 pub mod physical;
 pub mod runner;
 
+pub use exec::{EngineEvaluator, ExecutionConfig};
 pub use runner::{QueryResult, QueryRunner, RunnerConfig};

@@ -1,7 +1,7 @@
 //! Physical implementations of the recursive operator ϕ.
 //!
 //! The algebra fixes *what* ϕ computes; how to compute it is an engineering
-//! choice (Section 8.2 surveys the design space). This module provides four
+//! choice (Section 8.2 surveys the design space). This module provides five
 //! interchangeable implementations over the same input — a set of base paths —
 //! so that the ablation benchmarks can compare them and the tests can use
 //! them as mutual oracles:
@@ -17,6 +17,14 @@
 //!   shortest-path semantics: paths are generated level by level and a
 //!   per-endpoint-pair distance table cuts the search off as soon as longer
 //!   candidates appear.
+//! * [`frontier::phi_frontier`] — the parallel, CSR-native per-source
+//!   frontier engine (DESIGN.md §7): partitions the sources into batches,
+//!   expands the batches concurrently, and merges deterministically. Its
+//!   label-scan specialisation [`frontier::phi_frontier_csr`] evaluates
+//!   `ϕ(σℓ(Edges))` directly over a [`pathalg_graph::csr::CsrGraph`]
+//!   without materialising the base relation.
+
+pub mod frontier;
 
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::join::join;
@@ -229,17 +237,37 @@ fn within(path: &Path, config: &RecursionConfig) -> bool {
     config.max_length.is_none_or(|l| path.len() <= l)
 }
 
+/// Keeps, per `(First, Last)` endpoint pair, exactly the minimal-length paths
+/// (all of them on ties), preserving the input's insertion order.
+///
+/// Single grouping pass: each path either starts a group, extends the running
+/// minimum's survivor list, or — on a strictly shorter length — replaces it.
+/// Only the surviving indexes are cloned into the result, unlike the previous
+/// version, which re-scanned the minimum map for every path and rebuilt the
+/// full set through a second filtered pass.
 fn keep_shortest(paths: &PathSet) -> PathSet {
-    let mut best: HashMap<(NodeId, NodeId), usize> = HashMap::new();
-    for p in paths.iter() {
-        let entry = best.entry((p.first(), p.last())).or_insert(p.len());
-        *entry = (*entry).min(p.len());
+    // Per endpoint pair: the minimal length seen and the indexes holding it.
+    let mut groups: HashMap<(NodeId, NodeId), (usize, Vec<usize>)> = HashMap::new();
+    for (i, p) in paths.iter().enumerate() {
+        let entry = groups
+            .entry((p.first(), p.last()))
+            .or_insert_with(|| (p.len(), Vec::new()));
+        if p.len() < entry.0 {
+            entry.0 = p.len();
+            entry.1.clear();
+            entry.1.push(i);
+        } else if p.len() == entry.0 {
+            entry.1.push(i);
+        }
     }
-    paths
-        .iter()
-        .filter(|p| best[&(p.first(), p.last())] == p.len())
-        .cloned()
-        .collect()
+    let mut survivors: Vec<usize> = groups.into_values().flat_map(|(_, idx)| idx).collect();
+    survivors.sort_unstable();
+    let slice = paths.as_slice();
+    let mut result = PathSet::with_capacity(survivors.len());
+    for i in survivors {
+        result.insert(slice[i].clone());
+    }
+    result
 }
 
 #[cfg(test)]
@@ -365,6 +393,39 @@ mod tests {
             phi_dfs(PathSemantics::Walk, &base, &cfg),
             Err(AlgebraError::ResultLimitExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn keep_shortest_retains_all_ties_in_insertion_order() {
+        let g = ladder_graph(2, "a");
+        let base = label_base(&g, "a");
+        // The full simple closure of a ladder has many equal-length paths
+        // between the same endpoints.
+        let all = phi_seminaive(PathSemantics::Simple, &base, &RecursionConfig::default()).unwrap();
+        let kept = keep_shortest(&all);
+        // Behaviour pin: per endpoint pair only the minimum length survives,
+        // every tie at that length survives, and input order is preserved.
+        let mut best: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        for p in all.iter() {
+            let e = best.entry((p.first(), p.last())).or_insert(p.len());
+            *e = (*e).min(p.len());
+        }
+        let expected: Vec<_> = all
+            .iter()
+            .filter(|p| best[&(p.first(), p.last())] == p.len())
+            .cloned()
+            .collect();
+        assert_eq!(kept.as_slice(), expected.as_slice());
+        let ties = kept
+            .iter()
+            .filter(|p| {
+                kept.iter().any(|q| {
+                    q != *p && q.first() == p.first() && q.last() == p.last() && q.len() == p.len()
+                })
+            })
+            .count();
+        assert!(ties > 0, "the ladder closure must contain shortest ties");
+        assert!(kept.len() < all.len());
     }
 
     #[test]

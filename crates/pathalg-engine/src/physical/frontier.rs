@@ -1,0 +1,785 @@
+//! The parallel, CSR-native frontier engine for ϕ.
+//!
+//! Every other physical implementation of ϕ in this crate evaluates the
+//! fixpoint as a sequence of *global* rounds: one shared frontier, one shared
+//! result set, one thread. This module decomposes ϕ along the axis the GQL
+//! complexity literature singles out as embarrassingly parallel — the
+//! **source node**. Under all five semantics the admission predicate depends
+//! only on the path itself, and the Shortest per-pair minimum is keyed by
+//! `(First(p), Last(p))` with `First(p)` fixed per source, so the expansion
+//! from one source never needs to observe another source's state. The engine
+//! therefore:
+//!
+//! 1. groups the base relation by `First(p)` into a CSR-shaped index (or
+//!    uses `pathalg-graph`'s label-restricted [`CsrGraph`] directly when the
+//!    base is a label scan, skipping path materialisation altogether),
+//! 2. partitions the sources into contiguous batches of
+//!    [`ExecutionConfig::batch_size`],
+//! 3. expands the batches concurrently on a scoped pool
+//!    ([`mini_pool::parallel_map_chunks`]), and
+//! 4. merges the per-batch results **in batch order**, which makes the output
+//!    path sequence identical for every thread count — the determinism
+//!    contract of DESIGN.md §7.
+//!
+//! Besides parallelism, per-source expansion admits three sequential
+//! optimisations the global fixpoint cannot apply:
+//!
+//! * **Incremental admission.** A candidate `p ∘ q` is checked against the
+//!   restrictor by comparing only `q`'s new nodes/edges with `p` (`O(|q|·|p|)`,
+//!   i.e. `O(|p|)` for edge bases) instead of re-scanning the whole candidate
+//!   (`O((|p|+|q|)²)`), exploiting that `p` is already admitted.
+//! * **No speculative allocation.** The candidate path is only materialised
+//!   after the admission, length, and shortest-distance checks pass; the
+//!   semi-naïve loop concatenates first and discards later.
+//! * **No per-candidate hashing for edge bases.** When every base path is a
+//!   single edge, a candidate's derivation is unique (it extends its own
+//!   length-`k−1` prefix), so the expansion needs no dedup set at all;
+//!   composite bases (from joins) fall back to a per-source seen-set.
+//!
+//! `max_paths` is enforced across all batches through the shared atomic
+//! [`PathBudget`]; the success/failure outcome is deterministic because the
+//! total number of produced paths does not depend on the schedule (which
+//! *error variant* is reported can vary only in the corner case where a run
+//! violates two bounds at once — see the `PathBudget` docs).
+
+use crate::exec::ExecutionConfig;
+use mini_pool::parallel_map_chunks;
+use pathalg_core::budget::PathBudget;
+use pathalg_core::error::AlgebraError;
+use pathalg_core::ops::recursive::{
+    PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
+};
+use pathalg_core::path::Path;
+use pathalg_core::pathset::PathSet;
+use pathalg_graph::csr::CsrGraph;
+use pathalg_graph::frontier::Frontier;
+use pathalg_graph::graph::PropertyGraph;
+use pathalg_graph::ids::NodeId;
+use pathalg_rpq::automaton_eval::AutomatonEvaluator;
+use pathalg_rpq::regex::LabelRegex;
+use std::collections::{HashMap, HashSet};
+
+/// The parallel frontier implementation of `ϕ_semantics(base)`.
+///
+/// Produces exactly the same path set as
+/// [`crate::physical::phi_seminaive`]; the insertion order of the result is
+/// "sources in ascending node order, per source level by level" and is
+/// identical for every `exec.threads` value.
+pub fn phi_frontier(
+    semantics: PathSemantics,
+    base: &PathSet,
+    config: &RecursionConfig,
+    exec: &ExecutionConfig,
+) -> Result<PathSet, AlgebraError> {
+    let admitted: Vec<&Path> = base
+        .iter()
+        .filter(|p| semantics.admits(p) && within_length(p.len(), config))
+        .collect();
+    if admitted.is_empty() {
+        return Ok(PathSet::new());
+    }
+
+    let index = BaseIndex::build(&admitted);
+    let walk_unbounded = semantics == PathSemantics::Walk && config.max_length.is_none();
+    // Under unbounded Walk the expansion must recognise non-acyclic
+    // candidates (they prove the fixpoint is infinite); precomputing each
+    // base path's own acyclicity once keeps the per-candidate check to the
+    // cross-path comparison.
+    let base_acyclic: Vec<bool> = if walk_unbounded {
+        admitted.iter().map(|p| p.is_acyclic()).collect()
+    } else {
+        Vec::new()
+    };
+    // Composite base paths (length > 1) can derive the same candidate through
+    // different decompositions; single-edge bases cannot, so they skip the
+    // per-source dedup set entirely.
+    let need_dedup = admitted.iter().any(|p| p.len() > 1);
+    let budget = PathBudget::new(config.max_paths);
+
+    let batches = parallel_map_chunks(
+        exec.threads,
+        exec.batch_size,
+        index.sources(),
+        |_, chunk| -> Result<Vec<Path>, AlgebraError> {
+            let mut out = Vec::new();
+            for &source in chunk {
+                expand_base_source(
+                    source,
+                    &admitted,
+                    &index,
+                    semantics,
+                    config,
+                    &budget,
+                    need_dedup,
+                    &base_acyclic,
+                    &mut out,
+                )?;
+            }
+            Ok(out)
+        },
+    );
+
+    merge_batches(batches)
+}
+
+/// ϕ directly over a label-restricted CSR snapshot: the base relation is the
+/// edge set of `csr` (every edge as a length-1 path), which is never
+/// materialised as a `PathSet`. This is the hot path the planner dispatches
+/// `ϕ(σ_{label(edge(1))=ℓ}(Edges(G)))` plans to.
+pub fn phi_frontier_csr(
+    csr: &CsrGraph,
+    semantics: PathSemantics,
+    config: &RecursionConfig,
+    exec: &ExecutionConfig,
+) -> Result<PathSet, AlgebraError> {
+    let sources: Vec<NodeId> = (0..csr.node_count())
+        .map(|i| NodeId(i as u32))
+        .filter(|&n| csr.out_degree(n) > 0)
+        .collect();
+    let budget = PathBudget::new(config.max_paths);
+
+    let batches = parallel_map_chunks(
+        exec.threads,
+        exec.batch_size,
+        &sources,
+        |_, chunk| -> Result<Vec<Path>, AlgebraError> {
+            let mut out = Vec::new();
+            // Per-batch scratch, reset in O(1) per source (epoch bump).
+            let mut scratch = if semantics == PathSemantics::Shortest {
+                Some((
+                    Frontier::new(csr.node_count()),
+                    vec![0usize; csr.node_count()],
+                ))
+            } else {
+                None
+            };
+            for &source in chunk {
+                if let Some((seen, _)) = &mut scratch {
+                    seen.reset();
+                }
+                expand_csr_source(
+                    source,
+                    csr,
+                    semantics,
+                    config,
+                    &budget,
+                    scratch.as_mut(),
+                    &mut out,
+                )?;
+            }
+            Ok(out)
+        },
+    );
+
+    merge_batches(batches)
+}
+
+/// Parallel automaton-product RPQ evaluation: the frontier scheduling of this
+/// module applied to [`AutomatonEvaluator::expand_source`], which carries the
+/// product-automaton state through the expansion. Equivalent to
+/// [`AutomatonEvaluator::eval_all`] at any thread count.
+pub fn automaton_frontier(
+    graph: &PropertyGraph,
+    regex: &LabelRegex,
+    semantics: PathSemantics,
+    config: &RecursionConfig,
+    exec: &ExecutionConfig,
+) -> Result<PathSet, AlgebraError> {
+    let evaluator = AutomatonEvaluator::new(graph, regex);
+    let sources: Vec<NodeId> = graph.nodes().collect();
+    let budget = PathBudget::new(config.max_paths);
+
+    let batches = parallel_map_chunks(
+        exec.threads,
+        exec.batch_size,
+        &sources,
+        |_, chunk| -> Result<Vec<Path>, AlgebraError> {
+            let mut out = Vec::new();
+            for &source in chunk {
+                out.extend(
+                    evaluator
+                        .expand_source(source, semantics, config, &budget)?
+                        .paths,
+                );
+            }
+            Ok(out)
+        },
+    );
+
+    merge_batches(batches)
+}
+
+/// Folds per-batch results into one `PathSet` in batch order; the first
+/// failing batch (in batch order) decides the reported error.
+fn merge_batches(batches: Vec<Result<Vec<Path>, AlgebraError>>) -> Result<PathSet, AlgebraError> {
+    let mut result = PathSet::new();
+    for batch in batches {
+        for path in batch? {
+            result.insert(path);
+        }
+    }
+    Ok(result)
+}
+
+/// The base relation grouped by `First(p)`: a CSR over path indexes, stable
+/// with respect to base insertion order within each node.
+struct BaseIndex {
+    offsets: Vec<usize>,
+    entries: Vec<u32>,
+    sources: Vec<NodeId>,
+}
+
+impl BaseIndex {
+    fn build(admitted: &[&Path]) -> Self {
+        let n = 1 + admitted
+            .iter()
+            .map(|p| p.first().index().max(p.last().index()))
+            .max()
+            .unwrap_or(0);
+        let mut degree = vec![0usize; n];
+        for p in admitted {
+            degree[p.first().index()] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut entries = vec![0u32; admitted.len()];
+        let mut cursor = offsets[..n].to_vec();
+        for (i, p) in admitted.iter().enumerate() {
+            let s = p.first().index();
+            entries[cursor[s]] = i as u32;
+            cursor[s] += 1;
+        }
+        let sources = (0..n)
+            .filter(|&i| degree[i] > 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        Self {
+            offsets,
+            entries,
+            sources,
+        }
+    }
+
+    /// Distinct source nodes in ascending order — the deterministic merge
+    /// order of the engine.
+    fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Indexes (into the admitted slice) of the base paths starting at `node`.
+    fn starting_at(&self, node: NodeId) -> &[u32] {
+        let i = node.index();
+        if i + 1 < self.offsets.len() {
+            &self.entries[self.offsets[i]..self.offsets[i + 1]]
+        } else {
+            &[]
+        }
+    }
+}
+
+/// Expands one source over a general (possibly composite) base relation,
+/// appending this source's result paths to `out` in level order.
+#[allow(clippy::too_many_arguments)]
+fn expand_base_source(
+    source: NodeId,
+    admitted: &[&Path],
+    index: &BaseIndex,
+    semantics: PathSemantics,
+    config: &RecursionConfig,
+    budget: &PathBudget,
+    need_dedup: bool,
+    base_acyclic: &[bool],
+    out: &mut Vec<Path>,
+) -> Result<(), AlgebraError> {
+    let walk_unbounded = semantics == PathSemantics::Walk && config.max_length.is_none();
+    let start = out.len();
+    // For Shortest: minimal known length per target (the source is fixed).
+    let mut best: HashMap<NodeId, usize> = HashMap::new();
+    let mut seen: Option<HashSet<Path>> = need_dedup.then(HashSet::new);
+
+    // Level 0: the admitted base paths starting here, in base order. Empty
+    // paths are emitted (and seed the Shortest minimum) but never expanded:
+    // `p ∘ q = q` for an empty `p`, and `q` is produced at this same source
+    // anyway.
+    let mut cur: Vec<(Path, bool)> = Vec::new();
+    for &qi in index.starting_at(source) {
+        let p = admitted[qi as usize];
+        if semantics == PathSemantics::Shortest {
+            let entry = best.entry(p.last()).or_insert(p.len());
+            *entry = (*entry).min(p.len());
+        }
+        if let Some(seen) = &mut seen {
+            seen.insert(p.clone());
+        }
+        // Base paths count toward `max_paths` but never trip it themselves,
+        // exactly like the fixpoint's unconditional base insertion.
+        budget.record(1);
+        if p.is_empty() {
+            out.push(p.clone());
+        } else {
+            let acyclic = if walk_unbounded {
+                base_acyclic[qi as usize]
+            } else {
+                true
+            };
+            cur.push((p.clone(), acyclic));
+        }
+    }
+
+    let mut iterations = 0usize;
+    while !cur.is_empty() {
+        iterations += 1;
+        if walk_unbounded && iterations > UNBOUNDED_WALK_ITERATION_LIMIT {
+            // `paths_so_far` counts this source's output only: a local tally
+            // is deterministic at any thread count, where the shared budget's
+            // running total depends on the schedule.
+            return Err(AlgebraError::RecursionLimitExceeded {
+                bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                paths_so_far: out.len() - start + cur.len(),
+            });
+        }
+        let mut next: Vec<(Path, bool)> = Vec::new();
+        for (p, p_acyclic) in &cur {
+            for &qi in index.starting_at(p.last()) {
+                let q = admitted[qi as usize];
+                if q.is_empty() {
+                    continue;
+                }
+                let new_len = p.len() + q.len();
+                if !within_length(new_len, config) {
+                    continue;
+                }
+                if !step_admissible(semantics, p, q) {
+                    continue;
+                }
+                if walk_unbounded {
+                    // `p ∘ q` acyclic ⇔ both parts are and `q` brings no node
+                    // already on `p`; a non-acyclic admitted candidate proves
+                    // the fixpoint is infinite, exactly as in the semi-naïve
+                    // implementation.
+                    let acyclic = *p_acyclic
+                        && base_acyclic[qi as usize]
+                        && q.nodes()[1..].iter().all(|u| !p.nodes().contains(u));
+                    if !acyclic {
+                        return Err(AlgebraError::RecursionLimitExceeded {
+                            bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                            paths_so_far: out.len() - start + cur.len() + next.len(),
+                        });
+                    }
+                }
+                if semantics == PathSemantics::Shortest {
+                    if let Some(&b) = best.get(&q.last()) {
+                        if new_len > b {
+                            continue;
+                        }
+                    }
+                }
+                let cand = p.concat(q).expect("base paths are indexed by First");
+                if let Some(seen) = &mut seen {
+                    if !seen.insert(cand.clone()) {
+                        continue;
+                    }
+                }
+                if semantics == PathSemantics::Shortest {
+                    let entry = best.entry(cand.last()).or_insert(new_len);
+                    *entry = (*entry).min(new_len);
+                }
+                budget.claim(1)?;
+                next.push((cand, true));
+            }
+        }
+        out.extend(cur.into_iter().map(|(p, _)| p));
+        cur = next;
+    }
+
+    if semantics == PathSemantics::Shortest {
+        let tail = out.split_off(start);
+        out.extend(
+            tail.into_iter()
+                .filter(|p| best.get(&p.last()) == Some(&p.len())),
+        );
+    }
+    Ok(())
+}
+
+/// Expands one source directly over the CSR edge base, appending this
+/// source's result paths to `out` in level (= length) order.
+fn expand_csr_source(
+    source: NodeId,
+    csr: &CsrGraph,
+    semantics: PathSemantics,
+    config: &RecursionConfig,
+    budget: &PathBudget,
+    mut scratch: Option<&mut (Frontier, Vec<usize>)>,
+    out: &mut Vec<Path>,
+) -> Result<(), AlgebraError> {
+    let walk_unbounded = semantics == PathSemantics::Walk && config.max_length.is_none();
+    let start = out.len();
+
+    // Level 0: one length-1 path per outgoing CSR edge. A single edge is
+    // always a trail and simple; it is acyclic unless it is a self-loop.
+    let mut cur: Vec<(Path, bool)> = Vec::new();
+    if within_length(1, config) {
+        let source_path = Path::node(source);
+        let (targets, edges) = csr.neighbor_slices(source);
+        for (&t, &e) in targets.iter().zip(edges) {
+            if semantics == PathSemantics::Acyclic && t == source {
+                continue;
+            }
+            if let Some((seen, dist)) = scratch.as_deref_mut() {
+                if seen.insert(t) {
+                    dist[t.index()] = 1;
+                }
+            }
+            // Level 0 is the base relation: counted, never limit-checked
+            // (matches the fixpoint's unconditional base insertion).
+            budget.record(1);
+            cur.push((source_path.with_step(e, t), t != source));
+        }
+    }
+
+    let mut iterations = 0usize;
+    while !cur.is_empty() {
+        iterations += 1;
+        if walk_unbounded && iterations > UNBOUNDED_WALK_ITERATION_LIMIT {
+            // Local tally (this source's output), so the error value is
+            // deterministic at any thread count — see expand_base_source.
+            return Err(AlgebraError::RecursionLimitExceeded {
+                bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                paths_so_far: out.len() - start + cur.len(),
+            });
+        }
+        let mut next: Vec<(Path, bool)> = Vec::new();
+        for (p, p_acyclic) in &cur {
+            let new_len = p.len() + 1;
+            if !within_length(new_len, config) {
+                continue;
+            }
+            let (targets, edges) = csr.neighbor_slices(p.last());
+            for (&t, &e) in targets.iter().zip(edges) {
+                let admissible = match semantics {
+                    PathSemantics::Walk => true,
+                    PathSemantics::Trail => !p.edges().contains(&e),
+                    PathSemantics::Acyclic => !p.nodes().contains(&t),
+                    // Simple: a closed path cannot be extended, and the new
+                    // node may only coincide with the first (closing the
+                    // cycle). Shortest restricts its search space to simple
+                    // candidates, exactly like the semi-naïve fixpoint.
+                    PathSemantics::Simple | PathSemantics::Shortest => {
+                        p.first() != p.last() && (t == p.first() || !p.nodes()[1..].contains(&t))
+                    }
+                };
+                if !admissible {
+                    continue;
+                }
+                if walk_unbounded && (!p_acyclic || p.nodes().contains(&t)) {
+                    return Err(AlgebraError::RecursionLimitExceeded {
+                        bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                        paths_so_far: out.len() - start + cur.len() + next.len(),
+                    });
+                }
+                if let Some((seen, dist)) = scratch.as_deref_mut() {
+                    if seen.contains(t) && new_len > dist[t.index()] {
+                        continue;
+                    }
+                    if seen.insert(t) {
+                        dist[t.index()] = new_len;
+                    }
+                }
+                budget.claim(1)?;
+                next.push((p.with_step(e, t), true));
+            }
+        }
+        out.extend(cur.into_iter().map(|(p, _)| p));
+        cur = next;
+    }
+
+    if semantics == PathSemantics::Shortest {
+        let (seen, dist) = scratch.expect("Shortest expansion carries scratch");
+        let tail = out.split_off(start);
+        out.extend(
+            tail.into_iter()
+                .filter(|p| seen.contains(p.last()) && dist[p.last().index()] == p.len()),
+        );
+    }
+    Ok(())
+}
+
+/// Incremental admission of `p ∘ q` given that `p` and `q` are themselves
+/// admitted: only `q`'s new nodes/edges are compared against `p`.
+fn step_admissible(semantics: PathSemantics, p: &Path, q: &Path) -> bool {
+    match semantics {
+        PathSemantics::Walk => true,
+        PathSemantics::Trail => q.edges().iter().all(|e| !p.edges().contains(e)),
+        PathSemantics::Acyclic => q.nodes()[1..].iter().all(|u| !p.nodes().contains(u)),
+        PathSemantics::Simple | PathSemantics::Shortest => {
+            // A closed simple path cannot be extended further.
+            if p.first() == p.last() {
+                return false;
+            }
+            let qn = q.nodes();
+            let k = q.len();
+            // Interior new nodes must be fresh with respect to all of `p`…
+            if !qn[1..k].iter().all(|u| !p.nodes().contains(u)) {
+                return false;
+            }
+            // …and the new last node may only coincide with `First(p)`.
+            let last = qn[k];
+            last == p.first() || !p.nodes()[1..].contains(&last)
+        }
+    }
+}
+
+fn within_length(len: usize, config: &RecursionConfig) -> bool {
+    config.max_length.is_none_or(|l| len <= l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{phi_bfs_shortest, phi_seminaive};
+    use pathalg_core::condition::Condition;
+    use pathalg_core::ops::join::join;
+    use pathalg_core::ops::selection::selection;
+    use pathalg_graph::fixtures::figure1::Figure1;
+    use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
+    use pathalg_graph::generator::structured::{cycle_graph, grid_graph};
+    use pathalg_graph::graph::PropertyGraph;
+
+    fn label_base(graph: &PropertyGraph, label: &str) -> PathSet {
+        selection(
+            graph,
+            &Condition::edge_label(1, label),
+            &PathSet::edges(graph),
+        )
+    }
+
+    fn exec(threads: usize) -> ExecutionConfig {
+        ExecutionConfig {
+            threads,
+            batch_size: 2,
+        }
+    }
+
+    const RESTRICTED: [PathSemantics; 4] = [
+        PathSemantics::Trail,
+        PathSemantics::Acyclic,
+        PathSemantics::Simple,
+        PathSemantics::Shortest,
+    ];
+
+    #[test]
+    fn agrees_with_seminaive_on_figure1_for_every_semantics() {
+        let f = Figure1::new();
+        let base = label_base(&f.graph, "Knows");
+        let cfg = RecursionConfig::default();
+        for semantics in RESTRICTED {
+            let reference = phi_seminaive(semantics, &base, &cfg).unwrap();
+            for threads in [1, 2, 8] {
+                let out = phi_frontier(semantics, &base, &cfg, &exec(threads)).unwrap();
+                assert_eq!(out, reference, "{semantics:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn result_order_is_identical_across_thread_counts() {
+        // Deliberately sparse: the full Trail/Simple closures stay small.
+        let g = snb_like_graph(&SnbConfig {
+            persons: 10,
+            messages: 12,
+            knows_per_person: 2,
+            likes_per_person: 1,
+            seed: 7,
+            ..SnbConfig::default()
+        });
+        let base = label_base(&g, "Knows");
+        let cfg = RecursionConfig::default();
+        for semantics in RESTRICTED {
+            let single = phi_frontier(semantics, &base, &cfg, &exec(1)).unwrap();
+            for threads in [2, 5, 16] {
+                let multi = phi_frontier(semantics, &base, &cfg, &exec(threads)).unwrap();
+                assert_eq!(
+                    single.as_slice(),
+                    multi.as_slice(),
+                    "insertion order diverged under {semantics:?} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_variant_agrees_with_the_pathset_variant() {
+        let g = grid_graph(3, 3, "a");
+        let base = label_base(&g, "a");
+        let csr = CsrGraph::with_label(&g, "a");
+        let cfg = RecursionConfig::default();
+        for semantics in RESTRICTED {
+            let via_paths = phi_frontier(semantics, &base, &cfg, &exec(2)).unwrap();
+            let via_csr = phi_frontier_csr(&csr, semantics, &cfg, &exec(2)).unwrap();
+            assert_eq!(via_paths.as_slice(), via_csr.as_slice(), "{semantics:?}");
+        }
+        // Bounded walks too.
+        let bounded = RecursionConfig::with_max_length(3);
+        let via_paths = phi_frontier(PathSemantics::Walk, &base, &bounded, &exec(2)).unwrap();
+        let via_csr = phi_frontier_csr(&csr, PathSemantics::Walk, &bounded, &exec(2)).unwrap();
+        assert_eq!(via_paths.as_slice(), via_csr.as_slice());
+    }
+
+    #[test]
+    fn composite_bases_deduplicate_recombinations() {
+        // Likes ⋈ Has_creator produces 2-hop base paths; recombinations of
+        // those must not appear twice (the seen-set path of the engine).
+        let f = Figure1::new();
+        let hops = join(
+            &label_base(&f.graph, "Likes"),
+            &label_base(&f.graph, "Has_creator"),
+        );
+        let cfg = RecursionConfig::default();
+        let reference = phi_seminaive(PathSemantics::Simple, &hops, &cfg).unwrap();
+        for threads in [1, 4] {
+            let out = phi_frontier(PathSemantics::Simple, &hops, &cfg, &exec(threads)).unwrap();
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn empty_and_node_only_bases_are_preserved() {
+        let f = Figure1::new();
+        let cfg = RecursionConfig::default();
+        let empty = PathSet::new();
+        assert!(phi_frontier(PathSemantics::Trail, &empty, &cfg, &exec(2))
+            .unwrap()
+            .is_empty());
+        let nodes = PathSet::nodes(&f.graph);
+        let out = phi_frontier(PathSemantics::Trail, &nodes, &cfg, &exec(2)).unwrap();
+        assert_eq!(out.len(), 7);
+        let out = phi_frontier(PathSemantics::Shortest, &nodes, &cfg, &exec(2)).unwrap();
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn mixed_node_and_edge_bases_match_seminaive_under_shortest() {
+        // A zero-length base path seeds the per-pair minimum: closed cycles
+        // from that node must be filtered, exactly as in the fixpoint.
+        let g = cycle_graph(4, "a");
+        let mut base = label_base(&g, "a");
+        base.insert(Path::node(NodeId(0)));
+        let cfg = RecursionConfig::default();
+        let reference = phi_seminaive(PathSemantics::Shortest, &base, &cfg).unwrap();
+        let out = phi_frontier(PathSemantics::Shortest, &base, &cfg, &exec(2)).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(out, phi_bfs_shortest(&base, &cfg).unwrap());
+    }
+
+    #[test]
+    fn unbounded_walks_error_on_cycles_and_finish_on_dags() {
+        let cfg = RecursionConfig::unbounded();
+        let cyclic = cycle_graph(3, "a");
+        let base = label_base(&cyclic, "a");
+        let csr = CsrGraph::with_label(&cyclic, "a");
+        for threads in [1, 4] {
+            assert!(matches!(
+                phi_frontier(PathSemantics::Walk, &base, &cfg, &exec(threads)),
+                Err(AlgebraError::RecursionLimitExceeded { .. })
+            ));
+            assert!(matches!(
+                phi_frontier_csr(&csr, PathSemantics::Walk, &cfg, &exec(threads)),
+                Err(AlgebraError::RecursionLimitExceeded { .. })
+            ));
+        }
+        let dag = pathalg_graph::generator::structured::chain_graph(6, "a");
+        let base = label_base(&dag, "a");
+        let out = phi_frontier(PathSemantics::Walk, &base, &cfg, &exec(2)).unwrap();
+        assert_eq!(out.len(), 15);
+        let reference = phi_seminaive(PathSemantics::Walk, &base, &cfg).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn walk_on_a_self_loop_base_errors_like_seminaive() {
+        use pathalg_graph::graph::GraphBuilder;
+        use pathalg_graph::value::Value;
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("N", Vec::<(&str, Value)>::new());
+        let n1 = b.add_node("N", Vec::<(&str, Value)>::new());
+        b.add_edge(n0, n0, "a", Vec::<(&str, Value)>::new());
+        b.add_edge(n0, n1, "a", Vec::<(&str, Value)>::new());
+        let g = b.build();
+        let base = label_base(&g, "a");
+        let cfg = RecursionConfig::unbounded();
+        let reference = phi_seminaive(PathSemantics::Walk, &base, &cfg);
+        let frontier = phi_frontier(PathSemantics::Walk, &base, &cfg, &exec(1));
+        let csr = CsrGraph::with_label(&g, "a");
+        let via_csr = phi_frontier_csr(&csr, PathSemantics::Walk, &cfg, &exec(1));
+        assert!(matches!(
+            reference,
+            Err(AlgebraError::RecursionLimitExceeded { .. })
+        ));
+        assert!(matches!(
+            frontier,
+            Err(AlgebraError::RecursionLimitExceeded { .. })
+        ));
+        assert!(matches!(
+            via_csr,
+            Err(AlgebraError::RecursionLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn max_paths_is_enforced_across_batches() {
+        let f = Figure1::new();
+        let base = label_base(&f.graph, "Knows");
+        let cfg = RecursionConfig {
+            max_length: Some(10),
+            max_paths: Some(4),
+        };
+        for threads in [1, 4] {
+            assert_eq!(
+                phi_frontier(PathSemantics::Walk, &base, &cfg, &exec(threads)),
+                Err(AlgebraError::ResultLimitExceeded { limit: 4 })
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bases_without_candidates_succeed_like_seminaive() {
+        // The fixpoint admits its base unconditionally and only enforces
+        // `max_paths` on recursion candidates; a base larger than the limit
+        // that produces no candidates must therefore succeed — on every
+        // implementation and at every thread count.
+        let f = Figure1::new();
+        let base = PathSet::nodes(&f.graph); // 7 paths, never expandable
+        let cfg = RecursionConfig {
+            max_length: None,
+            max_paths: Some(5),
+        };
+        let reference = phi_seminaive(PathSemantics::Trail, &base, &cfg).unwrap();
+        assert_eq!(reference.len(), 7);
+        for threads in [1, 4] {
+            let out = phi_frontier(PathSemantics::Trail, &base, &cfg, &exec(threads)).unwrap();
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn automaton_frontier_matches_the_serial_evaluator() {
+        use pathalg_rpq::parse::parse_regex;
+        let f = Figure1::new();
+        let cfg = RecursionConfig::default();
+        for pattern in [":Knows+", "(:Knows|:Likes)+", "(:Likes/:Has_creator)*"] {
+            let re = parse_regex(pattern).unwrap();
+            let serial = AutomatonEvaluator::new(&f.graph, &re)
+                .eval_all(PathSemantics::Trail, &cfg)
+                .unwrap();
+            for threads in [1, 3] {
+                let parallel =
+                    automaton_frontier(&f.graph, &re, PathSemantics::Trail, &cfg, &exec(threads))
+                        .unwrap();
+                assert_eq!(parallel.as_slice(), serial.as_slice(), "{pattern}");
+            }
+        }
+    }
+}

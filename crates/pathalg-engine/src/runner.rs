@@ -8,15 +8,20 @@
 //! 2. the plan is type-checked (paths vs. solution spaces);
 //! 3. `pathalg-core`'s optimizer rewrites it (predicate pushdown,
 //!    ϕWalk→ϕShortest, redundant-τ elimination);
-//! 4. `pathalg-core`'s evaluator executes it, collecting statistics.
+//! 4. the engine's physical evaluator ([`crate::exec::EngineEvaluator`])
+//!    executes it, collecting statistics — dispatching every ϕ through the
+//!    cost model to one of the physical implementations (semi-naïve,
+//!    BFS-shortest, or the parallel CSR-native frontier engine configured by
+//!    [`RunnerConfig::execution`]).
 //!
 //! The result carries the original and optimized plans, the rewrite trace and
 //! the evaluation statistics, so callers can print an `EXPLAIN ANALYZE`-style
 //! report.
 
 use crate::cost::{estimate, CostEstimate};
+use crate::exec::{EngineEvaluator, ExecutionConfig};
 use pathalg_core::error::AlgebraError;
-use pathalg_core::eval::{EvalConfig, EvalStats, Evaluator};
+use pathalg_core::eval::EvalStats;
 use pathalg_core::expr::PlanExpr;
 use pathalg_core::ops::recursive::RecursionConfig;
 use pathalg_core::optimizer::{Optimizer, RewriteEvent};
@@ -34,6 +39,9 @@ pub struct RunnerConfig {
     pub optimize: bool,
     /// Bounds applied to the recursive operators.
     pub recursion: RecursionConfig,
+    /// Parallel-execution knobs of the physical ϕ engine (thread count and
+    /// source batch size); the default is serial.
+    pub execution: ExecutionConfig,
 }
 
 impl Default for RunnerConfig {
@@ -41,6 +49,7 @@ impl Default for RunnerConfig {
         Self {
             optimize: true,
             recursion: RecursionConfig::default(),
+            execution: ExecutionConfig::default(),
         }
     }
 }
@@ -62,6 +71,17 @@ impl RunnerConfig {
     pub fn without_optimizer(mut self) -> Self {
         self.optimize = false;
         self
+    }
+
+    /// Sets the parallel-execution configuration.
+    pub fn with_execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Shorthand for running the frontier engine on `threads` workers.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_execution(ExecutionConfig::with_threads(threads))
     }
 }
 
@@ -200,12 +220,8 @@ impl<'g> QueryRunner<'g> {
         } else {
             plan.clone()
         };
-        let mut evaluator = Evaluator::with_config(
-            self.graph,
-            EvalConfig {
-                recursion: self.config.recursion,
-            },
-        );
+        let mut evaluator =
+            EngineEvaluator::new(self.graph, self.config.recursion, self.config.execution);
         let paths = evaluator.eval_paths(&executed)?;
         Ok((paths, evaluator.stats()))
     }
@@ -227,12 +243,8 @@ impl<'g> QueryRunner<'g> {
         };
         let cost_before = estimate(&plan, &self.stats);
         let cost_after = estimate(&optimized_plan, &self.stats);
-        let mut evaluator = Evaluator::with_config(
-            self.graph,
-            EvalConfig {
-                recursion: self.config.recursion,
-            },
-        );
+        let mut evaluator =
+            EngineEvaluator::new(self.graph, self.config.recursion, self.config.execution);
         let paths = evaluator.eval_paths(&optimized_plan)?;
         Ok(QueryResult {
             paths,
@@ -342,6 +354,33 @@ mod tests {
         assert!(text.contains("result paths"));
         let (before, after) = result.cost_estimates();
         assert!(before.cost > 0.0 && after.cost > 0.0);
+    }
+
+    #[test]
+    fn thread_count_never_changes_query_results() {
+        let f = Figure1::new();
+        let queries = [
+            "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
+            "MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)",
+            "MATCH ALL SIMPLE p = (?x {name:\"Moe\"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:\"Apu\"})",
+        ];
+        let serial = QueryRunner::new(&f.graph);
+        for query in queries {
+            let reference = serial.run(query).unwrap();
+            for threads in [2, 8] {
+                // batch_size below the node count, so several batches exist
+                // and the configured threads genuinely run concurrently.
+                let parallel = QueryRunner::with_config(
+                    &f.graph,
+                    RunnerConfig::default().with_execution(ExecutionConfig {
+                        threads,
+                        batch_size: 2,
+                    }),
+                );
+                let result = parallel.run(query).unwrap();
+                assert_eq!(result.paths(), reference.paths(), "{query} at {threads}");
+            }
+        }
     }
 
     #[test]

@@ -93,6 +93,21 @@ impl CsrGraph {
             .zip(self.edges[lo..hi].iter().copied())
     }
 
+    /// The neighbours of `node` as raw parallel slices `(targets, edges)`.
+    ///
+    /// This is the zero-overhead form of [`CsrGraph::neighbors`] for hot
+    /// loops: the engine's frontier expansion indexes both slices directly
+    /// instead of driving a zipped iterator per node.
+    pub fn neighbor_slices(&self, node: NodeId) -> (&[NodeId], &[EdgeId]) {
+        let i = node.index();
+        let (lo, hi) = if i + 1 < self.offsets.len() {
+            (self.offsets[i], self.offsets[i + 1])
+        } else {
+            (0, 0)
+        };
+        (&self.targets[lo..hi], &self.edges[lo..hi])
+    }
+
     /// Out-degree of `node` within the snapshot.
     pub fn out_degree(&self, node: NodeId) -> usize {
         let i = node.index();
@@ -163,6 +178,21 @@ mod tests {
         let csr = CsrGraph::from_graph(&g);
         assert_eq!(csr.neighbors(NodeId(99)).count(), 0);
         assert_eq!(csr.out_degree(NodeId(99)), 0);
+        let (targets, edges) = csr.neighbor_slices(NodeId(99));
+        assert!(targets.is_empty() && edges.is_empty());
+    }
+
+    #[test]
+    fn neighbor_slices_agree_with_the_iterator() {
+        let g = labeled_graph();
+        for csr in [CsrGraph::from_graph(&g), CsrGraph::with_label(&g, "a")] {
+            for n in g.nodes() {
+                let (targets, edges) = csr.neighbor_slices(n);
+                let zipped: Vec<_> = targets.iter().copied().zip(edges.iter().copied()).collect();
+                let via_iter: Vec<_> = csr.neighbors(n).collect();
+                assert_eq!(zipped, via_iter);
+            }
+        }
     }
 
     #[test]

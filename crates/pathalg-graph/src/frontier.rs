@@ -1,0 +1,136 @@
+//! Reusable node-set scratch for level-synchronous graph expansion.
+//!
+//! Frontier-based algorithms (BFS over a CSR snapshot, the engine's parallel
+//! ϕ expansion) repeatedly need a "have I seen this node during the current
+//! source's expansion?" set that is cleared once per source. Allocating a
+//! `HashSet<NodeId>` per source dominates the cost on small per-source
+//! workloads, and `vec![false; n]` per source is an O(n) clear. [`Frontier`]
+//! is the classic epoch-stamped visited set: membership is an array read,
+//! insertion an array write, and [`Frontier::reset`] is O(1) — it bumps the
+//! epoch, instantly invalidating every stamp.
+//!
+//! The members inserted during the current epoch are additionally kept in a
+//! dense list (in insertion order), so callers can iterate exactly the nodes
+//! they touched without scanning the whole stamp array.
+
+use crate::ids::NodeId;
+
+/// An epoch-stamped set of nodes with O(1) insert/contains/reset.
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    /// `stamps[n] == epoch` ⇔ node `n` is in the set this epoch.
+    stamps: Vec<u64>,
+    epoch: u64,
+    members: Vec<NodeId>,
+}
+
+impl Frontier {
+    /// Creates a frontier able to hold nodes `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            // Epoch 1 so that the zero-initialised stamps mean "absent".
+            stamps: vec![0; capacity],
+            epoch: 1,
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of node slots the frontier covers.
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Inserts `node`; returns `true` if it was not yet in the set this
+    /// epoch. Out-of-range nodes are reported as never-inserted and ignored.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let Some(stamp) = self.stamps.get_mut(node.index()) else {
+            return false;
+        };
+        if *stamp == self.epoch {
+            return false;
+        }
+        *stamp = self.epoch;
+        self.members.push(node);
+        true
+    }
+
+    /// True if `node` was inserted during the current epoch.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.stamps.get(node.index()) == Some(&self.epoch)
+    }
+
+    /// The nodes inserted this epoch, in insertion order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of nodes in the set this epoch.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if nothing was inserted this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Empties the set in O(1) by advancing the epoch; the allocation is
+    /// kept for reuse.
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.members.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_and_members_track_the_epoch() {
+        let mut f = Frontier::new(8);
+        assert!(f.is_empty());
+        assert!(f.insert(NodeId(3)));
+        assert!(!f.insert(NodeId(3)), "duplicate insert is rejected");
+        assert!(f.insert(NodeId(1)));
+        assert!(f.contains(NodeId(3)));
+        assert!(!f.contains(NodeId(0)));
+        assert_eq!(f.members(), &[NodeId(3), NodeId(1)]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_in_o1_and_allows_reinsertion() {
+        let mut f = Frontier::new(4);
+        for i in 0..4 {
+            f.insert(NodeId(i));
+        }
+        f.reset();
+        assert!(f.is_empty());
+        assert!(!f.contains(NodeId(2)));
+        assert!(
+            f.insert(NodeId(2)),
+            "nodes are insertable again after reset"
+        );
+        assert_eq!(f.members(), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_ignored() {
+        let mut f = Frontier::new(2);
+        assert!(!f.insert(NodeId(5)));
+        assert!(!f.contains(NodeId(5)));
+        assert!(f.is_empty());
+        assert_eq!(f.capacity(), 2);
+    }
+
+    #[test]
+    fn many_epochs_never_collide() {
+        let mut f = Frontier::new(1);
+        for _ in 0..10_000 {
+            assert!(f.insert(NodeId(0)));
+            f.reset();
+        }
+        assert!(!f.contains(NodeId(0)));
+    }
+}

@@ -18,18 +18,39 @@
 
 use crate::nfa::Nfa;
 use crate::regex::LabelRegex;
+use pathalg_core::budget::PathBudget;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
 use pathalg_core::path::Path;
 use pathalg_core::pathset::PathSet;
 use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::ids::NodeId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One BFS frontier entry: the partial path, the automaton state it reached,
 /// and the product states already visited along this path (used to detect
 /// pumpable cycles under WALK).
 type ProductEntry = (Path, usize, Vec<(NodeId, usize)>);
+
+/// The matching paths discovered from a single source node.
+///
+/// Product-automaton evaluation is naturally *per source*: the BFS over
+/// `G × A` restarts from `(source, q0)` for every source node, and under
+/// every semantics — including Shortest, whose per-pair minimum is keyed by
+/// `(First(p), Last(p))` with `First(p) = source` fixed — no state is shared
+/// between sources. [`AutomatonEvaluator::expand_source`] exposes one such
+/// unit of work so the engine's parallel frontier evaluator can schedule
+/// sources across threads and merge the expansions in deterministic source
+/// order.
+#[derive(Clone, Debug)]
+pub struct SourceExpansion {
+    /// The source node the expansion started from.
+    pub source: NodeId,
+    /// The matching paths, in deterministic product-BFS discovery order,
+    /// already filtered to the semantics (including the Shortest per-target
+    /// minimum).
+    pub paths: Vec<Path>,
+}
 
 /// Evaluates a regular path query on a graph by searching the product of the
 /// graph and the expression's NFA.
@@ -67,114 +88,147 @@ impl<'g> AutomatonEvaluator<'g> {
     }
 
     /// Evaluates the RPQ from the given source nodes only.
+    ///
+    /// Duplicate sources are evaluated once. The result is the in-order merge
+    /// of [`AutomatonEvaluator::expand_source`] over the sources, sharing one
+    /// `max_paths` budget.
     pub fn eval_from(
         &self,
         sources: impl IntoIterator<Item = NodeId>,
         semantics: PathSemantics,
         config: &RecursionConfig,
     ) -> Result<PathSet, AlgebraError> {
+        let budget = PathBudget::new(config.max_paths);
+        let mut visited: HashSet<NodeId> = HashSet::new();
         let mut result = PathSet::new();
-        // For Shortest: minimal known length per (source, target).
-        let mut best: HashMap<(NodeId, NodeId), usize> = HashMap::new();
-
         for source in sources {
-            if self.accepts_empty {
-                self.push(
-                    Path::node(source),
-                    semantics,
-                    &mut result,
-                    &mut best,
-                    config,
-                )?;
+            if !visited.insert(source) {
+                continue;
             }
-            // BFS over the product graph. Each entry carries the partial path,
-            // the automaton state, and the product states already visited
-            // along this path (used to detect pumpable cycles under WALK).
-            let mut queue: VecDeque<ProductEntry> = VecDeque::new();
-            let start_state = self.nfa.start();
-            queue.push_back((Path::node(source), start_state, vec![(source, start_state)]));
+            let expansion = self.expand_source(source, semantics, config, &budget)?;
+            for p in expansion.paths {
+                result.insert(p);
+            }
+        }
+        Ok(result)
+    }
 
-            while let Some((path, state, seen)) = queue.pop_front() {
-                let here = path.last();
-                for &edge in self.graph.outgoing(here) {
-                    let label = self.graph.label(edge);
-                    for next_state in self.nfa.step(state, label) {
-                        if !self.co_accepting[next_state] {
-                            continue;
-                        }
-                        let extended = path
-                            .concat(&Path::edge(self.graph, edge))
-                            .expect("outgoing edge starts at the path's last node");
-                        if let Some(max) = config.max_length {
-                            if extended.len() > max {
-                                continue;
-                            }
-                        }
-                        if !semantics.admits(&extended) {
-                            continue;
-                        }
-                        let product_state = (extended.last(), next_state);
-                        if semantics == PathSemantics::Walk
-                            && config.max_length.is_none()
-                            && seen.contains(&product_state)
-                        {
-                            // A cycle in the product graph that can still reach
-                            // acceptance: the set of matching walks is infinite.
-                            return Err(AlgebraError::RecursionLimitExceeded {
-                                bound: 0,
-                                paths_so_far: result.len(),
-                            });
-                        }
-                        if self.nfa.is_accepting(next_state) {
-                            self.push(extended.clone(), semantics, &mut result, &mut best, config)?;
-                        }
-                        let mut next_seen = seen.clone();
-                        next_seen.push(product_state);
-                        queue.push_back((extended, next_state, next_seen));
+    /// Runs the product-automaton BFS from one source node.
+    ///
+    /// This is the parallelisable unit of RPQ evaluation: it shares no
+    /// mutable state with other sources, so the engine's frontier evaluator
+    /// runs many of these concurrently and merges the returned path lists in
+    /// source order — the merged set (and its order) is then independent of
+    /// the thread count. The `budget` tallies produced paths across all
+    /// sources of one logical evaluation so `max_paths` bounds the total,
+    /// not the per-source count.
+    pub fn expand_source(
+        &self,
+        source: NodeId,
+        semantics: PathSemantics,
+        config: &RecursionConfig,
+        budget: &PathBudget,
+    ) -> Result<SourceExpansion, AlgebraError> {
+        let mut result = PathSet::new();
+        // For Shortest: minimal known length per target (the source is fixed).
+        let mut best: HashMap<NodeId, usize> = HashMap::new();
+
+        if self.accepts_empty {
+            push_local(
+                Path::node(source),
+                semantics,
+                &mut result,
+                &mut best,
+                budget,
+            )?;
+        }
+        // BFS over the product graph. Each entry carries the partial path,
+        // the automaton state, and the product states already visited along
+        // this path (used to detect pumpable cycles under WALK).
+        let mut queue: VecDeque<ProductEntry> = VecDeque::new();
+        let start_state = self.nfa.start();
+        queue.push_back((Path::node(source), start_state, vec![(source, start_state)]));
+
+        while let Some((path, state, seen)) = queue.pop_front() {
+            let here = path.last();
+            for &edge in self.graph.outgoing(here) {
+                let label = self.graph.label(edge);
+                for next_state in self.nfa.step(state, label) {
+                    if !self.co_accepting[next_state] {
+                        continue;
                     }
+                    let extended = path
+                        .concat(&Path::edge(self.graph, edge))
+                        .expect("outgoing edge starts at the path's last node");
+                    if let Some(max) = config.max_length {
+                        if extended.len() > max {
+                            continue;
+                        }
+                    }
+                    if !semantics.admits(&extended) {
+                        continue;
+                    }
+                    let product_state = (extended.last(), next_state);
+                    if semantics == PathSemantics::Walk
+                        && config.max_length.is_none()
+                        && seen.contains(&product_state)
+                    {
+                        // A cycle in the product graph that can still reach
+                        // acceptance: the set of matching walks is infinite.
+                        // The local tally keeps the error value deterministic
+                        // when sources are expanded concurrently.
+                        return Err(AlgebraError::RecursionLimitExceeded {
+                            bound: 0,
+                            paths_so_far: result.len(),
+                        });
+                    }
+                    if self.nfa.is_accepting(next_state) {
+                        push_local(extended.clone(), semantics, &mut result, &mut best, budget)?;
+                    }
+                    let mut next_seen = seen.clone();
+                    next_seen.push(product_state);
+                    queue.push_back((extended, next_state, next_seen));
                 }
             }
         }
 
-        if semantics == PathSemantics::Shortest {
+        let paths = if semantics == PathSemantics::Shortest {
             // Zero-length matches (a nullable regex such as `a*`) are kept
             // unconditionally and do not participate in the per-pair minimum:
             // this mirrors the algebraic translation of the Kleene star
             // (Figure 4), where `Nodes(G)` is united with the ϕShortest result
             // *after* the shortest filter.
-            let mut filtered = PathSet::new();
-            for p in result.iter() {
-                if p.is_empty() || best.get(&(p.first(), p.last())) == Some(&p.len()) {
-                    filtered.insert(p.clone());
-                }
-            }
-            return Ok(filtered);
-        }
-        Ok(result)
+            result
+                .into_vec()
+                .into_iter()
+                .filter(|p| p.is_empty() || best.get(&p.last()) == Some(&p.len()))
+                .collect()
+        } else {
+            result.into_vec()
+        };
+        Ok(SourceExpansion { source, paths })
     }
+}
 
-    fn push(
-        &self,
-        path: Path,
-        semantics: PathSemantics,
-        result: &mut PathSet,
-        best: &mut HashMap<(NodeId, NodeId), usize>,
-        config: &RecursionConfig,
-    ) -> Result<(), AlgebraError> {
-        if semantics == PathSemantics::Shortest && !path.is_empty() {
-            let key = (path.first(), path.last());
-            let entry = best.entry(key).or_insert(path.len());
-            *entry = (*entry).min(path.len());
-        }
-        if result.insert(path) {
-            if let Some(limit) = config.max_paths {
-                if result.len() > limit {
-                    return Err(AlgebraError::ResultLimitExceeded { limit });
-                }
-            }
-        }
-        Ok(())
+/// Records a discovered path in one source's expansion: updates the
+/// per-target minimum under Shortest, deduplicates (the same path can be
+/// accepted through different automaton runs), and charges the shared budget
+/// for genuinely new paths.
+fn push_local(
+    path: Path,
+    semantics: PathSemantics,
+    result: &mut PathSet,
+    best: &mut HashMap<NodeId, usize>,
+    budget: &PathBudget,
+) -> Result<(), AlgebraError> {
+    if semantics == PathSemantics::Shortest && !path.is_empty() {
+        let entry = best.entry(path.last()).or_insert(path.len());
+        *entry = (*entry).min(path.len());
     }
+    if result.insert(path) {
+        budget.claim(1)?;
+    }
+    Ok(())
 }
 
 /// Computes, for every NFA state, whether an accepting state is reachable.

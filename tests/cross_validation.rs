@@ -11,8 +11,11 @@ use pathalg::algebra::ops::recursive::{PathSemantics, RecursionConfig};
 use pathalg::algebra::ops::selection::selection;
 use pathalg::algebra::pathset::PathSet;
 use pathalg::engine::baseline::evaluate_query_with_automaton;
+use pathalg::engine::exec::ExecutionConfig;
+use pathalg::engine::physical::frontier::{automaton_frontier, phi_frontier, phi_frontier_csr};
 use pathalg::engine::physical::{phi_bfs_shortest, phi_dfs, phi_naive, phi_seminaive};
 use pathalg::engine::runner::{QueryRunner, RunnerConfig};
+use pathalg::graph::csr::CsrGraph;
 use pathalg::graph::fixtures::figure1::Figure1;
 use pathalg::graph::generator::random::{random_labeled_graph, RandomGraphConfig};
 use pathalg::graph::generator::snb::{snb_like_graph, SnbConfig};
@@ -95,6 +98,162 @@ fn physical_implementations_agree_with_the_algebra_everywhere() {
     }
 }
 
+/// The parallel determinism contract of the frontier engine (DESIGN.md §7):
+/// on every test graph and restricted semantics, `phi_frontier` at 1, 2, and
+/// 8 threads produces a byte-identical ordered path sequence, whose canonical
+/// (sorted) rendering is in turn byte-identical to `phi_seminaive`'s.
+#[test]
+fn phi_frontier_is_deterministic_across_thread_counts() {
+    let cfg = RecursionConfig::default();
+    for (name, graph) in test_graphs() {
+        let base = knows_base(&graph);
+        for semantics in [
+            PathSemantics::Trail,
+            PathSemantics::Acyclic,
+            PathSemantics::Simple,
+            PathSemantics::Shortest,
+        ] {
+            let reference = phi_seminaive(semantics, &base, &cfg).unwrap();
+            let reference_canonical: Vec<String> =
+                reference.sorted().iter().map(|p| p.display_ids()).collect();
+            let single = phi_frontier(
+                semantics,
+                &base,
+                &cfg,
+                &ExecutionConfig {
+                    threads: 1,
+                    batch_size: 3,
+                },
+            )
+            .unwrap();
+            for threads in [2usize, 8] {
+                let multi = phi_frontier(
+                    semantics,
+                    &base,
+                    &cfg,
+                    &ExecutionConfig {
+                        threads,
+                        batch_size: 3,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    single.as_slice(),
+                    multi.as_slice(),
+                    "{name}: frontier output order diverged under {semantics:?} at {threads} threads"
+                );
+            }
+            let single_canonical: Vec<String> =
+                single.sorted().iter().map(|p| p.display_ids()).collect();
+            assert_eq!(
+                single_canonical, reference_canonical,
+                "{name}: frontier differs from seminaive under {semantics:?}"
+            );
+        }
+    }
+}
+
+/// The CSR-native specialisation and the PathSet-based frontier engine are
+/// the same algorithm over two base representations: identical output, in
+/// the same order, on every test graph.
+#[test]
+fn csr_native_frontier_agrees_with_the_pathset_frontier() {
+    let cfg = RecursionConfig::default();
+    let exec = ExecutionConfig::with_threads(2);
+    for (name, graph) in test_graphs() {
+        let base = knows_base(&graph);
+        let csr = CsrGraph::with_label(&graph, "Knows");
+        for semantics in [
+            PathSemantics::Trail,
+            PathSemantics::Acyclic,
+            PathSemantics::Simple,
+            PathSemantics::Shortest,
+        ] {
+            let via_paths = phi_frontier(semantics, &base, &cfg, &exec).unwrap();
+            let via_csr = phi_frontier_csr(&csr, semantics, &cfg, &exec).unwrap();
+            assert_eq!(
+                via_paths.as_slice(),
+                via_csr.as_slice(),
+                "{name}: CSR-native frontier diverged under {semantics:?}"
+            );
+        }
+    }
+}
+
+/// End to end: the runner must return identical result sets at every thread
+/// count, on every test graph.
+#[test]
+fn runner_results_are_thread_count_invariant() {
+    let queries = [
+        "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
+        "MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)",
+        "MATCH ALL ACYCLIC p = (?x)-[(:Knows|:Likes)+]->(?y)",
+    ];
+    let recursion = RecursionConfig {
+        max_length: Some(6),
+        ..RecursionConfig::default()
+    };
+    for (name, graph) in test_graphs() {
+        let serial = QueryRunner::with_config(
+            &graph,
+            RunnerConfig {
+                optimize: true,
+                recursion,
+                ..RunnerConfig::default()
+            },
+        );
+        for query in queries {
+            let reference = serial.run(query).unwrap();
+            for threads in [2usize, 8] {
+                let runner = QueryRunner::with_config(
+                    &graph,
+                    RunnerConfig {
+                        optimize: true,
+                        recursion,
+                        execution: ExecutionConfig::with_threads(threads),
+                    },
+                );
+                let result = runner.run(query).unwrap();
+                assert_eq!(
+                    result.paths(),
+                    reference.paths(),
+                    "{name}: {query} changed results at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The parallel automaton-product frontier must agree with the serial
+/// product evaluation, path-for-path and in order.
+#[test]
+fn parallel_automaton_frontier_agrees_with_serial_product() {
+    let cfg = RecursionConfig::default();
+    for (name, graph) in test_graphs() {
+        for pattern in [":Knows+", "(:Knows|:Likes)+"] {
+            let re = parse_regex(pattern).unwrap();
+            let serial = AutomatonEvaluator::new(&graph, &re)
+                .eval_all(PathSemantics::Shortest, &cfg)
+                .unwrap();
+            for threads in [1usize, 4] {
+                let parallel = automaton_frontier(
+                    &graph,
+                    &re,
+                    PathSemantics::Shortest,
+                    &cfg,
+                    &ExecutionConfig::with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(
+                    parallel.as_slice(),
+                    serial.as_slice(),
+                    "{name}: {pattern} parallel product diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn automaton_product_agrees_with_compiled_algebra_everywhere() {
     // Non-recursive patterns are compared under Walk only: the bare algebra
@@ -156,6 +315,7 @@ fn end_to_end_queries_agree_between_runner_and_baseline() {
             RunnerConfig {
                 optimize: true,
                 recursion,
+                ..RunnerConfig::default()
             },
         );
         for query in queries {
@@ -209,6 +369,7 @@ fn evaluation_config_bounds_are_respected_end_to_end() {
         RunnerConfig {
             optimize: false,
             recursion: RecursionConfig::unbounded(),
+            ..RunnerConfig::default()
         },
     );
     assert!(unbounded

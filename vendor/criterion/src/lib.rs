@@ -21,6 +21,12 @@
 //! * `PATHALG_BENCH_MAX_MS` — cap per-benchmark measurement time in
 //!   milliseconds (default 200; the configured `measurement_time` is
 //!   honoured up to this cap so `cargo bench` stays fast).
+//! * `PATHALG_BENCH_JSON` — path of a JSON-lines file to append one record
+//!   per measurement to:
+//!   `{"target":"<bench binary>","bench":"<id>","ns_per_iter":N,"iters":M}`.
+//!   Bench binaries run sequentially under `cargo bench`, so appending is
+//!   race-free; `ci.sh --bench-json` assembles the records into the
+//!   `BENCH_PR2.json` trajectory artifact that future PRs diff against.
 //! * Positional CLI arguments are substring filters on the benchmark id,
 //!   so `cargo bench -- fig2/semantics` behaves as with real criterion.
 
@@ -52,9 +58,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     /// `BenchmarkId::new("seminaive_trail", 64)` → `seminaive_trail/64`.
-    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
         BenchmarkId {
-            id: format!("{function_name}/{parameter}"),
+            id: format!("{}/{parameter}", function_name.into()),
         }
     }
 
@@ -143,9 +149,81 @@ fn report(id: &str, throughput: Option<Throughput>, result: Option<(Duration, u6
                 }
             }
             println!("{line}");
+            append_json_record(id, per_iter, iters);
         }
         _ => println!("{id:<48} (no measurement: closure never called iter)"),
     }
+}
+
+/// Appends one JSON-lines record for a finished measurement when
+/// `PATHALG_BENCH_JSON` names a file (see the module docs). I/O errors are
+/// reported to stderr but never fail the benchmark run.
+fn append_json_record(id: &str, ns_per_iter: u128, iters: u64) {
+    let Ok(path) = std::env::var("PATHALG_BENCH_JSON") else {
+        return;
+    };
+    append_json_record_to(&path, id, ns_per_iter, iters);
+}
+
+/// The emitter proper, with an explicit destination (testable without
+/// mutating the process environment, which is unsound under the parallel
+/// test harness).
+fn append_json_record_to(path: &str, id: &str, ns_per_iter: u128, iters: u64) {
+    if path.is_empty() {
+        return;
+    }
+    let record = format!(
+        "{{\"target\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{ns_per_iter},\"iters\":{iters}}}\n",
+        json_escape(&bench_target_name()),
+        json_escape(id),
+    );
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("criterion: cannot append to PATHALG_BENCH_JSON={path}: {e}");
+    }
+}
+
+/// The name of the running bench binary: the basename of `argv[0]` with
+/// cargo's trailing `-<16 hex digits>` disambiguator stripped, e.g.
+/// `.../deps/scaling_parallel-7c33f21a1a1bfa09` → `scaling_parallel`.
+fn bench_target_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let base = argv0
+        .rsplit(['/', '\\'])
+        .next()
+        .unwrap_or_default()
+        .to_string();
+    strip_cargo_hash(&base)
+}
+
+fn strip_cargo_hash(base: &str) -> String {
+    if let Some((stem, suffix)) = base.rsplit_once('-') {
+        if suffix.len() == 16 && suffix.chars().all(|c| c.is_ascii_hexdigit()) {
+            return stem.to_string();
+        }
+    }
+    base.to_string()
+}
+
+/// Escapes the characters JSON string literals cannot contain raw. Benchmark
+/// ids are ASCII identifiers in practice; this keeps the emitter safe for
+/// arbitrary ones anyway.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A named collection of related benchmarks, mirroring
@@ -329,7 +407,56 @@ mod tests {
     #[test]
     fn benchmark_ids_format_like_criterion() {
         assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(
+            BenchmarkId::new(format!("f/t{}", 4), 64).to_string(),
+            "f/t4/64"
+        );
         assert_eq!(BenchmarkId::from_parameter("TRAIL").to_string(), "TRAIL");
+    }
+
+    #[test]
+    fn cargo_hash_suffixes_are_stripped_from_target_names() {
+        assert_eq!(
+            strip_cargo_hash("scaling_parallel-7c33f21a1a1bfa09"),
+            "scaling_parallel"
+        );
+        // Not a 16-digit hex suffix: kept as-is.
+        assert_eq!(
+            strip_cargo_hash("fig2_recursive_plan"),
+            "fig2_recursive_plan"
+        );
+        assert_eq!(strip_cargo_hash("table3-semantics"), "table3-semantics");
+        assert_eq!(strip_cargo_hash("x-0123456789abcdeg"), "x-0123456789abcdeg");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain/id_64"), "plain/id_64");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn json_records_are_appended_to_an_explicit_path() {
+        let path = std::env::temp_dir().join(format!(
+            "pathalg_bench_json_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        append_json_record_to(path.to_str().unwrap(), "group/bench/1", 1234, 56);
+        append_json_record_to(path.to_str().unwrap(), "group/bench/2", 99, 7);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(body.contains("\"bench\":\"group/bench/1\""));
+        assert!(body.contains("\"ns_per_iter\":1234"));
+        assert!(body.contains("\"iters\":56"));
+        assert!(body.contains("\"bench\":\"group/bench/2\""));
+        assert!(body.contains("\"target\":\""));
+        assert_eq!(body.lines().count(), 2, "one JSONL record per call");
+        assert!(body.ends_with('\n'));
+        // An empty destination is a silent no-op.
+        append_json_record_to("", "group/bench/3", 1, 1);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! A minimal scoped thread pool for deterministic data parallelism.
+//!
+//! The build container has no crates.io access, so `rayon` is unavailable;
+//! this crate supplies the one primitive the workspace needs from it: map a
+//! function over a slice on `n` threads and get the results back **in input
+//! order**, so callers can merge deterministically regardless of thread count
+//! or scheduling. It is built on [`std::thread::scope`], which lets the
+//! closures borrow from the caller's stack without `'static` bounds and joins
+//! every worker before returning (no detached threads, no channels).
+//!
+//! Scheduling is a shared atomic cursor over the item indexes: each worker
+//! claims the next unprocessed index, computes, and stores `(index, result)`
+//! locally; after the scope joins, the per-worker buffers are stitched back
+//! into input order. Work-stealing granularity is therefore one item — callers
+//! that want coarser units (e.g. the ϕ frontier engine's source batches)
+//! chunk their input first.
+//!
+//! ```
+//! let squares = mini_pool::parallel_map(4, &[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Maps `f` over `items` using up to `threads` OS threads, returning the
+/// results in input order.
+///
+/// `f` receives the item index alongside the item so callers can key
+/// per-item state without capturing it. With `threads <= 1` (or one item or
+/// fewer) no thread is spawned and the map runs inline on the caller's
+/// thread, so single-threaded configurations pay zero synchronisation cost —
+/// important for benchmarking the parallel engine against itself.
+///
+/// The number of spawned threads never exceeds the number of items. A panic
+/// in `f` propagates to the caller once the scope joins.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut buffers: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mini_pool worker panicked"))
+            .collect()
+    });
+
+    // Stitch the per-worker buffers back into input order.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for buffer in &mut buffers {
+        for (i, r) in buffer.drain(..) {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Splits `items` into contiguous chunks of at most `chunk_size` and maps `f`
+/// over the chunks in parallel, returning per-chunk results in chunk order.
+///
+/// This is the batching primitive of the frontier engine: a chunk is the unit
+/// of scheduling, so per-chunk setup cost (scratch buffers, local result
+/// vectors) is amortised over `chunk_size` items while the deterministic
+/// chunk order keeps the merged output independent of the thread count.
+pub fn parallel_map_chunks<T, R, F>(threads: usize, chunk_size: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let size = chunk_size.max(1);
+    let chunks: Vec<&[T]> = items.chunks(size).collect();
+    parallel_map(threads, &chunks, |i, chunk| f(i, chunk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_run_inline() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn zero_threads_behaves_like_one() {
+        let out = parallel_map(0, &[1u32, 2, 3], |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let out = parallel_map(8, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn workers_can_borrow_from_the_caller() {
+        // The whole point of std::thread::scope: no 'static bound.
+        let data = vec![String::from("a"), String::from("bb")];
+        let lens = parallel_map(2, &data, |_, s| s.len());
+        assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn chunked_map_preserves_chunk_order_and_coverage() {
+        let items: Vec<u32> = (0..10).collect();
+        for threads in [1, 4] {
+            let sums = parallel_map_chunks(threads, 3, &items, |i, chunk| {
+                (i, chunk.iter().sum::<u32>())
+            });
+            assert_eq!(sums, vec![(0, 3), (1, 12), (2, 21), (3, 9)]);
+        }
+    }
+
+    #[test]
+    fn chunk_size_zero_is_clamped_to_one() {
+        let out = parallel_map_chunks(2, 0, &[1u32, 2], |_, chunk| chunk.len());
+        assert_eq!(out, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mini_pool worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        parallel_map(4, &items, |_, &x| {
+            if x == 63 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}
