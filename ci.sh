@@ -6,8 +6,14 @@
 #   ./ci.sh --quick       tier-1 subset only (see ROADMAP.md):
 #                         cargo build --release && cargo test -q
 #   ./ci.sh --bench-json  run every bench target under PATHALG_BENCH_MAX_MS
-#                         and write the BENCH_PR2.json perf-trajectory
-#                         artifact (bench id → ns/iter) at the repo root
+#                         and write the perf-trajectory artifact
+#                         (bench id → ns/iter) at the repo root; the output
+#                         file is $PATHALG_BENCH_OUT (default BENCH_PR3.json)
+#   ./ci.sh --perf-diff OLD.json NEW.json
+#                         compare two trajectory artifacts: report per-target
+#                         geometric-mean ratios and the worst individual
+#                         regressions, failing if any shared bench id got
+#                         more than 2× slower
 #
 # Everything in the full gate must stay green. No network access is required
 # (deps are vendored, see vendor/README.md).
@@ -47,11 +53,12 @@ full() {
 }
 
 # Runs every bench target with the vendored criterion's JSON-lines emitter
-# enabled, then assembles BENCH_PR2.json: a flat "target/bench-id" → ns/iter
-# map. PATHALG_BENCH_MAX_MS caps the per-benchmark measurement window.
+# enabled, then assembles $PATHALG_BENCH_OUT (default BENCH_PR3.json): a flat
+# "target/bench-id" → ns/iter map. PATHALG_BENCH_MAX_MS caps the
+# per-benchmark measurement window.
 bench_json() {
-    local jsonl="BENCH_PR2.jsonl.tmp"
-    local out="BENCH_PR2.json"
+    local out="${PATHALG_BENCH_OUT:-BENCH_PR3.json}"
+    local jsonl="${out}.jsonl.tmp"
     rm -f "$jsonl" "$out"
 
     step "cargo bench (PATHALG_BENCH_MAX_MS=${PATHALG_BENCH_MAX_MS:-200}, emitting $out)"
@@ -98,6 +105,66 @@ bench_json() {
     printf '\nci.sh: wrote %s (%s entries)\n' "$out" "$(grep -c '":' "$out")"
 }
 
+# Compares two trajectory artifacts over their shared bench ids. Reports a
+# per-target geometric-mean ratio (NEW/OLD) plus the worst individual ids,
+# and fails when any shared id regressed by more than REGRESSION_FACTOR.
+perf_diff() {
+    local old="$1" new="$2"
+    local factor="${PATHALG_PERF_FACTOR:-2.0}"
+    for f in "$old" "$new"; do
+        if [ ! -f "$f" ]; then
+            echo "ci.sh: perf-diff: no such file: $f" >&2
+            exit 2
+        fi
+    done
+    step "perf diff $old -> $new (fail on >${factor}x regression)"
+    awk -v factor="$factor" '
+        # Trajectory lines look like:   "target/bench-id": 1234.5,
+        /": *[0-9]/ {
+            key = $0; sub(/^ *"/, "", key); sub(/".*/, "", key)
+            ns  = $0; sub(/.*": */, "", ns); sub(/[,}].*/, "", ns)
+            if (FILENAME == ARGV[1]) old[key] = ns; else new_[key] = ns
+        }
+        END {
+            # Ids present in OLD but missing from NEW: a rename or removal
+            # would otherwise silently shrink the comparison set.
+            missing = 0
+            for (key in old) {
+                if (!(key in new_)) {
+                    printf "  MISSING in NEW: %s\n", key
+                    missing++
+                }
+            }
+            if (missing > 0)
+                printf "  WARNING: %d bench id(s) from OLD are absent in NEW (renamed or removed?)\n", missing
+            shared = 0; regressions = 0
+            for (key in new_) {
+                if (!(key in old) || old[key] + 0 == 0) continue
+                shared++
+                ratio = new_[key] / old[key]
+                target = key; sub(/\/.*/, "", target)
+                logsum[target] += log(ratio); n[target]++
+                if (ratio > worst[target]) { worst[target] = ratio; worst_id[target] = key }
+                if (ratio > factor) {
+                    printf "  REGRESSION %.2fx  %s (%.0f -> %.0f ns/iter)\n", ratio, key, old[key], new_[key]
+                    regressions++
+                }
+            }
+            printf "  %d shared bench ids\n", shared
+            for (target in n) {
+                printf "  %-24s geomean %.2fx  worst %.2fx (%s)\n", \
+                    target, exp(logsum[target] / n[target]), worst[target], worst_id[target]
+            }
+            if (shared == 0) { print "  no shared bench ids — nothing to compare" > "/dev/stderr"; exit 2 }
+            if (regressions > 0) {
+                printf "ci.sh: perf-diff: %d bench id(s) regressed by more than %sx\n", regressions, factor > "/dev/stderr"
+                exit 1
+            }
+            print "ci.sh: perf-diff passed"
+        }
+    ' "$old" "$new"
+}
+
 case "${1:-}" in
     --quick)
         quick
@@ -106,11 +173,18 @@ case "${1:-}" in
     --bench-json)
         bench_json
         ;;
+    --perf-diff)
+        if [ $# -ne 3 ]; then
+            echo "usage: ./ci.sh --perf-diff OLD.json NEW.json" >&2
+            exit 2
+        fi
+        perf_diff "$2" "$3"
+        ;;
     "")
         full
         ;;
     *)
-        echo "usage: ./ci.sh [--quick | --bench-json]" >&2
+        echo "usage: ./ci.sh [--quick | --bench-json | --perf-diff OLD.json NEW.json]" >&2
         exit 2
         ;;
 esac

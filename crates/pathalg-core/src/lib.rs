@@ -40,6 +40,8 @@ pub mod ops;
 pub mod optimizer;
 pub mod path;
 pub mod pathset;
+pub mod pathset_repr;
+pub mod slice;
 pub mod solution_space;
 
 pub use condition::{Accessor, CompareOp, Condition, Position};
@@ -53,4 +55,6 @@ pub use ops::projection::{ProjectionSpec, Take};
 pub use ops::recursive::PathSemantics;
 pub use path::Path;
 pub use pathset::PathSet;
+pub use pathset_repr::{LazyPathStream, PathSetRepr};
+pub use slice::{SlicePlan, SliceSpec};
 pub use solution_space::SolutionSpace;

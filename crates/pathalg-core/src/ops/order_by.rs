@@ -82,6 +82,15 @@ impl OrderKey {
         )
     }
 
+    /// True if θ ranks *only* paths (θ = A). This is the one ordering a lazy
+    /// enumeration can absorb for free: the canonical enumeration order is
+    /// already length-non-decreasing within every source segment, so the
+    /// stable rank sort of the projection is the identity on single-source
+    /// groups (see [`crate::slice`]).
+    pub fn ranks_only_paths(&self) -> bool {
+        *self == OrderKey::Path
+    }
+
     /// The paper's symbol for the parameter.
     pub fn symbol(&self) -> &'static str {
         match self {

@@ -90,6 +90,33 @@ impl ProjectionSpec {
         self.groups.validate()?;
         self.paths.validate()
     }
+
+    /// The per-group path limit as a pushdown bound: `Some(k)` for
+    /// `π(…,…,k)`, `None` for `π(…,…,*)`. Lazy pipelines
+    /// ([`crate::slice`]) stop enumerating a group once it holds this many
+    /// paths.
+    pub fn path_limit(&self) -> Option<usize> {
+        match self.paths {
+            Take::All => None,
+            Take::Count(k) => Some(k),
+        }
+    }
+
+    /// The partition limit as a pushdown bound: `Some(k)` for `π(k,…,…)`.
+    pub fn partition_limit(&self) -> Option<usize> {
+        match self.partitions {
+            Take::All => None,
+            Take::Count(k) => Some(k),
+        }
+    }
+
+    /// True if the spec keeps every group of every kept partition whole —
+    /// the precondition for pushing the remaining limits into a lazy
+    /// enumeration (group limits interleave with length levels and are not
+    /// streamable).
+    pub fn keeps_groups_whole(&self) -> bool {
+        self.groups == Take::All
+    }
 }
 
 impl fmt::Display for ProjectionSpec {

@@ -1,0 +1,568 @@
+//! Recognition and streaming evaluation of *sliceable* γ/τ/π pipelines.
+//!
+//! The γ → τ → π pipelines GQL selectors translate to (Table 7) often keep
+//! only a few paths per partition — `π(*,*,k)` — while the recursive operator
+//! underneath can produce exponentially many. This module recognises the
+//! pipeline shapes whose result is fully determined by a *prefix* of the
+//! canonical enumeration order (see [`crate::pathset_repr::LazyPathStream`])
+//! and evaluates them by pulling paths from a lazy stream instead of
+//! materialising the whole closure:
+//!
+//! * [`PlanExpr::sliceable_pipeline`] — the shape recogniser. It accepts
+//!   `π(spec)(τA?(γψ(ϕsem(base))))` where ψ ∈ {∅, S, ST}, the order-by is
+//!   absent or ranks paths by length (`τA`), groups are taken whole, and at
+//!   least one of the partition/path components actually slices. These are
+//!   exactly the shapes where "first k in canonical order per group" equals
+//!   the materialised projection: γ's groups collect paths in enumeration
+//!   order, canonical order is length-non-decreasing within each source, and
+//!   ψ ∈ {∅, S, ST} keeps every group inside a single source segment, so the
+//!   stable rank sort of Algorithm 1 is the identity.
+//! * [`slice_stream`] — the generic streaming evaluator: reproduces
+//!   `π(spec)(τ?(γψ(...)))` byte for byte over any [`LazyPathStream`],
+//!   stopping as soon as the kept set is complete (single-partition keys stop
+//!   after k paths; partition-limited specs stop once every kept group is
+//!   full). The `pathalg-pmr` crate layers a stronger, reachability-aware
+//!   early stop on top for CSR-backed streams.
+
+use crate::condition::{Accessor, CompareOp, Condition, Position};
+use crate::error::AlgebraError;
+use crate::expr::PlanExpr;
+use crate::ops::group_by::GroupKey;
+use crate::ops::recursive::PathSemantics;
+use crate::pathset::PathSet;
+use crate::pathset_repr::LazyPathStream;
+use pathalg_graph::ids::NodeId;
+use std::collections::HashMap;
+
+/// The slicing parameters pushed down into a lazy enumeration: which grouping
+/// the projection slices along and how many elements each level keeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// The grouping parameter ψ of the pipeline (∅, S or ST).
+    pub group_key: GroupKey,
+    /// Paths kept per group (`π(…,…,k)`), `None` for `*`.
+    pub per_group: Option<usize>,
+    /// Partitions kept (`π(k,…,…)`), `None` for `*`. Only recognised when no
+    /// order-by ranks partitions, so "first k" is first-occurrence order.
+    pub max_partitions: Option<usize>,
+    /// True when the pipeline contains `τA` (paths ranked by length). The
+    /// kept set is the same either way — canonical order is already
+    /// length-sorted within each group — but the flag documents the original
+    /// pipeline in traces.
+    pub ordered_by_length: bool,
+}
+
+/// A recognised sliceable pipeline: the slicing parameters plus the ϕ
+/// operator it slices over.
+#[derive(Clone, Copy, Debug)]
+pub struct SlicePlan<'a> {
+    /// The slicing parameters.
+    pub spec: SliceSpec,
+    /// The path semantics of the recursive operator.
+    pub semantics: PathSemantics,
+    /// The base expression of the recursive operator (the operand of ϕ).
+    pub base: &'a PlanExpr,
+}
+
+impl SlicePlan<'_> {
+    /// True if this pipeline can actually be evaluated lazily under the
+    /// given recursion bounds: the ϕ base must be a label scan (the shape
+    /// the PMR expands without materialising), and unbounded Walk is
+    /// excluded because its infinite-answer detection requires driving the
+    /// full expansion. This is the single eligibility predicate shared by
+    /// the engine's strategy chooser and the parser's `lazy_sliceable` tag.
+    pub fn lazy_eligible(&self, recursion: &crate::ops::recursive::RecursionConfig) -> bool {
+        self.base.label_scan_target().is_some()
+            && (self.semantics != PathSemantics::Walk || recursion.max_length.is_some())
+    }
+}
+
+impl PlanExpr {
+    /// Recognises a sliceable `π(τA?(γψ(ϕ(…))))` pipeline rooted at this
+    /// expression (see the module docs for the exact conditions). Returns
+    /// `None` when the plan must be evaluated by materialising.
+    pub fn sliceable_pipeline(&self) -> Option<SlicePlan<'_>> {
+        let PlanExpr::Projection { spec, input } = self else {
+            return None;
+        };
+        if !spec.keeps_groups_whole() {
+            return None;
+        }
+        let per_group = spec.path_limit();
+        let max_partitions = spec.partition_limit();
+        // π(*,*,*) slices nothing; materialising is as good as streaming.
+        if per_group.is_none() && max_partitions.is_none() {
+            return None;
+        }
+        let (ordered_by_length, grouped) = match input.as_ref() {
+            PlanExpr::OrderBy { key, input } => {
+                if !key.ranks_only_paths() {
+                    return None;
+                }
+                (true, input.as_ref())
+            }
+            other => (false, other),
+        };
+        // A partition limit is only "first k in occurrence order" when no τ
+        // ranks partitions; τA leaves partition ranks at 1, so first-occurrence
+        // order still decides — but combined with a partition limit we keep
+        // the conservative rule simple and require no order-by at all.
+        if max_partitions.is_some() && ordered_by_length {
+            return None;
+        }
+        let PlanExpr::GroupBy { key, input } = grouped else {
+            return None;
+        };
+        match key {
+            GroupKey::Empty | GroupKey::Source | GroupKey::SourceTarget => {}
+            _ => return None,
+        }
+        // γ∅ collects every source into one group, so length order is global
+        // — canonical order is only length-sorted per source.
+        if *key == GroupKey::Empty && ordered_by_length {
+            return None;
+        }
+        let PlanExpr::Recursive { semantics, input } = input.as_ref() else {
+            return None;
+        };
+        Some(SlicePlan {
+            spec: SliceSpec {
+                group_key: *key,
+                per_group,
+                max_partitions,
+                ordered_by_length,
+            },
+            semantics: *semantics,
+            base: input,
+        })
+    }
+
+    /// Recognises `σ_{label(edge(1)) = ℓ}(Edges(G))` — the shape every
+    /// `[:ℓ+]` pattern compiles its base relation to — and returns `ℓ`.
+    pub fn label_scan_target(&self) -> Option<&str> {
+        let PlanExpr::Selection { condition, input } = self else {
+            return None;
+        };
+        if !matches!(**input, PlanExpr::Edges) {
+            return None;
+        }
+        let Condition::Compare {
+            accessor: Accessor::EdgeLabel(Position::Index(1)),
+            op: CompareOp::Eq,
+            value,
+        } = condition
+        else {
+            return None;
+        };
+        value.as_str()
+    }
+}
+
+/// Evaluates `π(spec)(τA?(γψ(stream)))` by pulling from a canonical-order
+/// stream, keeping at most `per_group` paths per group and at most
+/// `max_partitions` partitions (first-occurrence order), and stopping as soon
+/// as the kept set is provably complete. Byte-identical to materialising the
+/// stream and running [`crate::ops::group_by::group_by`],
+/// [`crate::ops::order_by::order_by`] and
+/// [`crate::ops::projection::projection`].
+pub fn slice_stream(
+    spec: &SliceSpec,
+    stream: &mut dyn LazyPathStream,
+) -> Result<PathSet, AlgebraError> {
+    let mut collector = SliceCollector::new(spec);
+    'outer: loop {
+        let batch = stream.next_batch(SLICE_BATCH)?;
+        if batch.is_empty() {
+            break;
+        }
+        for path in batch {
+            if collector.offer(path) == SliceState::Complete {
+                break 'outer;
+            }
+        }
+    }
+    Ok(collector.finish())
+}
+
+/// Pull granularity of [`slice_stream`].
+const SLICE_BATCH: usize = 64;
+
+/// Whether a slice collector can still accept paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceState {
+    /// Further paths may still be kept.
+    Open,
+    /// The kept set is complete; no future path (in canonical order) can be
+    /// kept, so enumeration may stop.
+    Complete,
+}
+
+/// The incremental kept-set builder shared by [`slice_stream`] and the
+/// `pathalg-pmr` crate's reachability-aware sliced evaluation: groups paths by
+/// the partition key in first-occurrence order, caps each group at
+/// `per_group`, ignores partitions beyond `max_partitions`, and reports when
+/// the kept set cannot grow any more.
+pub struct SliceCollector {
+    spec: SliceSpec,
+    groups: Vec<(PartitionKey, Vec<crate::path::Path>)>,
+    index: HashMap<PartitionKey, usize>,
+    /// Number of kept groups still below the `per_group` cap — kept
+    /// incrementally so completion checks are O(1) per offered path.
+    unfilled: usize,
+}
+
+/// The partition identity under ψ ∈ {∅, S, ST}: the source and/or target
+/// component of the grouping key (both `None` for γ∅).
+pub type PartitionKey = (Option<NodeId>, Option<NodeId>);
+
+impl SliceCollector {
+    /// Creates an empty collector for `spec`.
+    pub fn new(spec: &SliceSpec) -> Self {
+        Self {
+            spec: *spec,
+            groups: Vec::new(),
+            index: HashMap::new(),
+            unfilled: 0,
+        }
+    }
+
+    /// The partition key of a path under the collector's grouping parameter.
+    pub fn key_of(&self, path: &crate::path::Path) -> PartitionKey {
+        (
+            self.spec
+                .group_key
+                .partitions_by_source()
+                .then(|| path.first()),
+            self.spec
+                .group_key
+                .partitions_by_target()
+                .then(|| path.last()),
+        )
+    }
+
+    /// Offers the next path in canonical order; keeps or skips it and reports
+    /// whether the kept set is now complete.
+    pub fn offer(&mut self, path: crate::path::Path) -> SliceState {
+        let key = self.key_of(&path);
+        let gi = match self.index.get(&key) {
+            Some(&gi) => gi,
+            None => {
+                if self
+                    .spec
+                    .max_partitions
+                    .is_some_and(|kp| self.groups.len() >= kp)
+                {
+                    return self.state();
+                }
+                self.groups.push((key, Vec::new()));
+                self.index.insert(key, self.groups.len() - 1);
+                if self.spec.per_group.is_some() {
+                    self.unfilled += 1;
+                }
+                self.groups.len() - 1
+            }
+        };
+        let cap = self.spec.per_group;
+        let members = &mut self.groups[gi].1;
+        if cap.is_none_or(|k| members.len() < k) {
+            members.push(path);
+            if cap.is_some_and(|k| members.len() == k) {
+                self.unfilled -= 1;
+            }
+        }
+        self.state()
+    }
+
+    /// True once the kept set cannot grow: every kept group is full and no
+    /// new partition may be admitted. O(1) via the `unfilled` counter.
+    fn state(&self) -> SliceState {
+        if self.spec.per_group.is_none() {
+            return SliceState::Open;
+        }
+        let all_full = self.unfilled == 0;
+        let partitions_closed = match self.spec.group_key {
+            // γ∅: there is only ever one partition.
+            GroupKey::Empty => !self.groups.is_empty(),
+            _ => self
+                .spec
+                .max_partitions
+                .is_some_and(|kp| self.groups.len() >= kp),
+        };
+        if all_full && partitions_closed {
+            SliceState::Complete
+        } else {
+            SliceState::Open
+        }
+    }
+
+    /// Number of partitions discovered so far.
+    pub fn partition_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if the group of `key` already holds `per_group` paths (always
+    /// false when no per-group cap is set).
+    pub fn group_is_full(&self, key: &PartitionKey) -> bool {
+        match (self.spec.per_group, self.index.get(key)) {
+            (Some(k), Some(&gi)) => self.groups[gi].1.len() >= k,
+            _ => false,
+        }
+    }
+
+    /// True if the next path with this key would actually be kept (rather
+    /// than skipped as a duplicate beyond the group cap or as a partition
+    /// beyond the partition limit). Producers use this to avoid
+    /// materialising paths that are about to be discarded.
+    pub fn would_keep(&self, key: &PartitionKey) -> bool {
+        match self.index.get(key) {
+            Some(&gi) => self
+                .spec
+                .per_group
+                .is_none_or(|k| self.groups[gi].1.len() < k),
+            None => self.accepts_new_partition(),
+        }
+    }
+
+    /// True if a path with this key could still be kept.
+    pub fn accepts_new_partition(&self) -> bool {
+        self.spec
+            .max_partitions
+            .is_none_or(|kp| self.groups.len() < kp)
+    }
+
+    /// Assembles the kept paths: partitions in first-occurrence order, paths
+    /// within each group in canonical order — exactly the output order of
+    /// Algorithm 1 on these pipeline shapes.
+    pub fn finish(self) -> PathSet {
+        let mut out = PathSet::new();
+        for (_, members) in self.groups {
+            out.extend(members);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::ops::group_by::group_by;
+    use crate::ops::order_by::{order_by, OrderKey};
+    use crate::ops::projection::{projection, ProjectionSpec, Take};
+    use crate::ops::recursive::{recursive, RecursionConfig};
+    use crate::ops::selection::selection;
+    use crate::path::Path;
+    use crate::pathset_repr::LazyPathStream;
+    use pathalg_graph::fixtures::figure1::Figure1;
+
+    fn scan(label: &str) -> PlanExpr {
+        PlanExpr::edges().select(Condition::edge_label(1, label))
+    }
+
+    #[test]
+    fn recognises_the_selector_pipelines() {
+        // SHORTEST k: π(*,*,k)(τA(γST(ϕ(scan)))).
+        let plan = scan("Knows")
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::SourceTarget)
+            .order_by(OrderKey::Path)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(2)));
+        let sliced = plan.sliceable_pipeline().unwrap();
+        assert_eq!(sliced.spec.group_key, GroupKey::SourceTarget);
+        assert_eq!(sliced.spec.per_group, Some(2));
+        assert_eq!(sliced.spec.max_partitions, None);
+        assert!(sliced.spec.ordered_by_length);
+        assert_eq!(sliced.semantics, PathSemantics::Trail);
+        assert_eq!(sliced.base.label_scan_target(), Some("Knows"));
+
+        // ANY: π(*,*,1)(γST(ϕ(scan))) — no order-by.
+        let plan = scan("Knows")
+            .recursive(PathSemantics::Shortest)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+        let sliced = plan.sliceable_pipeline().unwrap();
+        assert!(!sliced.spec.ordered_by_length);
+        assert_eq!(sliced.spec.per_group, Some(1));
+
+        // Extended form: 2 PARTITIONS, 3 PATHS, no order.
+        let plan = scan("Knows")
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::Source)
+            .project(ProjectionSpec::new(
+                Take::Count(2),
+                Take::All,
+                Take::Count(3),
+            ));
+        let sliced = plan.sliceable_pipeline().unwrap();
+        assert_eq!(sliced.spec.max_partitions, Some(2));
+        assert_eq!(sliced.spec.per_group, Some(3));
+    }
+
+    #[test]
+    fn rejects_non_sliceable_shapes() {
+        let phi = scan("Knows").recursive(PathSemantics::Trail);
+        // π(*,*,*) slices nothing.
+        assert!(phi
+            .clone()
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::all())
+            .sliceable_pipeline()
+            .is_none());
+        // Group limits are not streamable.
+        assert!(phi
+            .clone()
+            .group_by(GroupKey::SourceTargetLength)
+            .project(ProjectionSpec::new(Take::All, Take::Count(1), Take::All))
+            .sliceable_pipeline()
+            .is_none());
+        // Length-keyed groups span levels.
+        assert!(phi
+            .clone()
+            .group_by(GroupKey::Length)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
+            .sliceable_pipeline()
+            .is_none());
+        // γ∅ + τA orders globally; canonical order is per-source.
+        assert!(phi
+            .clone()
+            .group_by(GroupKey::Empty)
+            .order_by(OrderKey::Path)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
+            .sliceable_pipeline()
+            .is_none());
+        // Order keys other than A rank groups/partitions.
+        assert!(phi
+            .clone()
+            .group_by(GroupKey::SourceTarget)
+            .order_by(OrderKey::PartitionGroupPath)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
+            .sliceable_pipeline()
+            .is_none());
+        // A selection between γ and ϕ blocks the pushdown.
+        assert!(phi
+            .select(Condition::first_property("name", "Moe"))
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
+            .sliceable_pipeline()
+            .is_none());
+    }
+
+    #[test]
+    fn label_scan_detection_matches_the_compiled_shape() {
+        assert_eq!(scan("Knows").label_scan_target(), Some("Knows"));
+        assert_eq!(
+            PlanExpr::edges()
+                .select(Condition::edge_label(2, "Knows"))
+                .label_scan_target(),
+            None
+        );
+        assert_eq!(
+            PlanExpr::nodes()
+                .select(Condition::edge_label(1, "Knows"))
+                .label_scan_target(),
+            None
+        );
+        assert_eq!(PlanExpr::edges().label_scan_target(), None);
+    }
+
+    /// A canonical-order stream over a pre-materialised closure.
+    struct VecStream(std::vec::IntoIter<Path>);
+
+    impl LazyPathStream for VecStream {
+        fn next_batch(&mut self, max: usize) -> Result<Vec<Path>, AlgebraError> {
+            Ok(self.0.by_ref().take(max).collect())
+        }
+    }
+
+    /// The materialised trail closure of the Knows subgraph, in a canonical
+    /// per-source, level-ordered sequence.
+    fn canonical_trails(f: &Figure1) -> Vec<Path> {
+        let base = selection(
+            &f.graph,
+            &Condition::edge_label(1, "Knows"),
+            &PathSet::edges(&f.graph),
+        );
+        let closure = recursive(PathSemantics::Trail, &base, &RecursionConfig::default()).unwrap();
+        let mut v: Vec<Path> = closure.into_vec();
+        // Source-major, level-ordered: the canonical-order contract.
+        v.sort_by_key(|p| (p.first(), p.len()));
+        v
+    }
+
+    #[test]
+    fn slice_stream_matches_the_materialised_pipeline() {
+        let f = Figure1::new();
+        let canonical = canonical_trails(&f);
+        let materialised: PathSet = canonical.iter().cloned().collect();
+        for (spec, group_key, order) in [
+            (
+                ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+                GroupKey::SourceTarget,
+                Some(OrderKey::Path),
+            ),
+            (
+                ProjectionSpec::new(Take::All, Take::All, Take::Count(2)),
+                GroupKey::SourceTarget,
+                None,
+            ),
+            (
+                ProjectionSpec::new(Take::Count(2), Take::All, Take::Count(3)),
+                GroupKey::Source,
+                None,
+            ),
+            (
+                ProjectionSpec::new(Take::All, Take::All, Take::Count(4)),
+                GroupKey::Empty,
+                None,
+            ),
+        ] {
+            let grouped = group_by(group_key, &materialised);
+            let ranked = match order {
+                Some(key) => order_by(key, &grouped),
+                None => grouped,
+            };
+            let expected = projection(&spec, &ranked);
+
+            let slice = SliceSpec {
+                group_key,
+                per_group: match spec.paths {
+                    Take::Count(k) => Some(k),
+                    Take::All => None,
+                },
+                max_partitions: match spec.partitions {
+                    Take::Count(k) => Some(k),
+                    Take::All => None,
+                },
+                ordered_by_length: order.is_some(),
+            };
+            let mut stream = VecStream(canonical.clone().into_iter());
+            let out = slice_stream(&slice, &mut stream).unwrap();
+            assert_eq!(
+                out.as_slice(),
+                expected.as_slice(),
+                "γ{group_key} {spec} diverged from the materialised pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_stream_stops_as_soon_as_the_kept_set_is_complete() {
+        let f = Figure1::new();
+        let canonical = canonical_trails(&f);
+        // γ∅, first 2 paths: the stream must not be drained past them.
+        let spec = SliceSpec {
+            group_key: GroupKey::Empty,
+            per_group: Some(2),
+            max_partitions: None,
+            ordered_by_length: false,
+        };
+        let mut stream = VecStream(canonical.clone().into_iter());
+        let out = slice_stream(&spec, &mut stream).unwrap();
+        assert_eq!(out.len(), 2);
+        let leftover: Vec<Path> = stream.0.collect();
+        assert!(
+            leftover.len() >= canonical.len().saturating_sub(2 + SLICE_BATCH),
+            "stream was drained further than one batch past the kept set"
+        );
+    }
+}

@@ -131,6 +131,12 @@ pub enum PhiImpl {
     /// The BFS specialised to Shortest semantics
     /// ([`crate::physical::phi_bfs_shortest`]).
     BfsShortest,
+    /// The lazy compact path-multiset representation (`pathalg-pmr`):
+    /// chosen when a plan's root is a slicing π pipeline over a recursive
+    /// label scan ([`choose_pipeline_impl`]), or for a root-level ϕShortest
+    /// label scan in serial configurations ([`choose_scan_phi_impl`]) where
+    /// the PMR's prefix-sharing arena replaces per-path materialisation.
+    PmrLazy,
 }
 
 /// Below this base size the frontier engine's index construction is not worth
@@ -167,6 +173,46 @@ pub fn choose_phi_impl(
         return PhiImpl::BfsShortest;
     }
     PhiImpl::Frontier
+}
+
+/// Picks the physical implementation for a `ϕ(σℓ(Edges(G)))` label-scan
+/// node, which never materialises its base relation.
+///
+/// A *root-level* ϕShortest scan in a serial configuration goes to the lazy
+/// PMR ([`PhiImpl::PmrLazy`]): its per-source expansion is the same
+/// saturating BFS as the CSR frontier engine's, but paths live as
+/// prefix-sharing arena steps until emission, so the peak working set is
+/// O(#paths) words instead of O(#paths · length). Every other case uses the
+/// (possibly parallel) CSR frontier engine — under multi-threaded
+/// configurations it is the only implementation that can use the extra
+/// workers, and for non-root ϕ nodes the parent operator needs the
+/// materialised set anyway. Both produce byte-identical output sequences.
+pub fn choose_scan_phi_impl(
+    semantics: PathSemantics,
+    exec: &ExecutionConfig,
+    at_root: bool,
+) -> PhiImpl {
+    if at_root && semantics == PathSemantics::Shortest && exec.threads <= 1 {
+        return PhiImpl::PmrLazy;
+    }
+    PhiImpl::Frontier
+}
+
+/// Recognises a whole plan whose root is a *slicing* γ/τ/π pipeline over a
+/// recursive label scan — the shape where lazy top-k enumeration
+/// ([`PhiImpl::PmrLazy`]) turns a worst-case-exponential evaluation into an
+/// output-linear one — and returns the recognised
+/// [`pathalg_core::slice::SlicePlan`] so the
+/// evaluator need not re-derive it. Returns `None` when the plan must be
+/// evaluated by materialising (not sliceable, base not a label scan, or an
+/// unbounded Walk, whose infinite-answer detection requires driving the
+/// expansion — see [`pathalg_core::slice::SlicePlan::lazy_eligible`]).
+pub fn choose_pipeline_impl<'a>(
+    plan: &'a pathalg_core::expr::PlanExpr,
+    recursion: &pathalg_core::ops::recursive::RecursionConfig,
+) -> Option<pathalg_core::slice::SlicePlan<'a>> {
+    plan.sliceable_pipeline()
+        .filter(|sliced| sliced.lazy_eligible(recursion))
 }
 
 /// Estimated fraction of paths satisfying a condition.
@@ -311,6 +357,55 @@ mod tests {
         assert_eq!(choose_phi_impl(Trail, 64, &serial), PhiImpl::Frontier);
         assert_eq!(choose_phi_impl(Shortest, 5000, &serial), PhiImpl::Frontier);
         assert_eq!(choose_phi_impl(Walk, 5000, &serial), PhiImpl::Frontier);
+    }
+
+    #[test]
+    fn scan_and_pipeline_choosers_pick_pmr_lazy_where_it_pays() {
+        use pathalg_core::ops::projection::{ProjectionSpec, Take};
+        use pathalg_core::ops::recursive::RecursionConfig;
+        use pathalg_core::GroupKey;
+
+        let serial = ExecutionConfig::default();
+        let parallel = ExecutionConfig::with_threads(4);
+        // Root-level serial ϕShortest scans take the PMR…
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Shortest, &serial, true),
+            PhiImpl::PmrLazy
+        );
+        // …but non-root, parallel, or non-Shortest scans stay on the frontier.
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Shortest, &serial, false),
+            PhiImpl::Frontier
+        );
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Shortest, &parallel, true),
+            PhiImpl::Frontier
+        );
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, true),
+            PhiImpl::Frontier
+        );
+
+        let recursion = RecursionConfig::default();
+        let sliced = knows_scan()
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+        assert!(choose_pipeline_impl(&sliced, &recursion).is_some());
+        // π(*,*,*) slices nothing.
+        let all = knows_scan()
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::all());
+        assert!(choose_pipeline_impl(&all, &recursion).is_none());
+        // Unbounded Walk must keep the materialised infinite-answer check;
+        // with a bound the lazy pipeline applies.
+        let walk = knows_scan()
+            .recursive(PathSemantics::Walk)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+        assert!(choose_pipeline_impl(&walk, &RecursionConfig::unbounded()).is_none());
+        assert!(choose_pipeline_impl(&walk, &RecursionConfig::with_max_length(4)).is_some());
     }
 
     #[test]

@@ -23,10 +23,9 @@
 //! additionally makes the engine's own output ordering independent of
 //! [`ExecutionConfig::threads`].
 
-use crate::cost::{choose_phi_impl, PhiImpl};
+use crate::cost::{choose_phi_impl, choose_pipeline_impl, choose_scan_phi_impl, PhiImpl};
 use crate::physical::frontier::{phi_frontier, phi_frontier_csr};
 use crate::physical::{phi_bfs_shortest, phi_seminaive};
-use pathalg_core::condition::{Accessor, CompareOp, Condition, Position};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::eval::{EvalOutput, EvalStats};
 use pathalg_core::expr::PlanExpr;
@@ -34,13 +33,16 @@ use pathalg_core::ops::group_by::group_by;
 use pathalg_core::ops::join::join;
 use pathalg_core::ops::order_by::order_by;
 use pathalg_core::ops::projection::projection;
+use pathalg_core::ops::recursive::PathSemantics;
 use pathalg_core::ops::recursive::RecursionConfig;
 use pathalg_core::ops::selection::selection;
 use pathalg_core::ops::union::union;
 use pathalg_core::pathset::PathSet;
+use pathalg_core::pathset_repr::PathSetRepr;
 use pathalg_core::solution_space::SolutionSpace;
 use pathalg_graph::csr::CsrGraph;
 use pathalg_graph::graph::PropertyGraph;
+use pathalg_pmr::Pmr;
 
 /// Parallel-execution knobs of the [`QueryRunner`](crate::runner::QueryRunner).
 ///
@@ -83,6 +85,8 @@ pub struct EngineEvaluator<'g> {
     recursion: RecursionConfig,
     exec: ExecutionConfig,
     stats: EvalStats,
+    depth: usize,
+    lazy_pipeline_fired: bool,
 }
 
 impl<'g> EngineEvaluator<'g> {
@@ -98,6 +102,8 @@ impl<'g> EngineEvaluator<'g> {
             recursion,
             exec,
             stats: EvalStats::default(),
+            depth: 0,
+            lazy_pipeline_fired: false,
         }
     }
 
@@ -107,9 +113,24 @@ impl<'g> EngineEvaluator<'g> {
         self.stats
     }
 
+    /// True if a sliceable pipeline was actually evaluated through the lazy
+    /// PMR during this evaluator's lifetime — an observation of what ran,
+    /// not a prediction.
+    pub fn used_lazy_pipeline(&self) -> bool {
+        self.lazy_pipeline_fired
+    }
+
     /// Evaluates an expression, returning paths or a solution space according
     /// to the root operator.
     pub fn eval(&mut self, expr: &PlanExpr) -> Result<EvalOutput, AlgebraError> {
+        let at_root = self.depth == 0;
+        self.depth += 1;
+        let out = self.eval_node(expr, at_root);
+        self.depth -= 1;
+        out
+    }
+
+    fn eval_node(&mut self, expr: &PlanExpr, at_root: bool) -> Result<EvalOutput, AlgebraError> {
         self.stats.operators_evaluated += 1;
         let out = match expr {
             PlanExpr::Nodes => EvalOutput::Paths(PathSet::nodes(self.graph)),
@@ -131,24 +152,31 @@ impl<'g> EngineEvaluator<'g> {
             }
             PlanExpr::Recursive { semantics, input } => {
                 self.stats.recursive_calls += 1;
-                if let Some(label) = label_scan(input) {
+                if let Some(label) = input.label_scan_target() {
                     // CSR-native fast path: never materialise σℓ(Edges(G))
                     // as a PathSet; expand over the label-restricted CSR.
                     let csr = CsrGraph::with_label(self.graph, label);
                     self.charge_skipped(self.graph.edge_count()); // Edges(G)
                     self.charge_skipped(csr.edge_count()); // σ label
-                    EvalOutput::Paths(phi_frontier_csr(
-                        &csr,
-                        *semantics,
-                        &self.recursion,
-                        &self.exec,
-                    )?)
+                    let out = match choose_scan_phi_impl(*semantics, &self.exec, at_root) {
+                        // Root-level serial ϕShortest: same expansion, but
+                        // paths live as prefix-sharing PMR arena steps until
+                        // emission. Output sequence identical to the frontier.
+                        PhiImpl::PmrLazy => {
+                            Pmr::from_csr(csr, *semantics, self.recursion).enumerate_all()?
+                        }
+                        _ => phi_frontier_csr(&csr, *semantics, &self.recursion, &self.exec)?,
+                    };
+                    EvalOutput::Paths(out)
                 } else {
                     let base = self.eval_paths_internal(input, "recursive")?;
                     let out = match choose_phi_impl(*semantics, base.len(), &self.exec) {
                         PhiImpl::Seminaive => phi_seminaive(*semantics, &base, &self.recursion)?,
                         PhiImpl::BfsShortest => phi_bfs_shortest(&base, &self.recursion)?,
-                        PhiImpl::Frontier => {
+                        // `choose_phi_impl` never picks the PMR for a
+                        // materialised base — it only applies to label scans
+                        // and sliced pipelines.
+                        PhiImpl::Frontier | PhiImpl::PmrLazy => {
                             phi_frontier(*semantics, &base, &self.recursion, &self.exec)?
                         }
                     };
@@ -165,14 +193,67 @@ impl<'g> EngineEvaluator<'g> {
             }
             PlanExpr::Projection { spec, input } => {
                 spec.validate()?;
-                let input = self.eval_space_internal(input, "projection")?;
-                EvalOutput::Paths(projection(spec, &input))
+                if let Some(paths) = self.try_sliced_pipeline(expr)? {
+                    EvalOutput::Paths(paths)
+                } else {
+                    let input = self.eval_space_internal(input, "projection")?;
+                    EvalOutput::Paths(projection(spec, &input))
+                }
             }
         };
         let n = out.path_count();
         self.stats.intermediate_paths += n;
         self.stats.max_intermediate = self.stats.max_intermediate.max(n);
         Ok(out)
+    }
+
+    /// Evaluates a recognised sliceable pipeline (`π(τA?(γψ(ϕ(σℓ(E)))))`,
+    /// see [`pathalg_core::slice`]) through the lazy PMR, pulling only the
+    /// paths the projection keeps. Returns `None` when the cost model keeps
+    /// the plan on the materialising path.
+    ///
+    /// The collected [`EvalStats`] charge the bypassed operators with the
+    /// work the lazy evaluation actually performed (arena steps generated,
+    /// kept paths flowing through γ/τ) — deliberately *not* the counts the
+    /// reference evaluator would report, since avoiding that work is the
+    /// point of the strategy.
+    fn try_sliced_pipeline(&mut self, expr: &PlanExpr) -> Result<Option<PathSet>, AlgebraError> {
+        let Some(plan) = choose_pipeline_impl(expr, &self.recursion) else {
+            return Ok(None);
+        };
+        let label = plan
+            .base
+            .label_scan_target()
+            .expect("lazy_eligible checked the base is a label scan");
+        let mut pmr = Pmr::from_label_scan(self.graph, label, plan.semantics, self.recursion);
+        let out = pmr.sliced(&plan.spec)?;
+        self.lazy_pipeline_fired = true;
+        // Bypassed operators: Edges, σ, ϕ, γ and (when present) τ; the π
+        // node itself is charged by the caller.
+        self.stats.recursive_calls += 1;
+        self.stats.operators_evaluated += 4 + usize::from(plan.spec.ordered_by_length);
+        let generated = pmr.steps_generated();
+        self.stats.intermediate_paths +=
+            generated + out.len() * (1 + usize::from(plan.spec.ordered_by_length));
+        self.stats.max_intermediate = self.stats.max_intermediate.max(generated);
+        Ok(Some(out))
+    }
+
+    /// Evaluates an expression into a [`PathSetRepr`]: a root-level
+    /// recursive label scan (bounded, or under a finite semantics) returns
+    /// the *lazy* PMR form, so callers can pull top-k results without the
+    /// closure ever being materialised; every other plan evaluates as usual
+    /// and returns the materialised form.
+    pub fn eval_repr(&mut self, expr: &PlanExpr) -> Result<PathSetRepr<'static>, AlgebraError> {
+        if let PlanExpr::Recursive { semantics, input } = expr {
+            if let Some(label) = input.label_scan_target() {
+                if *semantics != PathSemantics::Walk || self.recursion.max_length.is_some() {
+                    let pmr = Pmr::from_label_scan(self.graph, label, *semantics, self.recursion);
+                    return Ok(PathSetRepr::lazy(Box::new(pmr)));
+                }
+            }
+        }
+        Ok(PathSetRepr::materialized(self.eval_paths(expr)?))
     }
 
     /// Evaluates an expression that must produce a set of paths.
@@ -224,32 +305,12 @@ impl<'g> EngineEvaluator<'g> {
     }
 }
 
-/// Recognises `σ_{label(edge(1)) = ℓ}(Edges(G))` — the shape every `[:ℓ+]`
-/// base compiles to — and returns `ℓ`.
-fn label_scan(plan: &PlanExpr) -> Option<&str> {
-    let PlanExpr::Selection { condition, input } = plan else {
-        return None;
-    };
-    if !matches!(**input, PlanExpr::Edges) {
-        return None;
-    }
-    let Condition::Compare {
-        accessor: Accessor::EdgeLabel(Position::Index(1)),
-        op: CompareOp::Eq,
-        value,
-    } = condition
-    else {
-        return None;
-    };
-    value.as_str()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathalg_core::condition::Condition;
     use pathalg_core::eval::Evaluator;
     use pathalg_core::ops::projection::ProjectionSpec;
-    use pathalg_core::ops::recursive::PathSemantics;
     use pathalg_core::GroupKey;
     use pathalg_graph::fixtures::figure1::Figure1;
     use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
@@ -315,14 +376,129 @@ mod tests {
     #[test]
     fn label_scan_shape_detection() {
         let scan = PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
-        assert_eq!(label_scan(&scan), Some("Knows"));
+        assert_eq!(scan.label_scan_target(), Some("Knows"));
         // Wrong position, extra operator, or non-label condition: no match.
         let wrong_pos = PlanExpr::edges().select(Condition::edge_label(2, "Knows"));
-        assert_eq!(label_scan(&wrong_pos), None);
+        assert_eq!(wrong_pos.label_scan_target(), None);
         let not_edges = PlanExpr::nodes().select(Condition::edge_label(1, "Knows"));
-        assert_eq!(label_scan(&not_edges), None);
+        assert_eq!(not_edges.label_scan_target(), None);
         let nested = scan.select(Condition::first_property("name", "Moe"));
-        assert_eq!(label_scan(&nested), None);
+        assert_eq!(nested.label_scan_target(), None);
+    }
+
+    #[test]
+    fn sliced_pipelines_are_byte_identical_to_the_materialised_engine() {
+        use pathalg_core::ops::order_by::OrderKey;
+        use pathalg_core::ops::projection::Take;
+        use pathalg_core::PathSemantics;
+
+        let f = Figure1::new();
+        let scan = || PlanExpr::edges().select(Condition::edge_label(1, "Knows"));
+        let cases: Vec<(PlanExpr, Option<OrderKey>, GroupKey, ProjectionSpec)> = vec![
+            (
+                scan().recursive(PathSemantics::Trail),
+                Some(OrderKey::Path),
+                GroupKey::SourceTarget,
+                ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+            ),
+            (
+                scan().recursive(PathSemantics::Shortest),
+                None,
+                GroupKey::SourceTarget,
+                ProjectionSpec::new(Take::All, Take::All, Take::Count(2)),
+            ),
+            (
+                scan().recursive(PathSemantics::Simple),
+                None,
+                GroupKey::Source,
+                ProjectionSpec::new(Take::Count(2), Take::All, Take::Count(3)),
+            ),
+        ];
+        for (phi, order, gkey, spec) in cases {
+            // The materialised engine pipeline: CSR frontier + core γ/τ/π.
+            let PlanExpr::Recursive { semantics, .. } = &phi else {
+                unreachable!()
+            };
+            let csr = CsrGraph::with_label(&f.graph, "Knows");
+            let closure = phi_frontier_csr(
+                &csr,
+                *semantics,
+                &RecursionConfig::default(),
+                &ExecutionConfig::default(),
+            )
+            .unwrap();
+            let grouped = group_by(gkey, &closure);
+            let ranked = match order {
+                Some(key) => order_by(key, &grouped),
+                None => grouped,
+            };
+            let expected = projection(&spec, &ranked);
+
+            let mut plan = phi.group_by(gkey);
+            if let Some(key) = order {
+                plan = plan.order_by(key);
+            }
+            let plan = plan.project(spec);
+            assert!(
+                choose_pipeline_impl(&plan, &RecursionConfig::default()).is_some(),
+                "{plan} should go lazy"
+            );
+            for threads in [1, 2, 8] {
+                let mut engine = EngineEvaluator::new(
+                    &f.graph,
+                    RecursionConfig::default(),
+                    ExecutionConfig::with_threads(threads),
+                );
+                let out = engine.eval_paths(&plan).unwrap();
+                assert_eq!(
+                    out.as_slice(),
+                    expected.as_slice(),
+                    "{plan} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_repr_returns_a_lazy_form_for_label_scans() {
+        use pathalg_core::PathSemantics;
+        let f = Figure1::new();
+        let plan = PlanExpr::edges()
+            .select(Condition::edge_label(1, "Knows"))
+            .recursive(PathSemantics::Trail);
+        let mut engine = EngineEvaluator::new(
+            &f.graph,
+            RecursionConfig::default(),
+            ExecutionConfig::default(),
+        );
+        let materialised = engine.eval_paths(&plan).unwrap();
+        let mut engine = EngineEvaluator::new(
+            &f.graph,
+            RecursionConfig::default(),
+            ExecutionConfig::default(),
+        );
+        let repr = engine.eval_repr(&plan).unwrap();
+        assert!(repr.is_lazy());
+        let prefix: Vec<_> = materialised.iter().take(3).cloned().collect();
+        assert_eq!(repr.top_k(3).unwrap().as_slice(), prefix.as_slice());
+        // Non-scan plans come back materialised.
+        let mut engine = EngineEvaluator::new(
+            &f.graph,
+            RecursionConfig::default(),
+            ExecutionConfig::default(),
+        );
+        let repr = engine.eval_repr(&PlanExpr::nodes()).unwrap();
+        assert!(!repr.is_lazy());
+        // Unbounded Walk keeps the materialising (error-detecting) path.
+        let walk = PlanExpr::edges()
+            .select(Condition::edge_label(1, "Knows"))
+            .recursive(PathSemantics::Walk);
+        let mut engine = EngineEvaluator::new(
+            &f.graph,
+            RecursionConfig::unbounded(),
+            ExecutionConfig::default(),
+        );
+        assert!(engine.eval_repr(&walk).is_err());
     }
 
     #[test]

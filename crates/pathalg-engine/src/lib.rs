@@ -18,8 +18,11 @@
 //!   bases for the CSR fast path.
 //! * [`cost`] — a simple cardinality/cost model over
 //!   [`pathalg_graph::stats::GraphStats`], the ingredient Section 7.3 says a
-//!   cost-based optimizer needs, plus the physical ϕ-implementation chooser
-//!   ([`cost::choose_phi_impl`]).
+//!   cost-based optimizer needs, plus the physical ϕ-implementation choosers
+//!   ([`cost::choose_phi_impl`], [`cost::choose_scan_phi_impl`], and
+//!   [`cost::choose_pipeline_impl`], which routes slicing γ/τ/π pipelines
+//!   over label scans to `pathalg-pmr`'s lazy path-multiset representation —
+//!   DESIGN.md §8).
 //! * [`baseline`] — end-to-end evaluation of a parsed query with the
 //!   classical automaton-product algorithm instead of the algebra, used as an
 //!   independent correctness oracle and benchmark comparator.

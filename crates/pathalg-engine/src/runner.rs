@@ -96,6 +96,7 @@ pub struct QueryResult {
     stats: EvalStats,
     cost_before: CostEstimate,
     cost_after: CostEstimate,
+    lazy_pipeline: bool,
 }
 
 impl QueryResult {
@@ -134,6 +135,15 @@ impl QueryResult {
         (self.cost_before, self.cost_after)
     }
 
+    /// True if the executed plan was a sliceable γ/τ/π pipeline evaluated
+    /// through the lazy path-multiset representation (`pathalg-pmr`) — i.e.
+    /// the engine pulled only the paths the projection keeps instead of
+    /// materialising the recursive closure. Reported by the evaluator that
+    /// ran the plan, so it reflects what actually executed.
+    pub fn used_lazy_pipeline(&self) -> bool {
+        self.lazy_pipeline
+    }
+
     /// An `EXPLAIN ANALYZE`-style textual report.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -160,6 +170,9 @@ impl QueryResult {
             self.stats,
             self.paths.len()
         ));
+        if self.lazy_pipeline {
+            out.push_str("  strategy: lazy sliced pipeline (PMR top-k enumeration)\n");
+        }
         out
     }
 }
@@ -209,7 +222,9 @@ impl<'g> QueryRunner<'g> {
 
     /// Optimizes and evaluates an already-parsed query.
     pub fn run_parsed(&self, query: PathQuery) -> Result<QueryResult, AlgebraError> {
-        let plan = query.to_plan();
+        // Plan generation + type check in one fallible step (the error is a
+        // proper `AlgebraError`, never a panic).
+        let plan = query.to_checked_plan()?;
         self.run_plan_with_query(query, plan)
     }
 
@@ -231,11 +246,6 @@ impl<'g> QueryRunner<'g> {
         query: PathQuery,
         plan: PlanExpr,
     ) -> Result<QueryResult, AlgebraError> {
-        if let Err(msg) = plan.type_check() {
-            return Err(AlgebraError::InvalidArgument(format!(
-                "plan does not type-check: {msg}"
-            )));
-        }
         let (optimized_plan, rewrites) = if self.config.optimize {
             self.optimizer.optimize_with_trace(&plan)
         } else {
@@ -246,6 +256,8 @@ impl<'g> QueryRunner<'g> {
         let mut evaluator =
             EngineEvaluator::new(self.graph, self.config.recursion, self.config.execution);
         let paths = evaluator.eval_paths(&optimized_plan)?;
+        // An observation of the strategy that actually ran, not a prediction.
+        let lazy_pipeline = evaluator.used_lazy_pipeline();
         Ok(QueryResult {
             paths,
             query,
@@ -255,6 +267,7 @@ impl<'g> QueryRunner<'g> {
             stats: evaluator.stats(),
             cost_before,
             cost_after,
+            lazy_pipeline,
         })
     }
 }
@@ -380,6 +393,48 @@ mod tests {
                 let result = parallel.run(query).unwrap();
                 assert_eq!(result.paths(), reference.paths(), "{query} at {threads}");
             }
+        }
+    }
+
+    #[test]
+    fn slicing_selector_queries_run_through_the_lazy_pipeline() {
+        let f = Figure1::new();
+        let runner = QueryRunner::new(&f.graph);
+        // ANY SHORTEST WALK is rewritten to π(*,*,1)(γST(ϕShortest(scan))) —
+        // a sliceable pipeline over a label scan.
+        let lazy = runner
+            .run("MATCH ANY SHORTEST WALK p = (?x)-[:Knows+]->(?y)")
+            .unwrap();
+        assert!(lazy.used_lazy_pipeline());
+        assert!(lazy.explain().contains("lazy sliced pipeline"));
+        assert_eq!(lazy.paths().len(), 9);
+        // ALL keeps everything: no slicing, no lazy pipeline.
+        let all = runner
+            .run("MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)")
+            .unwrap();
+        assert!(!all.used_lazy_pipeline());
+        assert!(!all.explain().contains("lazy sliced pipeline"));
+        // Endpoint filters sit between γ and ϕ: materialised as well.
+        let filtered = runner
+            .run("MATCH ANY SHORTEST TRAIL p = (?x {name:\"Moe\"})-[:Knows+]->(?y)")
+            .unwrap();
+        assert!(!filtered.used_lazy_pipeline());
+        // For unoptimized runs the parser-level tag predicts the executed
+        // strategy exactly.
+        let config = RunnerConfig::default().without_optimizer();
+        let no_opt = QueryRunner::with_config(&f.graph, config);
+        for q in [
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)",
+            "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
+            "MATCH ANY 2 SIMPLE p = (?x)-[:Knows+]->(?y)",
+        ] {
+            let parsed = parse_query(q).unwrap();
+            let result = no_opt.run(q).unwrap();
+            assert_eq!(
+                parsed.lazy_sliceable(&config.recursion),
+                result.used_lazy_pipeline(),
+                "{q}: parser tag disagrees with the executed strategy"
+            );
         }
     }
 

@@ -17,11 +17,13 @@
 use crate::ast::{NodePattern, OutputSpec, PathQuery};
 use pathalg_core::condition::Condition;
 use pathalg_core::display::plan_tree;
+use pathalg_core::error::AlgebraError;
 use pathalg_core::expr::PlanExpr;
 use pathalg_core::gql::{Restrictor, Selector};
 use pathalg_core::ops::group_by::GroupKey;
 use pathalg_core::ops::order_by::OrderKey;
 use pathalg_core::ops::projection::{ProjectionSpec, Take};
+use pathalg_core::ops::recursive::RecursionConfig;
 use pathalg_rpq::compile::compile_to_algebra;
 use pathalg_rpq::regex::LabelRegex;
 
@@ -29,6 +31,31 @@ impl PathQuery {
     /// Generates the logical plan (path-algebra expression) for this query.
     pub fn to_plan(&self) -> PlanExpr {
         generate_plan(self)
+    }
+
+    /// Generates the logical plan and type-checks it, propagating the
+    /// failure as a proper [`AlgebraError`] instead of leaving every caller
+    /// to panic. The runner uses this as its single entry point from parsed
+    /// queries to validated plans.
+    pub fn to_checked_plan(&self) -> Result<PlanExpr, AlgebraError> {
+        let plan = self.to_plan();
+        plan.type_check().map_err(|msg| {
+            AlgebraError::InvalidArgument(format!("plan does not type-check: {msg}"))
+        })?;
+        Ok(plan)
+    }
+
+    /// True if the query's plan is a *sliceable* γ/τ/π pipeline over a
+    /// recursive label scan that lazy (PMR-backed) evaluation can take end
+    /// to end under the given recursion bounds — the same decision the
+    /// engine's `choose_pipeline_impl` makes on the generated plan, so the
+    /// tag predicts `QueryResult::used_lazy_pipeline` for unoptimized plans.
+    /// Unbounded Walk is excluded: its infinite-answer detection requires
+    /// driving the full expansion.
+    pub fn lazy_sliceable(&self, recursion: &RecursionConfig) -> bool {
+        self.to_plan()
+            .sliceable_pipeline()
+            .is_some_and(|sliced| sliced.lazy_eligible(recursion))
     }
 
     /// Renders the query plan in the textual format of Section 7.2.
@@ -247,6 +274,7 @@ fn order_word(key: OrderKey) -> &'static str {
 mod tests {
     use crate::parser::parse_query;
     use pathalg_core::eval::{EvalConfig, Evaluator};
+    use pathalg_core::ops::recursive::RecursionConfig;
     use pathalg_core::path::Path;
     use pathalg_graph::fixtures::figure1::Figure1;
 
@@ -414,7 +442,7 @@ mod tests {
     }
 
     #[test]
-    fn all_parsed_plans_type_check() {
+    fn all_parsed_plans_type_check() -> Result<(), String> {
         let queries = [
             "MATCH ALL WALK p = (?x)-[:Knows]->(?y)",
             "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)",
@@ -426,11 +454,44 @@ mod tests {
              WHERE NOT label(last) = \"Message\"",
         ];
         for q in queries {
-            let parsed = parse_query(q).unwrap();
-            parsed
-                .to_plan()
-                .type_check()
-                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            let parsed = parse_query(q).map_err(|e| format!("{q}: {e}"))?;
+            parsed.to_checked_plan().map_err(|e| format!("{q}: {e}"))?;
         }
+        Ok(())
+    }
+
+    #[test]
+    fn lazy_sliceable_tags_the_slicing_selector_queries() {
+        // ANY SHORTEST / SHORTEST k translate to π(*,*,k)(τA(γST(ϕ(scan)))).
+        for q in [
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)",
+            "MATCH SHORTEST 2 TRAIL p = (?x)-[:Knows+]->(?y)",
+            "MATCH ANY 3 SIMPLE p = (?x)-[:Knows+]->(?y)",
+        ] {
+            assert!(
+                parse_query(q)
+                    .unwrap()
+                    .lazy_sliceable(&RecursionConfig::default()),
+                "{q}"
+            );
+        }
+        // ALL keeps everything; endpoint filters block the pushdown; and a
+        // join base is not a label scan.
+        for q in [
+            "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
+            "MATCH ANY SHORTEST TRAIL p = (?x {name:\"Moe\"})-[:Knows+]->(?y)",
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[(:Likes/:Has_creator)+]->(?y)",
+        ] {
+            assert!(
+                !parse_query(q)
+                    .unwrap()
+                    .lazy_sliceable(&RecursionConfig::default()),
+                "{q}"
+            );
+        }
+        // Walk queries are only lazy when a length bound makes them finite.
+        let walk = parse_query("MATCH ANY 2 WALK p = (?x)-[:Knows+]->(?y)").unwrap();
+        assert!(!walk.lazy_sliceable(&RecursionConfig::unbounded()));
+        assert!(walk.lazy_sliceable(&RecursionConfig::with_max_length(4)));
     }
 }

@@ -1,0 +1,148 @@
+//! The compact step arena: a prefix-sharing forest over expansion steps.
+//!
+//! A path multiset produced by ϕ has massive prefix redundancy — every
+//! admitted path's proper prefixes are themselves admitted paths (trails,
+//! acyclic, simple and length-bounded walks are all prefix-closed). The
+//! arena exploits this: each discovered path is a single [`Step`] — a parent
+//! pointer, the one new edge, its target node and the resulting length — so a
+//! multiset of `N` paths costs `O(N)` machine words instead of the
+//! `O(N · avg_len)` a materialised [`pathalg_core::pathset::PathSet`] pays.
+//! Full [`pathalg_core::path::Path`] values are reconstructed only for the
+//! paths a consumer actually pulls.
+
+use pathalg_core::path::Path;
+use pathalg_graph::ids::{EdgeId, NodeId};
+
+/// Sentinel parent index: the step extends the bare source node.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// One expansion step: the path that reaches `target` by extending the parent
+/// path (or the source node, for `NO_PARENT`) along `edge`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Step {
+    /// Arena index of the parent step, or [`NO_PARENT`].
+    pub parent: u32,
+    /// Number of edges on the path this step completes.
+    pub len: u32,
+    /// The edge appended by this step.
+    pub edge: EdgeId,
+    /// `Last(p)` of the completed path.
+    pub target: NodeId,
+}
+
+/// A growable arena of [`Step`]s.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct StepArena {
+    steps: Vec<Step>,
+}
+
+impl StepArena {
+    /// Appends a step and returns its index.
+    pub fn push(&mut self, parent: u32, edge: EdgeId, target: NodeId, len: u32) -> u32 {
+        self.steps.push(Step {
+            parent,
+            len,
+            edge,
+            target,
+        });
+        (self.steps.len() - 1) as u32
+    }
+
+    /// The step at `id`.
+    #[inline]
+    pub fn step(&self, id: u32) -> &Step {
+        &self.steps[id as usize]
+    }
+
+    /// Number of steps allocated.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the chain ending at `id` contains `edge`.
+    pub fn chain_contains_edge(&self, mut id: u32, edge: EdgeId) -> bool {
+        loop {
+            let step = self.step(id);
+            if step.edge == edge {
+                return true;
+            }
+            if step.parent == NO_PARENT {
+                return false;
+            }
+            id = step.parent;
+        }
+    }
+
+    /// True if any step target on the chain ending at `id` equals `node`
+    /// (the source node itself is *not* part of the chain targets).
+    pub fn chain_targets_contain(&self, mut id: u32, node: NodeId) -> bool {
+        loop {
+            let step = self.step(id);
+            if step.target == node {
+                return true;
+            }
+            if step.parent == NO_PARENT {
+                return false;
+            }
+            id = step.parent;
+        }
+    }
+
+    /// Reconstructs the full path for the chain ending at `id`, starting from
+    /// `source`. This is the only place paths are materialised.
+    pub fn path_of(&self, mut id: u32, source: NodeId) -> Path {
+        let len = self.step(id).len as usize;
+        let mut nodes = vec![NodeId(0); len + 1];
+        let mut edges = vec![EdgeId(0); len];
+        nodes[0] = source;
+        let mut i = len;
+        loop {
+            let step = self.step(id);
+            nodes[i] = step.target;
+            edges[i - 1] = step.edge;
+            if step.parent == NO_PARENT {
+                break;
+            }
+            id = step.parent;
+            i -= 1;
+        }
+        Path::from_sequence(nodes, edges, None).expect("arena chains are well-formed paths")
+    }
+
+    /// The `(First, Last, Len)` key triple of the chain ending at `id` —
+    /// available in O(1), without reconstructing the path.
+    pub fn triple_of(&self, id: u32, source: NodeId) -> (NodeId, NodeId, usize) {
+        let step = self.step(id);
+        (source, step.target, step.len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_reconstruct_their_paths() {
+        let mut arena = StepArena::default();
+        // source n0: n0 -e0-> n1 -e1-> n2, and a sibling n0 -e2-> n3.
+        let a = arena.push(NO_PARENT, EdgeId(0), NodeId(1), 1);
+        let b = arena.push(a, EdgeId(1), NodeId(2), 2);
+        let c = arena.push(NO_PARENT, EdgeId(2), NodeId(3), 1);
+        assert_eq!(arena.len(), 3);
+
+        let p = arena.path_of(b, NodeId(0));
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(p.edges(), &[EdgeId(0), EdgeId(1)]);
+        assert_eq!(arena.triple_of(b, NodeId(0)), (NodeId(0), NodeId(2), 2));
+
+        let p = arena.path_of(c, NodeId(0));
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(3)]);
+
+        assert!(arena.chain_contains_edge(b, EdgeId(0)));
+        assert!(arena.chain_contains_edge(b, EdgeId(1)));
+        assert!(!arena.chain_contains_edge(b, EdgeId(2)));
+        assert!(arena.chain_targets_contain(b, NodeId(1)));
+        assert!(arena.chain_targets_contain(b, NodeId(2)));
+        assert!(!arena.chain_targets_contain(b, NodeId(0)));
+    }
+}

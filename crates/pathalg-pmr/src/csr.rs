@@ -1,0 +1,348 @@
+//! Lazy, level-ordered expansion of `ϕ(σℓ(Edges(G)))` over a CSR snapshot.
+//!
+//! This is the PMR counterpart of the engine's
+//! `physical::frontier::expand_csr_source`: the same per-source, level-by-
+//! level expansion with the same admission predicates and the same Shortest
+//! pruning, but *pull-driven* — levels are computed only when a consumer asks
+//! for more paths — and storing each discovered path as one arena [`Step`]
+//! instead of a materialised `Path`. The emission order is byte-identical to
+//! the frontier engine's insertion order (sources ascending, levels in
+//! order, adjacency order within a level), which is the canonical-order
+//! contract of [`pathalg_core::pathset_repr::LazyPathStream`].
+
+use crate::arena::{StepArena, NO_PARENT};
+use pathalg_core::error::AlgebraError;
+use pathalg_core::ops::recursive::{
+    PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
+};
+use pathalg_graph::csr::CsrGraph;
+use pathalg_graph::frontier::Frontier;
+use pathalg_graph::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Reachability summary of one source, used by the sliced evaluation to
+/// decide when a source's contribution to every kept group is complete.
+pub(crate) struct ReachInfo {
+    /// Targets with at least one admitted non-empty path from the source
+    /// (excluding the source itself), within the configured length bound.
+    pub open: Vec<NodeId>,
+    /// Length of the shortest closed walk through the source within the
+    /// bound, if one exists (a shortest closed walk is a simple cycle, so a
+    /// closed path exists under every semantics except Acyclic).
+    pub min_closed: Option<usize>,
+}
+
+/// The lazy CSR expander (see the module docs).
+pub(crate) struct CsrExpansion {
+    csr: CsrGraph,
+    semantics: PathSemantics,
+    config: RecursionConfig,
+    walk_unbounded: bool,
+    sources: Vec<NodeId>,
+    next_source: usize,
+    pub(crate) arena: StepArena,
+    /// Per-step acyclicity flags, tracked only under unbounded Walk (where a
+    /// non-acyclic candidate proves the fixpoint is infinite).
+    acyclic: Vec<bool>,
+    cur: Vec<u32>,
+    cur_source: NodeId,
+    iterations: usize,
+    src_emitted: usize,
+    pending: VecDeque<u32>,
+    produced: usize,
+    /// Shortest scratch: per-source visited set + distance table.
+    seen: Frontier,
+    dist: Vec<usize>,
+    /// Reachability scratch for the sliced evaluation.
+    reach_seen: Frontier,
+    reach_dist: Vec<usize>,
+    /// Predecessor lists, built on first use (closed-walk minimum).
+    preds: Option<Vec<Vec<NodeId>>>,
+}
+
+impl CsrExpansion {
+    pub fn new(csr: CsrGraph, semantics: PathSemantics, config: RecursionConfig) -> Self {
+        let n = csr.node_count();
+        let sources: Vec<NodeId> = (0..n)
+            .map(|i| NodeId(i as u32))
+            .filter(|&v| csr.out_degree(v) > 0)
+            .collect();
+        Self {
+            csr,
+            semantics,
+            config,
+            walk_unbounded: semantics == PathSemantics::Walk && config.max_length.is_none(),
+            sources,
+            next_source: 0,
+            arena: StepArena::default(),
+            acyclic: Vec::new(),
+            cur: Vec::new(),
+            cur_source: NodeId(0),
+            iterations: 0,
+            src_emitted: 0,
+            pending: VecDeque::new(),
+            produced: 0,
+            seen: Frontier::new(n),
+            dist: vec![0; n],
+            reach_seen: Frontier::new(n),
+            reach_dist: vec![0; n],
+            preds: None,
+        }
+    }
+
+    /// The next emitted arena step, with its source, in canonical order.
+    pub fn next_id(&mut self) -> Result<Option<(u32, NodeId)>, AlgebraError> {
+        if !self.ensure_pending()? {
+            return Ok(None);
+        }
+        let id = self.pending.pop_front().expect("ensure_pending");
+        Ok(Some((id, self.cur_source)))
+    }
+
+    /// Drops everything still queued or expandable for the current source;
+    /// the next pull starts the next source.
+    pub fn skip_source(&mut self) {
+        self.pending.clear();
+        self.cur.clear();
+    }
+
+    /// Number of arena steps allocated so far (the generated-work measure).
+    pub fn steps_generated(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The path semantics this expansion enumerates under.
+    pub fn semantics(&self) -> PathSemantics {
+        self.semantics
+    }
+
+    fn within(&self, len: usize) -> bool {
+        self.config.max_length.is_none_or(|l| len <= l)
+    }
+
+    fn ensure_pending(&mut self) -> Result<bool, AlgebraError> {
+        loop {
+            if !self.pending.is_empty() {
+                return Ok(true);
+            }
+            if !self.cur.is_empty() {
+                self.advance_level()?;
+                continue;
+            }
+            let Some(&s) = self.sources.get(self.next_source) else {
+                return Ok(false);
+            };
+            self.next_source += 1;
+            self.cur_source = s;
+            self.iterations = 0;
+            self.src_emitted = 0;
+            if self.semantics == PathSemantics::Shortest {
+                self.expand_source_shortest(s)?;
+            } else {
+                self.start_level0(s);
+            }
+        }
+    }
+
+    /// Level 0 of one source: one length-1 path per outgoing CSR edge,
+    /// exactly as the frontier engine admits them.
+    fn start_level0(&mut self, s: NodeId) {
+        if !self.within(1) {
+            return;
+        }
+        let (targets, edges) = self.csr.neighbor_slices(s);
+        for (&t, &e) in targets.iter().zip(edges) {
+            if self.semantics == PathSemantics::Acyclic && t == s {
+                continue;
+            }
+            self.produced += 1;
+            let id = self.arena.push(NO_PARENT, e, t, 1);
+            if self.walk_unbounded {
+                self.acyclic.push(t != s);
+            }
+            self.cur.push(id);
+            self.pending.push_back(id);
+            self.src_emitted += 1;
+        }
+    }
+
+    /// One level of expansion for the current source (non-Shortest
+    /// semantics), with the frontier engine's admission predicates.
+    fn advance_level(&mut self) -> Result<(), AlgebraError> {
+        self.iterations += 1;
+        if self.walk_unbounded && self.iterations > UNBOUNDED_WALK_ITERATION_LIMIT {
+            return Err(AlgebraError::RecursionLimitExceeded {
+                bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                paths_so_far: self.src_emitted,
+            });
+        }
+        let cur = std::mem::take(&mut self.cur);
+        let mut next: Vec<u32> = Vec::new();
+        for &pid in &cur {
+            let head = *self.arena.step(pid);
+            let new_len = head.len as usize + 1;
+            if !self.within(new_len) {
+                continue;
+            }
+            let p_acyclic = !self.walk_unbounded || self.acyclic[pid as usize];
+            let (targets, edges) = self.csr.neighbor_slices(head.target);
+            for (&t, &e) in targets.iter().zip(edges) {
+                let admissible = match self.semantics {
+                    PathSemantics::Walk => true,
+                    PathSemantics::Trail => !self.arena.chain_contains_edge(pid, e),
+                    PathSemantics::Acyclic => {
+                        t != self.cur_source && !self.arena.chain_targets_contain(pid, t)
+                    }
+                    PathSemantics::Simple | PathSemantics::Shortest => {
+                        head.target != self.cur_source
+                            && (t == self.cur_source || !self.arena.chain_targets_contain(pid, t))
+                    }
+                };
+                if !admissible {
+                    continue;
+                }
+                if self.walk_unbounded
+                    && (!p_acyclic
+                        || t == self.cur_source
+                        || self.arena.chain_targets_contain(pid, t))
+                {
+                    return Err(AlgebraError::RecursionLimitExceeded {
+                        bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                        paths_so_far: self.src_emitted + next.len(),
+                    });
+                }
+                self.produced += 1;
+                if let Some(limit) = self.config.max_paths {
+                    if self.produced > limit {
+                        return Err(AlgebraError::ResultLimitExceeded { limit });
+                    }
+                }
+                let id = self.arena.push(pid, e, t, new_len as u32);
+                if self.walk_unbounded {
+                    self.acyclic.push(true);
+                }
+                next.push(id);
+            }
+        }
+        self.src_emitted += next.len();
+        self.pending.extend(next.iter().copied());
+        self.cur = next;
+        Ok(())
+    }
+
+    /// Shortest semantics saturates per source, so the whole source is
+    /// expanded eagerly (as the frontier engine does) and the minimal paths
+    /// are queued in level order after the per-target distance filter.
+    fn expand_source_shortest(&mut self, s: NodeId) -> Result<(), AlgebraError> {
+        self.seen.reset();
+        let mut all: Vec<u32> = Vec::new();
+        let mut cur: Vec<u32> = Vec::new();
+        if self.within(1) {
+            let (targets, edges) = self.csr.neighbor_slices(s);
+            for (&t, &e) in targets.iter().zip(edges) {
+                if self.seen.insert(t) {
+                    self.dist[t.index()] = 1;
+                }
+                self.produced += 1;
+                cur.push(self.arena.push(NO_PARENT, e, t, 1));
+            }
+        }
+        while !cur.is_empty() {
+            let mut next: Vec<u32> = Vec::new();
+            for &pid in &cur {
+                let head = *self.arena.step(pid);
+                let new_len = head.len as usize + 1;
+                if !self.within(new_len) {
+                    continue;
+                }
+                let (targets, edges) = self.csr.neighbor_slices(head.target);
+                for (&t, &e) in targets.iter().zip(edges) {
+                    let admissible =
+                        head.target != s && (t == s || !self.arena.chain_targets_contain(pid, t));
+                    if !admissible {
+                        continue;
+                    }
+                    if self.seen.contains(t) && new_len > self.dist[t.index()] {
+                        continue;
+                    }
+                    if self.seen.insert(t) {
+                        self.dist[t.index()] = new_len;
+                    }
+                    self.produced += 1;
+                    if let Some(limit) = self.config.max_paths {
+                        if self.produced > limit {
+                            return Err(AlgebraError::ResultLimitExceeded { limit });
+                        }
+                    }
+                    next.push(self.arena.push(pid, e, t, new_len as u32));
+                }
+            }
+            all.extend(cur);
+            cur = next;
+        }
+        for id in all {
+            let step = *self.arena.step(id);
+            if self.seen.contains(step.target)
+                && self.dist[step.target.index()] == step.len as usize
+            {
+                self.pending.push_back(id);
+                self.src_emitted += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The reachability summary of `source` within the length bound: a BFS
+    /// over the CSR nodes (polynomial, independent of how many *paths*
+    /// exist). Sound and complete for group discovery under every semantics:
+    /// the shortest walk to any reachable target is a simple path, so it is
+    /// admitted by Walk, Trail, Acyclic (open targets), Simple and Shortest
+    /// alike, and no admitted path can reach a node the walk BFS cannot.
+    pub fn reachability(&mut self, source: NodeId) -> ReachInfo {
+        let bound = self.config.max_length.unwrap_or(usize::MAX);
+        self.reach_seen.reset();
+        self.reach_seen.insert(source);
+        self.reach_dist[source.index()] = 0;
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let d = self.reach_dist[u.index()];
+            if d >= bound {
+                continue;
+            }
+            let (targets, _) = self.csr.neighbor_slices(u);
+            for &t in targets {
+                if self.reach_seen.insert(t) {
+                    self.reach_dist[t.index()] = d + 1;
+                    queue.push_back(t);
+                }
+            }
+        }
+        let open: Vec<NodeId> = self
+            .reach_seen
+            .members()
+            .iter()
+            .copied()
+            .filter(|&t| t != source)
+            .collect();
+        if self.preds.is_none() {
+            let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); self.csr.node_count()];
+            for i in 0..self.csr.node_count() {
+                let u = NodeId(i as u32);
+                let (targets, _) = self.csr.neighbor_slices(u);
+                for &t in targets {
+                    preds[t.index()].push(u);
+                }
+            }
+            self.preds = Some(preds);
+        }
+        let preds = self.preds.as_ref().expect("built above");
+        let min_closed = preds[source.index()]
+            .iter()
+            .filter(|&&u| self.reach_seen.contains(u))
+            .map(|&u| self.reach_dist[u.index()] + 1)
+            .min()
+            .filter(|&l| l <= bound);
+        ReachInfo { open, min_closed }
+    }
+}

@@ -1,0 +1,556 @@
+//! # pathalg-pmr — compact path-multiset representations with lazy top-k
+//! enumeration
+//!
+//! Every materialised evaluation of the recursive operator ϕ pays for the
+//! *full* path multiset even when the query keeps almost none of it: on
+//! cyclic graphs under `WALK`/`TRAIL` the multiset is exponential in the
+//! length bound while a `π(*,*,k)`-sliced answer is tiny. Following the
+//! PathFinder line of work, this crate represents the multiset *implicitly*
+//! as an annotated product graph — graph node × recursion/automaton state —
+//! and enumerates paths from it **on demand, in the engine's canonical
+//! order**:
+//!
+//! * [`Pmr::from_label_scan`] / [`Pmr::from_csr`] — the `ϕ(σℓ(Edges(G)))`
+//!   form: lazy per-source, level-ordered frontier expansion over a
+//!   label-restricted CSR snapshot, byte-order-identical to the engine's
+//!   materialised `phi_frontier_csr`.
+//! * [`Pmr::from_regex`] — the product-automaton form `G × A`, mirroring the
+//!   serial `AutomatonEvaluator` discovery order (lazy across sources).
+//! * [`Pmr::next_batch`] / [`Pmr::top_k`] / [`Pmr::enumerate_all`] — pull as
+//!   much as you need; `top_k(k)` obeys the law
+//!   `top_k(k) == enumerate().take(k)` while expanding only what those `k`
+//!   paths require.
+//! * [`Pmr::group_counts`] — γψ group cardinalities over
+//!   `(First(p), Last(p), Len(p))` straight from the arena, without
+//!   reconstructing a single path.
+//! * [`Pmr::sliced`] — evaluates a recognised `π(τA?(γψ(ϕ(…))))` pipeline
+//!   ([`pathalg_core::slice`]) with per-group limits pushed into the
+//!   enumeration and a node-level reachability analysis that stops each
+//!   source as soon as its contribution to every kept group is complete.
+//!
+//! Paths are stored as parent-pointer arena steps — `O(1)`
+//! words per path instead of `O(len)`. In the CSR forms a
+//! discovered-but-skipped path is never materialised at all; the product
+//! form additionally materialises each source's *accepted* paths while that
+//! source is current, for duplicate elimination (see [`Pmr::from_regex`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod csr;
+mod product;
+
+use crate::csr::{CsrExpansion, ReachInfo};
+use crate::product::{ProductExpansion, ProductItem};
+use pathalg_core::error::AlgebraError;
+use pathalg_core::ops::group_by::{group_counts_from_triples, GroupCounts, GroupKey};
+use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
+use pathalg_core::path::Path;
+use pathalg_core::pathset::PathSet;
+use pathalg_core::pathset_repr::LazyPathStream;
+use pathalg_core::slice::{PartitionKey, SliceCollector, SliceSpec, SliceState};
+use pathalg_graph::csr::CsrGraph;
+use pathalg_graph::graph::PropertyGraph;
+use pathalg_graph::ids::NodeId;
+use pathalg_rpq::regex::LabelRegex;
+
+/// A compact, lazily enumerable path-multiset representation (see the crate
+/// docs). The lifetime is that of the graph the product form borrows; the
+/// CSR forms own their snapshot and are `'static`.
+pub struct Pmr<'g> {
+    inner: Inner<'g>,
+}
+
+enum Inner<'g> {
+    Csr(Box<CsrExpansion>),
+    Product(Box<ProductExpansion<'g>>),
+}
+
+/// One emitted element, before path reconstruction.
+#[derive(Clone, Copy, Debug)]
+struct Emit {
+    source: NodeId,
+    last: NodeId,
+    len: usize,
+    token: Token,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Token {
+    CsrStep(u32),
+    Product(ProductItem),
+}
+
+impl Pmr<'static> {
+    /// PMR of `ϕ_semantics(σ_{label=ℓ}(Edges(G)))`: frontier expansion over a
+    /// label-restricted CSR snapshot of `graph`, base never materialised.
+    pub fn from_label_scan(
+        graph: &PropertyGraph,
+        label: &str,
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Pmr<'static> {
+        Self::from_csr(CsrGraph::with_label(graph, label), semantics, config)
+    }
+
+    /// PMR of `ϕ_semantics` over the edge set of an arbitrary CSR snapshot
+    /// (every edge as a length-1 base path).
+    pub fn from_csr(
+        csr: CsrGraph,
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Pmr<'static> {
+        Pmr {
+            inner: Inner::Csr(Box::new(CsrExpansion::new(csr, semantics, config))),
+        }
+    }
+}
+
+impl<'g> Pmr<'g> {
+    /// PMR of a regular path query: the product `G × A` of the graph and the
+    /// expression's NFA, enumerated under the given path semantics.
+    pub fn from_regex(
+        graph: &'g PropertyGraph,
+        regex: &LabelRegex,
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Pmr<'g> {
+        Pmr {
+            inner: Inner::Product(Box::new(ProductExpansion::new(
+                graph, regex, semantics, config,
+            ))),
+        }
+    }
+
+    fn next_emit(&mut self) -> Result<Option<Emit>, AlgebraError> {
+        match &mut self.inner {
+            Inner::Csr(e) => Ok(e.next_id()?.map(|(id, source)| {
+                let (_, last, len) = e.arena.triple_of(id, source);
+                Emit {
+                    source,
+                    last,
+                    len,
+                    token: Token::CsrStep(id),
+                }
+            })),
+            Inner::Product(e) => Ok(e.next_item()?.map(|(item, source)| {
+                let (_, last, len) = e.triple(item, source);
+                Emit {
+                    source,
+                    last,
+                    len,
+                    token: Token::Product(item),
+                }
+            })),
+        }
+    }
+
+    fn realize(&self, emit: &Emit) -> Path {
+        match (&self.inner, emit.token) {
+            (Inner::Csr(e), Token::CsrStep(id)) => e.arena.path_of(id, emit.source),
+            (Inner::Product(e), Token::Product(item)) => e.realize(item, emit.source),
+            _ => unreachable!("emit token matches the inner representation"),
+        }
+    }
+
+    fn skip_source(&mut self) {
+        match &mut self.inner {
+            Inner::Csr(e) => e.skip_source(),
+            Inner::Product(e) => e.skip_source(),
+        }
+    }
+
+    /// Number of arena steps allocated so far — the work actually performed.
+    /// A sliced or top-k consumer leaves this far below the multiset size.
+    pub fn steps_generated(&self) -> usize {
+        match &self.inner {
+            Inner::Csr(e) => e.steps_generated(),
+            Inner::Product(e) => e.steps_generated(),
+        }
+    }
+
+    /// The next path in canonical order, or `None` when exhausted.
+    pub fn next_path(&mut self) -> Result<Option<Path>, AlgebraError> {
+        Ok(self.next_emit()?.map(|e| self.realize(&e)))
+    }
+
+    /// Up to `max` further paths in canonical order.
+    pub fn next_batch(&mut self, max: usize) -> Result<Vec<Path>, AlgebraError> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.next_path()? {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// The first `k` paths of the enumeration — `enumerate().take(k)`,
+    /// computed without expanding past what those `k` paths require.
+    pub fn top_k(&mut self, k: usize) -> Result<PathSet, AlgebraError> {
+        Ok(self.next_batch(k)?.into_iter().collect())
+    }
+
+    /// Drains the whole enumeration into a materialised [`PathSet`] —
+    /// identical, in content and order, to the engine's materialised
+    /// frontier evaluation of the same operator.
+    pub fn enumerate_all(&mut self) -> Result<PathSet, AlgebraError> {
+        let mut out = PathSet::new();
+        while let Some(p) = self.next_path()? {
+            out.insert(p);
+        }
+        Ok(out)
+    }
+
+    /// γψ group cardinalities over the whole multiset, computed from the
+    /// arena's `(First, Last, Len)` triples — no path is ever reconstructed.
+    pub fn group_counts(&mut self, key: GroupKey) -> Result<GroupCounts, AlgebraError> {
+        let mut triples: Vec<(NodeId, NodeId, usize)> = Vec::new();
+        while let Some(e) = self.next_emit()? {
+            triples.push((e.source, e.last, e.len));
+        }
+        Ok(group_counts_from_triples(key, triples))
+    }
+
+    /// Evaluates `π(τA?(γψ(ϕ(…))))` over this multiset with the limits of
+    /// `spec` pushed into the enumeration. Byte-identical to materialising
+    /// [`Pmr::enumerate_all`] and running the γ/τ/π operators, but:
+    ///
+    /// * paths beyond a group's cap are skipped without reconstruction,
+    /// * a source is abandoned as soon as every group it can still
+    ///   contribute to (computed by a node-level reachability BFS for the
+    ///   CSR form) holds its `per_group` quota, and
+    /// * once the partition limit is reached, sources that can only open new
+    ///   partitions are never expanded at all.
+    pub fn sliced(&mut self, spec: &SliceSpec) -> Result<PathSet, AlgebraError> {
+        let mut collector = SliceCollector::new(spec);
+        let source_partitioned = spec.group_key.partitions_by_source();
+        let mut cur_source: Option<NodeId> = None;
+        let mut requirements: Vec<PartitionKey> = Vec::new();
+
+        while let Some(emit) = self.next_emit()? {
+            if cur_source != Some(emit.source) {
+                cur_source = Some(emit.source);
+                // Every path of a fresh source opens a fresh partition under
+                // source-partitioned keys; once the partition limit is
+                // reached nothing from this or any later source can be kept.
+                if source_partitioned && !collector.accepts_new_partition() {
+                    break;
+                }
+                requirements = self.requirements_for(emit.source, spec);
+            }
+            let key: PartitionKey = (
+                spec.group_key.partitions_by_source().then_some(emit.source),
+                spec.group_key.partitions_by_target().then_some(emit.last),
+            );
+            if collector.would_keep(&key) {
+                let path = self.realize(&emit);
+                if collector.offer(path) == SliceState::Complete {
+                    break;
+                }
+            }
+            if spec.per_group.is_some() {
+                let source_done = match spec.group_key {
+                    GroupKey::Source => collector.group_is_full(&(Some(emit.source), None)),
+                    GroupKey::SourceTarget => {
+                        !requirements.is_empty()
+                            && requirements.iter().all(|k| collector.group_is_full(k))
+                    }
+                    _ => false,
+                };
+                if source_done {
+                    self.skip_source();
+                }
+            }
+        }
+        Ok(collector.finish())
+    }
+
+    /// The full set of groups source `s` can ever contribute to, for the
+    /// reachability-based source stop — only computed for the CSR form under
+    /// γST with a per-group cap, and skipped for Shortest (whose per-source
+    /// expansion saturates on its own).
+    fn requirements_for(&mut self, source: NodeId, spec: &SliceSpec) -> Vec<PartitionKey> {
+        if spec.group_key != GroupKey::SourceTarget || spec.per_group.is_none() {
+            return Vec::new();
+        }
+        let Inner::Csr(e) = &mut self.inner else {
+            return Vec::new();
+        };
+        let semantics = e.semantics();
+        if semantics == PathSemantics::Shortest {
+            return Vec::new();
+        }
+        let ReachInfo { open, min_closed } = e.reachability(source);
+        let mut keys: Vec<PartitionKey> =
+            open.into_iter().map(|t| (Some(source), Some(t))).collect();
+        if semantics != PathSemantics::Acyclic && min_closed.is_some() {
+            keys.push((Some(source), Some(source)));
+        }
+        keys
+    }
+}
+
+impl LazyPathStream for Pmr<'_> {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<Path>, AlgebraError> {
+        Pmr::next_batch(self, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalg_core::condition::Condition;
+    use pathalg_core::ops::group_by::group_by;
+    use pathalg_core::ops::recursive::recursive;
+    use pathalg_core::ops::selection::selection;
+    use pathalg_graph::fixtures::figure1::Figure1;
+    use pathalg_graph::generator::structured::{chain_graph, complete_graph, cycle_graph};
+
+    fn knows_closure(f: &Figure1, semantics: PathSemantics) -> PathSet {
+        let base = selection(
+            &f.graph,
+            &Condition::edge_label(1, "Knows"),
+            &PathSet::edges(&f.graph),
+        );
+        recursive(semantics, &base, &RecursionConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn csr_enumeration_matches_the_fixpoint_as_a_set() {
+        let f = Figure1::new();
+        for semantics in [
+            PathSemantics::Trail,
+            PathSemantics::Acyclic,
+            PathSemantics::Simple,
+            PathSemantics::Shortest,
+        ] {
+            let expected = knows_closure(&f, semantics);
+            let mut pmr =
+                Pmr::from_label_scan(&f.graph, "Knows", semantics, RecursionConfig::default());
+            let out = pmr.enumerate_all().unwrap();
+            assert_eq!(out, expected, "{semantics:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_the_enumeration() {
+        let f = Figure1::new();
+        let cfg = RecursionConfig::default();
+        let mut full = Pmr::from_label_scan(&f.graph, "Knows", PathSemantics::Trail, cfg);
+        let all = full.enumerate_all().unwrap();
+        for k in [0, 1, 3, 7, 100] {
+            let mut pmr = Pmr::from_label_scan(&f.graph, "Knows", PathSemantics::Trail, cfg);
+            let top = pmr.top_k(k).unwrap();
+            let expected: Vec<_> = all.iter().take(k).cloned().collect();
+            assert_eq!(top.as_slice(), expected.as_slice(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_expands_less_than_the_full_multiset() {
+        // Bounded walks on a complete graph: the closure is exponential in
+        // the bound, the first path needs one level of one source.
+        let g = complete_graph(6, "a");
+        let cfg = RecursionConfig {
+            max_length: Some(4),
+            max_paths: None,
+        };
+        let mut full = Pmr::from_csr(CsrGraph::with_label(&g, "a"), PathSemantics::Walk, cfg);
+        let total = full.enumerate_all().unwrap().len();
+        let mut lazy = Pmr::from_csr(CsrGraph::with_label(&g, "a"), PathSemantics::Walk, cfg);
+        lazy.top_k(5).unwrap();
+        assert!(
+            lazy.steps_generated() * 10 < total,
+            "top-5 expanded {} steps against a {}-path multiset",
+            lazy.steps_generated(),
+            total
+        );
+    }
+
+    #[test]
+    fn group_counts_match_group_by_without_reconstruction() {
+        let f = Figure1::new();
+        let cfg = RecursionConfig::default();
+        let materialised = {
+            let mut pmr = Pmr::from_label_scan(&f.graph, "Knows", PathSemantics::Trail, cfg);
+            pmr.enumerate_all().unwrap()
+        };
+        for key in [
+            GroupKey::Empty,
+            GroupKey::Source,
+            GroupKey::SourceTarget,
+            GroupKey::Length,
+            GroupKey::SourceTargetLength,
+        ] {
+            let ss = group_by(key, &materialised);
+            let mut pmr = Pmr::from_label_scan(&f.graph, "Knows", PathSemantics::Trail, cfg);
+            let counts = pmr.group_counts(key).unwrap();
+            assert_eq!(counts.group_count(), ss.group_count(), "γ{key}");
+            assert_eq!(counts.path_count(), ss.path_count(), "γ{key}");
+            for (i, (gkey, n)) in counts.entries.iter().enumerate() {
+                assert_eq!(*gkey, ss.groups()[i].key, "γ{key} group {i}");
+                assert_eq!(*n, ss.groups()[i].paths.len(), "γ{key} group {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_equals_the_materialised_pipeline_and_stops_early() {
+        use pathalg_core::ops::order_by::{order_by, OrderKey};
+        use pathalg_core::ops::projection::{projection, ProjectionSpec, Take};
+
+        let g = complete_graph(6, "a");
+        let cfg = RecursionConfig {
+            max_length: Some(4),
+            max_paths: None,
+        };
+        let mut full = Pmr::from_csr(CsrGraph::with_label(&g, "a"), PathSemantics::Walk, cfg);
+        let materialised = full.enumerate_all().unwrap();
+        let expected = projection(
+            &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+            &order_by(
+                OrderKey::Path,
+                &group_by(GroupKey::SourceTarget, &materialised),
+            ),
+        );
+
+        let spec = SliceSpec {
+            group_key: GroupKey::SourceTarget,
+            per_group: Some(1),
+            max_partitions: None,
+            ordered_by_length: true,
+        };
+        let mut lazy = Pmr::from_csr(CsrGraph::with_label(&g, "a"), PathSemantics::Walk, cfg);
+        let out = lazy.sliced(&spec).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+        assert!(
+            lazy.steps_generated() * 10 < full.steps_generated(),
+            "sliced evaluation expanded {} of {} steps",
+            lazy.steps_generated(),
+            full.steps_generated()
+        );
+    }
+
+    #[test]
+    fn sliced_handles_closed_groups_on_cycles() {
+        use pathalg_core::ops::projection::{projection, ProjectionSpec, Take};
+
+        // Every (s, s) pair of a directed cycle has exactly one simple closed
+        // path; the reachability stop must wait for it.
+        let g = cycle_graph(5, "a");
+        let cfg = RecursionConfig::default();
+        for semantics in [PathSemantics::Trail, PathSemantics::Simple] {
+            let mut full = Pmr::from_csr(CsrGraph::with_label(&g, "a"), semantics, cfg);
+            let materialised = full.enumerate_all().unwrap();
+            let expected = projection(
+                &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+                &group_by(GroupKey::SourceTarget, &materialised),
+            );
+            let spec = SliceSpec {
+                group_key: GroupKey::SourceTarget,
+                per_group: Some(1),
+                max_partitions: None,
+                ordered_by_length: false,
+            };
+            let mut lazy = Pmr::from_csr(CsrGraph::with_label(&g, "a"), semantics, cfg);
+            let out = lazy.sliced(&spec).unwrap();
+            assert_eq!(out.as_slice(), expected.as_slice(), "{semantics:?}");
+            // 5×5 ordered pairs, all connected on a cycle.
+            assert_eq!(out.len(), 25, "{semantics:?}");
+        }
+    }
+
+    #[test]
+    fn partition_limit_stops_whole_sources() {
+        use pathalg_core::ops::projection::{projection, ProjectionSpec, Take};
+
+        let g = complete_graph(6, "a");
+        let cfg = RecursionConfig {
+            max_length: Some(3),
+            max_paths: None,
+        };
+        let mut full = Pmr::from_csr(CsrGraph::with_label(&g, "a"), PathSemantics::Walk, cfg);
+        let materialised = full.enumerate_all().unwrap();
+        let expected = projection(
+            &ProjectionSpec::new(Take::Count(2), Take::All, Take::Count(2)),
+            &group_by(GroupKey::Source, &materialised),
+        );
+        let spec = SliceSpec {
+            group_key: GroupKey::Source,
+            per_group: Some(2),
+            max_partitions: Some(2),
+            ordered_by_length: false,
+        };
+        let mut lazy = Pmr::from_csr(CsrGraph::with_label(&g, "a"), PathSemantics::Walk, cfg);
+        let out = lazy.sliced(&spec).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+        assert!(lazy.steps_generated() * 20 < full.steps_generated());
+    }
+
+    #[test]
+    fn product_form_agrees_with_the_compiled_algebra() {
+        use pathalg_rpq::parse::parse_regex;
+        let f = Figure1::new();
+        let cfg = RecursionConfig::default();
+        for (pattern, semantics) in [
+            (":Knows+", PathSemantics::Trail),
+            (":Knows+", PathSemantics::Shortest),
+            ("(:Likes/:Has_creator)*", PathSemantics::Simple),
+            (":Knows/:Knows", PathSemantics::Walk),
+        ] {
+            let re = parse_regex(pattern).unwrap();
+            let plan = pathalg_rpq::compile::compile_to_algebra(&re, semantics);
+            let expected = pathalg_core::eval::Evaluator::new(&f.graph)
+                .eval_paths(&plan)
+                .unwrap();
+            let mut pmr = Pmr::from_regex(&f.graph, &re, semantics, cfg);
+            let out = pmr.enumerate_all().unwrap();
+            assert_eq!(out, expected, "{pattern} under {semantics:?}");
+        }
+    }
+
+    #[test]
+    fn walk_errors_mirror_the_materialised_evaluation() {
+        let g = cycle_graph(3, "a");
+        let cfg = RecursionConfig::unbounded();
+        let mut pmr = Pmr::from_csr(CsrGraph::with_label(&g, "a"), PathSemantics::Walk, cfg);
+        assert!(matches!(
+            pmr.enumerate_all(),
+            Err(AlgebraError::RecursionLimitExceeded { .. })
+        ));
+        // On a DAG the unbounded walk closure is finite and enumerable.
+        let dag = chain_graph(6, "a");
+        let mut pmr = Pmr::from_csr(CsrGraph::with_label(&dag, "a"), PathSemantics::Walk, cfg);
+        assert_eq!(pmr.enumerate_all().unwrap().len(), 15);
+    }
+
+    #[test]
+    fn max_paths_is_enforced_on_full_drains() {
+        let f = Figure1::new();
+        let cfg = RecursionConfig {
+            max_length: Some(10),
+            max_paths: Some(4),
+        };
+        let mut pmr = Pmr::from_label_scan(&f.graph, "Knows", PathSemantics::Walk, cfg);
+        assert_eq!(
+            pmr.enumerate_all(),
+            Err(AlgebraError::ResultLimitExceeded { limit: 4 })
+        );
+    }
+
+    #[test]
+    fn empty_label_yields_an_empty_enumeration() {
+        let f = Figure1::new();
+        let mut pmr = Pmr::from_label_scan(
+            &f.graph,
+            "NoSuchLabel",
+            PathSemantics::Trail,
+            RecursionConfig::default(),
+        );
+        assert!(pmr.enumerate_all().unwrap().is_empty());
+        assert_eq!(pmr.steps_generated(), 0);
+    }
+}

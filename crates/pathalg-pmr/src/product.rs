@@ -1,0 +1,270 @@
+//! PMR construction from the product automaton `G × A` of an RPQ.
+//!
+//! Mirrors `pathalg_rpq::automaton_eval::AutomatonEvaluator::expand_source`
+//! — the same product-BFS discovery order, co-accepting pruning, duplicate
+//! elimination and Shortest per-target filter — but records the search tree
+//! as compact arena [`Step`]s and reconstructs only the paths a consumer
+//! pulls. Laziness is per *source*: one source's product BFS runs eagerly
+//! when first touched (the automaton can accept the same path through
+//! different runs, so duplicate elimination needs the source's accepted set),
+//! while sources beyond the consumer's demand are never expanded at all.
+
+use crate::arena::{StepArena, NO_PARENT};
+use pathalg_core::error::AlgebraError;
+use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
+use pathalg_core::path::Path;
+use pathalg_core::pathset::PathSet;
+use pathalg_graph::graph::PropertyGraph;
+use pathalg_graph::ids::NodeId;
+use pathalg_rpq::nfa::Nfa;
+use pathalg_rpq::regex::LabelRegex;
+use std::collections::{HashMap, VecDeque};
+
+/// One emitted element of a product expansion: the empty path at the current
+/// source (for nullable regexes) or an arena chain.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ProductItem {
+    /// The zero-length path at the source node.
+    Empty,
+    /// The chain ending at this arena step.
+    Step(u32),
+}
+
+/// The per-source-lazy product expander (see the module docs).
+pub(crate) struct ProductExpansion<'g> {
+    graph: &'g PropertyGraph,
+    nfa: Nfa,
+    accepts_empty: bool,
+    co_accepting: Vec<bool>,
+    semantics: PathSemantics,
+    config: RecursionConfig,
+    walk_unbounded: bool,
+    sources: Vec<NodeId>,
+    next_source: usize,
+    pub(crate) arena: StepArena,
+    pending: VecDeque<ProductItem>,
+    cur_source: NodeId,
+    produced: usize,
+}
+
+impl<'g> ProductExpansion<'g> {
+    pub fn new(
+        graph: &'g PropertyGraph,
+        regex: &LabelRegex,
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Self {
+        let nfa = Nfa::from_regex(regex);
+        let co_accepting = co_accepting_states(&nfa);
+        Self {
+            graph,
+            accepts_empty: regex.is_nullable(),
+            co_accepting,
+            nfa,
+            semantics,
+            config,
+            walk_unbounded: semantics == PathSemantics::Walk && config.max_length.is_none(),
+            sources: graph.nodes().collect(),
+            next_source: 0,
+            arena: StepArena::default(),
+            pending: VecDeque::new(),
+            cur_source: NodeId(0),
+            produced: 0,
+        }
+    }
+
+    /// The next emitted item, with its source, in canonical order.
+    pub fn next_item(&mut self) -> Result<Option<(ProductItem, NodeId)>, AlgebraError> {
+        loop {
+            if let Some(item) = self.pending.pop_front() {
+                return Ok(Some((item, self.cur_source)));
+            }
+            let Some(&s) = self.sources.get(self.next_source) else {
+                return Ok(None);
+            };
+            self.next_source += 1;
+            self.cur_source = s;
+            self.expand_source(s)?;
+        }
+    }
+
+    /// Drops the rest of the current source's queued output.
+    pub fn skip_source(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Number of arena steps allocated so far.
+    pub fn steps_generated(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Reconstructs the path of an emitted item.
+    pub fn realize(&self, item: ProductItem, source: NodeId) -> Path {
+        match item {
+            ProductItem::Empty => Path::node(source),
+            ProductItem::Step(id) => self.arena.path_of(id, source),
+        }
+    }
+
+    /// The `(First, Last, Len)` triple of an emitted item.
+    pub fn triple(&self, item: ProductItem, source: NodeId) -> (NodeId, NodeId, usize) {
+        match item {
+            ProductItem::Empty => (source, source, 0),
+            ProductItem::Step(id) => self.arena.triple_of(id, source),
+        }
+    }
+
+    fn claim(&mut self) -> Result<(), AlgebraError> {
+        self.produced += 1;
+        match self.config.max_paths {
+            Some(limit) if self.produced > limit => {
+                Err(AlgebraError::ResultLimitExceeded { limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The product BFS of one source, mirroring
+    /// `AutomatonEvaluator::expand_source` step for step.
+    fn expand_source(&mut self, s: NodeId) -> Result<(), AlgebraError> {
+        // Dedup set: the same path can be accepted through different
+        // automaton runs; scoped to this source, dropped afterwards.
+        let mut result = PathSet::new();
+        let mut best: HashMap<NodeId, usize> = HashMap::new();
+        let mut accepted: Vec<ProductItem> = Vec::new();
+
+        if self.accepts_empty && result.insert(Path::node(s)) {
+            self.claim()?;
+            accepted.push(ProductItem::Empty);
+        }
+
+        // Queue entries: (chain, automaton state, product states on the
+        // partial path — tracked only under unbounded Walk, where a repeated
+        // product state that can still accept proves the answer is infinite).
+        type Entry = (Option<u32>, usize, Vec<(NodeId, usize)>);
+        let mut queue: VecDeque<Entry> = VecDeque::new();
+        let start = self.nfa.start();
+        let initial_seen = if self.walk_unbounded {
+            vec![(s, start)]
+        } else {
+            Vec::new()
+        };
+        queue.push_back((None, start, initial_seen));
+
+        while let Some((chain, state, seen)) = queue.pop_front() {
+            let (here, cur_len) = match chain {
+                Some(id) => {
+                    let step = self.arena.step(id);
+                    (step.target, step.len as usize)
+                }
+                None => (s, 0),
+            };
+            let out_edges: Vec<_> = self.graph.outgoing(here).to_vec();
+            for edge in out_edges {
+                let label = self.graph.label(edge);
+                for next_state in self.nfa.step(state, label) {
+                    if !self.co_accepting[next_state] {
+                        continue;
+                    }
+                    let t = self.graph.target(edge);
+                    let new_len = cur_len + 1;
+                    if let Some(max) = self.config.max_length {
+                        if new_len > max {
+                            continue;
+                        }
+                    }
+                    let admissible = match self.semantics {
+                        PathSemantics::Walk => true,
+                        PathSemantics::Trail => {
+                            chain.is_none_or(|id| !self.arena.chain_contains_edge(id, edge))
+                        }
+                        PathSemantics::Acyclic => {
+                            t != s
+                                && chain.is_none_or(|id| !self.arena.chain_targets_contain(id, t))
+                        }
+                        PathSemantics::Simple | PathSemantics::Shortest => {
+                            let closed = cur_len > 0 && here == s;
+                            !closed
+                                && (t == s
+                                    || chain
+                                        .is_none_or(|id| !self.arena.chain_targets_contain(id, t)))
+                        }
+                    };
+                    if !admissible {
+                        continue;
+                    }
+                    let product_state = (t, next_state);
+                    if self.walk_unbounded && seen.contains(&product_state) {
+                        return Err(AlgebraError::RecursionLimitExceeded {
+                            bound: 0,
+                            paths_so_far: result.len(),
+                        });
+                    }
+                    let id = self
+                        .arena
+                        .push(chain.unwrap_or(NO_PARENT), edge, t, new_len as u32);
+                    if self.nfa.is_accepting(next_state) {
+                        if self.semantics == PathSemantics::Shortest {
+                            let entry = best.entry(t).or_insert(new_len);
+                            *entry = (*entry).min(new_len);
+                        }
+                        if result.insert(self.arena.path_of(id, s)) {
+                            self.claim()?;
+                            accepted.push(ProductItem::Step(id));
+                        }
+                    }
+                    let next_seen = if self.walk_unbounded {
+                        let mut v = seen.clone();
+                        v.push(product_state);
+                        v
+                    } else {
+                        Vec::new()
+                    };
+                    queue.push_back((Some(id), next_state, next_seen));
+                }
+            }
+        }
+
+        for item in accepted {
+            let keep = match (self.semantics, item) {
+                (PathSemantics::Shortest, ProductItem::Step(id)) => {
+                    let step = self.arena.step(id);
+                    best.get(&step.target) == Some(&(step.len as usize))
+                }
+                // Zero-length matches are kept unconditionally under
+                // Shortest, mirroring the Kleene-star translation.
+                _ => true,
+            };
+            if keep {
+                self.pending.push_back(item);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// For every NFA state, whether an accepting state is reachable (same
+/// computation as the serial automaton evaluator's dead-branch pruning).
+fn co_accepting_states(nfa: &Nfa) -> Vec<bool> {
+    let n = nfa.state_count();
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for s in 0..n {
+        for &(_, t) in nfa.transitions_from(s) {
+            reverse[t].push(s);
+        }
+    }
+    let mut co = vec![false; n];
+    let mut queue: VecDeque<usize> = (0..n).filter(|&s| nfa.is_accepting(s)).collect();
+    for &s in &queue {
+        co[s] = true;
+    }
+    while let Some(s) = queue.pop_front() {
+        for &p in &reverse[s] {
+            if !co[p] {
+                co[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    co
+}

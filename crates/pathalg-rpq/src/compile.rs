@@ -233,7 +233,7 @@ mod tests {
     }
 
     #[test]
-    fn compiled_plans_type_check() {
+    fn compiled_plans_type_check() -> Result<(), String> {
         for pattern in [
             ":Knows",
             ":Knows+",
@@ -243,9 +243,10 @@ mod tests {
             "a{0,2}|b+",
             ":_*",
         ] {
-            let plan = compile_to_algebra(&parse_regex(pattern).unwrap(), PathSemantics::Trail);
-            plan.type_check()
-                .unwrap_or_else(|e| panic!("{pattern}: {e}"));
+            let re = parse_regex(pattern).map_err(|e| format!("{pattern}: {e}"))?;
+            let plan = compile_to_algebra(&re, PathSemantics::Trail);
+            plan.type_check().map_err(|e| format!("{pattern}: {e}"))?;
         }
+        Ok(())
     }
 }

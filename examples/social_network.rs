@@ -97,4 +97,41 @@ fn main() {
     for p in samples {
         println!("  length {}: {}", p.len(), p.display(&graph));
     }
+
+    // 5. Lazy enumeration (DESIGN.md §8): slicing selectors run through the
+    //    compact path-multiset representation automatically…
+    let any_shortest = runner
+        .run("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)")
+        .expect("any-shortest query");
+    println!(
+        "\nANY SHORTEST TRAIL: {} paths (lazy sliced pipeline: {})",
+        any_shortest.paths().len(),
+        any_shortest.used_lazy_pipeline()
+    );
+    //    …and `eval_repr` exposes the lazy form directly: the first ten
+    //    bounded friendship walks, pulled without ever materialising the
+    //    (enormous) full closure.
+    use pathalg::algebra::ops::recursive::RecursionConfig;
+    use pathalg::engine::{EngineEvaluator, ExecutionConfig};
+    let walk_plan = PlanExpr::edges()
+        .select(Condition::edge_label(1, "Knows"))
+        .recursive(PathSemantics::Walk);
+    let mut engine = EngineEvaluator::new(
+        &graph,
+        RecursionConfig {
+            max_length: Some(6),
+            max_paths: None,
+        },
+        ExecutionConfig::default(),
+    );
+    let repr = engine.eval_repr(&walk_plan).expect("lazy representation");
+    assert!(repr.is_lazy());
+    let first_ten = repr.top_k(10).expect("top-k enumeration");
+    println!(
+        "first {} bounded friendship walks, enumerated lazily:",
+        first_ten.len()
+    );
+    for p in first_ten.iter().take(3) {
+        println!("  {}", p.display(&graph));
+    }
 }

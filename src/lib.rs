@@ -14,6 +14,9 @@
 //!   algebra compiler, and the classical automaton-product baseline.
 //! * [`parser`] — the extended-GQL surface syntax of Section 7.1 and the logical
 //!   plan generator of Section 7.2.
+//! * [`pmr`] — compact path-multiset representations: the recursive closure
+//!   as an annotated product graph with lazy, canonical-order top-k
+//!   enumeration (DESIGN.md §8).
 //! * [`engine`] — physical operators and restrictor-specific algorithms, graph
 //!   statistics, and the end-to-end query runner (parse → optimize → execute).
 //!
@@ -43,6 +46,7 @@ pub use pathalg_core as algebra;
 pub use pathalg_engine as engine;
 pub use pathalg_graph as graph;
 pub use pathalg_parser as parser;
+pub use pathalg_pmr as pmr;
 pub use pathalg_rpq as rpq;
 
 /// A convenience prelude bringing the most commonly used types into scope.
@@ -55,11 +59,13 @@ pub mod prelude {
     pub use pathalg_core::ops::recursive::PathSemantics;
     pub use pathalg_core::path::Path;
     pub use pathalg_core::pathset::PathSet;
+    pub use pathalg_core::pathset_repr::{LazyPathStream, PathSetRepr};
     pub use pathalg_core::solution_space::SolutionSpace;
     pub use pathalg_engine::runner::{QueryResult, QueryRunner};
     pub use pathalg_graph::fixtures::figure1::figure1_graph;
     pub use pathalg_graph::graph::{GraphBuilder, PropertyGraph};
     pub use pathalg_graph::ids::{EdgeId, NodeId};
     pub use pathalg_graph::value::Value;
+    pub use pathalg_pmr::Pmr;
     pub use pathalg_rpq::regex::LabelRegex;
 }

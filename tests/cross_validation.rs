@@ -332,6 +332,110 @@ fn end_to_end_queries_agree_between_runner_and_baseline() {
     }
 }
 
+/// The lazy-pipeline contract of the PMR subsystem (DESIGN.md §8): on every
+/// test graph, a slicing γ/τ/π pipeline over a recursive label scan —
+/// evaluated lazily by the engine — produces byte-identical canonical output
+/// to the materialised evaluation (CSR frontier + γ/τ/π operators), at 1, 2
+/// and 8 configured threads.
+#[test]
+fn lazy_sliced_pipelines_match_materialized_evaluation_byte_for_byte() {
+    use pathalg::algebra::ops::group_by::{group_by, GroupKey};
+    use pathalg::algebra::ops::order_by::{order_by, OrderKey};
+    use pathalg::algebra::ops::projection::{projection, ProjectionSpec, Take};
+    use pathalg::algebra::PlanExpr;
+    use pathalg::engine::cost::choose_pipeline_impl;
+    use pathalg::engine::EngineEvaluator;
+
+    let bounded = RecursionConfig {
+        max_length: Some(4),
+        ..RecursionConfig::default()
+    };
+    let cases: Vec<(
+        PathSemantics,
+        RecursionConfig,
+        GroupKey,
+        Option<OrderKey>,
+        ProjectionSpec,
+    )> = vec![
+        // SHORTEST 1 (= ANY SHORTEST) over trails.
+        (
+            PathSemantics::Trail,
+            RecursionConfig::default(),
+            GroupKey::SourceTarget,
+            Some(OrderKey::Path),
+            ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+        ),
+        // ANY 2 over the Shortest restrictor.
+        (
+            PathSemantics::Shortest,
+            RecursionConfig::default(),
+            GroupKey::SourceTarget,
+            None,
+            ProjectionSpec::new(Take::All, Take::All, Take::Count(2)),
+        ),
+        // Bounded walks, k per endpoint pair — the workload where the full
+        // multiset explodes while the sliced answer stays tiny.
+        (
+            PathSemantics::Walk,
+            bounded,
+            GroupKey::SourceTarget,
+            Some(OrderKey::Path),
+            ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+        ),
+        // Extended form: first two source partitions, three paths each.
+        (
+            PathSemantics::Simple,
+            RecursionConfig::default(),
+            GroupKey::Source,
+            None,
+            ProjectionSpec::new(Take::Count(2), Take::All, Take::Count(3)),
+        ),
+    ];
+    for (name, graph) in test_graphs() {
+        for (semantics, recursion, gkey, order, spec) in &cases {
+            // The materialised evaluation: CSR frontier closure + γ/τ/π.
+            let csr = CsrGraph::with_label(&graph, "Knows");
+            let closure =
+                phi_frontier_csr(&csr, *semantics, recursion, &ExecutionConfig::default()).unwrap();
+            let grouped = group_by(*gkey, &closure);
+            let ranked = match order {
+                Some(key) => order_by(*key, &grouped),
+                None => grouped,
+            };
+            let expected = projection(spec, &ranked);
+            let expected_canonical: Vec<String> =
+                expected.iter().map(|p| p.display_ids()).collect();
+
+            let mut plan = PlanExpr::edges()
+                .select(Condition::edge_label(1, "Knows"))
+                .recursive(*semantics)
+                .group_by(*gkey);
+            if let Some(key) = order {
+                plan = plan.order_by(*key);
+            }
+            let plan = plan.project(*spec);
+            assert!(
+                choose_pipeline_impl(&plan, recursion).is_some(),
+                "{name}: {plan} should be evaluated lazily"
+            );
+            for threads in [1usize, 2, 8] {
+                let mut engine = EngineEvaluator::new(
+                    &graph,
+                    *recursion,
+                    ExecutionConfig::with_threads(threads),
+                );
+                let out = engine.eval_paths(&plan).unwrap();
+                let canonical: Vec<String> = out.iter().map(|p| p.display_ids()).collect();
+                assert_eq!(
+                    canonical, expected_canonical,
+                    "{name}: lazy {plan} diverged from materialised at {threads} threads"
+                );
+                assert_eq!(out.as_slice(), expected.as_slice(), "{name}: {plan}");
+            }
+        }
+    }
+}
+
 #[test]
 fn optimizer_never_changes_results() {
     let queries = [

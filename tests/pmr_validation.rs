@@ -1,0 +1,376 @@
+//! Validation of the compact path-multiset representation (`pathalg-pmr`,
+//! DESIGN.md §8) against the materialised engine.
+//!
+//! The PMR's contract is strict: `Pmr::enumerate()` must reproduce the
+//! materialised frontier evaluation **in content and order** (the canonical
+//! order every lazy consumer relies on), `top_k(k)` must equal
+//! `enumerate().take(k)` while expanding less, and the group-cardinality and
+//! sliced evaluations must agree with the γ/τ/π operators they push into.
+//! These are checked on every fixture graph and, via the vendored proptest,
+//! on streams of random graphs.
+
+use pathalg::algebra::ops::group_by::{group_by, GroupKey};
+use pathalg::algebra::ops::order_by::{order_by, OrderKey};
+use pathalg::algebra::ops::projection::{projection, ProjectionSpec, Take};
+use pathalg::algebra::ops::recursive::{PathSemantics, RecursionConfig};
+use pathalg::algebra::slice::SliceSpec;
+use pathalg::engine::exec::ExecutionConfig;
+use pathalg::engine::physical::frontier::phi_frontier_csr;
+use pathalg::graph::csr::CsrGraph;
+use pathalg::graph::fixtures::figure1::Figure1;
+use pathalg::graph::generator::random::{random_labeled_graph, RandomGraphConfig};
+use pathalg::graph::generator::snb::{snb_like_graph, SnbConfig};
+use pathalg::graph::generator::structured::{chain_graph, cycle_graph, grid_graph, ladder_graph};
+use pathalg::graph::graph::PropertyGraph;
+use pathalg::pmr::Pmr;
+use pathalg::rpq::automaton_eval::AutomatonEvaluator;
+use pathalg::rpq::parse::parse_regex;
+use proptest::prelude::*;
+
+fn fixture_graphs() -> Vec<(String, PropertyGraph)> {
+    let mut graphs = vec![
+        ("figure1".to_string(), Figure1::new().graph),
+        ("chain8".to_string(), chain_graph(8, "Knows")),
+        ("cycle7".to_string(), cycle_graph(7, "Knows")),
+        ("ladder3".to_string(), ladder_graph(3, "Knows")),
+        ("grid3x3".to_string(), grid_graph(3, 3, "Knows")),
+        (
+            "snb8".to_string(),
+            snb_like_graph(&SnbConfig {
+                persons: 8,
+                messages: 10,
+                knows_per_person: 2,
+                likes_per_person: 1,
+                seed: 3,
+                ..SnbConfig::default()
+            }),
+        ),
+    ];
+    for seed in [1u64, 2] {
+        graphs.push((
+            format!("random{seed}"),
+            random_labeled_graph(&RandomGraphConfig {
+                nodes: 10,
+                edges: 16,
+                edge_labels: vec!["Knows".into(), "Likes".into()],
+                node_labels: vec!["Person".into()],
+                seed,
+            }),
+        ));
+    }
+    graphs
+}
+
+/// The semantics the satellite task names (Walk needs a bound on cyclic
+/// fixtures) plus the remaining two for completeness.
+fn semantics_cases() -> Vec<(PathSemantics, RecursionConfig)> {
+    let bounded = RecursionConfig {
+        max_length: Some(4),
+        ..RecursionConfig::default()
+    };
+    vec![
+        (PathSemantics::Walk, bounded),
+        (PathSemantics::Trail, RecursionConfig::default()),
+        (PathSemantics::Shortest, RecursionConfig::default()),
+        (PathSemantics::Acyclic, RecursionConfig::default()),
+        (PathSemantics::Simple, RecursionConfig::default()),
+    ]
+}
+
+/// `Pmr::enumerate` equals the materialised frontier engine in content *and
+/// order* on every fixture graph, with and without label selection.
+#[test]
+fn enumeration_is_byte_identical_to_the_materialised_frontier() {
+    let exec = ExecutionConfig::default();
+    for (name, graph) in fixture_graphs() {
+        // The unlabelled (whole-graph) variant stays on the small fixtures:
+        // the full trail closure of the multi-label SNB/random graphs blows
+        // past the default path budget.
+        let labels: &[Option<&str>] = if name.starts_with("snb") || name.starts_with("random") {
+            &[Some("Knows")]
+        } else {
+            &[Some("Knows"), None]
+        };
+        for (semantics, cfg) in semantics_cases() {
+            for &label in labels {
+                let csr = match label {
+                    Some(l) => CsrGraph::with_label(&graph, l),
+                    None => CsrGraph::from_graph(&graph),
+                };
+                let expected = phi_frontier_csr(&csr, semantics, &cfg, &exec).unwrap();
+                let mut pmr = Pmr::from_csr(csr, semantics, cfg);
+                let out = pmr.enumerate_all().unwrap();
+                assert_eq!(
+                    out.as_slice(),
+                    expected.as_slice(),
+                    "{name}: PMR enumeration diverged under {semantics:?} (label {label:?})"
+                );
+            }
+        }
+    }
+}
+
+/// The product-automaton form reproduces the serial automaton evaluator in
+/// content and order.
+#[test]
+fn product_form_is_byte_identical_to_the_automaton_evaluator() {
+    let cfg = RecursionConfig::default();
+    for (name, graph) in fixture_graphs() {
+        for pattern in [":Knows+", "(:Knows|:Likes)+", "(:Knows/:Knows)?"] {
+            let re = parse_regex(pattern).unwrap();
+            for semantics in [PathSemantics::Trail, PathSemantics::Shortest] {
+                let expected = AutomatonEvaluator::new(&graph, &re)
+                    .eval_all(semantics, &cfg)
+                    .unwrap();
+                let mut pmr = Pmr::from_regex(&graph, &re, semantics, cfg);
+                let out = pmr.enumerate_all().unwrap();
+                assert_eq!(
+                    out.as_slice(),
+                    expected.as_slice(),
+                    "{name}: product PMR diverged on {pattern} under {semantics:?}"
+                );
+            }
+        }
+    }
+}
+
+/// `top_k(k) == enumerate().take(k)` on every fixture graph and semantics.
+#[test]
+fn top_k_law_holds_on_every_fixture() {
+    for (name, graph) in fixture_graphs() {
+        for (semantics, cfg) in semantics_cases() {
+            let csr = CsrGraph::with_label(&graph, "Knows");
+            let mut full = Pmr::from_csr(csr.clone(), semantics, cfg);
+            let all = full.enumerate_all().unwrap();
+            for k in [0, 1, 2, 5, all.len(), all.len() + 7] {
+                let mut pmr = Pmr::from_csr(csr.clone(), semantics, cfg);
+                let top = pmr.top_k(k).unwrap();
+                let expected: Vec<_> = all.iter().take(k).cloned().collect();
+                assert_eq!(
+                    top.as_slice(),
+                    expected.as_slice(),
+                    "{name}: top_k({k}) law violated under {semantics:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Group cardinalities from the arena agree with γψ over the materialised
+/// set, for the `(First, Last, Len)`-derived keys.
+#[test]
+fn group_counts_agree_with_group_by_on_every_fixture() {
+    let exec = ExecutionConfig::default();
+    for (name, graph) in fixture_graphs() {
+        let csr = CsrGraph::with_label(&graph, "Knows");
+        let cfg = RecursionConfig::default();
+        let materialised = phi_frontier_csr(&csr, PathSemantics::Trail, &cfg, &exec).unwrap();
+        for key in GroupKey::ALL {
+            let ss = group_by(key, &materialised);
+            let mut pmr = Pmr::from_csr(csr.clone(), PathSemantics::Trail, cfg);
+            let counts = pmr.group_counts(key).unwrap();
+            assert_eq!(counts.group_count(), ss.group_count(), "{name}: γ{key}");
+            assert_eq!(counts.path_count(), ss.path_count(), "{name}: γ{key}");
+            for (i, (gkey, n)) in counts.entries.iter().enumerate() {
+                assert_eq!(*gkey, ss.groups()[i].key, "{name}: γ{key} group {i}");
+                assert_eq!(*n, ss.groups()[i].paths.len(), "{name}: γ{key} group {i}");
+            }
+        }
+    }
+}
+
+/// The sliced evaluation equals the materialised γ/τ/π pipeline on every
+/// fixture graph, for the selector shapes the recogniser accepts.
+#[test]
+fn sliced_evaluation_matches_the_materialised_pipeline_on_every_fixture() {
+    let exec = ExecutionConfig::default();
+    for (name, graph) in fixture_graphs() {
+        for (semantics, cfg) in semantics_cases() {
+            let csr = CsrGraph::with_label(&graph, "Knows");
+            let materialised = phi_frontier_csr(&csr, semantics, &cfg, &exec).unwrap();
+            for (group_key, order, spec) in [
+                (
+                    GroupKey::SourceTarget,
+                    Some(OrderKey::Path),
+                    ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+                ),
+                (
+                    GroupKey::SourceTarget,
+                    None,
+                    ProjectionSpec::new(Take::All, Take::All, Take::Count(2)),
+                ),
+                (
+                    GroupKey::Source,
+                    Some(OrderKey::Path),
+                    ProjectionSpec::new(Take::All, Take::All, Take::Count(3)),
+                ),
+                (
+                    GroupKey::Empty,
+                    None,
+                    ProjectionSpec::new(Take::All, Take::All, Take::Count(4)),
+                ),
+                (
+                    GroupKey::Source,
+                    None,
+                    ProjectionSpec::new(Take::Count(2), Take::All, Take::Count(2)),
+                ),
+            ] {
+                let grouped = group_by(group_key, &materialised);
+                let ranked = match order {
+                    Some(key) => order_by(key, &grouped),
+                    None => grouped,
+                };
+                let expected = projection(&spec, &ranked);
+
+                let slice = SliceSpec {
+                    group_key,
+                    per_group: spec.path_limit(),
+                    max_partitions: spec.partition_limit(),
+                    ordered_by_length: order.is_some(),
+                };
+                let mut pmr = Pmr::from_csr(csr.clone(), semantics, cfg);
+                let out = pmr.sliced(&slice).unwrap();
+                assert_eq!(
+                    out.as_slice(),
+                    expected.as_slice(),
+                    "{name}: sliced γ{group_key} {spec} diverged under {semantics:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The generic streaming slicer and the PMR's reachability-aware sliced
+/// evaluation are two consumers of the same collector; they must agree —
+/// this pins the unwired generic path against the engine's production path.
+#[test]
+fn slice_stream_agrees_with_pmr_sliced_on_every_fixture() {
+    use pathalg::algebra::slice::slice_stream;
+    for (name, graph) in fixture_graphs() {
+        for (semantics, cfg) in semantics_cases() {
+            let csr = CsrGraph::with_label(&graph, "Knows");
+            for spec in [
+                SliceSpec {
+                    group_key: GroupKey::SourceTarget,
+                    per_group: Some(1),
+                    max_partitions: None,
+                    ordered_by_length: true,
+                },
+                SliceSpec {
+                    group_key: GroupKey::Empty,
+                    per_group: Some(3),
+                    max_partitions: None,
+                    ordered_by_length: false,
+                },
+                SliceSpec {
+                    group_key: GroupKey::Source,
+                    per_group: Some(2),
+                    max_partitions: Some(2),
+                    ordered_by_length: false,
+                },
+            ] {
+                let mut sliced = Pmr::from_csr(csr.clone(), semantics, cfg);
+                let via_sliced = sliced.sliced(&spec).unwrap();
+                let mut stream = Pmr::from_csr(csr.clone(), semantics, cfg);
+                let via_stream = slice_stream(&spec, &mut stream).unwrap();
+                assert_eq!(
+                    via_sliced.as_slice(),
+                    via_stream.as_slice(),
+                    "{name}: slice_stream diverged from Pmr::sliced under {semantics:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Strategy: a small, sparse random labelled graph (the same shape the
+/// algebraic-law property tests use).
+fn small_graph() -> impl Strategy<Value = PropertyGraph> {
+    (4usize..10)
+        .prop_flat_map(|nodes| (Just(nodes), 0usize..nodes * 2, 0u64..1_000_000))
+        .prop_map(|(nodes, edges, seed)| {
+            random_labeled_graph(&RandomGraphConfig {
+                nodes,
+                edges,
+                edge_labels: vec!["a".into(), "b".into()],
+                node_labels: vec!["N".into(), "M".into()],
+                seed,
+            })
+        })
+}
+
+fn semantics_from_index(i: usize) -> (PathSemantics, RecursionConfig) {
+    semantics_cases()[i % 5]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random graphs: enumeration equals the materialised frontier in
+    /// content and order, with and without label selection.
+    #[test]
+    fn enumeration_matches_frontier_on_random_graphs(
+        g in small_graph(),
+        sem in 0usize..5,
+        labelled in 0usize..2,
+    ) {
+        let (semantics, cfg) = semantics_from_index(sem);
+        let csr = if labelled == 1 {
+            CsrGraph::with_label(&g, "a")
+        } else {
+            CsrGraph::from_graph(&g)
+        };
+        let expected =
+            phi_frontier_csr(&csr, semantics, &cfg, &ExecutionConfig::default()).unwrap();
+        let mut pmr = Pmr::from_csr(csr, semantics, cfg);
+        let out = pmr.enumerate_all().unwrap();
+        prop_assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    /// Random graphs: the top-k law.
+    #[test]
+    fn top_k_law_on_random_graphs(
+        g in small_graph(),
+        sem in 0usize..5,
+        k in 0usize..48,
+    ) {
+        let (semantics, cfg) = semantics_from_index(sem);
+        let csr = CsrGraph::with_label(&g, "a");
+        let mut full = Pmr::from_csr(csr.clone(), semantics, cfg);
+        let all = full.enumerate_all().unwrap();
+        let mut pmr = Pmr::from_csr(csr, semantics, cfg);
+        let top = pmr.top_k(k).unwrap();
+        let expected: Vec<_> = all.iter().take(k).cloned().collect();
+        prop_assert_eq!(top.as_slice(), expected.as_slice());
+    }
+
+    /// Random graphs: sliced SHORTEST-k style pipelines equal the
+    /// materialised operators.
+    #[test]
+    fn sliced_matches_pipeline_on_random_graphs(
+        g in small_graph(),
+        sem in 0usize..5,
+        k in 1usize..4,
+    ) {
+        let (semantics, cfg) = semantics_from_index(sem);
+        let csr = CsrGraph::with_label(&g, "a");
+        let materialised =
+            phi_frontier_csr(&csr, semantics, &cfg, &ExecutionConfig::default()).unwrap();
+        let expected = projection(
+            &ProjectionSpec::new(Take::All, Take::All, Take::Count(k)),
+            &order_by(
+                OrderKey::Path,
+                &group_by(GroupKey::SourceTarget, &materialised),
+            ),
+        );
+        let slice = SliceSpec {
+            group_key: GroupKey::SourceTarget,
+            per_group: Some(k),
+            max_partitions: None,
+            ordered_by_length: true,
+        };
+        let mut pmr = Pmr::from_csr(csr, semantics, cfg);
+        let out = pmr.sliced(&slice).unwrap();
+        prop_assert_eq!(out.as_slice(), expected.as_slice());
+    }
+}
