@@ -8,12 +8,17 @@
 #   ./ci.sh --bench-json  run every bench target under PATHALG_BENCH_MAX_MS
 #                         and write the perf-trajectory artifact
 #                         (bench id → ns/iter) at the repo root; the output
-#                         file is $PATHALG_BENCH_OUT (default BENCH_PR3.json)
+#                         file is $PATHALG_BENCH_OUT (default BENCH_PR4.json)
 #   ./ci.sh --perf-diff OLD.json NEW.json
-#                         compare two trajectory artifacts: report per-target
-#                         geometric-mean ratios and the worst individual
-#                         regressions, failing if any shared bench id got
-#                         more than 2× slower
+#                         compare two trajectory artifacts: per-target
+#                         geometric-mean ratios over the shared ids, the
+#                         worst individual regressions, and clearly-labelled
+#                         added/removed id sections; fails if any shared
+#                         bench id got more than 2× slower
+#   ./ci.sh --perf-diff-selftest
+#                         run the perf-diff comparator against generated
+#                         fixtures (pass, regression, added/removed,
+#                         missing-file) and verify its verdicts
 #
 # Everything in the full gate must stay green. No network access is required
 # (deps are vendored, see vendor/README.md).
@@ -57,7 +62,7 @@ full() {
 # "target/bench-id" → ns/iter map. PATHALG_BENCH_MAX_MS caps the
 # per-benchmark measurement window.
 bench_json() {
-    local out="${PATHALG_BENCH_OUT:-BENCH_PR3.json}"
+    local out="${PATHALG_BENCH_OUT:-BENCH_PR4.json}"
     local jsonl="${out}.jsonl.tmp"
     rm -f "$jsonl" "$out"
 
@@ -107,7 +112,8 @@ bench_json() {
 
 # Compares two trajectory artifacts over their shared bench ids. Reports a
 # per-target geometric-mean ratio (NEW/OLD) plus the worst individual ids,
-# and fails when any shared id regressed by more than REGRESSION_FACTOR.
+# lists added/removed ids in clearly-labelled sections, and fails when any
+# shared id regressed by more than REGRESSION_FACTOR.
 perf_diff() {
     local old="$1" new="$2"
     local factor="${PATHALG_PERF_FACTOR:-2.0}"
@@ -123,22 +129,14 @@ perf_diff() {
         /": *[0-9]/ {
             key = $0; sub(/^ *"/, "", key); sub(/".*/, "", key)
             ns  = $0; sub(/.*": */, "", ns); sub(/[,}].*/, "", ns)
-            if (FILENAME == ARGV[1]) old[key] = ns; else new_[key] = ns
+            if (FILENAME == ARGV[1]) { if (!(key in old))  oldorder[++no] = key; old[key]  = ns }
+            else                     { if (!(key in new_)) neworder[++nn] = key; new_[key] = ns }
         }
         END {
-            # Ids present in OLD but missing from NEW: a rename or removal
-            # would otherwise silently shrink the comparison set.
-            missing = 0
-            for (key in old) {
-                if (!(key in new_)) {
-                    printf "  MISSING in NEW: %s\n", key
-                    missing++
-                }
-            }
-            if (missing > 0)
-                printf "  WARNING: %d bench id(s) from OLD are absent in NEW (renamed or removed?)\n", missing
+            # -- shared ids: per-target geomeans and the regression gate ----
             shared = 0; regressions = 0
-            for (key in new_) {
+            for (i = 1; i <= nn; i++) {
+                key = neworder[i]
                 if (!(key in old) || old[key] + 0 == 0) continue
                 shared++
                 ratio = new_[key] / old[key]
@@ -150,11 +148,22 @@ perf_diff() {
                     regressions++
                 }
             }
-            printf "  %d shared bench ids\n", shared
+            printf "  == shared ids: %d, per-target geomean (NEW/OLD) ==\n", shared
             for (target in n) {
                 printf "  %-24s geomean %.2fx  worst %.2fx (%s)\n", \
                     target, exp(logsum[target] / n[target]), worst[target], worst_id[target]
             }
+            # -- changed id sets, labelled so renames are never silent ------
+            added = 0
+            for (i = 1; i <= nn; i++) if (!(neworder[i] in old)) added++
+            printf "  == added in NEW: %d id(s) ==\n", added
+            for (i = 1; i <= nn; i++)
+                if (!(neworder[i] in old)) printf "    + %s (%.0f ns/iter)\n", neworder[i], new_[neworder[i]]
+            removed = 0
+            for (i = 1; i <= no; i++) if (!(oldorder[i] in new_)) removed++
+            printf "  == removed from NEW: %d id(s) ==\n", removed
+            for (i = 1; i <= no; i++)
+                if (!(oldorder[i] in new_)) printf "    - %s\n", oldorder[i]
             if (shared == 0) { print "  no shared bench ids — nothing to compare" > "/dev/stderr"; exit 2 }
             if (regressions > 0) {
                 printf "ci.sh: perf-diff: %d bench id(s) regressed by more than %sx\n", regressions, factor > "/dev/stderr"
@@ -163,6 +172,90 @@ perf_diff() {
             print "ci.sh: perf-diff passed"
         }
     ' "$old" "$new"
+}
+
+# Fixture-driven self-test of the perf-diff comparator: a passing diff with
+# added and removed ids, a >2x regression (must fail with exit 1), disjoint
+# id sets (exit 2), and a missing file (exit 2).
+perf_diff_selftest() {
+    step "perf-diff self-test"
+    local dir
+    dir="$(mktemp -d)"
+    # `return 1` (never `exit`) on failure so this RETURN trap always cleans
+    # the fixture directory; set -e turns the non-zero return into the
+    # script's exit status.
+    trap 'rm -rf "$dir"' RETURN
+
+    cat > "$dir/old.json" <<'JSON'
+{
+  "alpha/x": 100,
+  "alpha/y": 200,
+  "beta/z": 1000,
+  "beta/gone": 50
+}
+JSON
+    cat > "$dir/new.json" <<'JSON'
+{
+  "alpha/x": 150,
+  "alpha/y": 180,
+  "beta/z": 900,
+  "beta/fresh": 75
+}
+JSON
+
+    local out
+    out="$(perf_diff "$dir/old.json" "$dir/new.json")" || {
+        echo "ci.sh: selftest: passing diff reported failure" >&2; return 1; }
+    case "$out" in
+        *"== shared ids: 3"*) ;;
+        *) echo "ci.sh: selftest: shared-id section missing: $out" >&2; return 1 ;;
+    esac
+    case "$out" in
+        *"added in NEW: 1"*"beta/fresh"*) ;;
+        *) echo "ci.sh: selftest: added section missing: $out" >&2; return 1 ;;
+    esac
+    case "$out" in
+        *"removed from NEW: 1"*"beta/gone"*) ;;
+        *) echo "ci.sh: selftest: removed section missing: $out" >&2; return 1 ;;
+    esac
+    case "$out" in
+        *"geomean"*) ;;
+        *) echo "ci.sh: selftest: geomean lines missing: $out" >&2; return 1 ;;
+    esac
+
+    cat > "$dir/slow.json" <<'JSON'
+{
+  "alpha/x": 300,
+  "alpha/y": 200,
+  "beta/z": 1000
+}
+JSON
+    local status=0
+    (perf_diff "$dir/old.json" "$dir/slow.json" > "$dir/slow.out" 2>&1) || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "ci.sh: selftest: 3x regression exited $status, expected 1" >&2; return 1
+    fi
+    grep -q "REGRESSION 3.00x" "$dir/slow.out" || {
+        echo "ci.sh: selftest: regression line missing" >&2; cat "$dir/slow.out" >&2; return 1; }
+
+    cat > "$dir/disjoint.json" <<'JSON'
+{
+  "gamma/only": 10
+}
+JSON
+    status=0
+    (perf_diff "$dir/old.json" "$dir/disjoint.json" > /dev/null 2>&1) || status=$?
+    if [ "$status" -ne 2 ]; then
+        echo "ci.sh: selftest: disjoint id sets exited $status, expected 2" >&2; return 1
+    fi
+
+    status=0
+    (perf_diff "$dir/old.json" "$dir/nonexistent.json" > /dev/null 2>&1) || status=$?
+    if [ "$status" -ne 2 ]; then
+        echo "ci.sh: selftest: missing file exited $status, expected 2" >&2; return 1
+    fi
+
+    printf 'ci.sh: perf-diff self-test passed\n'
 }
 
 case "${1:-}" in
@@ -180,11 +273,14 @@ case "${1:-}" in
         fi
         perf_diff "$2" "$3"
         ;;
+    --perf-diff-selftest)
+        perf_diff_selftest
+        ;;
     "")
         full
         ;;
     *)
-        echo "usage: ./ci.sh [--quick | --bench-json | --perf-diff OLD.json NEW.json]" >&2
+        echo "usage: ./ci.sh [--quick | --bench-json | --perf-diff OLD.json NEW.json | --perf-diff-selftest]" >&2
         exit 2
         ;;
 esac

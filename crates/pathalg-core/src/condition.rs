@@ -334,6 +334,38 @@ impl Condition {
             })
     }
 
+    /// Splits the condition into independent first-node and last-node parts,
+    /// `c ≡ c_first ∧ c_last`, or `None` when no such decomposition exists
+    /// (a conjunct mixes both endpoints under `∨`/`¬`, or inspects interior
+    /// positions, edges, or whole-path predicates).
+    ///
+    /// Because each part depends only on one endpoint, it can be evaluated
+    /// per *node* — `c_first` on `Node(p,1)`, `c_last` on `Node(p,Len(p)+1)`
+    /// — which is what lets the engine push a `σ` over a recursive closure
+    /// down into the expansion as a source restriction plus a target mask
+    /// (see `pathalg_core::slice::SlicePlan`).
+    pub fn endpoint_split(&self) -> Option<(Option<Condition>, Option<Condition>)> {
+        if matches!(self, Condition::True) {
+            return Some((None, None));
+        }
+        if self.only_references_first_node() {
+            return Some((Some(self.clone()), None));
+        }
+        if self.only_references_last_node() {
+            return Some((None, Some(self.clone())));
+        }
+        if let Condition::And(a, b) = self {
+            let (first_a, last_a) = a.endpoint_split()?;
+            let (first_b, last_b) = b.endpoint_split()?;
+            let merge = |x: Option<Condition>, y: Option<Condition>| match (x, y) {
+                (Some(a), Some(b)) => Some(a.and(b)),
+                (some, None) | (None, some) => some,
+            };
+            return Some((merge(first_a, first_b), merge(last_a, last_b)));
+        }
+        None
+    }
+
     /// All accessors mentioned anywhere in the condition.
     pub fn accessors(&self) -> Vec<&Accessor> {
         let mut out = Vec::new();

@@ -53,7 +53,8 @@ pub struct SliceSpec {
 }
 
 /// A recognised sliceable pipeline: the slicing parameters plus the ϕ
-/// operator it slices over.
+/// operator it slices over and the endpoint-σ sitting between γ and ϕ (if
+/// any).
 #[derive(Clone, Copy, Debug)]
 pub struct SlicePlan<'a> {
     /// The slicing parameters.
@@ -62,17 +63,27 @@ pub struct SlicePlan<'a> {
     pub semantics: PathSemantics,
     /// The base expression of the recursive operator (the operand of ϕ).
     pub base: &'a PlanExpr,
+    /// A selection between γ and ϕ (`γψ(σc(ϕ(…)))`), recognised so the
+    /// engine can push endpoint predicates into the enumeration. A plan
+    /// whose filter does not split into first/last parts is *recognised* but
+    /// not lazily *eligible* — see [`SlicePlan::lazy_eligible`].
+    pub filter: Option<&'a Condition>,
 }
 
 impl SlicePlan<'_> {
     /// True if this pipeline can actually be evaluated lazily under the
-    /// given recursion bounds: the ϕ base must be a label scan (the shape
-    /// the PMR expands without materialising), and unbounded Walk is
-    /// excluded because its infinite-answer detection requires driving the
-    /// full expansion. This is the single eligibility predicate shared by
-    /// the engine's strategy chooser and the parser's `lazy_sliceable` tag.
+    /// given recursion bounds: the ϕ base must be a label scan or a join
+    /// chain of label scans (the shapes the PMR expands without
+    /// materialising), any filter between γ and ϕ must split into pure
+    /// first-node/last-node predicates (so it can be pushed into the
+    /// enumeration as a source restriction and a target mask), and unbounded
+    /// Walk is excluded because its infinite-answer detection requires
+    /// driving the full expansion. This is the single eligibility predicate
+    /// shared by the engine's strategy chooser and the parser's
+    /// `lazy_sliceable` tag.
     pub fn lazy_eligible(&self, recursion: &crate::ops::recursive::RecursionConfig) -> bool {
-        self.base.label_scan_target().is_some()
+        self.base.label_scan_chain().is_some()
+            && self.filter.is_none_or(|c| c.endpoint_split().is_some())
             && (self.semantics != PathSemantics::Walk || recursion.max_length.is_some())
     }
 }
@@ -122,7 +133,15 @@ impl PlanExpr {
         if *key == GroupKey::Empty && ordered_by_length {
             return None;
         }
-        let PlanExpr::Recursive { semantics, input } = input.as_ref() else {
+        // An endpoint filter may sit between γ and ϕ (the shape every
+        // filtered selector query compiles to); σ preserves enumeration
+        // order, so slicing the filtered stream equals filtering after
+        // materialisation.
+        let (filter, recursive) = match input.as_ref() {
+            PlanExpr::Selection { condition, input } => (Some(condition), input.as_ref()),
+            other => (None, other),
+        };
+        let PlanExpr::Recursive { semantics, input } = recursive else {
             return None;
         };
         Some(SlicePlan {
@@ -134,6 +153,7 @@ impl PlanExpr {
             },
             semantics: *semantics,
             base: input,
+            filter,
         })
     }
 
@@ -155,6 +175,25 @@ impl PlanExpr {
             return None;
         };
         value.as_str()
+    }
+
+    /// Recognises a join tree whose every leaf is a label scan —
+    /// `σℓ1(E) ⋈ … ⋈ σℓk(E)` in any association — and returns the labels in
+    /// concatenation order. This is the shape every `(:ℓ1/…/:ℓk)+` pattern
+    /// compiles its base relation to; a single label scan yields a one-label
+    /// chain. The join output order is association-independent (left-deep
+    /// and right-deep trees both enumerate `(e1, …, ek)` lexicographically),
+    /// which is what lets the lazy arena join reproduce it from the flat
+    /// hop list alone.
+    pub fn label_scan_chain(&self) -> Option<Vec<&str>> {
+        match self {
+            PlanExpr::Join { left, right } => {
+                let mut chain = left.label_scan_chain()?;
+                chain.extend(right.label_scan_chain()?);
+                Some(chain)
+            }
+            _ => self.label_scan_target().map(|l| vec![l]),
+        }
     }
 }
 
@@ -438,13 +477,65 @@ mod tests {
             .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
             .sliceable_pipeline()
             .is_none());
-        // A selection between γ and ϕ blocks the pushdown.
-        assert!(phi
-            .select(Condition::first_property("name", "Moe"))
+    }
+
+    #[test]
+    fn endpoint_filters_between_gamma_and_phi_are_recognised() {
+        use crate::ops::recursive::RecursionConfig;
+        let phi = || scan("Knows").recursive(PathSemantics::Trail);
+        let take1 = || ProjectionSpec::new(Take::All, Take::All, Take::Count(1));
+        // An endpoint σ is recognised and lazily eligible…
+        let plan = phi()
+            .select(Condition::first_property("name", "Moe").and(Condition::last_label("Person")))
             .group_by(GroupKey::SourceTarget)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)))
+            .project(take1());
+        let sliced = plan.sliceable_pipeline().unwrap();
+        assert!(sliced.filter.is_some());
+        assert!(sliced.lazy_eligible(&RecursionConfig::default()));
+        // …a non-endpoint σ (interior node) is recognised but not eligible…
+        let plan = phi()
+            .select(Condition::node_property(2, "name", "Moe"))
+            .group_by(GroupKey::SourceTarget)
+            .project(take1());
+        let sliced = plan.sliceable_pipeline().unwrap();
+        assert!(sliced.filter.is_some());
+        assert!(!sliced.lazy_eligible(&RecursionConfig::default()));
+        // …and an ∨ mixing both endpoints cannot be split either.
+        let plan = phi()
+            .select(Condition::first_label("Person").or(Condition::last_label("Person")))
+            .group_by(GroupKey::SourceTarget)
+            .project(take1());
+        assert!(!plan
             .sliceable_pipeline()
+            .unwrap()
+            .lazy_eligible(&RecursionConfig::default()));
+    }
+
+    #[test]
+    fn label_scan_chains_are_recognised_in_any_association() {
+        let a = || scan("Likes");
+        let b = || scan("Has_creator");
+        let c = || scan("Knows");
+        assert_eq!(
+            a().join(b()).label_scan_chain(),
+            Some(vec!["Likes", "Has_creator"])
+        );
+        assert_eq!(
+            a().join(b()).join(c()).label_scan_chain(),
+            Some(vec!["Likes", "Has_creator", "Knows"])
+        );
+        assert_eq!(
+            a().join(b().join(c())).label_scan_chain(),
+            Some(vec!["Likes", "Has_creator", "Knows"])
+        );
+        assert_eq!(c().label_scan_chain(), Some(vec!["Knows"]));
+        // Non-scan leaves break the chain.
+        assert!(a().join(PlanExpr::edges()).label_scan_chain().is_none());
+        assert!(a()
+            .join(b().select(Condition::first_label("Person")))
+            .label_scan_chain()
             .is_none());
+        assert!(PlanExpr::nodes().label_scan_chain().is_none());
     }
 
     #[test]

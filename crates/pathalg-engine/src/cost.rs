@@ -69,17 +69,10 @@ pub fn estimate(plan: &PlanExpr, stats: &GraphStats) -> CostEstimate {
         PlanExpr::Recursive { semantics, input } => {
             let child = estimate(input, stats);
             let nodes = stats.node_count().max(1) as f64;
-            // Expansion factor of one self-join round.
+            // Expansion factor of one self-join round, capped by how fast
+            // the semantics lets the closure actually grow.
             let expansion = (child.cardinality / nodes).max(0.0);
-            let growth = match semantics {
-                // Restricted semantics saturate; unrestricted walks are charged
-                // the full horizon.
-                PathSemantics::Shortest | PathSemantics::Acyclic | PathSemantics::Simple => {
-                    expansion.min(2.0)
-                }
-                PathSemantics::Trail => expansion.min(4.0),
-                PathSemantics::Walk => expansion,
-            };
+            let growth = semantics_growth_cap(*semantics, expansion);
             let cardinality = if growth <= 1.0 {
                 child.cardinality * RECURSION_HORIZON.min(1.0 / (1.0 - growth + 1e-9)).max(1.0)
             } else {
@@ -133,86 +126,302 @@ pub enum PhiImpl {
     BfsShortest,
     /// The lazy compact path-multiset representation (`pathalg-pmr`):
     /// chosen when a plan's root is a slicing π pipeline over a recursive
-    /// label scan ([`choose_pipeline_impl`]), or for a root-level ϕShortest
-    /// label scan in serial configurations ([`choose_scan_phi_impl`]) where
-    /// the PMR's prefix-sharing arena replaces per-path materialisation.
+    /// label scan or label-scan join chain ([`choose_pipeline_impl`]), or
+    /// for a root-level serial ϕ over such a chain
+    /// ([`choose_scan_phi_impl`]) where the PMR's prefix-sharing arena
+    /// replaces join materialisation and per-path storage.
     PmrLazy,
 }
 
-/// Below this base size the frontier engine's index construction is not worth
-/// its setup cost and the semi-naïve fixpoint wins.
-const FRONTIER_MIN_BASE: usize = 24;
+impl PhiImpl {
+    /// Short display name used by `EXPLAIN` strategy lines and the `repro
+    /// joins` decision table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhiImpl::Seminaive => "seminaive",
+            PhiImpl::Frontier => "frontier",
+            PhiImpl::BfsShortest => "bfs-shortest",
+            PhiImpl::PmrLazy => "pmr-lazy",
+        }
+    }
+}
 
-/// Up to this base size the single-threaded Shortest BFS, which shares the
-/// fixpoint's simple data structures but prunes by endpoint distance, is
-/// competitive with the frontier engine; beyond it the frontier's per-source
-/// distance tables and clone-free level rotation dominate.
-const BFS_SHORTEST_MAX_BASE: usize = 96;
+/// A stats-driven estimate of one recursive closure, the input of the
+/// adaptive strategy choice ([`choose_phi_impl`], [`choose_pipeline_impl`]).
+/// The numbers are coarse on purpose — they only ever change *which* of the
+/// result-identical physical implementations runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClosureEstimate {
+    /// Estimated cardinality of the base relation (segments for a join
+    /// chain).
+    pub base: f64,
+    /// Estimated fan-out of one expansion step (one segment appended).
+    pub expansion: f64,
+    /// Whether the base's subgraph can cycle — the signal separating
+    /// saturating closures from exponential blow-ups. For multi-label chains
+    /// this falls back to whole-graph cyclicity (a sound over-approximation:
+    /// it can only make the model more cautious).
+    pub cyclic: bool,
+    /// The expansion horizon charged (levels).
+    pub levels: f64,
+    /// Estimated closure cardinality.
+    pub paths: f64,
+}
+
+impl ClosureEstimate {
+    /// True when the model predicts a super-linear closure: a cyclic base
+    /// subgraph whose per-step fan-out exceeds one keeps discovering new
+    /// paths at every level instead of saturating.
+    pub fn blows_up(&self) -> bool {
+        self.cyclic && self.expansion > 1.0
+    }
+}
+
+impl std::fmt::Display for ClosureEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "base≈{:.1} expansion≈{:.2} {} closure≈{:.0}",
+            self.base,
+            self.expansion,
+            if self.cyclic { "cyclic" } else { "acyclic" },
+            self.paths
+        )
+    }
+}
+
+/// Caps a raw per-step expansion factor by the path semantics: restricted
+/// semantics saturate (their admission predicates kill most candidates
+/// after a few levels), unrestricted walks compound fully. Shared by the
+/// generic cardinality model ([`estimate`]) and the closure estimators.
+fn semantics_growth_cap(semantics: PathSemantics, expansion: f64) -> f64 {
+    match semantics {
+        PathSemantics::Shortest | PathSemantics::Acyclic | PathSemantics::Simple => {
+            expansion.min(2.0)
+        }
+        PathSemantics::Trail => expansion.min(4.0),
+        PathSemantics::Walk => expansion,
+    }
+}
+
+/// Assembles a [`ClosureEstimate`] from its raw ingredients: a cyclic base
+/// with super-unit capped growth compounds geometrically over the horizon;
+/// anything else dies out and is charged the (capped) geometric sum.
+fn closure_estimate_from(
+    base: f64,
+    expansion: f64,
+    cyclic: bool,
+    semantics: PathSemantics,
+    levels: f64,
+) -> ClosureEstimate {
+    let growth = semantics_growth_cap(semantics, expansion);
+    let paths = if cyclic && growth > 1.0 {
+        base * growth.powf(levels)
+    } else {
+        base * levels.min(1.0 / (1.0 - growth.min(1.0) + 1e-9)).max(1.0)
+    };
+    ClosureEstimate {
+        base,
+        expansion,
+        cyclic,
+        levels,
+        paths,
+    }
+}
+
+/// The expansion horizon charged to a closure estimate: the recursion bound
+/// expressed in `seg_len`-edge levels when one is set, capped by the fixed
+/// [`RECURSION_HORIZON`].
+fn closure_levels(recursion: &pathalg_core::ops::recursive::RecursionConfig, seg_len: f64) -> f64 {
+    recursion
+        .max_length
+        .map(|l| (l as f64 / seg_len).floor().max(1.0))
+        .unwrap_or(RECURSION_HORIZON)
+        .min(RECURSION_HORIZON)
+}
+
+/// Estimates the closure of `ϕ_semantics` over a base described by `labels`
+/// (a label scan for one entry, a join chain for several) from graph
+/// statistics: per-label expansion factors multiply into the segment
+/// fan-out, cyclicity decides whether growth compounds, and the recursion
+/// bound caps the horizon.
+pub fn estimate_closure(
+    stats: &GraphStats,
+    labels: &[&str],
+    semantics: PathSemantics,
+    recursion: &pathalg_core::ops::recursive::RecursionConfig,
+) -> ClosureEstimate {
+    let seg_len = labels.len().max(1) as f64;
+    let base = labels
+        .split_first()
+        .map(|(first, rest)| {
+            rest.iter()
+                .fold(stats.edges_with_label(first) as f64, |n, l| {
+                    n * stats.label_expansion(l)
+                })
+        })
+        .unwrap_or(0.0);
+    let expansion: f64 = labels.iter().map(|l| stats.label_expansion(l)).product();
+    let cyclic = match labels {
+        [single] => stats.label_cyclic(single),
+        _ => stats.is_cyclic(),
+    };
+    let levels = closure_levels(recursion, seg_len);
+    closure_estimate_from(base, expansion, cyclic, semantics, levels)
+}
+
+/// Estimates the closure of an arbitrary ϕ node: label-chain bases use the
+/// per-label statistics ([`estimate_closure`]); anything else falls back to
+/// the generic cardinality model with whole-graph cyclicity.
+pub fn estimate_phi(
+    stats: &GraphStats,
+    semantics: PathSemantics,
+    base_plan: &PlanExpr,
+    recursion: &pathalg_core::ops::recursive::RecursionConfig,
+) -> ClosureEstimate {
+    if let Some(chain) = base_plan.label_scan_chain() {
+        return estimate_closure(stats, &chain, semantics, recursion);
+    }
+    let base = estimate(base_plan, stats).cardinality;
+    let nodes = stats.node_count().max(1) as f64;
+    let levels = closure_levels(recursion, 1.0);
+    closure_estimate_from(base, base / nodes, stats.is_cyclic(), semantics, levels)
+}
+
+/// With graph statistics available, a closure estimated below this many
+/// paths stays on the semi-naïve fixpoint even when the base exceeds
+/// [`ExecutionConfig::frontier_min_base`]: the whole evaluation is cheaper
+/// than the frontier's per-source index construction.
+pub const SEMINAIVE_MAX_ESTIMATED_CLOSURE: f64 = 128.0;
+
+/// On a multi-threaded configuration, a sliced pipeline whose closure is
+/// estimated below this many paths is materialised through the parallel
+/// frontier instead of the (serial) lazy PMR: with nothing to cut, the
+/// extra workers win.
+pub const PARALLEL_MATERIALIZE_MAX_CLOSURE: f64 = 512.0;
 
 /// Picks the physical implementation for one ϕ node.
 ///
 /// Called by the engine evaluator *after* the base relation is materialised,
-/// so the decision uses the exact base cardinality rather than an estimate.
+/// so the decision uses the exact base cardinality; when graph statistics
+/// are available ([`crate::exec::EngineEvaluator::with_graph_stats`]) the
+/// static base-size thresholds are replaced by the closure estimate — a
+/// predicted blow-up inflates `estimate.paths` past
+/// [`SEMINAIVE_MAX_ESTIMATED_CLOSURE`] and goes to the frontier engine even
+/// for tiny bases (where the static threshold would keep the fixpoint), and
+/// a predicted-tiny closure stays on the fixpoint even for larger bases.
 /// Any multi-threaded configuration forces the frontier engine — it is the
-/// only implementation that can use the extra threads, and its deterministic
-/// merge keeps results order-stable. All three choices produce the same path
-/// set (cross-validated in `tests/cross_validation.rs`), so this function
-/// only ever affects performance.
+/// only implementation that can use the extra threads, and its
+/// deterministic merge keeps results order-stable. All choices produce the
+/// same path set (cross-validated in `tests/cross_validation.rs`), so this
+/// function only ever affects performance.
 pub fn choose_phi_impl(
     semantics: PathSemantics,
     base_paths: usize,
     exec: &ExecutionConfig,
+    estimate: Option<&ClosureEstimate>,
 ) -> PhiImpl {
     if exec.threads > 1 {
         return PhiImpl::Frontier;
     }
-    if base_paths < FRONTIER_MIN_BASE {
-        return PhiImpl::Seminaive;
+    match estimate {
+        Some(est) => {
+            if est.paths <= SEMINAIVE_MAX_ESTIMATED_CLOSURE {
+                return PhiImpl::Seminaive;
+            }
+        }
+        None => {
+            if base_paths < exec.frontier_min_base {
+                return PhiImpl::Seminaive;
+            }
+        }
     }
-    if semantics == PathSemantics::Shortest && base_paths <= BFS_SHORTEST_MAX_BASE {
+    if semantics == PathSemantics::Shortest && base_paths <= exec.bfs_shortest_max_base {
         return PhiImpl::BfsShortest;
     }
     PhiImpl::Frontier
 }
 
-/// Picks the physical implementation for a `ϕ(σℓ(Edges(G)))` label-scan
-/// node, which never materialises its base relation.
+/// Picks the physical implementation for a `ϕ` node over a label scan or a
+/// join chain of label scans (`chain_len` hops), which never materialises
+/// its base relation.
 ///
-/// A *root-level* ϕShortest scan in a serial configuration goes to the lazy
-/// PMR ([`PhiImpl::PmrLazy`]): its per-source expansion is the same
-/// saturating BFS as the CSR frontier engine's, but paths live as
-/// prefix-sharing arena steps until emission, so the peak working set is
-/// O(#paths) words instead of O(#paths · length). Every other case uses the
-/// (possibly parallel) CSR frontier engine — under multi-threaded
-/// configurations it is the only implementation that can use the extra
-/// workers, and for non-root ϕ nodes the parent operator needs the
-/// materialised set anyway. Both produce byte-identical output sequences.
+/// A *root-level* chain in a serial configuration goes to the lazy PMR
+/// ([`PhiImpl::PmrLazy`]) when the chain has several hops — the arena join
+/// skips the hash join and the base `PathSet` entirely — or when the
+/// semantics is Shortest, whose prefix-sharing arena replaces per-path
+/// materialisation during the saturating BFS. Unbounded Walk stays on the
+/// materialising path so the infinite-answer error surfaces exactly as the
+/// reference reports it. Every other case uses the (possibly parallel) CSR
+/// frontier engine — under multi-threaded configurations it is the only
+/// implementation that can use the extra workers, and for non-root ϕ nodes
+/// the parent operator needs the materialised set anyway. All choices
+/// produce byte-identical output sequences.
 pub fn choose_scan_phi_impl(
     semantics: PathSemantics,
     exec: &ExecutionConfig,
     at_root: bool,
+    chain_len: usize,
+    recursion: &pathalg_core::ops::recursive::RecursionConfig,
 ) -> PhiImpl {
-    if at_root && semantics == PathSemantics::Shortest && exec.threads <= 1 {
+    let walk_unbounded = semantics == PathSemantics::Walk && recursion.max_length.is_none();
+    if at_root
+        && exec.threads <= 1
+        && !walk_unbounded
+        && (semantics == PathSemantics::Shortest || chain_len >= 2)
+    {
         return PhiImpl::PmrLazy;
     }
     PhiImpl::Frontier
 }
 
 /// Recognises a whole plan whose root is a *slicing* γ/τ/π pipeline over a
-/// recursive label scan — the shape where lazy top-k enumeration
+/// recursive label scan or label-scan join chain (optionally with an
+/// endpoint σ between γ and ϕ) — the shapes where lazy top-k enumeration
 /// ([`PhiImpl::PmrLazy`]) turns a worst-case-exponential evaluation into an
 /// output-linear one — and returns the recognised
 /// [`pathalg_core::slice::SlicePlan`] so the
 /// evaluator need not re-derive it. Returns `None` when the plan must be
-/// evaluated by materialising (not sliceable, base not a label scan, or an
-/// unbounded Walk, whose infinite-answer detection requires driving the
-/// expansion — see [`pathalg_core::slice::SlicePlan::lazy_eligible`]).
+/// evaluated by materialising (not sliceable, base not a scan chain, a
+/// non-endpoint filter, or an unbounded Walk, whose infinite-answer
+/// detection requires driving the expansion — see
+/// [`pathalg_core::slice::SlicePlan::lazy_eligible`]).
 pub fn choose_pipeline_impl<'a>(
     plan: &'a pathalg_core::expr::PlanExpr,
     recursion: &pathalg_core::ops::recursive::RecursionConfig,
 ) -> Option<pathalg_core::slice::SlicePlan<'a>> {
     plan.sliceable_pipeline()
         .filter(|sliced| sliced.lazy_eligible(recursion))
+}
+
+/// The adaptive variant of [`choose_pipeline_impl`]: on a multi-threaded
+/// configuration with statistics available, a pipeline whose closure is
+/// estimated to stay tiny ([`PARALLEL_MATERIALIZE_MAX_CLOSURE`]) is handed
+/// back to the parallel frontier (returns `None`); everything else goes
+/// lazy. The returned estimate (when stats were available) feeds the
+/// `EXPLAIN` strategy report.
+pub fn choose_pipeline_strategy<'a>(
+    plan: &'a pathalg_core::expr::PlanExpr,
+    recursion: &pathalg_core::ops::recursive::RecursionConfig,
+    exec: &ExecutionConfig,
+    stats: Option<&GraphStats>,
+) -> Option<(pathalg_core::slice::SlicePlan<'a>, Option<ClosureEstimate>)> {
+    let sliced = choose_pipeline_impl(plan, recursion)?;
+    let estimate = stats.map(|s| {
+        let chain = sliced
+            .base
+            .label_scan_chain()
+            .expect("lazy_eligible checked the base is a scan chain");
+        estimate_closure(s, &chain, sliced.semantics, recursion)
+    });
+    if exec.threads > 1 {
+        if let Some(est) = &estimate {
+            if !est.blows_up() && est.paths <= PARALLEL_MATERIALIZE_MAX_CLOSURE {
+                return None;
+            }
+        }
+    }
+    Some((sliced, estimate))
 }
 
 /// Estimated fraction of paths satisfying a condition.
@@ -268,6 +477,7 @@ mod tests {
     use super::*;
     use pathalg_core::condition::Condition;
     use pathalg_core::ops::projection::ProjectionSpec;
+    use pathalg_core::ops::recursive::RecursionConfig;
     use pathalg_core::GroupKey;
     use pathalg_graph::fixtures::figure1::figure1_graph;
     use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
@@ -346,17 +556,117 @@ mod tests {
         let serial = ExecutionConfig::default();
         let parallel = ExecutionConfig::with_threads(4);
         // Any parallel configuration forces the frontier engine.
-        assert_eq!(choose_phi_impl(Trail, 4, &parallel), PhiImpl::Frontier);
-        assert_eq!(choose_phi_impl(Shortest, 4, &parallel), PhiImpl::Frontier);
+        assert_eq!(
+            choose_phi_impl(Trail, 4, &parallel, None),
+            PhiImpl::Frontier
+        );
+        assert_eq!(
+            choose_phi_impl(Shortest, 4, &parallel, None),
+            PhiImpl::Frontier
+        );
         // Tiny bases stay on the semi-naïve fixpoint.
-        assert_eq!(choose_phi_impl(Trail, 4, &serial), PhiImpl::Seminaive);
-        assert_eq!(choose_phi_impl(Shortest, 4, &serial), PhiImpl::Seminaive);
+        assert_eq!(choose_phi_impl(Trail, 4, &serial, None), PhiImpl::Seminaive);
+        assert_eq!(
+            choose_phi_impl(Shortest, 4, &serial, None),
+            PhiImpl::Seminaive
+        );
         // Medium Shortest bases go to the specialised BFS…
-        assert_eq!(choose_phi_impl(Shortest, 64, &serial), PhiImpl::BfsShortest);
+        assert_eq!(
+            choose_phi_impl(Shortest, 64, &serial, None),
+            PhiImpl::BfsShortest
+        );
         // …while everything else at scale uses the frontier engine.
-        assert_eq!(choose_phi_impl(Trail, 64, &serial), PhiImpl::Frontier);
-        assert_eq!(choose_phi_impl(Shortest, 5000, &serial), PhiImpl::Frontier);
-        assert_eq!(choose_phi_impl(Walk, 5000, &serial), PhiImpl::Frontier);
+        assert_eq!(choose_phi_impl(Trail, 64, &serial, None), PhiImpl::Frontier);
+        assert_eq!(
+            choose_phi_impl(Shortest, 5000, &serial, None),
+            PhiImpl::Frontier
+        );
+        assert_eq!(
+            choose_phi_impl(Walk, 5000, &serial, None),
+            PhiImpl::Frontier
+        );
+        // The static thresholds are configuration, not magic numbers.
+        let tuned = ExecutionConfig {
+            frontier_min_base: 2,
+            bfs_shortest_max_base: 3,
+            ..ExecutionConfig::default()
+        };
+        assert_eq!(choose_phi_impl(Trail, 4, &tuned, None), PhiImpl::Frontier);
+        assert_eq!(
+            choose_phi_impl(Shortest, 64, &tuned, None),
+            PhiImpl::Frontier
+        );
+        assert_eq!(choose_phi_impl(Trail, 1, &tuned, None), PhiImpl::Seminaive);
+    }
+
+    #[test]
+    fn closure_estimates_separate_blowups_from_saturating_closures() {
+        use pathalg_graph::generator::structured::{chain_graph, complete_graph};
+        let recursion = RecursionConfig::default();
+        // A complete graph's label subgraph is cyclic with fan-out n−1: the
+        // model must predict a blow-up for walks/trails.
+        let dense = GraphStats::compute(&complete_graph(6, "k"));
+        let est = estimate_closure(&dense, &["k"], PathSemantics::Trail, &recursion);
+        assert!(est.cyclic);
+        assert!(est.expansion > 1.0);
+        assert!(est.blows_up());
+        assert!(est.paths > est.base);
+        // A chain saturates: no cycle, expansion ≤ 1.
+        let sparse = GraphStats::compute(&chain_graph(30, "k"));
+        let est = estimate_closure(&sparse, &["k"], PathSemantics::Trail, &recursion);
+        assert!(!est.cyclic);
+        assert!(!est.blows_up());
+        // Chains multiply per-hop expansions into the segment fan-out.
+        let f = GraphStats::compute(&figure1_graph());
+        let est = estimate_closure(
+            &f,
+            &["Likes", "Has_creator"],
+            PathSemantics::Simple,
+            &recursion,
+        );
+        assert!(est.base > 0.0);
+        assert!(est.expansion > 0.0);
+        // A length bound caps the horizon in segment units.
+        let bounded = RecursionConfig::with_max_length(4);
+        let est_bounded = estimate_closure(&dense, &["k", "k"], PathSemantics::Walk, &bounded);
+        assert!(est_bounded.levels <= 2.0);
+    }
+
+    #[test]
+    fn stats_driven_choice_overrides_the_static_thresholds() {
+        use pathalg_graph::generator::structured::{chain_graph, complete_graph};
+        let serial = ExecutionConfig::default();
+        let recursion = RecursionConfig::default();
+        // Tiny cyclic base that explodes: the estimator sends it to the
+        // frontier where the static threshold would have kept the fixpoint.
+        let dense = GraphStats::compute(&complete_graph(5, "k"));
+        let est = estimate_closure(&dense, &["k"], PathSemantics::Trail, &recursion);
+        assert_eq!(
+            choose_phi_impl(PathSemantics::Trail, 20, &serial, Some(&est)),
+            PhiImpl::Frontier
+        );
+        assert_eq!(
+            choose_phi_impl(PathSemantics::Trail, 20, &serial, None),
+            PhiImpl::Seminaive
+        );
+        // Acyclic base whose closure stays tiny: the estimator keeps the
+        // fixpoint where the static base threshold (tightened here to make
+        // the contrast visible at this scale) would pay for the frontier.
+        let tuned = ExecutionConfig {
+            frontier_min_base: 4,
+            ..ExecutionConfig::default()
+        };
+        let sparse = GraphStats::compute(&chain_graph(11, "k"));
+        let est = estimate_closure(&sparse, &["k"], PathSemantics::Acyclic, &recursion);
+        assert!(est.paths <= SEMINAIVE_MAX_ESTIMATED_CLOSURE);
+        assert_eq!(
+            choose_phi_impl(PathSemantics::Acyclic, 10, &tuned, Some(&est)),
+            PhiImpl::Seminaive
+        );
+        assert_eq!(
+            choose_phi_impl(PathSemantics::Acyclic, 10, &tuned, None),
+            PhiImpl::Frontier
+        );
     }
 
     #[test]
@@ -367,22 +677,50 @@ mod tests {
 
         let serial = ExecutionConfig::default();
         let parallel = ExecutionConfig::with_threads(4);
+        let rec = RecursionConfig::default();
         // Root-level serial ϕShortest scans take the PMR…
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Shortest, &serial, true),
+            choose_scan_phi_impl(PathSemantics::Shortest, &serial, true, 1, &rec),
             PhiImpl::PmrLazy
         );
-        // …but non-root, parallel, or non-Shortest scans stay on the frontier.
+        // …but non-root, parallel, or non-Shortest single scans stay on the
+        // frontier.
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Shortest, &serial, false),
+            choose_scan_phi_impl(PathSemantics::Shortest, &serial, false, 1, &rec),
             PhiImpl::Frontier
         );
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Shortest, &parallel, true),
+            choose_scan_phi_impl(PathSemantics::Shortest, &parallel, true, 1, &rec),
             PhiImpl::Frontier
         );
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Trail, &serial, true),
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, true, 1, &rec),
+            PhiImpl::Frontier
+        );
+        // Root-level serial join chains take the lazy arena join under every
+        // bounded semantics…
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, true, 2, &rec),
+            PhiImpl::PmrLazy
+        );
+        assert_eq!(
+            choose_scan_phi_impl(
+                PathSemantics::Walk,
+                &serial,
+                true,
+                2,
+                &RecursionConfig::with_max_length(4)
+            ),
+            PhiImpl::PmrLazy
+        );
+        // …but unbounded Walk keeps the materialising error-detection path,
+        // and parallel configurations keep the parallel frontier.
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Walk, &serial, true, 2, &rec),
+            PhiImpl::Frontier
+        );
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Trail, &parallel, true, 2, &rec),
             PhiImpl::Frontier
         );
 

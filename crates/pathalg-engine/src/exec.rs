@@ -23,9 +23,11 @@
 //! additionally makes the engine's own output ordering independent of
 //! [`ExecutionConfig::threads`].
 
-use crate::cost::{choose_phi_impl, choose_pipeline_impl, choose_scan_phi_impl, PhiImpl};
-use crate::physical::frontier::{phi_frontier, phi_frontier_csr};
-use crate::physical::{phi_bfs_shortest, phi_seminaive};
+use crate::cost::{
+    choose_phi_impl, choose_pipeline_strategy, choose_scan_phi_impl, estimate_phi, ClosureEstimate,
+    PhiImpl,
+};
+use pathalg_core::condition::Condition;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::eval::{EvalOutput, EvalStats};
 use pathalg_core::expr::PlanExpr;
@@ -37,12 +39,43 @@ use pathalg_core::ops::recursive::PathSemantics;
 use pathalg_core::ops::recursive::RecursionConfig;
 use pathalg_core::ops::selection::selection;
 use pathalg_core::ops::union::union;
+use pathalg_core::path::Path;
 use pathalg_core::pathset::PathSet;
 use pathalg_core::pathset_repr::PathSetRepr;
 use pathalg_core::solution_space::SolutionSpace;
 use pathalg_graph::csr::CsrGraph;
 use pathalg_graph::graph::PropertyGraph;
-use pathalg_pmr::Pmr;
+use pathalg_graph::ids::NodeId;
+use pathalg_graph::stats::GraphStats;
+use pathalg_pmr::{EndpointFilter, Pmr};
+
+use crate::physical::frontier::{phi_frontier, phi_frontier_csr};
+use crate::physical::{phi_bfs_shortest, phi_seminaive};
+
+/// One recorded strategy decision: which physical implementation a ϕ node or
+/// sliced pipeline was dispatched to, and the closure estimate (when graph
+/// statistics were available) that justified it. Surfaced by
+/// `QueryResult::explain` and the `repro joins` decision table.
+#[derive(Clone, Debug)]
+pub struct StrategyDecision {
+    /// Display form of the operator the decision applies to.
+    pub operator: String,
+    /// Short name of the chosen implementation ([`PhiImpl::name`] or
+    /// `"lazy-sliced-pipeline"`).
+    pub chosen: &'static str,
+    /// The estimate behind the choice, if statistics were available.
+    pub estimate: Option<ClosureEstimate>,
+}
+
+impl std::fmt::Display for StrategyDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.operator, self.chosen)?;
+        if let Some(est) = &self.estimate {
+            write!(f, " ({est})")?;
+        }
+        Ok(())
+    }
+}
 
 /// Parallel-execution knobs of the [`QueryRunner`](crate::runner::QueryRunner).
 ///
@@ -58,6 +91,20 @@ pub struct ExecutionConfig {
     pub threads: usize,
     /// Number of source nodes per scheduling batch.
     pub batch_size: usize,
+    /// Below this base cardinality the frontier engine's per-source index
+    /// construction is not worth its setup cost and the semi-naïve fixpoint
+    /// wins — used as the static fallback when no [`GraphStats`]-driven
+    /// closure estimate is available (see
+    /// [`crate::cost::choose_phi_impl`]). Default
+    /// [`ExecutionConfig::DEFAULT_FRONTIER_MIN_BASE`].
+    pub frontier_min_base: usize,
+    /// Up to this base cardinality the single-threaded Shortest BFS, which
+    /// shares the fixpoint's simple data structures but prunes by endpoint
+    /// distance, is competitive with the frontier engine; beyond it the
+    /// frontier's per-source distance tables and clone-free level rotation
+    /// dominate. Default
+    /// [`ExecutionConfig::DEFAULT_BFS_SHORTEST_MAX_BASE`].
+    pub bfs_shortest_max_base: usize,
 }
 
 impl Default for ExecutionConfig {
@@ -65,11 +112,23 @@ impl Default for ExecutionConfig {
         Self {
             threads: 1,
             batch_size: 32,
+            frontier_min_base: Self::DEFAULT_FRONTIER_MIN_BASE,
+            bfs_shortest_max_base: Self::DEFAULT_BFS_SHORTEST_MAX_BASE,
         }
     }
 }
 
 impl ExecutionConfig {
+    /// Default of [`ExecutionConfig::frontier_min_base`], measured on the
+    /// `ablations` bench: below ~24 base paths the fixpoint's lack of setup
+    /// beats the frontier's per-source batching.
+    pub const DEFAULT_FRONTIER_MIN_BASE: usize = 24;
+
+    /// Default of [`ExecutionConfig::bfs_shortest_max_base`]: up to ~96 base
+    /// paths the specialised Shortest BFS and the frontier are within noise
+    /// of each other; the simpler algorithm wins the tie.
+    pub const DEFAULT_BFS_SHORTEST_MAX_BASE: usize = 96;
+
     /// A configuration with `threads` workers and the default batch size.
     pub fn with_threads(threads: usize) -> Self {
         Self {
@@ -84,14 +143,18 @@ pub struct EngineEvaluator<'g> {
     graph: &'g PropertyGraph,
     recursion: RecursionConfig,
     exec: ExecutionConfig,
+    graph_stats: Option<&'g GraphStats>,
     stats: EvalStats,
     depth: usize,
     lazy_pipeline_fired: bool,
+    decisions: Vec<StrategyDecision>,
 }
 
 impl<'g> EngineEvaluator<'g> {
     /// Creates an evaluator over `graph` with the given recursion bounds and
-    /// execution configuration.
+    /// execution configuration. Strategy choices fall back to the static
+    /// base-size thresholds of [`ExecutionConfig`]; attach statistics with
+    /// [`EngineEvaluator::with_graph_stats`] for the adaptive estimator.
     pub fn new(
         graph: &'g PropertyGraph,
         recursion: RecursionConfig,
@@ -101,16 +164,33 @@ impl<'g> EngineEvaluator<'g> {
             graph,
             recursion,
             exec,
+            graph_stats: None,
             stats: EvalStats::default(),
             depth: 0,
             lazy_pipeline_fired: false,
+            decisions: Vec::new(),
         }
+    }
+
+    /// Attaches precomputed [`GraphStats`], switching every ϕ dispatch from
+    /// the static thresholds to the stats-driven closure estimator
+    /// ([`crate::cost::estimate_phi`]). The runner always does this; the
+    /// choice never changes results, only which implementation runs.
+    pub fn with_graph_stats(mut self, stats: &'g GraphStats) -> Self {
+        self.graph_stats = Some(stats);
+        self
     }
 
     /// The statistics collected so far (same counters as the reference
     /// evaluator).
     pub fn stats(&self) -> EvalStats {
         self.stats
+    }
+
+    /// The strategy decisions recorded so far, in evaluation order — one per
+    /// dispatched ϕ node or sliced pipeline.
+    pub fn decisions(&self) -> &[StrategyDecision] {
+        &self.decisions
     }
 
     /// True if a sliceable pipeline was actually evaluated through the lazy
@@ -152,35 +232,110 @@ impl<'g> EngineEvaluator<'g> {
             }
             PlanExpr::Recursive { semantics, input } => {
                 self.stats.recursive_calls += 1;
-                if let Some(label) = input.label_scan_target() {
-                    // CSR-native fast path: never materialise σℓ(Edges(G))
-                    // as a PathSet; expand over the label-restricted CSR.
-                    let csr = CsrGraph::with_label(self.graph, label);
-                    self.charge_skipped(self.graph.edge_count()); // Edges(G)
-                    self.charge_skipped(csr.edge_count()); // σ label
-                    let out = match choose_scan_phi_impl(*semantics, &self.exec, at_root) {
-                        // Root-level serial ϕShortest: same expansion, but
-                        // paths live as prefix-sharing PMR arena steps until
-                        // emission. Output sequence identical to the frontier.
-                        PhiImpl::PmrLazy => {
-                            Pmr::from_csr(csr, *semantics, self.recursion).enumerate_all()?
+                let chain: Option<Vec<&str>> = input.label_scan_chain();
+                let estimate = match (&chain, self.graph_stats) {
+                    (Some(labels), Some(stats)) => Some(crate::cost::estimate_closure(
+                        stats,
+                        labels,
+                        *semantics,
+                        &self.recursion,
+                    )),
+                    (None, Some(stats)) => {
+                        Some(estimate_phi(stats, *semantics, input, &self.recursion))
+                    }
+                    _ => None,
+                };
+                let chain_choice = chain.as_ref().map(|labels| {
+                    choose_scan_phi_impl(
+                        *semantics,
+                        &self.exec,
+                        at_root,
+                        labels.len(),
+                        &self.recursion,
+                    )
+                });
+                match (chain, chain_choice) {
+                    (Some(labels), _) if labels.len() == 1 => {
+                        // CSR-native fast path: never materialise σℓ(Edges(G))
+                        // as a PathSet; expand over the label-restricted CSR.
+                        let label = labels[0];
+                        let csr = CsrGraph::with_label(self.graph, label);
+                        self.charge_skipped(self.graph.edge_count()); // Edges(G)
+                        self.charge_skipped(csr.edge_count()); // σ label
+                        let chosen = chain_choice.expect("chain is Some");
+                        self.record_decision(
+                            format!("ϕ{} over label scan :{label}", semantics.keyword()),
+                            chosen.name(),
+                            estimate,
+                        );
+                        let out = match chosen {
+                            // Root-level serial ϕShortest: same expansion, but
+                            // paths live as prefix-sharing PMR arena steps
+                            // until emission. Output sequence identical to
+                            // the frontier.
+                            PhiImpl::PmrLazy => {
+                                Pmr::from_csr(csr, *semantics, self.recursion).enumerate_all()?
+                            }
+                            _ => phi_frontier_csr(&csr, *semantics, &self.recursion, &self.exec)?,
+                        };
+                        EvalOutput::Paths(out)
+                    }
+                    (Some(labels), Some(PhiImpl::PmrLazy)) => {
+                        // Lazy endpoint-keyed join: the per-hop CSR indexes
+                        // replace the hash join; neither join side, the join
+                        // result, nor the base PathSet is materialised.
+                        // Output sequence identical to join-then-frontier.
+                        self.record_decision(
+                            format!("ϕ{} over join chain {labels:?}", semantics.keyword()),
+                            PhiImpl::PmrLazy.name(),
+                            estimate,
+                        );
+                        let hops: Vec<CsrGraph> = labels
+                            .iter()
+                            .map(|l| CsrGraph::with_label(self.graph, l))
+                            .collect();
+                        for csr in &hops {
+                            self.charge_skipped(self.graph.edge_count()); // Edges(G)
+                            self.charge_skipped(csr.edge_count()); // σ label
                         }
-                        _ => phi_frontier_csr(&csr, *semantics, &self.recursion, &self.exec)?,
-                    };
-                    EvalOutput::Paths(out)
-                } else {
-                    let base = self.eval_paths_internal(input, "recursive")?;
-                    let out = match choose_phi_impl(*semantics, base.len(), &self.exec) {
-                        PhiImpl::Seminaive => phi_seminaive(*semantics, &base, &self.recursion)?,
-                        PhiImpl::BfsShortest => phi_bfs_shortest(&base, &self.recursion)?,
-                        // `choose_phi_impl` never picks the PMR for a
-                        // materialised base — it only applies to label scans
-                        // and sliced pipelines.
-                        PhiImpl::Frontier | PhiImpl::PmrLazy => {
-                            phi_frontier(*semantics, &base, &self.recursion, &self.exec)?
+                        let mut pmr = Pmr::from_join(hops, *semantics, self.recursion);
+                        let out = pmr.enumerate_all()?;
+                        // Charge the k−1 joins with the slice of the join
+                        // output the expansion actually generated.
+                        let segments = pmr.base_segments().unwrap_or(0);
+                        self.stats.join_calls += labels.len() - 1;
+                        for _ in 1..labels.len() {
+                            self.charge_skipped(segments);
                         }
-                    };
-                    EvalOutput::Paths(out)
+                        EvalOutput::Paths(out)
+                    }
+                    _ => {
+                        let base = self.eval_paths_internal(input, "recursive")?;
+                        let chosen =
+                            choose_phi_impl(*semantics, base.len(), &self.exec, estimate.as_ref());
+                        self.record_decision(
+                            format!(
+                                "ϕ{} over materialised base ({} paths)",
+                                semantics.keyword(),
+                                base.len()
+                            ),
+                            chosen.name(),
+                            estimate,
+                        );
+                        let out = match chosen {
+                            PhiImpl::Seminaive => {
+                                phi_seminaive(*semantics, &base, &self.recursion)?
+                            }
+                            PhiImpl::BfsShortest => phi_bfs_shortest(&base, &self.recursion)?,
+                            // `choose_phi_impl` never picks the PMR for a
+                            // materialised base — it only applies to label
+                            // scans and sliced pipelines.
+                            PhiImpl::Frontier | PhiImpl::PmrLazy => {
+                                phi_frontier(*semantics, &base, &self.recursion, &self.exec)?
+                            }
+                        };
+                        EvalOutput::Paths(out)
+                    }
                 }
             }
             PlanExpr::GroupBy { key, input } => {
@@ -207,10 +362,14 @@ impl<'g> EngineEvaluator<'g> {
         Ok(out)
     }
 
-    /// Evaluates a recognised sliceable pipeline (`π(τA?(γψ(ϕ(σℓ(E)))))`,
-    /// see [`pathalg_core::slice`]) through the lazy PMR, pulling only the
-    /// paths the projection keeps. Returns `None` when the cost model keeps
-    /// the plan on the materialising path.
+    /// Evaluates a recognised sliceable pipeline
+    /// (`π(τA?(γψ(σ?(ϕ(σℓ1(E) ⋈ … ⋈ σℓk(E))))))`, see
+    /// [`pathalg_core::slice`]) through the lazy PMR, pulling only the paths
+    /// the projection keeps. Endpoint filters are pushed into the expansion:
+    /// the first-node part restricts the source schedule, the last-node part
+    /// becomes a target mask consulted before any path is reconstructed and
+    /// inside the reachability-based source stop. Returns `None` when the
+    /// cost model keeps the plan on the materialising path.
     ///
     /// The collected [`EvalStats`] charge the bypassed operators with the
     /// work the lazy evaluation actually performed (arena steps generated,
@@ -218,37 +377,105 @@ impl<'g> EngineEvaluator<'g> {
     /// reference evaluator would report, since avoiding that work is the
     /// point of the strategy.
     fn try_sliced_pipeline(&mut self, expr: &PlanExpr) -> Result<Option<PathSet>, AlgebraError> {
-        let Some(plan) = choose_pipeline_impl(expr, &self.recursion) else {
+        let Some((plan, estimate)) =
+            choose_pipeline_strategy(expr, &self.recursion, &self.exec, self.graph_stats)
+        else {
             return Ok(None);
         };
-        let label = plan
+        let chain = plan
             .base
-            .label_scan_target()
-            .expect("lazy_eligible checked the base is a label scan");
-        let mut pmr = Pmr::from_label_scan(self.graph, label, plan.semantics, self.recursion);
+            .label_scan_chain()
+            .expect("lazy_eligible checked the base is a scan chain");
+        let mut pmr = if chain.len() == 1 {
+            Pmr::from_label_scan(self.graph, chain[0], plan.semantics, self.recursion)
+        } else {
+            Pmr::from_label_chain(self.graph, &chain, plan.semantics, self.recursion)
+        };
+        if let Some(condition) = plan.filter {
+            let (first, last) = condition
+                .endpoint_split()
+                .expect("lazy_eligible checked the filter splits");
+            pmr.restrict_endpoints(EndpointFilter {
+                sources: first.map(|c| self.node_mask(&c)),
+                targets: last.map(|c| self.node_mask(&c)),
+            });
+        }
+        self.record_decision(
+            format!(
+                "sliced pipeline over ϕ{}{}{}",
+                plan.semantics.keyword(),
+                if chain.len() > 1 {
+                    format!(" join chain {chain:?}")
+                } else {
+                    format!(" label scan :{}", chain[0])
+                },
+                if plan.filter.is_some() {
+                    " with endpoint-σ pushdown"
+                } else {
+                    ""
+                }
+            ),
+            "lazy-sliced-pipeline",
+            estimate,
+        );
         let out = pmr.sliced(&plan.spec)?;
         self.lazy_pipeline_fired = true;
-        // Bypassed operators: Edges, σ, ϕ, γ and (when present) τ; the π
-        // node itself is charged by the caller.
+        // Bypassed operators: Edges and σ per hop, the k−1 joins, ϕ, the
+        // endpoint σ (when present), γ and (when present) τ; the π node
+        // itself is charged by the caller.
         self.stats.recursive_calls += 1;
-        self.stats.operators_evaluated += 4 + usize::from(plan.spec.ordered_by_length);
+        self.stats.join_calls += chain.len() - 1;
+        self.stats.operators_evaluated += 2 * chain.len()
+            + (chain.len() - 1)
+            + 2
+            + usize::from(plan.filter.is_some())
+            + usize::from(plan.spec.ordered_by_length);
         let generated = pmr.steps_generated();
-        self.stats.intermediate_paths +=
-            generated + out.len() * (1 + usize::from(plan.spec.ordered_by_length));
+        self.stats.intermediate_paths += generated
+            + out.len()
+                * (1 + usize::from(plan.spec.ordered_by_length)
+                    + usize::from(plan.filter.is_some()));
         self.stats.max_intermediate = self.stats.max_intermediate.max(generated);
         Ok(Some(out))
     }
 
+    /// Evaluates a per-node condition (a pure first- or last-node predicate,
+    /// see [`Condition::endpoint_split`]) over every node of the graph,
+    /// yielding the keep-mask pushed into the PMR expansion.
+    fn node_mask(&self, condition: &Condition) -> Vec<bool> {
+        (0..self.graph.node_count() as u32)
+            .map(|v| condition.eval(&Path::node(NodeId(v)), self.graph))
+            .collect()
+    }
+
+    fn record_decision(
+        &mut self,
+        operator: String,
+        chosen: &'static str,
+        estimate: Option<ClosureEstimate>,
+    ) {
+        self.decisions.push(StrategyDecision {
+            operator,
+            chosen,
+            estimate,
+        });
+    }
+
     /// Evaluates an expression into a [`PathSetRepr`]: a root-level
-    /// recursive label scan (bounded, or under a finite semantics) returns
-    /// the *lazy* PMR form, so callers can pull top-k results without the
-    /// closure ever being materialised; every other plan evaluates as usual
-    /// and returns the materialised form.
+    /// recursive label scan or label-scan join chain (bounded, or under a
+    /// finite semantics) returns the *lazy* PMR form, so callers can pull
+    /// top-k results without the closure — or, for chains, either join side
+    /// — ever being materialised; every other plan evaluates as usual and
+    /// returns the materialised form.
     pub fn eval_repr(&mut self, expr: &PlanExpr) -> Result<PathSetRepr<'static>, AlgebraError> {
         if let PlanExpr::Recursive { semantics, input } = expr {
-            if let Some(label) = input.label_scan_target() {
+            if let Some(chain) = input.label_scan_chain() {
                 if *semantics != PathSemantics::Walk || self.recursion.max_length.is_some() {
-                    let pmr = Pmr::from_label_scan(self.graph, label, *semantics, self.recursion);
+                    let pmr = if chain.len() == 1 {
+                        Pmr::from_label_scan(self.graph, chain[0], *semantics, self.recursion)
+                    } else {
+                        Pmr::from_label_chain(self.graph, &chain, *semantics, self.recursion)
+                    };
                     return Ok(PathSetRepr::lazy(Box::new(pmr)));
                 }
             }
@@ -308,6 +535,7 @@ impl<'g> EngineEvaluator<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::choose_pipeline_impl;
     use pathalg_core::condition::Condition;
     use pathalg_core::eval::Evaluator;
     use pathalg_core::ops::projection::ProjectionSpec;
@@ -348,6 +576,7 @@ mod tests {
                     ExecutionConfig {
                         threads,
                         batch_size: 2,
+                        ..ExecutionConfig::default()
                     },
                 );
                 let out = engine.eval_paths(&plan).unwrap();

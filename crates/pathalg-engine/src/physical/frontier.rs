@@ -560,6 +560,7 @@ mod tests {
         ExecutionConfig {
             threads,
             batch_size: 2,
+            ..ExecutionConfig::default()
         }
     }
 

@@ -19,7 +19,7 @@
 //! report.
 
 use crate::cost::{estimate, CostEstimate};
-use crate::exec::{EngineEvaluator, ExecutionConfig};
+use crate::exec::{EngineEvaluator, ExecutionConfig, StrategyDecision};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::eval::EvalStats;
 use pathalg_core::expr::PlanExpr;
@@ -97,6 +97,7 @@ pub struct QueryResult {
     cost_before: CostEstimate,
     cost_after: CostEstimate,
     lazy_pipeline: bool,
+    decisions: Vec<StrategyDecision>,
 }
 
 impl QueryResult {
@@ -144,6 +145,13 @@ impl QueryResult {
         self.lazy_pipeline
     }
 
+    /// The adaptive strategy decisions the evaluator recorded, in evaluation
+    /// order — one per dispatched ϕ node or sliced pipeline, each carrying
+    /// the [`crate::cost::ClosureEstimate`] that justified it.
+    pub fn strategy_decisions(&self) -> &[StrategyDecision] {
+        &self.decisions
+    }
+
     /// An `EXPLAIN ANALYZE`-style textual report.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -172,6 +180,12 @@ impl QueryResult {
         ));
         if self.lazy_pipeline {
             out.push_str("  strategy: lazy sliced pipeline (PMR top-k enumeration)\n");
+        }
+        if !self.decisions.is_empty() {
+            out.push_str("== strategy ==\n");
+            for decision in &self.decisions {
+                out.push_str(&format!("  {decision}\n"));
+            }
         }
         out
     }
@@ -236,7 +250,8 @@ impl<'g> QueryRunner<'g> {
             plan.clone()
         };
         let mut evaluator =
-            EngineEvaluator::new(self.graph, self.config.recursion, self.config.execution);
+            EngineEvaluator::new(self.graph, self.config.recursion, self.config.execution)
+                .with_graph_stats(&self.stats);
         let paths = evaluator.eval_paths(&executed)?;
         Ok((paths, evaluator.stats()))
     }
@@ -254,10 +269,12 @@ impl<'g> QueryRunner<'g> {
         let cost_before = estimate(&plan, &self.stats);
         let cost_after = estimate(&optimized_plan, &self.stats);
         let mut evaluator =
-            EngineEvaluator::new(self.graph, self.config.recursion, self.config.execution);
+            EngineEvaluator::new(self.graph, self.config.recursion, self.config.execution)
+                .with_graph_stats(&self.stats);
         let paths = evaluator.eval_paths(&optimized_plan)?;
         // An observation of the strategy that actually ran, not a prediction.
         let lazy_pipeline = evaluator.used_lazy_pipeline();
+        let decisions = evaluator.decisions().to_vec();
         Ok(QueryResult {
             paths,
             query,
@@ -268,6 +285,7 @@ impl<'g> QueryRunner<'g> {
             cost_before,
             cost_after,
             lazy_pipeline,
+            decisions,
         })
     }
 }
@@ -388,6 +406,7 @@ mod tests {
                     RunnerConfig::default().with_execution(ExecutionConfig {
                         threads,
                         batch_size: 2,
+                        ..ExecutionConfig::default()
                     }),
                 );
                 let result = parallel.run(query).unwrap();
@@ -414,11 +433,25 @@ mod tests {
             .unwrap();
         assert!(!all.used_lazy_pipeline());
         assert!(!all.explain().contains("lazy sliced pipeline"));
-        // Endpoint filters sit between γ and ϕ: materialised as well.
+        // Endpoint filters sit between γ and ϕ and are pushed into the
+        // expansion as a source restriction / target mask — filtered
+        // selector queries go lazy too.
         let filtered = runner
             .run("MATCH ANY SHORTEST TRAIL p = (?x {name:\"Moe\"})-[:Knows+]->(?y)")
             .unwrap();
-        assert!(!filtered.used_lazy_pipeline());
+        assert!(filtered.used_lazy_pipeline());
+        assert!(filtered.explain().contains("endpoint-σ pushdown"));
+        // A non-endpoint WHERE clause (interior node) keeps materialising.
+        let interior = runner
+            .run("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y) WHERE node(2).name = \"Lisa\"")
+            .unwrap();
+        assert!(!interior.used_lazy_pipeline());
+        // Join-chain bases go lazy through the endpoint-keyed arena join.
+        let chain = runner
+            .run("MATCH ANY 2 SIMPLE p = (?x)-[(:Likes/:Has_creator)+]->(?y)")
+            .unwrap();
+        assert!(chain.used_lazy_pipeline());
+        assert!(chain.explain().contains("join chain"));
         // For unoptimized runs the parser-level tag predicts the executed
         // strategy exactly.
         let config = RunnerConfig::default().without_optimizer();
@@ -427,6 +460,8 @@ mod tests {
             "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)",
             "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
             "MATCH ANY 2 SIMPLE p = (?x)-[:Knows+]->(?y)",
+            "MATCH ANY SHORTEST TRAIL p = (?x {name:\"Moe\"})-[:Knows+]->(?y)",
+            "MATCH ANY 2 SIMPLE p = (?x)-[(:Likes/:Has_creator)+]->(?y)",
         ] {
             let parsed = parse_query(q).unwrap();
             let result = no_opt.run(q).unwrap();

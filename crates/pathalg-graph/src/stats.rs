@@ -23,6 +23,13 @@ pub struct GraphStats {
     /// Average out-degree restricted to each edge label: the expected fan-out
     /// of one expansion step of ϕ over that label.
     label_expansion: HashMap<String, f64>,
+    /// Whether the graph as a whole contains a directed cycle — on an
+    /// acyclic graph even unbounded ϕ-Walk closures are finite.
+    cyclic: bool,
+    /// Per-label cyclicity of the label-restricted subgraph: the signal that
+    /// separates saturating closures from exponential blow-ups for
+    /// single-label recursion.
+    label_cyclic: HashMap<String, bool>,
 }
 
 impl GraphStats {
@@ -41,13 +48,26 @@ impl GraphStats {
         let mut edge_label_counts: HashMap<String, usize> = HashMap::new();
         // Nodes with at least one outgoing edge of a given label.
         let mut label_sources: HashMap<String, std::collections::HashSet<u32>> = HashMap::new();
+        // Per-label and whole-graph (source, target) pairs for the cyclicity
+        // checks below — collected in the same pass, with the label key
+        // allocated only on first sight of a label.
+        let mut all_edges: Vec<(u32, u32)> = Vec::with_capacity(edge_count);
+        let mut label_edges: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
         for e in graph.edges() {
+            let pair = (graph.source(e).0, graph.target(e).0);
+            all_edges.push(pair);
             if let Some(l) = graph.edge(e).label.as_deref() {
                 *edge_label_counts.entry(l.to_owned()).or_default() += 1;
                 label_sources
                     .entry(l.to_owned())
                     .or_default()
-                    .insert(graph.source(e).0);
+                    .insert(pair.0);
+                match label_edges.get_mut(l) {
+                    Some(edges) => edges.push(pair),
+                    None => {
+                        label_edges.insert(l.to_owned(), vec![pair]);
+                    }
+                }
             }
         }
 
@@ -77,6 +97,12 @@ impl GraphStats {
             })
             .collect();
 
+        let cyclic = has_directed_cycle(node_count, &all_edges);
+        let label_cyclic = label_edges
+            .into_iter()
+            .map(|(l, edges)| (l, has_directed_cycle(node_count, &edges)))
+            .collect();
+
         Self {
             node_count,
             edge_count,
@@ -86,6 +112,8 @@ impl GraphStats {
             max_in_degree,
             avg_out_degree,
             label_expansion,
+            cyclic,
+            label_cyclic,
         }
     }
 
@@ -139,6 +167,20 @@ impl GraphStats {
         self.label_expansion.get(label).copied().unwrap_or(0.0)
     }
 
+    /// True if the graph contains a directed cycle (self-loops included).
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+
+    /// True if the subgraph of edges carrying `label` contains a directed
+    /// cycle; `false` for unknown labels. On a cyclic label subgraph the
+    /// Walk/Trail closures of a `ϕ(σℓ(E))` scan can blow up exponentially,
+    /// while on an acyclic one every closure is bounded by the path count of
+    /// a DAG — the key input of the engine's adaptive strategy choice.
+    pub fn label_cyclic(&self, label: &str) -> bool {
+        self.label_cyclic.get(label).copied().unwrap_or(false)
+    }
+
     /// Edge labels seen in the graph, in arbitrary order.
     pub fn edge_labels(&self) -> impl Iterator<Item = &str> {
         self.edge_label_counts.keys().map(String::as_str)
@@ -148,6 +190,31 @@ impl GraphStats {
     pub fn node_labels(&self) -> impl Iterator<Item = &str> {
         self.node_label_counts.keys().map(String::as_str)
     }
+}
+
+/// Kahn's algorithm over an edge list: the graph has a directed cycle iff
+/// the topological peeling cannot consume every node.
+fn has_directed_cycle(node_count: usize, edges: &[(u32, u32)]) -> bool {
+    let mut indegree = vec![0usize; node_count];
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); node_count];
+    for &(s, t) in edges {
+        indegree[t as usize] += 1;
+        adjacency[s as usize].push(t);
+    }
+    let mut queue: Vec<u32> = (0..node_count as u32)
+        .filter(|&v| indegree[v as usize] == 0)
+        .collect();
+    let mut processed = 0usize;
+    while let Some(v) = queue.pop() {
+        processed += 1;
+        for &t in &adjacency[v as usize] {
+            indegree[t as usize] -= 1;
+            if indegree[t as usize] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    processed < node_count
 }
 
 impl fmt::Display for GraphStats {
@@ -244,6 +311,35 @@ mod tests {
         let mut node_labels: Vec<_> = stats.node_labels().collect();
         node_labels.sort();
         assert_eq!(node_labels, vec!["Message", "Person"]);
+    }
+
+    #[test]
+    fn cyclicity_is_detected_per_label_and_globally() {
+        // The sample graph is a DAG on both labels.
+        let stats = GraphStats::compute(&sample());
+        assert!(!stats.is_cyclic());
+        assert!(!stats.label_cyclic("Knows"));
+        assert!(!stats.label_cyclic("Likes"));
+        assert!(!stats.label_cyclic("Nope"));
+
+        // Adding a back edge creates a Knows cycle but leaves Likes acyclic.
+        let mut b = GraphBuilder::new();
+        let p: Vec<_> = (0..3)
+            .map(|i| b.add_node("Person", [("id", i as i64)]))
+            .collect();
+        b.add_edge(p[0], p[1], "Knows", Vec::<(&str, Value)>::new());
+        b.add_edge(p[1], p[0], "Knows", Vec::<(&str, Value)>::new());
+        b.add_edge(p[1], p[2], "Likes", Vec::<(&str, Value)>::new());
+        let stats = GraphStats::compute(&b.build());
+        assert!(stats.is_cyclic());
+        assert!(stats.label_cyclic("Knows"));
+        assert!(!stats.label_cyclic("Likes"));
+
+        // A self-loop is a cycle.
+        let mut b = GraphBuilder::new();
+        let n = b.add_node("N", Vec::<(&str, Value)>::new());
+        b.add_edge(n, n, "a", Vec::<(&str, Value)>::new());
+        assert!(GraphStats::compute(&b.build()).label_cyclic("a"));
     }
 
     #[test]

@@ -463,10 +463,16 @@ mod tests {
     #[test]
     fn lazy_sliceable_tags_the_slicing_selector_queries() {
         // ANY SHORTEST / SHORTEST k translate to π(*,*,k)(τA(γST(ϕ(scan)))).
+        // The recogniser covers the whole fragment: plain scans, endpoint
+        // filters (pushed into the expansion as source/target masks), and
+        // join chains of label scans (the lazy endpoint-keyed arena join).
         for q in [
             "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)",
             "MATCH SHORTEST 2 TRAIL p = (?x)-[:Knows+]->(?y)",
             "MATCH ANY 3 SIMPLE p = (?x)-[:Knows+]->(?y)",
+            "MATCH ANY SHORTEST TRAIL p = (?x {name:\"Moe\"})-[:Knows+]->(?y)",
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[(:Likes/:Has_creator)+]->(?y)",
+            "MATCH ANY 2 SIMPLE p = (?x {name:\"Moe\"})-[(:Likes/:Has_creator)+]->(?y {name:\"Apu\"})",
         ] {
             assert!(
                 parse_query(q)
@@ -475,12 +481,12 @@ mod tests {
                 "{q}"
             );
         }
-        // ALL keeps everything; endpoint filters block the pushdown; and a
-        // join base is not a label scan.
+        // ALL keeps everything; non-endpoint WHERE clauses cannot be pushed;
+        // and a union base is not a scan chain.
         for q in [
             "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
-            "MATCH ANY SHORTEST TRAIL p = (?x {name:\"Moe\"})-[:Knows+]->(?y)",
-            "MATCH ANY SHORTEST TRAIL p = (?x)-[(:Likes/:Has_creator)+]->(?y)",
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y) WHERE node(2).name = \"Lisa\"",
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows|:Likes)+]->(?y)",
         ] {
             assert!(
                 !parse_query(q)

@@ -116,6 +116,12 @@ impl CsrExpansion {
         self.semantics
     }
 
+    /// Restricts expansion to sources marked in `keep` (σ-first pushdown).
+    /// Must be applied before the first pull.
+    pub fn restrict_sources(&mut self, keep: &[bool]) {
+        self.sources.retain(|v| keep.get(v.index()) == Some(&true));
+    }
+
     fn within(&self, len: usize) -> bool {
         self.config.max_length.is_none_or(|l| len <= l)
     }

@@ -1,0 +1,503 @@
+//! Lazy, endpoint-keyed join expansion: `ϕ(σℓ1(E) ⋈ … ⋈ σℓk(E))` as a
+//! composite product.
+//!
+//! The base relation of patterns like `(:Likes/:Has_creator)+` is a *join* of
+//! label scans: every base path is a fixed-length **segment** walking one
+//! edge of each hop label in order. The materialised pipeline evaluates this
+//! by hashing the full join result and feeding it to the frontier engine;
+//! this module instead keeps one CSR-shaped endpoint index *per side* (the
+//! label-restricted [`CsrGraph`] snapshots, keyed by each hop's source node)
+//! and expands the concatenation lazily: a segment is enumerated by chaining
+//! through the per-hop indexes, and the closure is grown segment by segment
+//! exactly like [`crate::csr::CsrExpansion`] grows it edge by edge — without
+//! either join side, the join result, or the closure ever being materialised.
+//!
+//! The emission order is byte-identical to the engine's materialised
+//! evaluation (`join(…)` then `phi_frontier`): sources ascending, levels (=
+//! segment counts) in order, and within a level the lexicographic
+//! `(e1, …, ek)` adjacency order — which is the order the hash join feeds the
+//! frontier's per-source base index. All admission predicates, the Shortest
+//! per-target pruning, the unbounded-Walk infinite-answer detection and the
+//! `max_paths` accounting mirror `phi_frontier`'s composite-base expansion
+//! step for step (pinned in `tests/cross_validation.rs`).
+
+use crate::arena::{StepArena, NO_PARENT};
+use crate::csr::ReachInfo;
+use pathalg_core::error::AlgebraError;
+use pathalg_core::ops::recursive::{
+    PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
+};
+use pathalg_graph::csr::CsrGraph;
+use pathalg_graph::frontier::Frontier;
+use pathalg_graph::ids::NodeId;
+use std::collections::VecDeque;
+
+/// The lazy join expander (see the module docs). Arena steps hold one edge
+/// each; only steps at segment boundaries (path length a multiple of the hop
+/// count) are ever emitted.
+pub(crate) struct JoinExpansion {
+    hops: Vec<CsrGraph>,
+    semantics: PathSemantics,
+    config: RecursionConfig,
+    walk_unbounded: bool,
+    sources: Vec<NodeId>,
+    next_source: usize,
+    pub(crate) arena: StepArena,
+    /// Per-step "chain is acyclic so far" flags, maintained only under
+    /// unbounded Walk (a non-acyclic candidate proves the fixpoint is
+    /// infinite). In lockstep with the arena.
+    acyclic: Vec<bool>,
+    /// Segment-boundary steps of the current level.
+    cur: Vec<u32>,
+    cur_source: NodeId,
+    iterations: usize,
+    src_emitted: usize,
+    pending: VecDeque<u32>,
+    produced: usize,
+    level0_segments: usize,
+    /// Shortest scratch: per-source best-known distance per target.
+    seen: Frontier,
+    dist: Vec<usize>,
+    /// Reachability scratch over the `(node, phase)` product space.
+    reach_seen: Frontier,
+    reach_dist: Vec<usize>,
+}
+
+impl JoinExpansion {
+    /// Builds the expander over per-hop CSR snapshots (all over the same
+    /// node universe; at least one hop).
+    pub fn new(hops: Vec<CsrGraph>, semantics: PathSemantics, config: RecursionConfig) -> Self {
+        assert!(!hops.is_empty(), "a join expansion needs at least one hop");
+        let n = hops[0].node_count();
+        let k = hops.len();
+        let sources: Vec<NodeId> = (0..n)
+            .map(|i| NodeId(i as u32))
+            .filter(|&v| hops[0].out_degree(v) > 0)
+            .collect();
+        Self {
+            hops,
+            semantics,
+            config,
+            walk_unbounded: semantics == PathSemantics::Walk && config.max_length.is_none(),
+            sources,
+            next_source: 0,
+            arena: StepArena::default(),
+            acyclic: Vec::new(),
+            cur: Vec::new(),
+            cur_source: NodeId(0),
+            iterations: 0,
+            src_emitted: 0,
+            pending: VecDeque::new(),
+            produced: 0,
+            level0_segments: 0,
+            seen: Frontier::new(n),
+            dist: vec![0; n],
+            reach_seen: Frontier::new(n * k),
+            reach_dist: vec![0; n * k],
+        }
+    }
+
+    /// The next emitted boundary step, with its source, in canonical order.
+    pub fn next_id(&mut self) -> Result<Option<(u32, NodeId)>, AlgebraError> {
+        if !self.ensure_pending()? {
+            return Ok(None);
+        }
+        let id = self.pending.pop_front().expect("ensure_pending");
+        Ok(Some((id, self.cur_source)))
+    }
+
+    /// Drops everything still queued or expandable for the current source.
+    pub fn skip_source(&mut self) {
+        self.pending.clear();
+        self.cur.clear();
+    }
+
+    /// Number of arena steps allocated so far (the generated-work measure).
+    pub fn steps_generated(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of base segments (level-0 join results) generated so far — the
+    /// part of the join output the expansion actually touched.
+    pub fn base_segments(&self) -> usize {
+        self.level0_segments
+    }
+
+    /// The path semantics this expansion enumerates under.
+    pub fn semantics(&self) -> PathSemantics {
+        self.semantics
+    }
+
+    /// Restricts expansion to sources marked in `keep` (σ-first pushdown).
+    /// Must be applied before the first pull.
+    pub fn restrict_sources(&mut self, keep: &[bool]) {
+        self.sources.retain(|v| keep.get(v.index()) == Some(&true));
+    }
+
+    fn within(&self, len: usize) -> bool {
+        self.config.max_length.is_none_or(|l| len <= l)
+    }
+
+    fn ensure_pending(&mut self) -> Result<bool, AlgebraError> {
+        loop {
+            if !self.pending.is_empty() {
+                return Ok(true);
+            }
+            if !self.cur.is_empty() {
+                self.advance_level()?;
+                continue;
+            }
+            let Some(&s) = self.sources.get(self.next_source) else {
+                return Ok(false);
+            };
+            self.next_source += 1;
+            self.cur_source = s;
+            self.iterations = 0;
+            self.src_emitted = 0;
+            if self.semantics == PathSemantics::Shortest {
+                self.expand_source_shortest(s)?;
+            } else {
+                let boundaries = self.level0_boundaries(s);
+                for (id, _) in boundaries {
+                    self.cur.push(id);
+                    self.pending.push_back(id);
+                    self.src_emitted += 1;
+                }
+            }
+        }
+    }
+
+    /// Level 0 of one source: one boundary step per admitted segment, in
+    /// lexicographic hop-adjacency order — exactly the join output restricted
+    /// to this source after the frontier's admission filter. Segments count
+    /// toward `max_paths` but never trip it (base paths are admitted
+    /// unconditionally, like the fixpoint's base insertion).
+    fn level0_boundaries(&mut self, s: NodeId) -> Vec<(u32, bool)> {
+        let mut boundaries = Vec::new();
+        if !self.within(self.hops.len()) {
+            return boundaries;
+        }
+        descend_segment(
+            &self.hops,
+            self.semantics,
+            s,
+            self.walk_unbounded,
+            &mut self.arena,
+            &mut self.acyclic,
+            0,
+            None,
+            s,
+            0,
+            false,
+            &mut boundaries,
+        );
+        self.produced += boundaries.len();
+        self.level0_segments += boundaries.len();
+        boundaries
+    }
+
+    /// One level of expansion for the current source (non-Shortest
+    /// semantics), mirroring `phi_frontier`'s composite-base level step.
+    fn advance_level(&mut self) -> Result<(), AlgebraError> {
+        self.iterations += 1;
+        if self.walk_unbounded && self.iterations > UNBOUNDED_WALK_ITERATION_LIMIT {
+            return Err(AlgebraError::RecursionLimitExceeded {
+                bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                paths_so_far: self.src_emitted,
+            });
+        }
+        let cur = std::mem::take(&mut self.cur);
+        let seg_len = self.hops.len();
+        let mut next: Vec<u32> = Vec::new();
+        for &pid in &cur {
+            let head = *self.arena.step(pid);
+            if !self.within(head.len as usize + seg_len) {
+                continue;
+            }
+            // A closed simple chain cannot be extended.
+            if matches!(
+                self.semantics,
+                PathSemantics::Simple | PathSemantics::Shortest
+            ) && head.target == self.cur_source
+            {
+                continue;
+            }
+            let p_acyclic = !self.walk_unbounded || self.acyclic[pid as usize];
+            let mut boundaries = Vec::new();
+            descend_segment(
+                &self.hops,
+                self.semantics,
+                self.cur_source,
+                self.walk_unbounded,
+                &mut self.arena,
+                &mut self.acyclic,
+                0,
+                Some(pid),
+                head.target,
+                head.len,
+                !p_acyclic,
+                &mut boundaries,
+            );
+            for (id, repeat) in boundaries {
+                if self.walk_unbounded && repeat {
+                    return Err(AlgebraError::RecursionLimitExceeded {
+                        bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                        paths_so_far: self.src_emitted + next.len(),
+                    });
+                }
+                self.produced += 1;
+                if let Some(limit) = self.config.max_paths {
+                    if self.produced > limit {
+                        return Err(AlgebraError::ResultLimitExceeded { limit });
+                    }
+                }
+                next.push(id);
+            }
+        }
+        self.src_emitted += next.len();
+        self.pending.extend(next.iter().copied());
+        self.cur = next;
+        Ok(())
+    }
+
+    /// Shortest semantics saturates per source: the whole source is expanded
+    /// eagerly (as `phi_frontier` does) and the minimal boundary steps are
+    /// queued in level order after the per-target distance filter.
+    fn expand_source_shortest(&mut self, s: NodeId) -> Result<(), AlgebraError> {
+        self.seen.reset();
+        let mut all: Vec<u32> = Vec::new();
+        let seg_len = self.hops.len();
+        let mut cur: Vec<u32> = Vec::new();
+        for (id, _) in self.level0_boundaries(s) {
+            let t = self.arena.step(id).target;
+            if self.seen.insert(t) {
+                self.dist[t.index()] = seg_len;
+            }
+            cur.push(id);
+        }
+        while !cur.is_empty() {
+            let mut next: Vec<u32> = Vec::new();
+            for &pid in &cur {
+                let head = *self.arena.step(pid);
+                if !self.within(head.len as usize + seg_len) {
+                    continue;
+                }
+                if head.target == s {
+                    continue; // closed chains cannot be extended
+                }
+                let mut boundaries = Vec::new();
+                descend_segment(
+                    &self.hops,
+                    self.semantics,
+                    s,
+                    false,
+                    &mut self.arena,
+                    &mut self.acyclic,
+                    0,
+                    Some(pid),
+                    head.target,
+                    head.len,
+                    false,
+                    &mut boundaries,
+                );
+                for (id, _) in boundaries {
+                    let step = *self.arena.step(id);
+                    let (t, new_len) = (step.target, step.len as usize);
+                    if self.seen.contains(t) && new_len > self.dist[t.index()] {
+                        continue;
+                    }
+                    if self.seen.insert(t) {
+                        self.dist[t.index()] = new_len;
+                    }
+                    self.produced += 1;
+                    if let Some(limit) = self.config.max_paths {
+                        if self.produced > limit {
+                            return Err(AlgebraError::ResultLimitExceeded { limit });
+                        }
+                    }
+                    next.push(id);
+                }
+            }
+            all.extend(cur);
+            cur = next;
+        }
+        for id in all {
+            let step = *self.arena.step(id);
+            if self.seen.contains(step.target)
+                && self.dist[step.target.index()] == step.len as usize
+            {
+                self.pending.push_back(id);
+                self.src_emitted += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The reachability summary of `source` within the length bound: a BFS
+    /// over the `(node, phase)` product of graph nodes and hop positions —
+    /// polynomial, independent of how many paths exist. *Complete* for group
+    /// discovery (every admitted path is a composite walk, so its target is
+    /// reached at phase 0 within the bound); unlike the single-label case it
+    /// can over-approximate — the shortest composite walk may repeat nodes,
+    /// so a listed group may hold no admitted path under Trail/Acyclic/
+    /// Simple. The sliced evaluation only uses the set to *delay* a source
+    /// stop, so over-approximation costs work, never correctness.
+    pub fn reachability(&mut self, source: NodeId) -> ReachInfo {
+        let k = self.hops.len();
+        let bound = self.config.max_length.unwrap_or(usize::MAX);
+        self.reach_seen.reset();
+        let start = source.index() * k;
+        self.reach_seen.insert(NodeId(start as u32));
+        self.reach_dist[start] = 0;
+        let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+        queue.push_back((source, 0));
+        let mut min_closed: Option<usize> = None;
+        while let Some((u, ph)) = queue.pop_front() {
+            let d = self.reach_dist[u.index() * k + ph];
+            if d >= bound {
+                continue;
+            }
+            let np = (ph + 1) % k;
+            let nd = d + 1;
+            let (targets, _) = self.hops[ph].neighbor_slices(u);
+            for &t in targets {
+                if np == 0 && t == source {
+                    // A closed composite walk; the start state is never
+                    // re-enqueued (everything beyond it is already explored).
+                    min_closed = Some(min_closed.map_or(nd, |m| m.min(nd)));
+                    continue;
+                }
+                let si = t.index() * k + np;
+                if self.reach_seen.insert(NodeId(si as u32)) {
+                    self.reach_dist[si] = nd;
+                    queue.push_back((t, np));
+                }
+            }
+        }
+        let open: Vec<NodeId> = self
+            .reach_seen
+            .members()
+            .iter()
+            .filter(|m| m.index() % k == 0)
+            .map(|m| NodeId((m.index() / k) as u32))
+            .filter(|&v| v != source)
+            .collect();
+        ReachInfo { open, min_closed }
+    }
+}
+
+/// Recursively enumerates the admitted `hops[hop..]` continuations of the
+/// chain `(parent, node, len)`, pushing one arena step per edge and recording
+/// `(boundary step id, chain-has-repeat)` pairs in lexicographic adjacency
+/// order. The per-edge checks against the growing chain are exactly the
+/// frontier engine's two-stage admission (`admits(q)` on the segment plus
+/// `step_admissible(p, q)` against the parent) unrolled edge by edge; the
+/// `repeat` flag carries the unbounded-Walk acyclicity tracking.
+#[allow(clippy::too_many_arguments)]
+fn descend_segment(
+    hops: &[CsrGraph],
+    semantics: PathSemantics,
+    source: NodeId,
+    walk_unbounded: bool,
+    arena: &mut StepArena,
+    acyclic: &mut Vec<bool>,
+    hop: usize,
+    chain: Option<u32>,
+    node: NodeId,
+    len: u32,
+    repeat: bool,
+    out: &mut Vec<(u32, bool)>,
+) {
+    let last_hop = hop + 1 == hops.len();
+    let (targets, edges) = hops[hop].neighbor_slices(node);
+    for (&t, &e) in targets.iter().zip(edges) {
+        let admissible = match semantics {
+            PathSemantics::Walk => true,
+            PathSemantics::Trail => chain.is_none_or(|id| !arena.chain_contains_edge(id, e)),
+            PathSemantics::Acyclic => {
+                t != source && chain.is_none_or(|id| !arena.chain_targets_contain(id, t))
+            }
+            PathSemantics::Simple | PathSemantics::Shortest => {
+                let fresh = chain.is_none_or(|id| !arena.chain_targets_contain(id, t));
+                if last_hop {
+                    // Only the segment's final node may close the path.
+                    t == source || fresh
+                } else {
+                    t != source && fresh
+                }
+            }
+        };
+        if !admissible {
+            continue;
+        }
+        let new_repeat = walk_unbounded
+            && (repeat
+                || t == source
+                || chain.is_some_and(|id| arena.chain_targets_contain(id, t)));
+        let id = arena.push(chain.unwrap_or(NO_PARENT), e, t, len + 1);
+        if walk_unbounded {
+            acyclic.push(!new_repeat);
+        }
+        if last_hop {
+            out.push((id, new_repeat));
+        } else {
+            descend_segment(
+                hops,
+                semantics,
+                source,
+                walk_unbounded,
+                arena,
+                acyclic,
+                hop + 1,
+                Some(id),
+                t,
+                len + 1,
+                new_repeat,
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalg_graph::fixtures::figure1::Figure1;
+
+    #[test]
+    fn level0_segments_match_the_two_hop_join_of_figure1() {
+        // Likes ⋈ Has_creator on Figure 1 has 4 two-hop paths.
+        let f = Figure1::new();
+        let hops = vec![
+            CsrGraph::with_label(&f.graph, "Likes"),
+            CsrGraph::with_label(&f.graph, "Has_creator"),
+        ];
+        let mut exp = JoinExpansion::new(hops, PathSemantics::Trail, RecursionConfig::default());
+        let mut emitted = 0;
+        while let Some((id, source)) = exp.next_id().unwrap() {
+            let (first, _, len) = exp.arena.triple_of(id, source);
+            assert_eq!(first, source);
+            assert_eq!(len % 2, 0, "only segment boundaries are emitted");
+            emitted += 1;
+            if emitted > 100 {
+                break;
+            }
+        }
+        assert!(emitted >= 4, "at least the 4 base segments are emitted");
+        assert!(exp.base_segments() >= 4);
+    }
+
+    #[test]
+    fn source_restriction_skips_whole_sources() {
+        let f = Figure1::new();
+        let hops = vec![
+            CsrGraph::with_label(&f.graph, "Likes"),
+            CsrGraph::with_label(&f.graph, "Has_creator"),
+        ];
+        let mut exp = JoinExpansion::new(hops, PathSemantics::Trail, RecursionConfig::default());
+        let keep = vec![false; f.graph.node_count()];
+        exp.restrict_sources(&keep);
+        assert!(exp.next_id().unwrap().is_none());
+        assert_eq!(exp.steps_generated(), 0);
+    }
+}

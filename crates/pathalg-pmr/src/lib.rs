@@ -39,9 +39,11 @@
 
 mod arena;
 mod csr;
+mod join;
 mod product;
 
 use crate::csr::{CsrExpansion, ReachInfo};
+use crate::join::JoinExpansion;
 use crate::product::{ProductExpansion, ProductItem};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::group_by::{group_counts_from_triples, GroupCounts, GroupKey};
@@ -60,11 +62,29 @@ use pathalg_rpq::regex::LabelRegex;
 /// CSR forms own their snapshot and are `'static`.
 pub struct Pmr<'g> {
     inner: Inner<'g>,
+    /// Per-node target mask of the endpoint-σ pushdown: when set, paths whose
+    /// last node is unmarked are skipped at emission (never reconstructed)
+    /// while the expansion still runs *through* them.
+    target_mask: Option<Vec<bool>>,
 }
 
 enum Inner<'g> {
     Csr(Box<CsrExpansion>),
+    Join(Box<JoinExpansion>),
     Product(Box<ProductExpansion<'g>>),
+}
+
+/// Endpoint restrictions pushed down from `σ_first`/`σ_last` predicates
+/// ([`pathalg_core::slice::SlicePlan::filter`]): per-node keep masks for the
+/// first and last node of every enumerated path. A `None` side is
+/// unrestricted.
+#[derive(Clone, Debug, Default)]
+pub struct EndpointFilter {
+    /// Nodes admissible as `First(p)` — unmarked sources are never expanded.
+    pub sources: Option<Vec<bool>>,
+    /// Nodes admissible as `Last(p)` — paths ending elsewhere are skipped
+    /// without reconstruction.
+    pub targets: Option<Vec<bool>>,
 }
 
 /// One emitted element, before path reconstruction.
@@ -78,7 +98,8 @@ struct Emit {
 
 #[derive(Clone, Copy, Debug)]
 enum Token {
-    CsrStep(u32),
+    /// An arena step of the CSR or join expansion.
+    Step(u32),
     Product(ProductItem),
 }
 
@@ -103,6 +124,41 @@ impl Pmr<'static> {
     ) -> Pmr<'static> {
         Pmr {
             inner: Inner::Csr(Box::new(CsrExpansion::new(csr, semantics, config))),
+            target_mask: None,
+        }
+    }
+
+    /// PMR of `ϕ_semantics(σℓ1(E) ⋈ … ⋈ σℓk(E))` — the lazy endpoint-keyed
+    /// join of the per-label scans (see the `join` module): neither join side,
+    /// the join result, nor the closure is ever materialised, and the
+    /// emission order is byte-identical to materialising the join and running
+    /// the engine's frontier expansion.
+    pub fn from_label_chain(
+        graph: &PropertyGraph,
+        labels: &[&str],
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Pmr<'static> {
+        Self::from_join(
+            labels
+                .iter()
+                .map(|l| CsrGraph::with_label(graph, l))
+                .collect(),
+            semantics,
+            config,
+        )
+    }
+
+    /// PMR of `ϕ_semantics` over the concatenation of per-hop CSR snapshots
+    /// (every base path walks one edge of each hop in order).
+    pub fn from_join(
+        hops: Vec<CsrGraph>,
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Pmr<'static> {
+        Pmr {
+            inner: Inner::Join(Box::new(JoinExpansion::new(hops, semantics, config))),
+            target_mask: None,
         }
     }
 }
@@ -120,35 +176,74 @@ impl<'g> Pmr<'g> {
             inner: Inner::Product(Box::new(ProductExpansion::new(
                 graph, regex, semantics, config,
             ))),
+            target_mask: None,
         }
     }
 
+    /// Pushes an endpoint-σ down into the enumeration: unmarked sources are
+    /// dropped from the expansion schedule entirely, and paths ending at an
+    /// unmarked target are skipped at emission without reconstruction. Must
+    /// be applied before the first pull; the resulting stream is exactly the
+    /// unfiltered stream with the σ applied — same paths, same order.
+    pub fn restrict_endpoints(&mut self, filter: EndpointFilter) {
+        if let Some(keep) = &filter.sources {
+            match &mut self.inner {
+                Inner::Csr(e) => e.restrict_sources(keep),
+                Inner::Join(e) => e.restrict_sources(keep),
+                Inner::Product(e) => e.restrict_sources(keep),
+            }
+        }
+        self.target_mask = filter.targets;
+    }
+
+    fn target_admits(&self, last: NodeId) -> bool {
+        self.target_mask
+            .as_ref()
+            .is_none_or(|mask| mask.get(last.index()) == Some(&true))
+    }
+
     fn next_emit(&mut self) -> Result<Option<Emit>, AlgebraError> {
-        match &mut self.inner {
-            Inner::Csr(e) => Ok(e.next_id()?.map(|(id, source)| {
-                let (_, last, len) = e.arena.triple_of(id, source);
-                Emit {
-                    source,
-                    last,
-                    len,
-                    token: Token::CsrStep(id),
-                }
-            })),
-            Inner::Product(e) => Ok(e.next_item()?.map(|(item, source)| {
-                let (_, last, len) = e.triple(item, source);
-                Emit {
-                    source,
-                    last,
-                    len,
-                    token: Token::Product(item),
-                }
-            })),
+        loop {
+            let emit = match &mut self.inner {
+                Inner::Csr(e) => e.next_id()?.map(|(id, source)| {
+                    let (_, last, len) = e.arena.triple_of(id, source);
+                    Emit {
+                        source,
+                        last,
+                        len,
+                        token: Token::Step(id),
+                    }
+                }),
+                Inner::Join(e) => e.next_id()?.map(|(id, source)| {
+                    let (_, last, len) = e.arena.triple_of(id, source);
+                    Emit {
+                        source,
+                        last,
+                        len,
+                        token: Token::Step(id),
+                    }
+                }),
+                Inner::Product(e) => e.next_item()?.map(|(item, source)| {
+                    let (_, last, len) = e.triple(item, source);
+                    Emit {
+                        source,
+                        last,
+                        len,
+                        token: Token::Product(item),
+                    }
+                }),
+            };
+            match emit {
+                Some(e) if !self.target_admits(e.last) => continue,
+                other => return Ok(other),
+            }
         }
     }
 
     fn realize(&self, emit: &Emit) -> Path {
         match (&self.inner, emit.token) {
-            (Inner::Csr(e), Token::CsrStep(id)) => e.arena.path_of(id, emit.source),
+            (Inner::Csr(e), Token::Step(id)) => e.arena.path_of(id, emit.source),
+            (Inner::Join(e), Token::Step(id)) => e.arena.path_of(id, emit.source),
             (Inner::Product(e), Token::Product(item)) => e.realize(item, emit.source),
             _ => unreachable!("emit token matches the inner representation"),
         }
@@ -157,6 +252,7 @@ impl<'g> Pmr<'g> {
     fn skip_source(&mut self) {
         match &mut self.inner {
             Inner::Csr(e) => e.skip_source(),
+            Inner::Join(e) => e.skip_source(),
             Inner::Product(e) => e.skip_source(),
         }
     }
@@ -166,7 +262,18 @@ impl<'g> Pmr<'g> {
     pub fn steps_generated(&self) -> usize {
         match &self.inner {
             Inner::Csr(e) => e.steps_generated(),
+            Inner::Join(e) => e.steps_generated(),
             Inner::Product(e) => e.steps_generated(),
+        }
+    }
+
+    /// Number of level-0 join segments generated so far — the slice of the
+    /// join output the expansion actually touched. `None` for the non-join
+    /// forms, whose base relation is the CSR edge set itself.
+    pub fn base_segments(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Join(e) => Some(e.base_segments()),
+            _ => None,
         }
     }
 
@@ -269,24 +376,37 @@ impl<'g> Pmr<'g> {
     }
 
     /// The full set of groups source `s` can ever contribute to, for the
-    /// reachability-based source stop — only computed for the CSR form under
-    /// γST with a per-group cap, and skipped for Shortest (whose per-source
-    /// expansion saturates on its own).
+    /// reachability-based source stop — only computed for the CSR and join
+    /// forms under γST with a per-group cap, and skipped for Shortest (whose
+    /// per-source expansion saturates on its own). Groups outside the pushed
+    /// target mask are excluded: they can never receive a path, so waiting
+    /// for them would block the stop forever.
     fn requirements_for(&mut self, source: NodeId, spec: &SliceSpec) -> Vec<PartitionKey> {
         if spec.group_key != GroupKey::SourceTarget || spec.per_group.is_none() {
             return Vec::new();
         }
-        let Inner::Csr(e) = &mut self.inner else {
-            return Vec::new();
+        let (semantics, ReachInfo { open, min_closed }) = match &mut self.inner {
+            Inner::Csr(e) => {
+                if e.semantics() == PathSemantics::Shortest {
+                    return Vec::new();
+                }
+                (e.semantics(), e.reachability(source))
+            }
+            Inner::Join(e) => {
+                if e.semantics() == PathSemantics::Shortest {
+                    return Vec::new();
+                }
+                (e.semantics(), e.reachability(source))
+            }
+            Inner::Product(_) => return Vec::new(),
         };
-        let semantics = e.semantics();
-        if semantics == PathSemantics::Shortest {
-            return Vec::new();
-        }
-        let ReachInfo { open, min_closed } = e.reachability(source);
-        let mut keys: Vec<PartitionKey> =
-            open.into_iter().map(|t| (Some(source), Some(t))).collect();
-        if semantics != PathSemantics::Acyclic && min_closed.is_some() {
+        let mut keys: Vec<PartitionKey> = open
+            .into_iter()
+            .filter(|&t| self.target_admits(t))
+            .map(|t| (Some(source), Some(t)))
+            .collect();
+        if semantics != PathSemantics::Acyclic && min_closed.is_some() && self.target_admits(source)
+        {
             keys.push((Some(source), Some(source)));
         }
         keys

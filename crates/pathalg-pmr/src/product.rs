@@ -93,6 +93,12 @@ impl<'g> ProductExpansion<'g> {
         self.pending.clear();
     }
 
+    /// Restricts expansion to sources marked in `keep` (σ-first pushdown).
+    /// Must be applied before the first pull.
+    pub fn restrict_sources(&mut self, keep: &[bool]) {
+        self.sources.retain(|v| keep.get(v.index()) == Some(&true));
+    }
+
     /// Number of arena steps allocated so far.
     pub fn steps_generated(&self) -> usize {
         self.arena.len()

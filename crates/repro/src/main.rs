@@ -68,6 +68,11 @@ fn main() {
             tables::beyond_gql,
         ),
         (
+            "joins",
+            "adaptive-strategy decision table for join-chain and scan closures",
+            tables::joins,
+        ),
+        (
             "parser-demo",
             "Section 7.2 parser output",
             figures::parser_demo,

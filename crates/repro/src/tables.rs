@@ -272,6 +272,54 @@ pub fn table7() {
     }
 }
 
+/// The adaptive-strategy decision table (DESIGN.md §9): for the SNB and
+/// K-graph fixtures, each query's executed plan, the physical implementation
+/// the stats-driven estimator dispatched it to, and the closure estimate
+/// that justified the choice. Cross-linked from EXPERIMENTS.md.
+pub fn joins() {
+    use pathalg_engine::runner::QueryRunner;
+    use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
+    use pathalg_graph::generator::structured::complete_graph;
+
+    let queries = [
+        "MATCH ANY 3 SIMPLE p = (?x)-[(:Likes/:Has_creator)+]->(?y)",
+        "MATCH ANY SHORTEST WALK p = (?x)-[:Knows+]->(?y)",
+        "MATCH ANY SHORTEST TRAIL p = (?x:Person)-[:Knows+]->(?y:Person)",
+        "MATCH ALL TRAIL p = (?x)-[(:Likes/:Has_creator)+]->(?y)",
+        "MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)",
+    ];
+    let graphs: Vec<(&str, pathalg_graph::graph::PropertyGraph)> = vec![
+        (
+            "snb-200",
+            snb_like_graph(&SnbConfig::scale(200, 0xBEEF + 200)),
+        ),
+        ("K6 (complete, :Knows)", complete_graph(6, "Knows")),
+    ];
+    for (name, graph) in &graphs {
+        println!("-- fixture {name} --");
+        let runner = QueryRunner::with_config(
+            graph,
+            pathalg_engine::runner::RunnerConfig::with_walk_bound(4),
+        );
+        for query in queries {
+            let result = match runner.run(query) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("{query}\n    -> error: {e}");
+                    continue;
+                }
+            };
+            println!("{query}");
+            println!("    executed plan: {}", result.optimized_plan());
+            for decision in result.strategy_decisions() {
+                println!("    {decision}");
+            }
+            println!("    -> {} result paths", result.paths().len());
+        }
+        println!();
+    }
+}
+
 /// The beyond-GQL expressions of Section 6.
 pub fn beyond_gql() {
     let f = Figure1::new();

@@ -24,6 +24,7 @@ use pathalg::graph::graph::PropertyGraph;
 use pathalg::rpq::automaton_eval::AutomatonEvaluator;
 use pathalg::rpq::compile::compile_to_algebra;
 use pathalg::rpq::parse::parse_regex;
+use proptest::prelude::*;
 
 fn test_graphs() -> Vec<(String, PropertyGraph)> {
     let mut graphs = vec![
@@ -123,6 +124,7 @@ fn phi_frontier_is_deterministic_across_thread_counts() {
                 &ExecutionConfig {
                     threads: 1,
                     batch_size: 3,
+                    ..ExecutionConfig::default()
                 },
             )
             .unwrap();
@@ -134,6 +136,7 @@ fn phi_frontier_is_deterministic_across_thread_counts() {
                     &ExecutionConfig {
                         threads,
                         batch_size: 3,
+                        ..ExecutionConfig::default()
                     },
                 )
                 .unwrap();
@@ -431,6 +434,333 @@ fn lazy_sliced_pipelines_match_materialized_evaluation_byte_for_byte() {
                     "{name}: lazy {plan} diverged from materialised at {threads} threads"
                 );
                 assert_eq!(out.as_slice(), expected.as_slice(), "{name}: {plan}");
+            }
+        }
+    }
+}
+
+/// The five path semantics with recursion bounds that keep every fixture's
+/// closure finite (Walk needs a length bound on cyclic graphs).
+fn join_semantics_cases() -> Vec<(PathSemantics, RecursionConfig)> {
+    let bounded = RecursionConfig {
+        max_length: Some(4),
+        ..RecursionConfig::default()
+    };
+    vec![
+        (PathSemantics::Walk, bounded),
+        (PathSemantics::Trail, RecursionConfig::default()),
+        (PathSemantics::Acyclic, RecursionConfig::default()),
+        (PathSemantics::Simple, RecursionConfig::default()),
+        (PathSemantics::Shortest, RecursionConfig::default()),
+    ]
+}
+
+/// The materialised evaluation of `ϕ(σℓ1(E) ⋈ … ⋈ σℓk(E))`: hash-join the
+/// label scans, then run the engine's frontier expansion.
+fn materialized_join_closure(
+    graph: &PropertyGraph,
+    labels: &[&str],
+    semantics: PathSemantics,
+    cfg: &RecursionConfig,
+    threads: usize,
+) -> Result<PathSet, pathalg::algebra::error::AlgebraError> {
+    use pathalg::algebra::ops::join::join;
+    let base = labels
+        .iter()
+        .map(|l| selection(graph, &Condition::edge_label(1, *l), &PathSet::edges(graph)))
+        .reduce(|a, b| join(&a, &b))
+        .expect("at least one label");
+    phi_frontier(semantics, &base, cfg, &exec_cfg(threads))
+}
+
+fn exec_cfg(threads: usize) -> ExecutionConfig {
+    ExecutionConfig {
+        threads,
+        batch_size: 2,
+        ..ExecutionConfig::default()
+    }
+}
+
+#[test]
+fn lazy_arena_join_matches_materialised_join_then_phi_byte_for_byte() {
+    use pathalg::pmr::Pmr;
+    // Two- and three-hop chains; same-label chains exercise the Trail edge
+    // dedup across segment boundaries.
+    let chains: Vec<Vec<&str>> = vec![
+        vec!["Likes", "Has_creator"],
+        vec!["Knows", "Knows"],
+        vec!["Knows", "Likes", "Has_creator"],
+    ];
+    for (name, graph) in test_graphs() {
+        for labels in &chains {
+            for (semantics, cfg) in join_semantics_cases() {
+                let expected = materialized_join_closure(&graph, labels, semantics, &cfg, 1);
+                let mut pmr = Pmr::from_label_chain(&graph, labels, semantics, cfg);
+                let out = pmr.enumerate_all();
+                match (expected, out) {
+                    (Ok(e), Ok(o)) => assert_eq!(
+                        o.as_slice(),
+                        e.as_slice(),
+                        "{name}: ϕ{semantics:?}({labels:?}) lazy join diverged"
+                    ),
+                    (Err(a), Err(b)) => assert_eq!(
+                        std::mem::discriminant(&a),
+                        std::mem::discriminant(&b),
+                        "{name}: {labels:?} error variants diverged ({a:?} vs {b:?})"
+                    ),
+                    (e, o) => {
+                        panic!("{name}: {labels:?} ϕ{semantics:?} diverged: {e:?} vs {o:?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn proptest_graph() -> impl Strategy<Value = PropertyGraph> {
+    (4usize..10)
+        .prop_flat_map(|nodes| (Just(nodes), 0usize..nodes * 2, 0u64..1_000_000))
+        .prop_map(|(nodes, edges, seed)| {
+            random_labeled_graph(&RandomGraphConfig {
+                nodes,
+                edges,
+                edge_labels: vec!["a".into(), "b".into()],
+                node_labels: vec!["N".into(), "M".into()],
+                seed,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random graphs: the lazy arena join is byte-order identical to
+    /// materialising the ⋈ and running the frontier engine, for all five
+    /// path semantics and several chain shapes (including same-label chains,
+    /// which exercise cross-segment edge dedup under Trail).
+    #[test]
+    fn lazy_join_byte_parity_on_random_graphs(
+        g in proptest_graph(),
+        sem in 0usize..5,
+        chain_sel in 0usize..3,
+    ) {
+        let (semantics, cfg) = join_semantics_cases()[sem % 5];
+        let labels: Vec<&str> = match chain_sel {
+            0 => vec!["a", "b"],
+            1 => vec!["a", "a"],
+            _ => vec!["b", "a", "b"],
+        };
+        let expected = materialized_join_closure(&g, &labels, semantics, &cfg, 1);
+        let mut pmr = pathalg::pmr::Pmr::from_label_chain(&g, &labels, semantics, cfg);
+        let out = pmr.enumerate_all();
+        match (expected, out) {
+            (Ok(e), Ok(o)) => prop_assert_eq!(o.as_slice(), e.as_slice()),
+            (Err(a), Err(b)) => prop_assert_eq!(
+                std::mem::discriminant(&a),
+                std::mem::discriminant(&b)
+            ),
+            (e, o) => prop_assert!(false, "diverged: {:?} vs {:?}", e, o),
+        }
+    }
+
+    /// Random graphs: σ-pushdown equivalence — the filtered lazy pipeline
+    /// equals filter-after-materialise, byte for byte, over both single-scan
+    /// and join-chain bases (the latter exercises the source restriction and
+    /// target mask inside the composite `(node, phase)` reachability stop).
+    #[test]
+    fn sigma_pushdown_byte_parity_on_random_graphs(
+        g in proptest_graph(),
+        sem in 0usize..5,
+        side in 0usize..3,
+        chained in 0usize..2,
+    ) {
+        use pathalg::algebra::ops::group_by::{group_by, GroupKey};
+        use pathalg::algebra::ops::projection::{projection, ProjectionSpec, Take};
+        use pathalg::algebra::PlanExpr;
+        use pathalg::engine::EngineEvaluator;
+
+        let (semantics, cfg) = join_semantics_cases()[sem % 5];
+        let condition = match side {
+            0 => Condition::first_label("N"),
+            1 => Condition::last_label("M"),
+            _ => Condition::first_label("N").and(Condition::last_label("M")),
+        };
+        let labels: Vec<&str> = if chained == 1 { vec!["a", "b"] } else { vec!["a"] };
+        // An Err means an infinite unbounded-Walk fixpoint: nothing to slice.
+        if let Ok(closure) = materialized_join_closure(&g, &labels, semantics, &cfg, 1) {
+            let filtered = selection(&g, &condition, &closure);
+            let expected = projection(
+                &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+                &group_by(GroupKey::SourceTarget, &filtered),
+            );
+            let base = labels
+                .iter()
+                .map(|l| PlanExpr::edges().select(Condition::edge_label(1, *l)))
+                .reduce(|a, b| a.join(b))
+                .expect("at least one label");
+            let plan = base
+                .recursive(semantics)
+                .select(condition)
+                .group_by(GroupKey::SourceTarget)
+                .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+            let mut engine = EngineEvaluator::new(&g, cfg, ExecutionConfig::default());
+            let out = engine.eval_paths(&plan).unwrap();
+            prop_assert_eq!(out.as_slice(), expected.as_slice());
+            prop_assert!(engine.used_lazy_pipeline());
+        }
+    }
+}
+
+#[test]
+fn lazy_arena_join_walk_errors_match_the_frontier_on_cyclic_composites() {
+    use pathalg::pmr::Pmr;
+    // The Likes∘Has_creator composite of Figure 1 is cyclic: unbounded Walk
+    // must abort exactly like the materialised frontier does.
+    let f = Figure1::new();
+    let labels = ["Likes", "Has_creator"];
+    let cfg = RecursionConfig::unbounded();
+    let expected = materialized_join_closure(&f.graph, &labels, PathSemantics::Walk, &cfg, 1);
+    let mut pmr = Pmr::from_label_chain(&f.graph, &labels, PathSemantics::Walk, cfg);
+    let out = pmr.enumerate_all();
+    assert!(matches!(
+        expected,
+        Err(pathalg::algebra::error::AlgebraError::RecursionLimitExceeded { .. })
+    ));
+    assert!(matches!(
+        out,
+        Err(pathalg::algebra::error::AlgebraError::RecursionLimitExceeded { .. })
+    ));
+    // On a DAG composite the unbounded walk closure is finite and identical.
+    let dag = chain_graph(6, "Knows");
+    let expected =
+        materialized_join_closure(&dag, &["Knows", "Knows"], PathSemantics::Walk, &cfg, 1).unwrap();
+    let mut pmr = Pmr::from_label_chain(&dag, &["Knows", "Knows"], PathSemantics::Walk, cfg);
+    assert_eq!(pmr.enumerate_all().unwrap().as_slice(), expected.as_slice());
+}
+
+#[test]
+fn sigma_pushdown_lazy_equals_filter_after_materialise_at_every_thread_count() {
+    use pathalg::algebra::ops::group_by::{group_by, GroupKey};
+    use pathalg::algebra::ops::projection::{projection, ProjectionSpec, Take};
+    use pathalg::algebra::PlanExpr;
+    use pathalg::engine::EngineEvaluator;
+
+    let scan = |label: &str| PlanExpr::edges().select(Condition::edge_label(1, label));
+    // (condition, base plan, base labels) — first-only, last-only, and a
+    // conjunction of both, over a plain scan and over a join chain.
+    let cases: Vec<(Condition, PlanExpr, Vec<&str>)> = vec![
+        (
+            Condition::first_label("Person"),
+            scan("Knows"),
+            vec!["Knows"],
+        ),
+        (
+            Condition::last_label("Person"),
+            scan("Knows"),
+            vec!["Knows"],
+        ),
+        (
+            Condition::first_label("Person").and(Condition::last_label("Person")),
+            scan("Knows"),
+            vec!["Knows"],
+        ),
+        (
+            Condition::first_label("Person").and(Condition::last_label("Person")),
+            scan("Likes").join(scan("Has_creator")),
+            vec!["Likes", "Has_creator"],
+        ),
+    ];
+    for (name, graph) in test_graphs() {
+        for (condition, base, labels) in &cases {
+            for (semantics, recursion) in [
+                (PathSemantics::Trail, RecursionConfig::default()),
+                (PathSemantics::Shortest, RecursionConfig::default()),
+                (
+                    PathSemantics::Walk,
+                    RecursionConfig {
+                        max_length: Some(4),
+                        ..RecursionConfig::default()
+                    },
+                ),
+            ] {
+                // Filter-after-materialise: full closure, then σ, γ, π.
+                let closure =
+                    materialized_join_closure(&graph, labels, semantics, &recursion, 1).unwrap();
+                let filtered = selection(&graph, condition, &closure);
+                let expected = projection(
+                    &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+                    &group_by(GroupKey::SourceTarget, &filtered),
+                );
+
+                let plan = base
+                    .clone()
+                    .recursive(semantics)
+                    .select(condition.clone())
+                    .group_by(GroupKey::SourceTarget)
+                    .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+                for threads in [1usize, 2, 8] {
+                    let mut engine = EngineEvaluator::new(
+                        &graph,
+                        recursion,
+                        ExecutionConfig::with_threads(threads),
+                    );
+                    let out = engine.eval_paths(&plan).unwrap();
+                    assert_eq!(
+                        out.as_slice(),
+                        expected.as_slice(),
+                        "{name}: σ-pushdown {plan} diverged at {threads} threads"
+                    );
+                    assert!(
+                        engine.used_lazy_pipeline(),
+                        "{name}: {plan} should have gone through the lazy pipeline"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sliced_pipelines_over_join_chains_match_materialised_evaluation() {
+    use pathalg::algebra::ops::group_by::{group_by, GroupKey};
+    use pathalg::algebra::ops::order_by::{order_by, OrderKey};
+    use pathalg::algebra::ops::projection::{projection, ProjectionSpec, Take};
+    use pathalg::algebra::PlanExpr;
+    use pathalg::engine::EngineEvaluator;
+
+    let scan = |label: &str| PlanExpr::edges().select(Condition::edge_label(1, label));
+    for (name, graph) in test_graphs() {
+        for (semantics, recursion) in join_semantics_cases() {
+            let closure = match materialized_join_closure(
+                &graph,
+                &["Likes", "Has_creator"],
+                semantics,
+                &recursion,
+                1,
+            ) {
+                Ok(c) => c,
+                Err(_) => continue, // unbounded blow-up: not sliceable anyway
+            };
+            let grouped = group_by(GroupKey::SourceTarget, &closure);
+            let expected = projection(
+                &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
+                &order_by(OrderKey::Path, &grouped),
+            );
+            let plan = scan("Likes")
+                .join(scan("Has_creator"))
+                .recursive(semantics)
+                .group_by(GroupKey::SourceTarget)
+                .order_by(OrderKey::Path)
+                .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+            for threads in [1usize, 2, 8] {
+                let mut engine =
+                    EngineEvaluator::new(&graph, recursion, ExecutionConfig::with_threads(threads));
+                let out = engine.eval_paths(&plan).unwrap();
+                assert_eq!(
+                    out.as_slice(),
+                    expected.as_slice(),
+                    "{name}: sliced join chain {plan} diverged at {threads} threads under {semantics:?}"
+                );
             }
         }
     }
