@@ -240,11 +240,25 @@ fn closure_levels(recursion: &pathalg_core::ops::recursive::RecursionConfig, seg
         .min(RECURSION_HORIZON)
 }
 
+/// The expected fan-out of a `to`-labelled hop taken at the end of a
+/// `from`-labelled hop: the degree-distribution-aware pair factor
+/// ([`GraphStats::pair_expansion`], which weights hubs by in-degree) when
+/// pair statistics exist, the source-mean [`GraphStats::label_expansion`]
+/// otherwise.
+fn hop_expansion(stats: &GraphStats, from: &str, to: &str) -> f64 {
+    stats
+        .pair_expansion(from, to)
+        .unwrap_or_else(|| stats.label_expansion(to))
+}
+
 /// Estimates the closure of `ϕ_semantics` over a base described by `labels`
 /// (a label scan for one entry, a join chain for several) from graph
-/// statistics: per-label expansion factors multiply into the segment
-/// fan-out, cyclicity decides whether growth compounds, and the recursion
-/// bound caps the horizon.
+/// statistics: degree-distribution-aware per-hop expansion factors multiply
+/// into the segment fan-out (each hop conditioned on the label of the hop
+/// before it, wrapping around for the repeated segment), composite
+/// cyclicity ([`GraphStats::chain_cyclic`] — exact for one- and two-label
+/// chains) decides whether growth compounds, and the recursion bound caps
+/// the horizon.
 pub fn estimate_closure(
     stats: &GraphStats,
     labels: &[&str],
@@ -255,17 +269,27 @@ pub fn estimate_closure(
     let base = labels
         .split_first()
         .map(|(first, rest)| {
-            rest.iter()
-                .fold(stats.edges_with_label(first) as f64, |n, l| {
-                    n * stats.label_expansion(l)
-                })
+            let mut n = stats.edges_with_label(first) as f64;
+            let mut prev = *first;
+            for l in rest {
+                n *= hop_expansion(stats, prev, l);
+                prev = l;
+            }
+            n
         })
         .unwrap_or(0.0);
-    let expansion: f64 = labels.iter().map(|l| stats.label_expansion(l)).product();
-    let cyclic = match labels {
-        [single] => stats.label_cyclic(single),
-        _ => stats.is_cyclic(),
-    };
+    // One appended segment multiplies the fan-out by every hop in turn; the
+    // first hop of the new segment is conditioned on the last hop of the
+    // previous one (the wrap-around of the repeated chain).
+    let expansion: f64 = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let prev = labels[(i + labels.len() - 1) % labels.len()];
+            hop_expansion(stats, prev, l)
+        })
+        .product();
+    let cyclic = stats.chain_cyclic(labels);
     let levels = closure_levels(recursion, seg_len);
     closure_estimate_from(base, expansion, cyclic, semantics, levels)
 }
@@ -342,34 +366,55 @@ pub fn choose_phi_impl(
     PhiImpl::Frontier
 }
 
+/// A non-root join chain whose closure is estimated above this many paths
+/// is dispatched to the lazy arena join even though its parent needs the
+/// materialised set: skipping the hash join and per-path storage during the
+/// expansion dominates once the closure (or the joined base) is
+/// substantial.
+pub const CHAIN_LAZY_MIN_ESTIMATED_CLOSURE: f64 = 256.0;
+
 /// Picks the physical implementation for a `ϕ` node over a label scan or a
 /// join chain of label scans (`chain_len` hops), which never materialises
 /// its base relation.
 ///
-/// A *root-level* chain in a serial configuration goes to the lazy PMR
-/// ([`PhiImpl::PmrLazy`]) when the chain has several hops — the arena join
-/// skips the hash join and the base `PathSet` entirely — or when the
-/// semantics is Shortest, whose prefix-sharing arena replaces per-path
-/// materialisation during the saturating BFS. Unbounded Walk stays on the
-/// materialising path so the infinite-answer error surfaces exactly as the
-/// reference reports it. Every other case uses the (possibly parallel) CSR
-/// frontier engine — under multi-threaded configurations it is the only
-/// implementation that can use the extra workers, and for non-root ϕ nodes
-/// the parent operator needs the materialised set anyway. All choices
-/// produce byte-identical output sequences.
+/// A *root-level* multi-hop chain goes to the lazy arena join
+/// ([`PhiImpl::PmrLazy`]) at **any** thread count — the expansion skips the
+/// hash join and the base `PathSet` entirely, and multi-threaded
+/// configurations run it through the per-source batch scheduler
+/// (`pathalg_pmr::parallel`) with a byte-identical merged order. A
+/// *non-root* chain consults the closure estimate: a predicted-substantial
+/// closure ([`CHAIN_LAZY_MIN_ESTIMATED_CLOSURE`]) or a predicted blow-up
+/// also takes the arena join (its output feeds the parent materialised
+/// either way); small closures keep the frontier, whose setup is cheaper.
+/// Root-level *serial* ϕShortest single scans keep the §8 rule (the
+/// prefix-sharing arena replaces per-path materialisation during the
+/// saturating BFS). Unbounded Walk stays on the materialising path so the
+/// infinite-answer error surfaces exactly as the reference reports it. All
+/// choices produce byte-identical output sequences.
 pub fn choose_scan_phi_impl(
     semantics: PathSemantics,
     exec: &ExecutionConfig,
     at_root: bool,
     chain_len: usize,
     recursion: &pathalg_core::ops::recursive::RecursionConfig,
+    estimate: Option<&ClosureEstimate>,
 ) -> PhiImpl {
     let walk_unbounded = semantics == PathSemantics::Walk && recursion.max_length.is_none();
-    if at_root
-        && exec.threads <= 1
-        && !walk_unbounded
-        && (semantics == PathSemantics::Shortest || chain_len >= 2)
-    {
+    if walk_unbounded {
+        return PhiImpl::Frontier;
+    }
+    if chain_len >= 2 {
+        if at_root {
+            return PhiImpl::PmrLazy;
+        }
+        if estimate
+            .is_some_and(|est| est.blows_up() || est.paths >= CHAIN_LAZY_MIN_ESTIMATED_CLOSURE)
+        {
+            return PhiImpl::PmrLazy;
+        }
+        return PhiImpl::Frontier;
+    }
+    if at_root && exec.threads <= 1 && semantics == PathSemantics::Shortest {
         return PhiImpl::PmrLazy;
     }
     PhiImpl::Frontier
@@ -394,18 +439,47 @@ pub fn choose_pipeline_impl<'a>(
         .filter(|sliced| sliced.lazy_eligible(recursion))
 }
 
-/// The adaptive variant of [`choose_pipeline_impl`]: on a multi-threaded
-/// configuration with statistics available, a pipeline whose closure is
-/// estimated to stay tiny ([`PARALLEL_MATERIALIZE_MAX_CLOSURE`]) is handed
-/// back to the parallel frontier (returns `None`); everything else goes
-/// lazy. The returned estimate (when stats were available) feeds the
-/// `EXPLAIN` strategy report.
+/// How a lazily evaluated sliced pipeline is scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LazyMode {
+    /// One serial enumeration ([`pathalg_pmr::Pmr::sliced`]).
+    Serial,
+    /// Per-source batch scheduling over the configured worker threads
+    /// (`pathalg_pmr::parallel`), byte-identical to the serial order.
+    Parallel,
+}
+
+/// The adaptive variant of [`choose_pipeline_impl`] — per node it picks one
+/// of **three** strategies instead of hard-falling-back:
+///
+/// * *parallel frontier* (returns `None`): a multi-threaded configuration
+///   whose closure is estimated tiny ([`PARALLEL_MATERIALIZE_MAX_CLOSURE`])
+///   and non-exploding — with nothing to cut, materialising on all workers
+///   wins;
+/// * *parallel lazy* ([`LazyMode::Parallel`]): every other multi-threaded
+///   case without a `max_paths` bound — the batch scheduler keeps the lazy
+///   cut **and** the workers;
+/// * *serial lazy* ([`LazyMode::Serial`]): single-threaded configurations —
+///   and `max_paths`-bounded runs of *cross-source-coupled* specs (a
+///   partition limit, or the γ∅ global cap). Those limits make the serial
+///   enumeration stop mid-schedule, so parallel workers would claim budget
+///   for sources the serial run never expands; uncoupled specs expand every
+///   source identically on either schedule, so their shared-budget claim
+///   accounting matches the serial outcome exactly and they stay parallel.
+///
+/// The returned estimate (when stats were available) feeds the `EXPLAIN`
+/// strategy report and seeds the per-source batch weights.
+#[allow(clippy::type_complexity)]
 pub fn choose_pipeline_strategy<'a>(
     plan: &'a pathalg_core::expr::PlanExpr,
     recursion: &pathalg_core::ops::recursive::RecursionConfig,
     exec: &ExecutionConfig,
     stats: Option<&GraphStats>,
-) -> Option<(pathalg_core::slice::SlicePlan<'a>, Option<ClosureEstimate>)> {
+) -> Option<(
+    pathalg_core::slice::SlicePlan<'a>,
+    Option<ClosureEstimate>,
+    LazyMode,
+)> {
     let sliced = choose_pipeline_impl(plan, recursion)?;
     let estimate = stats.map(|s| {
         let chain = sliced
@@ -420,8 +494,13 @@ pub fn choose_pipeline_strategy<'a>(
                 return None;
             }
         }
+        let claim_coupled = sliced.spec.max_partitions.is_some()
+            || sliced.spec.group_key == pathalg_core::ops::group_by::GroupKey::Empty;
+        if recursion.max_paths.is_none() || !claim_coupled {
+            return Some((sliced, estimate, LazyMode::Parallel));
+        }
     }
-    Some((sliced, estimate))
+    Some((sliced, estimate, LazyMode::Serial))
 }
 
 /// Estimated fraction of paths satisfying a condition.
@@ -680,27 +759,28 @@ mod tests {
         let rec = RecursionConfig::default();
         // Root-level serial ϕShortest scans take the PMR…
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Shortest, &serial, true, 1, &rec),
+            choose_scan_phi_impl(PathSemantics::Shortest, &serial, true, 1, &rec, None),
             PhiImpl::PmrLazy
         );
         // …but non-root, parallel, or non-Shortest single scans stay on the
         // frontier.
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Shortest, &serial, false, 1, &rec),
+            choose_scan_phi_impl(PathSemantics::Shortest, &serial, false, 1, &rec, None),
             PhiImpl::Frontier
         );
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Shortest, &parallel, true, 1, &rec),
+            choose_scan_phi_impl(PathSemantics::Shortest, &parallel, true, 1, &rec, None),
             PhiImpl::Frontier
         );
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Trail, &serial, true, 1, &rec),
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, true, 1, &rec, None),
             PhiImpl::Frontier
         );
-        // Root-level serial join chains take the lazy arena join under every
-        // bounded semantics…
+        // Root-level join chains take the lazy arena join under every
+        // bounded semantics — in parallel configurations too, where the
+        // enumeration runs through the per-source batch scheduler…
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Trail, &serial, true, 2, &rec),
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, true, 2, &rec, None),
             PhiImpl::PmrLazy
         );
         assert_eq!(
@@ -709,18 +789,52 @@ mod tests {
                 &serial,
                 true,
                 2,
-                &RecursionConfig::with_max_length(4)
+                &RecursionConfig::with_max_length(4),
+                None
             ),
             PhiImpl::PmrLazy
         );
-        // …but unbounded Walk keeps the materialising error-detection path,
-        // and parallel configurations keep the parallel frontier.
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Walk, &serial, true, 2, &rec),
+            choose_scan_phi_impl(PathSemantics::Trail, &parallel, true, 2, &rec, None),
+            PhiImpl::PmrLazy
+        );
+        // …but unbounded Walk keeps the materialising error-detection path.
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Walk, &serial, true, 2, &rec, None),
             PhiImpl::Frontier
         );
         assert_eq!(
-            choose_scan_phi_impl(PathSemantics::Trail, &parallel, true, 2, &rec),
+            choose_scan_phi_impl(PathSemantics::Walk, &parallel, true, 2, &rec, None),
+            PhiImpl::Frontier
+        );
+        // Non-root chains consult the estimator instead of silently
+        // materialising: a predicted-substantial closure takes the arena
+        // join, a predicted-tiny one keeps the frontier, and without
+        // statistics the static rule stays conservative.
+        let big = ClosureEstimate {
+            base: 500.0,
+            expansion: 2.0,
+            cyclic: true,
+            levels: 8.0,
+            paths: 100_000.0,
+        };
+        let tiny = ClosureEstimate {
+            base: 4.0,
+            expansion: 0.5,
+            cyclic: false,
+            levels: 8.0,
+            paths: 8.0,
+        };
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, false, 2, &rec, Some(&big)),
+            PhiImpl::PmrLazy
+        );
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, false, 2, &rec, Some(&tiny)),
+            PhiImpl::Frontier
+        );
+        assert_eq!(
+            choose_scan_phi_impl(PathSemantics::Trail, &serial, false, 2, &rec, None),
             PhiImpl::Frontier
         );
 
@@ -744,6 +858,104 @@ mod tests {
             .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
         assert!(choose_pipeline_impl(&walk, &RecursionConfig::unbounded()).is_none());
         assert!(choose_pipeline_impl(&walk, &RecursionConfig::with_max_length(4)).is_some());
+    }
+
+    #[test]
+    fn pair_statistics_sharpen_chain_estimates() {
+        use pathalg_graph::graph::GraphBuilder;
+        use pathalg_graph::value::Value;
+        let recursion = RecursionConfig::default();
+        // a: u→v, b: v→u — each label subgraph acyclic, the (a/b)+ composite
+        // cyclic. Whole-graph cyclicity agrees here; the pair table is what
+        // proves it per chain.
+        let mut builder = GraphBuilder::new();
+        let u = builder.add_node("N", Vec::<(&str, Value)>::new());
+        let v = builder.add_node("N", Vec::<(&str, Value)>::new());
+        builder.add_edge(u, v, "a", Vec::<(&str, Value)>::new());
+        builder.add_edge(v, u, "b", Vec::<(&str, Value)>::new());
+        let stats = GraphStats::compute(&builder.build());
+        let est = estimate_closure(&stats, &["a", "b"], PathSemantics::Trail, &recursion);
+        assert!(est.cyclic, "the composite 2-cycle must be seen");
+        // The reverse: a cyclic graph whose (a/b) composite is empty — the
+        // whole-graph fallback would call this cyclic, the pair table knows
+        // better and the estimate stays saturating.
+        let mut builder = GraphBuilder::new();
+        let x = builder.add_node("N", Vec::<(&str, Value)>::new());
+        let y = builder.add_node("N", Vec::<(&str, Value)>::new());
+        let w1 = builder.add_node("N", Vec::<(&str, Value)>::new());
+        let w2 = builder.add_node("N", Vec::<(&str, Value)>::new());
+        builder.add_edge(x, y, "a", Vec::<(&str, Value)>::new());
+        builder.add_edge(x, y, "b", Vec::<(&str, Value)>::new());
+        builder.add_edge(w1, w2, "c", Vec::<(&str, Value)>::new());
+        builder.add_edge(w2, w1, "c", Vec::<(&str, Value)>::new());
+        let stats = GraphStats::compute(&builder.build());
+        assert!(stats.is_cyclic());
+        let est = estimate_closure(&stats, &["a", "b"], PathSemantics::Walk, &recursion);
+        assert!(!est.cyclic, "the empty (a,b) composite cannot cycle");
+        assert!(!est.blows_up());
+    }
+
+    #[test]
+    fn pipeline_strategy_is_three_way() {
+        use pathalg_core::ops::projection::Take;
+        use pathalg_graph::generator::structured::{chain_graph, complete_graph};
+
+        let plan = knows_scan()
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1)));
+        let recursion = RecursionConfig::default();
+        let serial = ExecutionConfig::default();
+        let parallel = ExecutionConfig::with_threads(4);
+        // Serial configurations slice serially.
+        let (_, _, mode) = choose_pipeline_strategy(&plan, &recursion, &serial, None).unwrap();
+        assert_eq!(mode, LazyMode::Serial);
+        // Parallel without statistics: lazy, scheduled in batches.
+        let (_, _, mode) = choose_pipeline_strategy(&plan, &recursion, &parallel, None).unwrap();
+        assert_eq!(mode, LazyMode::Parallel);
+        // Parallel + provably tiny closure: hand back to the parallel
+        // frontier (the graph is a short Knows chain).
+        let sparse = GraphStats::compute(&chain_graph(6, "Knows"));
+        assert!(choose_pipeline_strategy(&plan, &recursion, &parallel, Some(&sparse)).is_none());
+        // Parallel + predicted blow-up: parallel lazy, with the estimate.
+        let dense = GraphStats::compute(&complete_graph(6, "Knows"));
+        let (_, est, mode) =
+            choose_pipeline_strategy(&plan, &recursion, &parallel, Some(&dense)).unwrap();
+        assert_eq!(mode, LazyMode::Parallel);
+        assert!(est.unwrap().blows_up());
+        // A max_paths bound forces the serial enumeration only for
+        // cross-source-coupled specs (partition limit / γ∅), whose serial
+        // stop point the parallel claims cannot replay; an uncoupled spec
+        // keeps exact claim parity and stays parallel.
+        let bounded = RecursionConfig {
+            max_length: None,
+            max_paths: Some(100),
+        };
+        let (_, _, mode) =
+            choose_pipeline_strategy(&plan, &bounded, &parallel, Some(&dense)).unwrap();
+        assert_eq!(mode, LazyMode::Parallel);
+        let coupled = knows_scan()
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::Source)
+            .project(ProjectionSpec::new(
+                Take::Count(2),
+                Take::All,
+                Take::Count(3),
+            ));
+        let (_, _, mode) =
+            choose_pipeline_strategy(&coupled, &bounded, &parallel, Some(&dense)).unwrap();
+        assert_eq!(mode, LazyMode::Serial);
+        let (_, _, mode) = choose_pipeline_strategy(
+            &coupled,
+            &RecursionConfig {
+                max_length: None,
+                max_paths: None,
+            },
+            &parallel,
+            Some(&dense),
+        )
+        .unwrap();
+        assert_eq!(mode, LazyMode::Parallel);
     }
 
     #[test]

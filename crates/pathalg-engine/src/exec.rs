@@ -25,7 +25,7 @@
 
 use crate::cost::{
     choose_phi_impl, choose_pipeline_strategy, choose_scan_phi_impl, estimate_phi, ClosureEstimate,
-    PhiImpl,
+    LazyMode, PhiImpl,
 };
 use pathalg_core::condition::Condition;
 use pathalg_core::error::AlgebraError;
@@ -47,7 +47,9 @@ use pathalg_graph::csr::CsrGraph;
 use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::ids::NodeId;
 use pathalg_graph::stats::GraphStats;
+use pathalg_pmr::parallel::{self as pmr_parallel, ParallelConfig};
 use pathalg_pmr::{EndpointFilter, Pmr};
+use std::sync::Arc;
 
 use crate::physical::frontier::{phi_frontier, phi_frontier_csr};
 use crate::physical::{phi_bfs_shortest, phi_seminaive};
@@ -60,16 +62,25 @@ use crate::physical::{phi_bfs_shortest, phi_seminaive};
 pub struct StrategyDecision {
     /// Display form of the operator the decision applies to.
     pub operator: String,
-    /// Short name of the chosen implementation ([`PhiImpl::name`] or
-    /// `"lazy-sliced-pipeline"`).
+    /// Short name of the chosen implementation ([`PhiImpl::name`],
+    /// `"lazy-sliced-pipeline"`, or `"parallel-lazy-pipeline"`).
     pub chosen: &'static str,
+    /// The worker-thread count the decision was made for
+    /// ([`ExecutionConfig::threads`]) — strategy choices depend on it, so it
+    /// is recorded to make them reproducible from `explain()` and the
+    /// `repro joins` table.
+    pub threads: usize,
     /// The estimate behind the choice, if statistics were available.
     pub estimate: Option<ClosureEstimate>,
 }
 
 impl std::fmt::Display for StrategyDecision {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} -> {}", self.operator, self.chosen)?;
+        write!(
+            f,
+            "{} -> {} [threads={}]",
+            self.operator, self.chosen, self.threads
+        )?;
         if let Some(est) = &self.estimate {
             write!(f, " ({est})")?;
         }
@@ -252,6 +263,7 @@ impl<'g> EngineEvaluator<'g> {
                         at_root,
                         labels.len(),
                         &self.recursion,
+                        estimate.as_ref(),
                     )
                 });
                 match (chain, chain_choice) {
@@ -284,25 +296,46 @@ impl<'g> EngineEvaluator<'g> {
                         // Lazy endpoint-keyed join: the per-hop CSR indexes
                         // replace the hash join; neither join side, the join
                         // result, nor the base PathSet is materialised.
-                        // Output sequence identical to join-then-frontier.
+                        // Output sequence identical to join-then-frontier —
+                        // multi-threaded configurations enumerate through
+                        // the per-source batch scheduler, whose batch-order
+                        // merge reproduces the same sequence.
                         self.record_decision(
                             format!("ϕ{} over join chain {labels:?}", semantics.keyword()),
                             PhiImpl::PmrLazy.name(),
                             estimate,
                         );
-                        let hops: Vec<CsrGraph> = labels
+                        let hops: Arc<[CsrGraph]> = labels
                             .iter()
                             .map(|l| CsrGraph::with_label(self.graph, l))
                             .collect();
-                        for csr in &hops {
+                        for csr in hops.iter() {
                             self.charge_skipped(self.graph.edge_count()); // Edges(G)
                             self.charge_skipped(csr.edge_count()); // σ label
                         }
-                        let mut pmr = Pmr::from_join(hops, *semantics, self.recursion);
-                        let out = pmr.enumerate_all()?;
+                        let (out, segments) = if self.exec.threads > 1 {
+                            let (semantics, recursion) = (*semantics, self.recursion);
+                            let factory =
+                                || Pmr::from_shared_join(hops.clone(), semantics, recursion);
+                            let sources = factory().sources();
+                            let weights = source_weights(&hops[0], estimate.as_ref(), &sources);
+                            let run = pmr_parallel::enumerate_all(
+                                &factory,
+                                &sources,
+                                Some(&weights),
+                                &self.parallel_config(),
+                                recursion.max_paths,
+                            )?;
+                            (run.paths, run.base_segments.unwrap_or(0))
+                        } else {
+                            let mut pmr =
+                                Pmr::from_shared_join(hops.clone(), *semantics, self.recursion);
+                            let out = pmr.enumerate_all()?;
+                            let segments = pmr.base_segments().unwrap_or(0);
+                            (out, segments)
+                        };
                         // Charge the k−1 joins with the slice of the join
                         // output the expansion actually generated.
-                        let segments = pmr.base_segments().unwrap_or(0);
                         self.stats.join_calls += labels.len() - 1;
                         for _ in 1..labels.len() {
                             self.charge_skipped(segments);
@@ -377,7 +410,7 @@ impl<'g> EngineEvaluator<'g> {
     /// reference evaluator would report, since avoiding that work is the
     /// point of the strategy.
     fn try_sliced_pipeline(&mut self, expr: &PlanExpr) -> Result<Option<PathSet>, AlgebraError> {
-        let Some((plan, estimate)) =
+        let Some((plan, estimate, mode)) =
             choose_pipeline_strategy(expr, &self.recursion, &self.exec, self.graph_stats)
         else {
             return Ok(None);
@@ -386,20 +419,18 @@ impl<'g> EngineEvaluator<'g> {
             .base
             .label_scan_chain()
             .expect("lazy_eligible checked the base is a scan chain");
-        let mut pmr = if chain.len() == 1 {
-            Pmr::from_label_scan(self.graph, chain[0], plan.semantics, self.recursion)
-        } else {
-            Pmr::from_label_chain(self.graph, &chain, plan.semantics, self.recursion)
+        let (source_mask, target_mask) = match plan.filter {
+            Some(condition) => {
+                let (first, last) = condition
+                    .endpoint_split()
+                    .expect("lazy_eligible checked the filter splits");
+                (
+                    first.map(|c| self.node_mask(&c)),
+                    last.map(|c| self.node_mask(&c)),
+                )
+            }
+            None => (None, None),
         };
-        if let Some(condition) = plan.filter {
-            let (first, last) = condition
-                .endpoint_split()
-                .expect("lazy_eligible checked the filter splits");
-            pmr.restrict_endpoints(EndpointFilter {
-                sources: first.map(|c| self.node_mask(&c)),
-                targets: last.map(|c| self.node_mask(&c)),
-            });
-        }
         self.record_decision(
             format!(
                 "sliced pipeline over ϕ{}{}{}",
@@ -415,10 +446,65 @@ impl<'g> EngineEvaluator<'g> {
                     ""
                 }
             ),
-            "lazy-sliced-pipeline",
+            match mode {
+                LazyMode::Serial => "lazy-sliced-pipeline",
+                LazyMode::Parallel => "parallel-lazy-pipeline",
+            },
             estimate,
         );
-        let out = pmr.sliced(&plan.spec)?;
+        let (out, generated) = match mode {
+            LazyMode::Serial => {
+                let mut pmr = if chain.len() == 1 {
+                    Pmr::from_label_scan(self.graph, chain[0], plan.semantics, self.recursion)
+                } else {
+                    Pmr::from_label_chain(self.graph, &chain, plan.semantics, self.recursion)
+                };
+                pmr.restrict_endpoints(EndpointFilter {
+                    sources: source_mask,
+                    targets: target_mask,
+                });
+                let out = pmr.sliced(&plan.spec)?;
+                let generated = pmr.steps_generated();
+                (out, generated)
+            }
+            LazyMode::Parallel => {
+                // One shared snapshot per hop, Arc-cloned into every batch
+                // worker — built once, never deep-copied per batch.
+                let scan: Option<Arc<CsrGraph>> = (chain.len() == 1)
+                    .then(|| Arc::new(CsrGraph::with_label(self.graph, chain[0])));
+                let hops: Arc<[CsrGraph]> = match &scan {
+                    Some(_) => Arc::from(Vec::new()),
+                    None => chain
+                        .iter()
+                        .map(|l| CsrGraph::with_label(self.graph, l))
+                        .collect(),
+                };
+                let (semantics, recursion) = (plan.semantics, self.recursion);
+                let factory = || {
+                    let mut pmr = match &scan {
+                        Some(csr) => Pmr::from_shared_csr(csr.clone(), semantics, recursion),
+                        None => Pmr::from_shared_join(hops.clone(), semantics, recursion),
+                    };
+                    pmr.restrict_endpoints(EndpointFilter {
+                        sources: source_mask.clone(),
+                        targets: target_mask.clone(),
+                    });
+                    pmr
+                };
+                let sources = factory().sources();
+                let hop0 = scan.as_deref().unwrap_or_else(|| &hops[0]);
+                let weights = source_weights(hop0, estimate.as_ref(), &sources);
+                let run = pmr_parallel::sliced(
+                    &factory,
+                    &plan.spec,
+                    &sources,
+                    Some(&weights),
+                    &self.parallel_config(),
+                    self.recursion.max_paths,
+                )?;
+                (run.paths, run.steps_generated)
+            }
+        };
         self.lazy_pipeline_fired = true;
         // Bypassed operators: Edges and σ per hop, the k−1 joins, ϕ, the
         // endpoint σ (when present), γ and (when present) τ; the π node
@@ -430,7 +516,6 @@ impl<'g> EngineEvaluator<'g> {
             + 2
             + usize::from(plan.filter.is_some())
             + usize::from(plan.spec.ordered_by_length);
-        let generated = pmr.steps_generated();
         self.stats.intermediate_paths += generated
             + out.len()
                 * (1 + usize::from(plan.spec.ordered_by_length)
@@ -457,8 +542,18 @@ impl<'g> EngineEvaluator<'g> {
         self.decisions.push(StrategyDecision {
             operator,
             chosen,
+            threads: self.exec.threads,
             estimate,
         });
+    }
+
+    /// The PMR-side scheduling knobs of this evaluator's execution
+    /// configuration.
+    fn parallel_config(&self) -> ParallelConfig {
+        ParallelConfig {
+            threads: self.exec.threads,
+            batch_size: self.exec.batch_size,
+        }
     }
 
     /// Evaluates an expression into a [`PathSetRepr`]: a root-level
@@ -530,6 +625,26 @@ impl<'g> EngineEvaluator<'g> {
             }),
         }
     }
+}
+
+/// Per-source batch-sizing weights of a parallel lazy run, seeded by the
+/// closure estimate: a source's weight is its hop-0 out-degree scaled by the
+/// estimated paths per base element (`estimate.paths / estimate.base`), so a
+/// predicted-heavy source closes its batch early
+/// ([`pathalg_pmr::parallel::plan_batches`]) and cannot serialise the run.
+/// Without an estimate the weights degrade to plain out-degrees.
+fn source_weights(
+    csr0: &CsrGraph,
+    estimate: Option<&ClosureEstimate>,
+    sources: &[pathalg_graph::ids::NodeId],
+) -> Vec<u64> {
+    let per_base = estimate
+        .map(|est| (est.paths / est.base.max(1.0)).clamp(1.0, 1e6))
+        .unwrap_or(1.0);
+    sources
+        .iter()
+        .map(|&s| 1 + (csr0.out_degree(s) as f64 * per_base) as u64)
+        .collect()
 }
 
 #[cfg(test)]

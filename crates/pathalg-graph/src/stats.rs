@@ -30,7 +30,33 @@ pub struct GraphStats {
     /// separates saturating closures from exponential blow-ups for
     /// single-label recursion.
     label_cyclic: HashMap<String, bool>,
+    /// Degree-distribution-aware expansion per ordered label pair:
+    /// `(ℓ1, ℓ2) ↦ Σ_{e ∈ ℓ1} outdeg_{ℓ2}(target(e)) / |ℓ1|` — the expected
+    /// ℓ2 fan-out at the end of a *random ℓ1 edge*. Unlike
+    /// [`GraphStats::label_expansion`] (a plain mean over sources) this
+    /// weights hubs by their in-degree, so skewed degree distributions
+    /// inflate it — exactly the skew that makes closures blow up. The
+    /// diagonal `(ℓ, ℓ)` is the degree-aware self-expansion of a ℓ⁺ closure.
+    /// Only computed when the graph has at most
+    /// [`MAX_PAIR_STAT_LABELS`] edge labels.
+    pair_expansion: HashMap<(String, String), f64>,
+    /// Cyclicity of the two-hop composite graph `u → v ⇔ ∃w: u─ℓ1→w─ℓ2→v`,
+    /// per ordered label pair: the exact blow-up signal for `(ℓ1/ℓ2)+`
+    /// chains, where whole-graph cyclicity badly over-approximates (two
+    /// acyclic labels can compose into a cycle, and two cyclic labels into
+    /// an empty composite). Pairs whose composite exceeds
+    /// [`MAX_COMPOSITE_EDGES`] are left absent (callers fall back to
+    /// whole-graph cyclicity).
+    pair_cyclic: HashMap<(String, String), bool>,
 }
+
+/// Pair statistics are quadratic in the label count; graphs with more edge
+/// labels than this skip them (accessors then return `None`).
+pub const MAX_PAIR_STAT_LABELS: usize = 8;
+
+/// Per-pair cap on materialised composite edges during the pair-cyclicity
+/// check; beyond it the pair's cyclicity is left unknown.
+pub const MAX_COMPOSITE_EDGES: usize = 200_000;
 
 impl GraphStats {
     /// Computes statistics for a graph in a single pass over nodes and edges.
@@ -98,6 +124,55 @@ impl GraphStats {
             .collect();
 
         let cyclic = has_directed_cycle(node_count, &all_edges);
+
+        // Pair statistics: per-label out-adjacency once, then one pass per
+        // ordered pair. Skipped entirely on label-rich graphs (quadratic in
+        // the label count).
+        let mut pair_expansion: HashMap<(String, String), f64> = HashMap::new();
+        let mut pair_cyclic: HashMap<(String, String), bool> = HashMap::new();
+        if label_edges.len() <= MAX_PAIR_STAT_LABELS {
+            let labels: Vec<&String> = label_edges.keys().collect();
+            let mut adjacency: HashMap<&str, Vec<Vec<u32>>> = HashMap::new();
+            for (l, edges) in &label_edges {
+                let adj = adjacency
+                    .entry(l.as_str())
+                    .or_insert_with(|| vec![Vec::new(); node_count]);
+                for &(s, t) in edges {
+                    adj[s as usize].push(t);
+                }
+            }
+            for &l1 in &labels {
+                let e1 = &label_edges[l1.as_str()];
+                for &l2 in &labels {
+                    let adj2 = &adjacency[l2.as_str()];
+                    let fanout: usize = e1.iter().map(|&(_, w)| adj2[w as usize].len()).sum();
+                    pair_expansion.insert(
+                        (l1.clone(), l2.clone()),
+                        fanout as f64 / e1.len().max(1) as f64,
+                    );
+                    let mut composite: std::collections::HashSet<(u32, u32)> =
+                        std::collections::HashSet::new();
+                    let mut overflow = false;
+                    'edges: for &(s, w) in e1 {
+                        for &t in &adj2[w as usize] {
+                            composite.insert((s, t));
+                            if composite.len() > MAX_COMPOSITE_EDGES {
+                                overflow = true;
+                                break 'edges;
+                            }
+                        }
+                    }
+                    if !overflow {
+                        let edges: Vec<(u32, u32)> = composite.into_iter().collect();
+                        pair_cyclic.insert(
+                            (l1.clone(), l2.clone()),
+                            has_directed_cycle(node_count, &edges),
+                        );
+                    }
+                }
+            }
+        }
+
         let label_cyclic = label_edges
             .into_iter()
             .map(|(l, edges)| (l, has_directed_cycle(node_count, &edges)))
@@ -114,6 +189,8 @@ impl GraphStats {
             label_expansion,
             cyclic,
             label_cyclic,
+            pair_expansion,
+            pair_cyclic,
         }
     }
 
@@ -179,6 +256,42 @@ impl GraphStats {
     /// a DAG — the key input of the engine's adaptive strategy choice.
     pub fn label_cyclic(&self, label: &str) -> bool {
         self.label_cyclic.get(label).copied().unwrap_or(false)
+    }
+
+    /// Degree-distribution-aware expansion of an ordered label pair: the
+    /// expected `to` fan-out at the target of a random `from` edge (hubs
+    /// weighted by in-degree, unlike the source-mean
+    /// [`GraphStats::label_expansion`]). `None` when either label is unseen
+    /// or pair statistics were skipped ([`MAX_PAIR_STAT_LABELS`]).
+    pub fn pair_expansion(&self, from: &str, to: &str) -> Option<f64> {
+        self.pair_expansion
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+    }
+
+    /// Whether the two-hop composite graph `∃w: u─from→w─to→v` contains a
+    /// directed cycle — the exact per-segment blow-up signal for `(from/to)+`
+    /// chains. `None` when unknown (label unseen, pair statistics skipped,
+    /// or the composite exceeded [`MAX_COMPOSITE_EDGES`]).
+    pub fn pair_cyclic(&self, from: &str, to: &str) -> Option<bool> {
+        self.pair_cyclic
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+    }
+
+    /// Cyclicity of the composite graph a `(ℓ1/…/ℓk)+` chain repeats: exact
+    /// for single labels ([`GraphStats::label_cyclic`]) and two-hop chains
+    /// ([`GraphStats::pair_cyclic`]); longer chains fall back to whole-graph
+    /// cyclicity (a sound over-approximation — a cycle of the k-segment
+    /// composite projects to a directed cycle of the graph, so an acyclic
+    /// graph has acyclic composites of every length).
+    pub fn chain_cyclic(&self, labels: &[&str]) -> bool {
+        match labels {
+            [] => false,
+            [l] => self.label_cyclic(l),
+            [a, b] => self.pair_cyclic(a, b).unwrap_or(self.cyclic),
+            _ => self.cyclic,
+        }
     }
 
     /// Edge labels seen in the graph, in arbitrary order.
@@ -340,6 +453,57 @@ mod tests {
         let n = b.add_node("N", Vec::<(&str, Value)>::new());
         b.add_edge(n, n, "a", Vec::<(&str, Value)>::new());
         assert!(GraphStats::compute(&b.build()).label_cyclic("a"));
+    }
+
+    #[test]
+    fn pair_expansion_weights_hubs_by_in_degree() {
+        // a-edges: p0→h, p1→h, p2→x. b-edges: h→{m0,m1,m2}, x→∅.
+        // Source-mean b expansion: 3 edges / 1 source = 3.0. Pair (a,b):
+        // two of three a-edges land on the hub h (out-deg 3), one on x
+        // (out-deg 0) ⇒ (3+3+0)/3 = 2.0 — the in-degree-weighted view.
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..8)
+            .map(|i| b.add_node("N", [("id", i as i64)]))
+            .collect();
+        let (p0, p1, p2, h, x) = (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4]);
+        b.add_edge(p0, h, "a", Vec::<(&str, Value)>::new());
+        b.add_edge(p1, h, "a", Vec::<(&str, Value)>::new());
+        b.add_edge(p2, x, "a", Vec::<(&str, Value)>::new());
+        for m in &nodes[5..8] {
+            b.add_edge(h, *m, "b", Vec::<(&str, Value)>::new());
+        }
+        let stats = GraphStats::compute(&b.build());
+        assert!((stats.label_expansion("b") - 3.0).abs() < 1e-9);
+        assert!((stats.pair_expansion("a", "b").unwrap() - 2.0).abs() < 1e-9);
+        // Self-pair of a: every a-edge ends at h or x, neither has a-edges.
+        assert_eq!(stats.pair_expansion("a", "a"), Some(0.0));
+        assert_eq!(stats.pair_expansion("a", "nope"), None);
+    }
+
+    #[test]
+    fn pair_cyclicity_sees_through_whole_graph_cyclicity() {
+        // a: u→v, b: v→u. Each label subgraph is acyclic, the whole graph
+        // and the (a,b) composite (u→u) are cyclic, while the (a,a) and
+        // (b,b) composites are empty hence acyclic.
+        let mut builder = GraphBuilder::new();
+        let u = builder.add_node("N", Vec::<(&str, Value)>::new());
+        let v = builder.add_node("N", Vec::<(&str, Value)>::new());
+        builder.add_edge(u, v, "a", Vec::<(&str, Value)>::new());
+        builder.add_edge(v, u, "b", Vec::<(&str, Value)>::new());
+        let stats = GraphStats::compute(&builder.build());
+        assert!(stats.is_cyclic());
+        assert!(!stats.label_cyclic("a"));
+        assert!(!stats.label_cyclic("b"));
+        assert_eq!(stats.pair_cyclic("a", "b"), Some(true));
+        assert_eq!(stats.pair_cyclic("b", "a"), Some(true));
+        assert_eq!(stats.pair_cyclic("a", "a"), Some(false));
+        assert_eq!(stats.pair_cyclic("b", "b"), Some(false));
+        // chain_cyclic: exact for one and two labels, conservative beyond.
+        assert!(!stats.chain_cyclic(&["a"]));
+        assert!(stats.chain_cyclic(&["a", "b"]));
+        assert!(!stats.chain_cyclic(&["a", "a"]));
+        assert!(stats.chain_cyclic(&["a", "b", "a"]), "falls back to graph");
+        assert!(!stats.chain_cyclic(&[]));
     }
 
     #[test]

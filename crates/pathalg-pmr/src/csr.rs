@@ -11,6 +11,7 @@
 //! contract of [`pathalg_core::pathset_repr::LazyPathStream`].
 
 use crate::arena::{StepArena, NO_PARENT};
+use pathalg_core::budget::PathBudget;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{
     PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
@@ -19,6 +20,7 @@ use pathalg_graph::csr::CsrGraph;
 use pathalg_graph::frontier::Frontier;
 use pathalg_graph::ids::NodeId;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Reachability summary of one source, used by the sliced evaluation to
 /// decide when a source's contribution to every kept group is complete.
@@ -34,7 +36,7 @@ pub(crate) struct ReachInfo {
 
 /// The lazy CSR expander (see the module docs).
 pub(crate) struct CsrExpansion {
-    csr: CsrGraph,
+    csr: Arc<CsrGraph>,
     semantics: PathSemantics,
     config: RecursionConfig,
     walk_unbounded: bool,
@@ -49,7 +51,11 @@ pub(crate) struct CsrExpansion {
     iterations: usize,
     src_emitted: usize,
     pending: VecDeque<u32>,
-    produced: usize,
+    /// The `max_paths` accounting — owned by default, shared across batch
+    /// workers under parallel enumeration ([`crate::parallel`]). Level-0
+    /// steps are recorded (counted, never limit-checked), recursion
+    /// candidates are claimed, mirroring the frontier engine.
+    budget: Arc<PathBudget>,
     /// Shortest scratch: per-source visited set + distance table.
     seen: Frontier,
     dist: Vec<usize>,
@@ -61,7 +67,7 @@ pub(crate) struct CsrExpansion {
 }
 
 impl CsrExpansion {
-    pub fn new(csr: CsrGraph, semantics: PathSemantics, config: RecursionConfig) -> Self {
+    pub fn new(csr: Arc<CsrGraph>, semantics: PathSemantics, config: RecursionConfig) -> Self {
         let n = csr.node_count();
         let sources: Vec<NodeId> = (0..n)
             .map(|i| NodeId(i as u32))
@@ -81,7 +87,7 @@ impl CsrExpansion {
             iterations: 0,
             src_emitted: 0,
             pending: VecDeque::new(),
-            produced: 0,
+            budget: Arc::new(PathBudget::new(config.max_paths)),
             seen: Frontier::new(n),
             dist: vec![0; n],
             reach_seen: Frontier::new(n),
@@ -120,6 +126,25 @@ impl CsrExpansion {
     /// Must be applied before the first pull.
     pub fn restrict_sources(&mut self, keep: &[bool]) {
         self.sources.retain(|v| keep.get(v.index()) == Some(&true));
+    }
+
+    /// The remaining source schedule (the full schedule before any pull).
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources[self.next_source..]
+    }
+
+    /// Replaces the source schedule (already filtered, ascending). Must be
+    /// applied before the first pull.
+    pub fn set_sources(&mut self, sources: Vec<NodeId>) {
+        self.sources = sources;
+        self.next_source = 0;
+    }
+
+    /// Replaces the owned `max_paths` budget with a shared one, so several
+    /// batch-restricted expansions enforce one global limit. Must be applied
+    /// before the first pull.
+    pub fn share_budget(&mut self, budget: Arc<PathBudget>) {
+        self.budget = budget;
     }
 
     fn within(&self, len: usize) -> bool {
@@ -161,7 +186,7 @@ impl CsrExpansion {
             if self.semantics == PathSemantics::Acyclic && t == s {
                 continue;
             }
-            self.produced += 1;
+            self.budget.record(1);
             let id = self.arena.push(NO_PARENT, e, t, 1);
             if self.walk_unbounded {
                 self.acyclic.push(t != s);
@@ -217,12 +242,7 @@ impl CsrExpansion {
                         paths_so_far: self.src_emitted + next.len(),
                     });
                 }
-                self.produced += 1;
-                if let Some(limit) = self.config.max_paths {
-                    if self.produced > limit {
-                        return Err(AlgebraError::ResultLimitExceeded { limit });
-                    }
-                }
+                self.budget.claim(1)?;
                 let id = self.arena.push(pid, e, t, new_len as u32);
                 if self.walk_unbounded {
                     self.acyclic.push(true);
@@ -249,7 +269,7 @@ impl CsrExpansion {
                 if self.seen.insert(t) {
                     self.dist[t.index()] = 1;
                 }
-                self.produced += 1;
+                self.budget.record(1);
                 cur.push(self.arena.push(NO_PARENT, e, t, 1));
             }
         }
@@ -274,12 +294,7 @@ impl CsrExpansion {
                     if self.seen.insert(t) {
                         self.dist[t.index()] = new_len;
                     }
-                    self.produced += 1;
-                    if let Some(limit) = self.config.max_paths {
-                        if self.produced > limit {
-                            return Err(AlgebraError::ResultLimitExceeded { limit });
-                        }
-                    }
+                    self.budget.claim(1)?;
                     next.push(self.arena.push(pid, e, t, new_len as u32));
                 }
             }

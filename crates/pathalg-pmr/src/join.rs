@@ -23,6 +23,7 @@
 
 use crate::arena::{StepArena, NO_PARENT};
 use crate::csr::ReachInfo;
+use pathalg_core::budget::PathBudget;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{
     PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
@@ -31,12 +32,13 @@ use pathalg_graph::csr::CsrGraph;
 use pathalg_graph::frontier::Frontier;
 use pathalg_graph::ids::NodeId;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The lazy join expander (see the module docs). Arena steps hold one edge
 /// each; only steps at segment boundaries (path length a multiple of the hop
 /// count) are ever emitted.
 pub(crate) struct JoinExpansion {
-    hops: Vec<CsrGraph>,
+    hops: Arc<[CsrGraph]>,
     semantics: PathSemantics,
     config: RecursionConfig,
     walk_unbounded: bool,
@@ -53,7 +55,11 @@ pub(crate) struct JoinExpansion {
     iterations: usize,
     src_emitted: usize,
     pending: VecDeque<u32>,
-    produced: usize,
+    /// The `max_paths` accounting — owned by default, shared across batch
+    /// workers under parallel enumeration ([`crate::parallel`]). Level-0
+    /// segments are recorded (counted, never limit-checked), recursion
+    /// candidates are claimed, mirroring the frontier engine.
+    budget: Arc<PathBudget>,
     level0_segments: usize,
     /// Shortest scratch: per-source best-known distance per target.
     seen: Frontier,
@@ -66,7 +72,7 @@ pub(crate) struct JoinExpansion {
 impl JoinExpansion {
     /// Builds the expander over per-hop CSR snapshots (all over the same
     /// node universe; at least one hop).
-    pub fn new(hops: Vec<CsrGraph>, semantics: PathSemantics, config: RecursionConfig) -> Self {
+    pub fn new(hops: Arc<[CsrGraph]>, semantics: PathSemantics, config: RecursionConfig) -> Self {
         assert!(!hops.is_empty(), "a join expansion needs at least one hop");
         let n = hops[0].node_count();
         let k = hops.len();
@@ -88,7 +94,7 @@ impl JoinExpansion {
             iterations: 0,
             src_emitted: 0,
             pending: VecDeque::new(),
-            produced: 0,
+            budget: Arc::new(PathBudget::new(config.max_paths)),
             level0_segments: 0,
             seen: Frontier::new(n),
             dist: vec![0; n],
@@ -132,6 +138,25 @@ impl JoinExpansion {
     /// Must be applied before the first pull.
     pub fn restrict_sources(&mut self, keep: &[bool]) {
         self.sources.retain(|v| keep.get(v.index()) == Some(&true));
+    }
+
+    /// The remaining source schedule (the full schedule before any pull).
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources[self.next_source..]
+    }
+
+    /// Replaces the source schedule (already filtered, ascending). Must be
+    /// applied before the first pull.
+    pub fn set_sources(&mut self, sources: Vec<NodeId>) {
+        self.sources = sources;
+        self.next_source = 0;
+    }
+
+    /// Replaces the owned `max_paths` budget with a shared one, so several
+    /// batch-restricted expansions enforce one global limit. Must be applied
+    /// before the first pull.
+    pub fn share_budget(&mut self, budget: Arc<PathBudget>) {
+        self.budget = budget;
     }
 
     fn within(&self, len: usize) -> bool {
@@ -191,7 +216,7 @@ impl JoinExpansion {
             false,
             &mut boundaries,
         );
-        self.produced += boundaries.len();
+        self.budget.record(boundaries.len());
         self.level0_segments += boundaries.len();
         boundaries
     }
@@ -245,12 +270,7 @@ impl JoinExpansion {
                         paths_so_far: self.src_emitted + next.len(),
                     });
                 }
-                self.produced += 1;
-                if let Some(limit) = self.config.max_paths {
-                    if self.produced > limit {
-                        return Err(AlgebraError::ResultLimitExceeded { limit });
-                    }
-                }
+                self.budget.claim(1)?;
                 next.push(id);
             }
         }
@@ -309,12 +329,7 @@ impl JoinExpansion {
                     if self.seen.insert(t) {
                         self.dist[t.index()] = new_len;
                     }
-                    self.produced += 1;
-                    if let Some(limit) = self.config.max_paths {
-                        if self.produced > limit {
-                            return Err(AlgebraError::ResultLimitExceeded { limit });
-                        }
-                    }
+                    self.budget.claim(1)?;
                     next.push(id);
                 }
             }
@@ -472,7 +487,11 @@ mod tests {
             CsrGraph::with_label(&f.graph, "Likes"),
             CsrGraph::with_label(&f.graph, "Has_creator"),
         ];
-        let mut exp = JoinExpansion::new(hops, PathSemantics::Trail, RecursionConfig::default());
+        let mut exp = JoinExpansion::new(
+            hops.into(),
+            PathSemantics::Trail,
+            RecursionConfig::default(),
+        );
         let mut emitted = 0;
         while let Some((id, source)) = exp.next_id().unwrap() {
             let (first, _, len) = exp.arena.triple_of(id, source);
@@ -494,7 +513,11 @@ mod tests {
             CsrGraph::with_label(&f.graph, "Likes"),
             CsrGraph::with_label(&f.graph, "Has_creator"),
         ];
-        let mut exp = JoinExpansion::new(hops, PathSemantics::Trail, RecursionConfig::default());
+        let mut exp = JoinExpansion::new(
+            hops.into(),
+            PathSemantics::Trail,
+            RecursionConfig::default(),
+        );
         let keep = vec![false; f.graph.node_count()];
         exp.restrict_sources(&keep);
         assert!(exp.next_id().unwrap().is_none());

@@ -40,11 +40,13 @@
 mod arena;
 mod csr;
 mod join;
+pub mod parallel;
 mod product;
 
 use crate::csr::{CsrExpansion, ReachInfo};
 use crate::join::JoinExpansion;
 use crate::product::{ProductExpansion, ProductItem};
+use pathalg_core::budget::PathBudget;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::group_by::{group_counts_from_triples, GroupCounts, GroupKey};
 use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
@@ -56,6 +58,7 @@ use pathalg_graph::csr::CsrGraph;
 use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::ids::NodeId;
 use pathalg_rpq::regex::LabelRegex;
+use std::sync::Arc;
 
 /// A compact, lazily enumerable path-multiset representation (see the crate
 /// docs). The lifetime is that of the graph the product form borrows; the
@@ -89,10 +92,10 @@ pub struct EndpointFilter {
 
 /// One emitted element, before path reconstruction.
 #[derive(Clone, Copy, Debug)]
-struct Emit {
-    source: NodeId,
-    last: NodeId,
-    len: usize,
+pub(crate) struct Emit {
+    pub(crate) source: NodeId,
+    pub(crate) last: NodeId,
+    pub(crate) len: usize,
     token: Token,
 }
 
@@ -119,6 +122,17 @@ impl Pmr<'static> {
     /// (every edge as a length-1 base path).
     pub fn from_csr(
         csr: CsrGraph,
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Pmr<'static> {
+        Self::from_shared_csr(Arc::new(csr), semantics, config)
+    }
+
+    /// [`Pmr::from_csr`] over a *shared* snapshot: parallel batch workers
+    /// ([`parallel`]) build one restricted expansion each over the same
+    /// `Arc`ed CSR instead of cloning it per batch.
+    pub fn from_shared_csr(
+        csr: Arc<CsrGraph>,
         semantics: PathSemantics,
         config: RecursionConfig,
     ) -> Pmr<'static> {
@@ -153,6 +167,17 @@ impl Pmr<'static> {
     /// (every base path walks one edge of each hop in order).
     pub fn from_join(
         hops: Vec<CsrGraph>,
+        semantics: PathSemantics,
+        config: RecursionConfig,
+    ) -> Pmr<'static> {
+        Self::from_shared_join(hops.into(), semantics, config)
+    }
+
+    /// [`Pmr::from_join`] over *shared* per-hop snapshots: parallel batch
+    /// workers ([`parallel`]) build one restricted expansion each over the
+    /// same `Arc`ed hop list instead of cloning the snapshots per batch.
+    pub fn from_shared_join(
+        hops: Arc<[CsrGraph]>,
         semantics: PathSemantics,
         config: RecursionConfig,
     ) -> Pmr<'static> {
@@ -196,13 +221,46 @@ impl<'g> Pmr<'g> {
         self.target_mask = filter.targets;
     }
 
+    /// The source schedule still ahead of the enumeration (the full
+    /// schedule before any pull, after any [`Pmr::restrict_endpoints`]
+    /// source restriction) — what a parallel run partitions into batches.
+    pub fn sources(&self) -> Vec<NodeId> {
+        match &self.inner {
+            Inner::Csr(e) => e.sources().to_vec(),
+            Inner::Join(e) => e.sources().to_vec(),
+            Inner::Product(e) => e.sources().to_vec(),
+        }
+    }
+
+    /// Replaces the source schedule with an explicit (already filtered,
+    /// canonically ordered) list — how [`parallel`] restricts one batch
+    /// worker to its slice of the schedule. Must precede the first pull.
+    pub(crate) fn set_sources(&mut self, sources: Vec<NodeId>) {
+        match &mut self.inner {
+            Inner::Csr(e) => e.set_sources(sources),
+            Inner::Join(e) => e.set_sources(sources),
+            Inner::Product(e) => e.set_sources(sources),
+        }
+    }
+
+    /// Shares one `max_paths` budget across several batch-restricted
+    /// expansions of the same logical enumeration. Must precede the first
+    /// pull.
+    pub(crate) fn share_budget(&mut self, budget: Arc<PathBudget>) {
+        match &mut self.inner {
+            Inner::Csr(e) => e.share_budget(budget),
+            Inner::Join(e) => e.share_budget(budget),
+            Inner::Product(e) => e.share_budget(budget),
+        }
+    }
+
     fn target_admits(&self, last: NodeId) -> bool {
         self.target_mask
             .as_ref()
             .is_none_or(|mask| mask.get(last.index()) == Some(&true))
     }
 
-    fn next_emit(&mut self) -> Result<Option<Emit>, AlgebraError> {
+    pub(crate) fn next_emit(&mut self) -> Result<Option<Emit>, AlgebraError> {
         loop {
             let emit = match &mut self.inner {
                 Inner::Csr(e) => e.next_id()?.map(|(id, source)| {
@@ -240,7 +298,7 @@ impl<'g> Pmr<'g> {
         }
     }
 
-    fn realize(&self, emit: &Emit) -> Path {
+    pub(crate) fn realize(&self, emit: &Emit) -> Path {
         match (&self.inner, emit.token) {
             (Inner::Csr(e), Token::Step(id)) => e.arena.path_of(id, emit.source),
             (Inner::Join(e), Token::Step(id)) => e.arena.path_of(id, emit.source),
@@ -249,7 +307,7 @@ impl<'g> Pmr<'g> {
         }
     }
 
-    fn skip_source(&mut self) {
+    pub(crate) fn skip_source(&mut self) {
         match &mut self.inner {
             Inner::Csr(e) => e.skip_source(),
             Inner::Join(e) => e.skip_source(),
@@ -381,7 +439,11 @@ impl<'g> Pmr<'g> {
     /// per-source expansion saturates on its own). Groups outside the pushed
     /// target mask are excluded: they can never receive a path, so waiting
     /// for them would block the stop forever.
-    fn requirements_for(&mut self, source: NodeId, spec: &SliceSpec) -> Vec<PartitionKey> {
+    pub(crate) fn requirements_for(
+        &mut self,
+        source: NodeId,
+        spec: &SliceSpec,
+    ) -> Vec<PartitionKey> {
         if spec.group_key != GroupKey::SourceTarget || spec.per_group.is_none() {
             return Vec::new();
         }

@@ -10,6 +10,7 @@
 //! while sources beyond the consumer's demand are never expanded at all.
 
 use crate::arena::{StepArena, NO_PARENT};
+use pathalg_core::budget::PathBudget;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
 use pathalg_core::path::Path;
@@ -19,6 +20,7 @@ use pathalg_graph::ids::NodeId;
 use pathalg_rpq::nfa::Nfa;
 use pathalg_rpq::regex::LabelRegex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// One emitted element of a product expansion: the empty path at the current
 /// source (for nullable regexes) or an arena chain.
@@ -44,7 +46,10 @@ pub(crate) struct ProductExpansion<'g> {
     pub(crate) arena: StepArena,
     pending: VecDeque<ProductItem>,
     cur_source: NodeId,
-    produced: usize,
+    /// The `max_paths` accounting — owned by default, shared across batch
+    /// workers under parallel enumeration ([`crate::parallel`]). Every
+    /// accepted path is claimed, mirroring the serial automaton evaluator.
+    budget: Arc<PathBudget>,
 }
 
 impl<'g> ProductExpansion<'g> {
@@ -69,7 +74,7 @@ impl<'g> ProductExpansion<'g> {
             arena: StepArena::default(),
             pending: VecDeque::new(),
             cur_source: NodeId(0),
-            produced: 0,
+            budget: Arc::new(PathBudget::new(config.max_paths)),
         }
     }
 
@@ -99,6 +104,25 @@ impl<'g> ProductExpansion<'g> {
         self.sources.retain(|v| keep.get(v.index()) == Some(&true));
     }
 
+    /// The remaining source schedule (the full schedule before any pull).
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources[self.next_source..]
+    }
+
+    /// Replaces the source schedule (already filtered, in graph node order).
+    /// Must be applied before the first pull.
+    pub fn set_sources(&mut self, sources: Vec<NodeId>) {
+        self.sources = sources;
+        self.next_source = 0;
+    }
+
+    /// Replaces the owned `max_paths` budget with a shared one, so several
+    /// batch-restricted expansions enforce one global limit. Must be applied
+    /// before the first pull.
+    pub fn share_budget(&mut self, budget: Arc<PathBudget>) {
+        self.budget = budget;
+    }
+
     /// Number of arena steps allocated so far.
     pub fn steps_generated(&self) -> usize {
         self.arena.len()
@@ -121,13 +145,7 @@ impl<'g> ProductExpansion<'g> {
     }
 
     fn claim(&mut self) -> Result<(), AlgebraError> {
-        self.produced += 1;
-        match self.config.max_paths {
-            Some(limit) if self.produced > limit => {
-                Err(AlgebraError::ResultLimitExceeded { limit })
-            }
-            _ => Ok(()),
-        }
+        self.budget.claim(1)
     }
 
     /// The product BFS of one source, mirroring

@@ -272,11 +272,15 @@ pub fn table7() {
     }
 }
 
-/// The adaptive-strategy decision table (DESIGN.md §9): for the SNB and
-/// K-graph fixtures, each query's executed plan, the physical implementation
-/// the stats-driven estimator dispatched it to, and the closure estimate
-/// that justified the choice. Cross-linked from EXPERIMENTS.md.
+/// The adaptive-strategy decision table (DESIGN.md §9/§10): for the SNB and
+/// K-graph fixtures, each query's executed plan at 1 and 4 worker threads,
+/// the physical implementation the stats-driven estimator dispatched it to
+/// (serial vs. parallel lazy included — strategy choices depend on the
+/// thread count, so each decision row carries its `threads` column), and the
+/// closure estimate that justified the choice. Cross-linked from
+/// EXPERIMENTS.md.
 pub fn joins() {
+    use pathalg_engine::exec::ExecutionConfig;
     use pathalg_engine::runner::QueryRunner;
     use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
     use pathalg_graph::generator::structured::complete_graph;
@@ -296,27 +300,30 @@ pub fn joins() {
         ("K6 (complete, :Knows)", complete_graph(6, "Knows")),
     ];
     for (name, graph) in &graphs {
-        println!("-- fixture {name} --");
-        let runner = QueryRunner::with_config(
-            graph,
-            pathalg_engine::runner::RunnerConfig::with_walk_bound(4),
-        );
-        for query in queries {
-            let result = match runner.run(query) {
-                Ok(r) => r,
-                Err(e) => {
-                    println!("{query}\n    -> error: {e}");
-                    continue;
+        for threads in [1usize, 4] {
+            println!("-- fixture {name} · threads={threads} --");
+            let runner = QueryRunner::with_config(
+                graph,
+                pathalg_engine::runner::RunnerConfig::with_walk_bound(4)
+                    .with_execution(ExecutionConfig::with_threads(threads)),
+            );
+            for query in queries {
+                let result = match runner.run(query) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        println!("{query}\n    -> error: {e}");
+                        continue;
+                    }
+                };
+                println!("{query}");
+                println!("    executed plan: {}", result.optimized_plan());
+                for decision in result.strategy_decisions() {
+                    println!("    {decision}");
                 }
-            };
-            println!("{query}");
-            println!("    executed plan: {}", result.optimized_plan());
-            for decision in result.strategy_decisions() {
-                println!("    {decision}");
+                println!("    -> {} result paths", result.paths().len());
             }
-            println!("    -> {} result paths", result.paths().len());
+            println!();
         }
-        println!();
     }
 }
 

@@ -766,6 +766,307 @@ fn sliced_pipelines_over_join_chains_match_materialised_evaluation() {
     }
 }
 
+/// The parallel lazy enumeration contract (DESIGN.md §10): the per-source
+/// batch scheduler's merged output is byte-identical to the serial PMR —
+/// full drains over single scans and join chains, all five path semantics,
+/// 1/2/8 threads, every test graph.
+#[test]
+fn parallel_lazy_enumeration_matches_serial_pmr_byte_for_byte() {
+    use pathalg::pmr::parallel::{self, ParallelConfig};
+    use pathalg::pmr::Pmr;
+    use std::sync::Arc;
+
+    let chains: Vec<Vec<&str>> = vec![vec!["Knows"], vec!["Likes", "Has_creator"]];
+    for (name, graph) in test_graphs() {
+        for labels in &chains {
+            for (semantics, cfg) in join_semantics_cases() {
+                let hops: Arc<[pathalg::graph::csr::CsrGraph]> = labels
+                    .iter()
+                    .map(|l| CsrGraph::with_label(&graph, l))
+                    .collect();
+                let factory = || {
+                    if hops.len() == 1 {
+                        Pmr::from_shared_csr(Arc::new(hops[0].clone()), semantics, cfg)
+                    } else {
+                        Pmr::from_shared_join(hops.clone(), semantics, cfg)
+                    }
+                };
+                let serial = factory().enumerate_all();
+                let sources = factory().sources();
+                for threads in [1usize, 2, 8] {
+                    let run = parallel::enumerate_all(
+                        &factory,
+                        &sources,
+                        None,
+                        &ParallelConfig {
+                            threads,
+                            batch_size: 2,
+                        },
+                        cfg.max_paths,
+                    );
+                    match (&serial, run) {
+                        (Ok(expected), Ok(run)) => assert_eq!(
+                            run.paths.as_slice(),
+                            expected.as_slice(),
+                            "{name}: ϕ{semantics:?}({labels:?}) diverged at {threads} threads"
+                        ),
+                        (Err(expected), Err(err)) => assert_eq!(
+                            &err, expected,
+                            "{name}: {labels:?} error values diverged at {threads} threads"
+                        ),
+                        (expected, run) => panic!(
+                            "{name}: {labels:?} ϕ{semantics:?} at {threads} threads diverged: \
+                             {expected:?} vs {run:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// §10 sliced parity: partition-limited and uncoupled slicing specs through
+/// the *direct* parallel API are byte-identical to the serial `Pmr::sliced`
+/// at 1/2/8 threads — including the sharp per-partition source stop, which
+/// must only ever skip work, never change output.
+#[test]
+fn parallel_lazy_sliced_matches_serial_sliced_on_every_graph() {
+    use pathalg::algebra::ops::group_by::GroupKey;
+    use pathalg::algebra::slice::SliceSpec;
+    use pathalg::pmr::parallel::{self, ParallelConfig};
+    use pathalg::pmr::Pmr;
+    use std::sync::Arc;
+
+    let specs = [
+        // Uncoupled: ANY 1 per endpoint pair.
+        SliceSpec {
+            group_key: GroupKey::SourceTarget,
+            per_group: Some(1),
+            max_partitions: None,
+            ordered_by_length: false,
+        },
+        // Partition-limited γST — exercises the sharp stop.
+        SliceSpec {
+            group_key: GroupKey::SourceTarget,
+            per_group: Some(2),
+            max_partitions: Some(3),
+            ordered_by_length: false,
+        },
+        // Partition-limited γS.
+        SliceSpec {
+            group_key: GroupKey::Source,
+            per_group: Some(2),
+            max_partitions: Some(2),
+            ordered_by_length: false,
+        },
+        // γ∅ global prefix.
+        SliceSpec {
+            group_key: GroupKey::Empty,
+            per_group: Some(4),
+            max_partitions: None,
+            ordered_by_length: false,
+        },
+    ];
+    for (name, graph) in test_graphs() {
+        let csr = Arc::new(CsrGraph::with_label(&graph, "Knows"));
+        for (semantics, mut cfg) in join_semantics_cases() {
+            cfg.max_paths = None; // coupled specs route bounded runs serially
+            let factory = || Pmr::from_shared_csr(csr.clone(), semantics, cfg);
+            let sources = factory().sources();
+            for spec in &specs {
+                let expected = factory().sliced(spec).unwrap();
+                for threads in [1usize, 2, 8] {
+                    let run = parallel::sliced(
+                        &factory,
+                        spec,
+                        &sources,
+                        None,
+                        &ParallelConfig {
+                            threads,
+                            batch_size: 2,
+                        },
+                        cfg.max_paths,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        run.paths.as_slice(),
+                        expected.as_slice(),
+                        "{name}: {spec:?} under {semantics:?} diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// §10 end to end: multi-threaded engine configurations dispatch sliced
+/// pipelines to the *parallel* lazy strategy (recorded in the decision log)
+/// and still produce byte-identical output — including σ-pushdown pipelines
+/// and join-chain bases.
+#[test]
+fn engine_parallel_lazy_pipelines_record_their_strategy_and_match_serial() {
+    use pathalg::algebra::ops::group_by::GroupKey;
+    use pathalg::algebra::ops::projection::{ProjectionSpec, Take};
+    use pathalg::algebra::PlanExpr;
+    use pathalg::engine::EngineEvaluator;
+
+    let scan = |label: &str| PlanExpr::edges().select(Condition::edge_label(1, label));
+    let recursion = RecursionConfig::default();
+    let plans = [
+        scan("Knows")
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
+        scan("Knows")
+            .recursive(PathSemantics::Shortest)
+            .select(Condition::first_label("Person"))
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(2))),
+        scan("Likes")
+            .join(scan("Has_creator"))
+            .recursive(PathSemantics::Simple)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
+    ];
+    for (name, graph) in test_graphs() {
+        for plan in &plans {
+            let mut serial = EngineEvaluator::new(&graph, recursion, ExecutionConfig::default());
+            let expected = serial.eval_paths(plan).unwrap();
+            assert!(serial
+                .decisions()
+                .iter()
+                .any(|d| d.chosen == "lazy-sliced-pipeline" && d.threads == 1));
+            for threads in [2usize, 8] {
+                let mut engine =
+                    EngineEvaluator::new(&graph, recursion, ExecutionConfig::with_threads(threads));
+                let out = engine.eval_paths(plan).unwrap();
+                assert_eq!(
+                    out.as_slice(),
+                    expected.as_slice(),
+                    "{name}: {plan} diverged at {threads} threads"
+                );
+                assert!(
+                    engine
+                        .decisions()
+                        .iter()
+                        .any(|d| d.chosen == "parallel-lazy-pipeline" && d.threads == threads),
+                    "{name}: {plan} at {threads} threads did not record the parallel-lazy \
+                     strategy ({:?})",
+                    engine.decisions()
+                );
+            }
+        }
+    }
+}
+
+/// §10 unbounded-Walk error parity: the parallel enumeration reports the
+/// *same error value* as the serial PMR (the batch-order merge surfaces the
+/// earliest failing source), on cyclic scans and cyclic composites alike.
+#[test]
+fn parallel_lazy_unbounded_walk_error_parity() {
+    use pathalg::pmr::parallel::{self, ParallelConfig};
+    use pathalg::pmr::Pmr;
+    use std::sync::Arc;
+
+    let cfg = RecursionConfig::unbounded();
+    let cyclic = cycle_graph(5, "Knows");
+    let f = Figure1::new();
+    let cases: Vec<(&str, &PropertyGraph, Vec<&str>)> = vec![
+        ("cycle5", &cyclic, vec!["Knows"]),
+        ("figure1", &f.graph, vec!["Likes", "Has_creator"]),
+    ];
+    for (name, graph, labels) in cases {
+        let hops: Arc<[pathalg::graph::csr::CsrGraph]> = labels
+            .iter()
+            .map(|l| CsrGraph::with_label(graph, l))
+            .collect();
+        let factory = || {
+            if hops.len() == 1 {
+                Pmr::from_shared_csr(Arc::new(hops[0].clone()), PathSemantics::Walk, cfg)
+            } else {
+                Pmr::from_shared_join(hops.clone(), PathSemantics::Walk, cfg)
+            }
+        };
+        let serial_err = factory().enumerate_all().unwrap_err();
+        let sources = factory().sources();
+        for threads in [1usize, 2, 8] {
+            let err = parallel::enumerate_all(
+                &factory,
+                &sources,
+                None,
+                &ParallelConfig {
+                    threads,
+                    batch_size: 1,
+                },
+                None,
+            )
+            .unwrap_err();
+            assert_eq!(err, serial_err, "{name} at {threads} threads");
+        }
+    }
+}
+
+/// §10 `max_paths` claim parity: shared-budget parallel drains (and
+/// uncoupled parallel sliced runs) reproduce the serial success/failure
+/// outcome and error value at every thread count.
+#[test]
+fn parallel_lazy_max_paths_claim_parity() {
+    use pathalg::algebra::ops::group_by::GroupKey;
+    use pathalg::algebra::slice::SliceSpec;
+    use pathalg::pmr::parallel::{self, ParallelConfig};
+    use pathalg::pmr::Pmr;
+    use std::sync::Arc;
+
+    let g = grid_graph(3, 3, "Knows");
+    let csr = Arc::new(CsrGraph::with_label(&g, "Knows"));
+    for limit in [5usize, 40, 100_000] {
+        let cfg = RecursionConfig {
+            max_length: Some(6),
+            max_paths: Some(limit),
+        };
+        let factory = || Pmr::from_shared_csr(csr.clone(), PathSemantics::Trail, cfg);
+        let serial = factory().enumerate_all();
+        let sources = factory().sources();
+        let spec = SliceSpec {
+            group_key: GroupKey::SourceTarget,
+            per_group: Some(1),
+            max_partitions: None,
+            ordered_by_length: false,
+        };
+        let serial_sliced = factory().sliced(&spec);
+        for threads in [1usize, 2, 8] {
+            let pc = ParallelConfig {
+                threads,
+                batch_size: 2,
+            };
+            let run = parallel::enumerate_all(&factory, &sources, None, &pc, cfg.max_paths);
+            match (&serial, run) {
+                (Ok(expected), Ok(run)) => assert_eq!(run.paths.as_slice(), expected.as_slice()),
+                (Err(expected), Err(err)) => {
+                    assert_eq!(&err, expected, "limit {limit} at {threads} threads")
+                }
+                (expected, run) => panic!(
+                    "limit {limit} at {threads} threads: outcome diverged \
+                     ({expected:?} vs {run:?})"
+                ),
+            }
+            // Uncoupled sliced runs expand every source exactly as the
+            // serial evaluation does: identical claims, identical outcome.
+            let run = parallel::sliced(&factory, &spec, &sources, None, &pc, cfg.max_paths);
+            match (&serial_sliced, run) {
+                (Ok(expected), Ok(run)) => assert_eq!(run.paths.as_slice(), expected.as_slice()),
+                (Err(expected), Err(err)) => {
+                    assert_eq!(&err, expected, "sliced limit {limit} at {threads} threads")
+                }
+                (expected, run) => panic!(
+                    "sliced limit {limit} at {threads} threads: outcome diverged \
+                     ({expected:?} vs {run:?})"
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn optimizer_never_changes_results() {
     let queries = [
