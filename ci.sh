@@ -8,7 +8,7 @@
 #   ./ci.sh --bench-json  run every bench target under PATHALG_BENCH_MAX_MS
 #                         and write the perf-trajectory artifact
 #                         (bench id → ns/iter) at the repo root; the output
-#                         file is $PATHALG_BENCH_OUT (default BENCH_PR5.json)
+#                         file is $PATHALG_BENCH_OUT (default BENCH_PR6.json)
 #   ./ci.sh --perf-diff OLD.json NEW.json [--threshold X]
 #                         compare two trajectory artifacts: per-target
 #                         geometric-mean ratios over the shared ids, the
@@ -62,11 +62,11 @@ full() {
 }
 
 # Runs every bench target with the vendored criterion's JSON-lines emitter
-# enabled, then assembles $PATHALG_BENCH_OUT (default BENCH_PR3.json): a flat
+# enabled, then assembles $PATHALG_BENCH_OUT (default BENCH_PR6.json): a flat
 # "target/bench-id" → ns/iter map. PATHALG_BENCH_MAX_MS caps the
 # per-benchmark measurement window.
 bench_json() {
-    local out="${PATHALG_BENCH_OUT:-BENCH_PR5.json}"
+    local out="${PATHALG_BENCH_OUT:-BENCH_PR6.json}"
     local jsonl="${out}.jsonl.tmp"
     rm -f "$jsonl" "$out"
 

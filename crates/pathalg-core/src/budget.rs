@@ -18,7 +18,54 @@
 //! on the schedule.
 
 use crate::error::AlgebraError;
+use crate::ops::recursive::RecursionConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-request resource quotas a serving layer imposes on top of whatever
+/// bounds a query already carries. A service admits requests from many
+/// clients against one shared graph, so it cannot trust (or require) each
+/// query to bound itself; instead it derives a quota from its own
+/// configuration and *min-combines* it with the query's
+/// [`RecursionConfig`] — the effective bound is the tighter of the two,
+/// and a quota can only ever shrink a request, never extend it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestQuota {
+    /// Cap on the number of paths one request may produce
+    /// (min-combined with [`RecursionConfig::max_paths`]).
+    pub max_paths: Option<usize>,
+    /// Cap on the path length one request may generate
+    /// (min-combined with [`RecursionConfig::max_length`]).
+    pub max_length: Option<usize>,
+}
+
+impl RequestQuota {
+    /// A quota with the given caps; `None` leaves that dimension to the
+    /// query's own bounds.
+    pub fn new(max_paths: Option<usize>, max_length: Option<usize>) -> Self {
+        Self {
+            max_paths,
+            max_length,
+        }
+    }
+
+    /// Applies the quota to a request's recursion bounds: each dimension
+    /// becomes the minimum of the query's bound and the quota's cap (a
+    /// missing bound on either side defers to the other).
+    pub fn apply(&self, base: RecursionConfig) -> RecursionConfig {
+        RecursionConfig {
+            max_length: min_opt(base.max_length, self.max_length),
+            max_paths: min_opt(base.max_paths, self.max_paths),
+        }
+    }
+}
+
+fn min_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
 
 /// An atomic path counter with an optional upper limit.
 #[derive(Debug, Default)]
@@ -152,6 +199,35 @@ impl SliceBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn request_quota_min_combines_without_extending() {
+        let base = RecursionConfig {
+            max_length: Some(8),
+            max_paths: Some(1_000),
+        };
+        // A tighter quota shrinks both dimensions.
+        let q = RequestQuota::new(Some(100), Some(4));
+        assert_eq!(
+            q.apply(base),
+            RecursionConfig {
+                max_length: Some(4),
+                max_paths: Some(100),
+            }
+        );
+        // A looser quota never extends the query's own bounds.
+        let loose = RequestQuota::new(Some(10_000), Some(64));
+        assert_eq!(loose.apply(base), base);
+        // An empty quota is the identity; a quota fills in missing bounds.
+        assert_eq!(RequestQuota::default().apply(base), base);
+        assert_eq!(
+            RequestQuota::new(Some(5), None).apply(RecursionConfig::unbounded()),
+            RecursionConfig {
+                max_length: None,
+                max_paths: Some(5),
+            }
+        );
+    }
 
     #[test]
     fn unlimited_budget_never_fails() {

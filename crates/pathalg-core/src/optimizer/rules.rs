@@ -11,8 +11,11 @@ use crate::ops::order_by::OrderKey;
 use crate::ops::projection::{ProjectionSpec, Take};
 use crate::ops::recursive::PathSemantics;
 
-/// A local plan-rewrite rule.
-pub trait RewriteRule {
+/// A local plan-rewrite rule. Rules are stateless and shared by reference
+/// from concurrent planning threads (the query service plans under a lock
+/// but hands `Optimizer` around inside `Sync` containers), hence the
+/// `Send + Sync` bound.
+pub trait RewriteRule: Send + Sync {
     /// A stable, kebab-case rule name, used in EXPLAIN traces.
     fn name(&self) -> &'static str;
     /// Attempts to rewrite the given node. Returning `None` (or an expression

@@ -312,6 +312,50 @@ pub fn estimate_phi(
     closure_estimate_from(base, base / nodes, stats.is_cyclic(), semantics, levels)
 }
 
+/// Estimates every recursive closure of a plan: walks the tree and returns
+/// one `(operator rendering, estimate)` pair per ϕ node, outermost first.
+/// This is the admission-control view of the cost model — a serving layer
+/// calls it *before* evaluation starts, so a query whose closure is
+/// predicted to blow up past the service's ceiling can be rejected with a
+/// typed error instead of aborting mid-enumeration ([`estimate_phi`] is the
+/// per-node estimator; the blow-up predicate is
+/// [`ClosureEstimate::blows_up`]).
+pub fn estimate_plan_closures(
+    plan: &PlanExpr,
+    stats: &GraphStats,
+    recursion: &pathalg_core::ops::recursive::RecursionConfig,
+) -> Vec<(String, ClosureEstimate)> {
+    let mut out = Vec::new();
+    collect_plan_closures(plan, stats, recursion, &mut out);
+    out
+}
+
+fn collect_plan_closures(
+    plan: &PlanExpr,
+    stats: &GraphStats,
+    recursion: &pathalg_core::ops::recursive::RecursionConfig,
+    out: &mut Vec<(String, ClosureEstimate)>,
+) {
+    match plan {
+        PlanExpr::Nodes | PlanExpr::Edges => {}
+        PlanExpr::Selection { input, .. }
+        | PlanExpr::GroupBy { input, .. }
+        | PlanExpr::OrderBy { input, .. }
+        | PlanExpr::Projection { input, .. } => collect_plan_closures(input, stats, recursion, out),
+        PlanExpr::Join { left, right } | PlanExpr::Union { left, right } => {
+            collect_plan_closures(left, stats, recursion, out);
+            collect_plan_closures(right, stats, recursion, out);
+        }
+        PlanExpr::Recursive { semantics, input } => {
+            out.push((
+                plan.to_string(),
+                estimate_phi(stats, *semantics, input, recursion),
+            ));
+            collect_plan_closures(input, stats, recursion, out);
+        }
+    }
+}
+
 /// With graph statistics available, a closure estimated below this many
 /// paths stays on the semi-naïve fixpoint even when the base exceeds
 /// [`ExecutionConfig::frontier_min_base`]: the whole evaluation is cheaper
@@ -956,6 +1000,29 @@ mod tests {
         )
         .unwrap();
         assert_eq!(mode, LazyMode::Parallel);
+    }
+
+    #[test]
+    fn plan_closure_walk_finds_every_phi_node() {
+        use pathalg_graph::generator::structured::complete_graph;
+        let s = GraphStats::compute(&complete_graph(6, "Knows"));
+        let recursion = RecursionConfig::default();
+        // No ϕ node: nothing to estimate.
+        assert!(estimate_plan_closures(&knows_scan(), &s, &recursion).is_empty());
+        // A sliced pipeline over a blow-up closure: one estimate, exploding.
+        let pipeline = knows_scan()
+            .recursive(PathSemantics::Trail)
+            .group_by(GroupKey::SourceTarget)
+            .project(ProjectionSpec::all());
+        let ests = estimate_plan_closures(&pipeline, &s, &recursion);
+        assert_eq!(ests.len(), 1);
+        assert!(ests[0].0.starts_with("ϕ"));
+        assert!(ests[0].1.blows_up());
+        // A union of two closures reports both.
+        let two = knows_scan()
+            .recursive(PathSemantics::Trail)
+            .union(knows_scan().recursive(PathSemantics::Acyclic));
+        assert_eq!(estimate_plan_closures(&two, &s, &recursion).len(), 2);
     }
 
     #[test]

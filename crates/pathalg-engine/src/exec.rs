@@ -58,7 +58,7 @@ use crate::physical::{phi_bfs_shortest, phi_seminaive};
 /// sliced pipeline was dispatched to, and the closure estimate (when graph
 /// statistics were available) that justified it. Surfaced by
 /// `QueryResult::explain` and the `repro joins` decision table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StrategyDecision {
     /// Display form of the operator the decision applies to.
     pub operator: String,

@@ -37,9 +37,11 @@
 pub mod ast;
 pub mod error;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 pub mod plan_gen;
 
 pub use ast::PathQuery;
 pub use error::ParseError;
+pub use normalize::{normalize_plan, plan_cache_key, PlanKey};
 pub use parser::parse_query;

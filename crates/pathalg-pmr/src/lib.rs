@@ -388,12 +388,19 @@ impl<'g> Pmr<'g> {
     ///   contribute to (computed by a node-level reachability BFS for the
     ///   CSR form) holds its `per_group` quota, and
     /// * once the partition limit is reached, sources that can only open new
-    ///   partitions are never expanded at all.
+    ///   partitions are never expanded at all — and a source caught
+    ///   mid-expansion by the closing limit switches to per-partition
+    ///   accounting (only its already-opened groups must fill, matching the
+    ///   §10 parallel batch worker's sharp stop).
     pub fn sliced(&mut self, spec: &SliceSpec) -> Result<PathSet, AlgebraError> {
         let mut collector = SliceCollector::new(spec);
         let source_partitioned = spec.group_key.partitions_by_source();
         let mut cur_source: Option<NodeId> = None;
         let mut requirements: Vec<PartitionKey> = Vec::new();
+        // Partitions the current source has opened — the only ones that must
+        // fill before the sharp (partition-limit-closed) stop may skip the
+        // source.
+        let mut src_keys: Vec<PartitionKey> = Vec::new();
 
         while let Some(emit) = self.next_emit()? {
             if cur_source != Some(emit.source) {
@@ -405,6 +412,7 @@ impl<'g> Pmr<'g> {
                     break;
                 }
                 requirements = self.requirements_for(emit.source, spec);
+                src_keys.clear();
             }
             let key: PartitionKey = (
                 spec.group_key.partitions_by_source().then_some(emit.source),
@@ -412,7 +420,12 @@ impl<'g> Pmr<'g> {
             );
             if collector.would_keep(&key) {
                 let path = self.realize(&emit);
-                if collector.offer(path) == SliceState::Complete {
+                let partitions_before = collector.partition_count();
+                let state = collector.offer(path);
+                if collector.partition_count() > partitions_before {
+                    src_keys.push(key);
+                }
+                if state == SliceState::Complete {
                     break;
                 }
             }
@@ -420,8 +433,17 @@ impl<'g> Pmr<'g> {
                 let source_done = match spec.group_key {
                     GroupKey::Source => collector.group_is_full(&(Some(emit.source), None)),
                     GroupKey::SourceTarget => {
-                        !requirements.is_empty()
-                            && requirements.iter().all(|k| collector.group_is_full(k))
+                        if !collector.accepts_new_partition() {
+                            // Per-partition accounting (mirroring the §10
+                            // parallel batch worker): the partition limit is
+                            // closed, so no further group of this source can
+                            // be admitted — only the already-opened ones need
+                            // to fill, not every reachable one.
+                            src_keys.iter().all(|k| collector.group_is_full(k))
+                        } else {
+                            !requirements.is_empty()
+                                && requirements.iter().all(|k| collector.group_is_full(k))
+                        }
                     }
                     _ => false,
                 };

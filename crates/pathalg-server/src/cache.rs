@@ -1,0 +1,189 @@
+//! The bounded plan cache: planning work done once per (plan, stats epoch).
+//!
+//! A cache entry holds everything the planning phase produces — the optimized
+//! plan, the rewrite trace, cost estimates, and the closure estimates the
+//! admission gate checks — so a warm request goes straight from cache lookup
+//! to execution. The key is the *normalised* plan fingerprint
+//! ([`pathalg_parser::normalize::plan_cache_key`]) paired with the service's
+//! stats epoch: bumping the epoch (graph changed, statistics recomputed)
+//! makes every cached decision unreachable, and
+//! [`PlanCache::retain_epoch`] drops the stale entries eagerly.
+//!
+//! Eviction is least-recently-used over a monotonic touch tick. The scan to
+//! find the LRU victim is `O(capacity)`, which is deliberate: service plan
+//! caches are small (hundreds of entries), and the simplicity keeps the
+//! whole cache a plain `Mutex`-guarded map with no unsafe, no intrusive
+//! lists, and no dependency.
+
+use pathalg_core::expr::PlanExpr;
+use pathalg_core::optimizer::RewriteEvent;
+use pathalg_engine::cost::{ClosureEstimate, CostEstimate};
+use pathalg_engine::exec::StrategyDecision;
+use pathalg_parser::normalize::PlanKey;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, OnceLock};
+
+/// Everything planning produced for one (normalised plan, epoch): the unit
+/// the plan cache stores and the execution phase consumes.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The optimized plan that executions of this entry run.
+    pub plan: PlanExpr,
+    /// The optimizer rewrites that fired.
+    pub rewrites: Vec<RewriteEvent>,
+    /// Cost estimate of the plan as submitted.
+    pub cost_before: CostEstimate,
+    /// Cost estimate of the optimized plan.
+    pub cost_after: CostEstimate,
+    /// Closure estimates of every recursive operator, outermost first — the
+    /// admission gate's evidence
+    /// ([`pathalg_engine::cost::estimate_plan_closures`]).
+    pub closures: Vec<(String, ClosureEstimate)>,
+    /// The strategy decisions recorded by the first execution of this entry
+    /// — set once, then shared by every later hit (repeat queries skip
+    /// parse/plan/cost *and* can report their strategy without re-deriving
+    /// it).
+    pub decisions: OnceLock<Vec<StrategyDecision>>,
+}
+
+/// The plan cache's key: normalised-plan fingerprint × stats epoch.
+pub type CacheKey = (PlanKey, u64);
+
+/// A minimal bounded LRU map. Used for the plan cache and, separately, for
+/// the query-text alias cache (text → checked plan + key) that lets repeat
+/// identical request strings skip the parser too.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks up and touches an entry.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, used)| {
+            *used = tick;
+            v.clone()
+        })
+    }
+
+    /// Inserts an entry, evicting the least recently used one at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Keeps only entries the predicate accepts.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        self.map.retain(|k, _| keep(k));
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The service's plan cache: a bounded LRU from [`CacheKey`] to shared
+/// planning results.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: Lru<CacheKey, Arc<CachedPlan>>,
+}
+
+impl PlanCache {
+    /// An empty cache bounded to `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Lru::new(capacity),
+        }
+    }
+
+    /// Looks up and touches the entry of `key`.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
+        self.entries.get(key)
+    }
+
+    /// Inserts a freshly planned entry.
+    pub fn insert(&mut self, key: CacheKey, plan: Arc<CachedPlan>) {
+        self.entries.insert(key, plan);
+    }
+
+    /// Drops every entry whose epoch is not `epoch` — called on epoch bumps
+    /// so stale strategy decisions can never be served again.
+    pub fn retain_epoch(&mut self, epoch: u64) {
+        self.entries.retain(|(_, e)| *e == epoch);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(10)); // touch 1 → 2 is now LRU
+        lru.insert(3, 30);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&2), None, "the LRU entry was evicted");
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        // Re-inserting an existing key is an update, not an eviction.
+        lru.insert(3, 31);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&3), Some(31));
+    }
+
+    #[test]
+    fn retain_drops_rejected_keys() {
+        let mut lru: Lru<u32, u32> = Lru::new(8);
+        for k in 0..6 {
+            lru.insert(k, k);
+        }
+        lru.retain(|k| k % 2 == 0);
+        assert_eq!(lru.len(), 3);
+        assert!(lru.get(&1).is_none());
+        assert!(lru.get(&2).is_some());
+    }
+}

@@ -1,0 +1,97 @@
+//! Typed errors of the query service.
+//!
+//! Every variant is `Clone` on purpose: the in-flight deduplication wait-map
+//! fans one execution's outcome out to all coalesced waiters, so errors —
+//! like results — must be shareable values, not one-shot objects.
+
+use pathalg_core::error::AlgebraError;
+use pathalg_engine::cost::ClosureEstimate;
+use std::fmt;
+
+/// A request rejected *at admission*, before any enumeration started.
+///
+/// This is the §9 cost model acting as a gatekeeper: the closure estimator
+/// runs over the optimized plan when it enters the plan cache, and a
+/// predicted blow-up over the service's ceiling is refused with the estimate
+/// that condemned it — the up-front rejection that "Complexity of Evaluating
+/// GQL Queries" motivates, instead of a mid-flight abort after the budget
+/// burns down.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionError {
+    /// The closure estimator predicts a super-linear blow-up past the
+    /// configured ceiling for one of the plan's recursive operators.
+    PredictedBlowup {
+        /// Display form of the ϕ node whose closure blows up.
+        operator: String,
+        /// The estimate that condemned it ([`ClosureEstimate::blows_up`]
+        /// held and `paths` exceeded the ceiling).
+        estimate: ClosureEstimate,
+        /// The service's admission ceiling
+        /// ([`crate::service::ServiceConfig::admission_ceiling`]).
+        ceiling: f64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::PredictedBlowup {
+                operator,
+                estimate,
+                ceiling,
+            } => write!(
+                f,
+                "admission rejected: {operator} predicts {estimate} over ceiling {ceiling:.0}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Everything a [`crate::service::QueryService::submit`] call can fail with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The query text did not parse.
+    Parse(String),
+    /// The request was refused before evaluation started.
+    Admission(AdmissionError),
+    /// The evaluation itself failed (type error, exhausted budget, …).
+    Evaluation(AlgebraError),
+}
+
+impl ServiceError {
+    /// Short machine-readable error class, used by the wire protocol's
+    /// `ERR <kind>: <message>` line.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Parse(_) => "parse",
+            ServiceError::Admission(_) => "admission",
+            ServiceError::Evaluation(_) => "evaluation",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ServiceError::Admission(e) => write!(f, "{e}"),
+            ServiceError::Evaluation(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<AdmissionError> for ServiceError {
+    fn from(e: AdmissionError) -> Self {
+        ServiceError::Admission(e)
+    }
+}
+
+impl From<AlgebraError> for ServiceError {
+    fn from(e: AlgebraError) -> Self {
+        ServiceError::Evaluation(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! # pathalg-server — a long-lived query service over the path algebra
+//!
+//! Every other crate in this workspace is a library a caller drives one
+//! query at a time: each run re-parses, re-plans, and re-derives strategy
+//! decisions. This crate is the serving layer that makes the paper's algebra
+//! answer *concurrent* traffic against one shared graph (DESIGN.md §11):
+//!
+//! * **Shared snapshots** — the service owns an `Arc`-shared
+//!   [`PropertyGraph`](pathalg_graph::graph::PropertyGraph) and a
+//!   [`GraphStats`](pathalg_graph::stats::GraphStats) snapshot tagged with an
+//!   *epoch*; requests plan against the snapshot they admitted under, and an
+//!   epoch bump atomically swaps statistics and purges stale cached plans.
+//! * **Plan cache** — a bounded LRU keyed by (normalised plan fingerprint,
+//!   epoch) stores the optimized plan, cost estimates, closure estimates and
+//!   the recorded strategy decisions, so repeat queries skip
+//!   parse/plan/cost entirely ([`cache`]).
+//! * **In-flight deduplication** — a wait-map coalesces concurrent identical
+//!   queries: one leader evaluates, all waiters share the `Arc`-ed outcome
+//!   ([`service`]).
+//! * **Admission control** — per-request quotas tighten the recursion
+//!   bounds, and the §9 closure estimator rejects predicted blow-ups with a
+//!   typed [`AdmissionError`] before any enumeration starts ([`error`]).
+//! * **Wire protocol** — a line-oriented text protocol over a unix socket,
+//!   one thread per connection ([`protocol`]); `repro serve` wires it to a
+//!   CLI.
+//!
+//! ```
+//! use pathalg_server::{QueryService, CacheStatus};
+//! use pathalg_graph::fixtures::figure1::figure1_graph;
+//! use std::sync::Arc;
+//!
+//! let service = QueryService::with_defaults(Arc::new(figure1_graph()));
+//! let cold = service.submit("MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)").unwrap();
+//! let warm = service.submit("MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)").unwrap();
+//! assert_eq!(cold.cache, CacheStatus::Miss);
+//! assert_eq!(warm.cache, CacheStatus::Hit);
+//! assert_eq!(cold.outcome.canonical_lines(), warm.outcome.canonical_lines());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod service;
+
+pub use cache::CachedPlan;
+pub use error::{AdmissionError, ServiceError};
+pub use metrics::Metrics;
+pub use protocol::{handle_line, serve, Client, ServerHandle};
+pub use service::{
+    CacheStatus, DedupRole, QueryOutcome, QueryResponse, QueryService, ServiceConfig,
+};

@@ -1,0 +1,97 @@
+//! Service counters: cheap, always-on, and the observability the concurrency
+//! tests assert against (e.g. "a deduplicated 8-way herd ran exactly one
+//! evaluation" is `executions() == 1`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of one [`crate::service::QueryService`].
+///
+/// All counters use relaxed atomics — they are tallies, not synchronisation.
+/// The one ordering guarantee the tests rely on is causal: a counter is
+/// incremented *before* the action it counts (e.g. `dedup_hits` before a
+/// waiter blocks, `executions` before the leader evaluates), so an observer
+/// that sees the action's effect also sees the count.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    served: AtomicU64,
+    executions: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    dedup_hits: AtomicU64,
+    admission_rejected: AtomicU64,
+}
+
+impl Metrics {
+    /// Requests answered successfully (leaders and waiters alike).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations actually started — the number a deduplicated herd keeps
+    /// at one.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// Plan-cache hits (parse/plan/cost skipped).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Plan-cache misses (full planning ran).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Requests that joined an in-flight identical query instead of
+    /// executing.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused at admission (never started enumerating).
+    pub fn admission_rejected(&self) -> u64 {
+        self.admission_rejected.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn inc_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_executions(&self) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_cache_hits(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_cache_misses(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_dedup_hits(&self) {
+        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_admission_rejected(&self) {
+        self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "served={} executions={} cache_hits={} cache_misses={} dedup_hits={} \
+             admission_rejected={}",
+            self.served(),
+            self.executions(),
+            self.cache_hits(),
+            self.cache_misses(),
+            self.dedup_hits(),
+            self.admission_rejected()
+        )
+    }
+}

@@ -1,0 +1,303 @@
+//! The line-oriented text protocol and the unix-socket server.
+//!
+//! One request and one response per line group; every payload is a single
+//! line of UTF-8, so the protocol needs no framing beyond `\n`:
+//!
+//! | request            | response                                                        |
+//! |--------------------|-----------------------------------------------------------------|
+//! | `QUERY <gql>`      | `OK <n> cache=<hit\|miss> dedup=<leader\|waiter> epoch=<e>` then `PATH <ids>` × n, then `END` — or `ERR <kind>: <message>` |
+//! | `STATS`            | `STATS <counters>` ([`crate::Metrics`] display form)            |
+//! | `EPOCH`            | `EPOCH <n>`                                                     |
+//! | `BUMP`             | `EPOCH <n>` (after recomputing stats and purging stale plans)   |
+//! | `PING`             | `PONG`                                                          |
+//! | `QUIT`             | connection closed                                               |
+//!
+//! The server ([`serve`]) runs one OS thread per connection: connections are
+//! long-lived and few (this is an experiment harness, not a C10K server),
+//! and a blocked connection thread costs nothing while the engine threads do
+//! the real work. [`Client`] is the matching blocking client used by the
+//! `repro serve` demo, the benches, and the tests.
+
+use crate::service::QueryService;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Handles one protocol line. Returns `None` for `QUIT` (close the
+/// connection), otherwise the response lines. Exposed so tests can drive
+/// the protocol without a socket.
+pub fn handle_line(service: &QueryService, line: &str) -> Option<Vec<String>> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (command, rest) = match line.split_once(' ') {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match command {
+        "" => Some(Vec::new()),
+        "PING" => Some(vec!["PONG".to_string()]),
+        "EPOCH" => Some(vec![format!("EPOCH {}", service.epoch())]),
+        "BUMP" => Some(vec![format!("EPOCH {}", service.bump_epoch())]),
+        "STATS" => Some(vec![format!("STATS {}", service.metrics())]),
+        "QUIT" => None,
+        "QUERY" if !rest.is_empty() => Some(match service.submit(rest) {
+            Ok(response) => {
+                let mut out = Vec::with_capacity(response.outcome.paths.len() + 2);
+                out.push(format!(
+                    "OK {} cache={} dedup={} epoch={}",
+                    response.outcome.paths.len(),
+                    match response.cache {
+                        crate::service::CacheStatus::Hit => "hit",
+                        crate::service::CacheStatus::Miss => "miss",
+                    },
+                    match response.dedup {
+                        crate::service::DedupRole::Leader => "leader",
+                        crate::service::DedupRole::Waiter => "waiter",
+                    },
+                    response.epoch
+                ));
+                for path in response.outcome.canonical_lines() {
+                    out.push(format!("PATH {path}"));
+                }
+                out.push("END".to_string());
+                out
+            }
+            Err(e) => vec![format!(
+                "ERR {}: {}",
+                e.kind(),
+                e.to_string().replace('\n', " ")
+            )],
+        }),
+        "QUERY" => Some(vec!["ERR protocol: QUERY needs a query text".to_string()]),
+        other => Some(vec![format!("ERR protocol: unknown command {other}")]),
+    }
+}
+
+/// A handle on a running server: shuts it down and cleans up the socket on
+/// [`ServerHandle::shutdown`] (or on drop, best-effort).
+pub struct ServerHandle {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The socket path the server is listening on.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops accepting, joins the accept loop and every connection thread
+    /// whose client has disconnected, and removes the socket file.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Binds `socket_path` and serves `service` until the handle is shut down,
+/// one thread per connection. An existing socket file at the path is
+/// replaced (stale sockets of crashed runs would otherwise block rebinding).
+pub fn serve(
+    service: Arc<QueryService>,
+    socket_path: impl Into<PathBuf>,
+) -> io::Result<ServerHandle> {
+    let path: PathBuf = socket_path.into();
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = service.clone();
+                connections
+                    .lock()
+                    .unwrap()
+                    .push(std::thread::spawn(move || {
+                        let _ = handle_connection(&service, stream);
+                    }));
+            }
+            for connection in connections.into_inner().unwrap() {
+                let _ = connection.join();
+            }
+        })
+    };
+    Ok(ServerHandle {
+        path,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn handle_connection(service: &QueryService, stream: UnixStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        match handle_line(service, &line) {
+            Some(response) => {
+                for out in response {
+                    writer.write_all(out.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                }
+                writer.flush()?;
+            }
+            None => break,
+        }
+    }
+    Ok(())
+}
+
+/// A blocking protocol client.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl Client {
+    /// Connects to a server socket.
+    pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(socket_path)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads the full response: multi-line for
+    /// `OK … / PATH … / END` query responses, a single line for everything
+    /// else.
+    pub fn request(&mut self, line: &str) -> io::Result<Vec<String>> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let first = self.read_line()?;
+        let mut out = vec![first];
+        if out[0].starts_with("OK ") {
+            loop {
+                let line = self.read_line()?;
+                let done = line == "END";
+                out.push(line);
+                if done {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sends `QUERY <text>` and returns the `PATH` payload lines, or the
+    /// error line as `Err`.
+    pub fn query(&mut self, text: &str) -> io::Result<Result<Vec<String>, String>> {
+        let response = self.request(&format!("QUERY {text}"))?;
+        if response[0].starts_with("OK ") {
+            Ok(Ok(response[1..response.len() - 1]
+                .iter()
+                .map(|l| l.trim_start_matches("PATH ").to_string())
+                .collect()))
+        } else {
+            Ok(Err(response[0].clone()))
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with(['\n', '\r']) {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalg_graph::fixtures::figure1::figure1_graph;
+
+    fn service() -> Arc<QueryService> {
+        Arc::new(QueryService::with_defaults(Arc::new(figure1_graph())))
+    }
+
+    #[test]
+    fn handle_line_covers_the_whole_command_table() {
+        let svc = service();
+        assert_eq!(handle_line(&svc, "PING"), Some(vec!["PONG".into()]));
+        assert_eq!(handle_line(&svc, "EPOCH"), Some(vec!["EPOCH 0".into()]));
+        assert_eq!(handle_line(&svc, "BUMP"), Some(vec!["EPOCH 1".into()]));
+        assert!(handle_line(&svc, "STATS").unwrap()[0].starts_with("STATS served="));
+        assert_eq!(handle_line(&svc, "QUIT"), None);
+        assert_eq!(handle_line(&svc, ""), Some(Vec::new()));
+        assert!(handle_line(&svc, "NONSENSE").unwrap()[0].starts_with("ERR protocol"));
+        assert!(handle_line(&svc, "QUERY").unwrap()[0].starts_with("ERR protocol"));
+        let response = handle_line(
+            &svc,
+            "QUERY MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)",
+        )
+        .unwrap();
+        assert!(response[0].starts_with("OK "));
+        assert!(response[0].contains("cache=miss"));
+        assert!(response[0].contains("dedup=leader"));
+        assert_eq!(response.last().unwrap(), "END");
+        assert!(response[1..response.len() - 1]
+            .iter()
+            .all(|l| l.starts_with("PATH ")));
+        let bad = handle_line(&svc, "QUERY THIS IS NOT GQL").unwrap();
+        assert!(bad[0].starts_with("ERR parse:"));
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let svc = service();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pathalg-test-{}.sock", std::process::id()));
+        let handle = serve(svc, path.clone()).unwrap();
+        let mut client = Client::connect(&path).unwrap();
+        assert_eq!(client.request("PING").unwrap(), vec!["PONG".to_string()]);
+        let paths = client
+            .query("MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)")
+            .unwrap()
+            .unwrap();
+        assert!(!paths.is_empty());
+        // Second run on a second connection: the plan cache is shared.
+        let mut second = Client::connect(&path).unwrap();
+        let response = second
+            .request("QUERY MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)")
+            .unwrap();
+        assert!(response[0].contains("cache=hit"));
+        drop(client);
+        drop(second);
+        handle.shutdown();
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+}

@@ -1,0 +1,588 @@
+//! The long-lived [`QueryService`]: shared snapshots, a plan cache, request
+//! coalescing, and admission control in front of the engine.
+//!
+//! One service instance owns an `Arc`-shared [`PropertyGraph`] plus a
+//! [`GraphStats`] snapshot tagged with an **epoch**. A request flows through
+//! four stages, each skippable when earlier work already covers it:
+//!
+//! 1. **Parse** — a bounded text-alias cache maps repeat request strings
+//!    straight to their checked plan and cache key.
+//! 2. **Plan** — the plan cache ([`crate::cache::PlanCache`]), keyed by
+//!    (normalised plan, epoch), holds the optimized plan, cost estimates and
+//!    closure estimates; a hit skips the optimizer and the cost model.
+//! 3. **Admit** — per-request quotas ([`RequestQuota`]) tighten the
+//!    recursion bounds, and the closure estimates gate predicted blow-ups
+//!    behind a typed [`AdmissionError`] *before* any enumeration starts.
+//! 4. **Execute** — an in-flight wait-map coalesces concurrent identical
+//!    requests: the first submitter (the *leader*) evaluates, every later
+//!    one (a *waiter*) blocks on the flight's condvar and receives the same
+//!    `Arc`-shared outcome. N identical concurrent queries cost one
+//!    evaluation.
+//!
+//! Epoch bumps ([`QueryService::bump_epoch`]) recompute statistics and purge
+//! every cached plan of older epochs, so a strategy decision can never
+//! outlive the statistics that justified it.
+
+use crate::cache::{CacheKey, CachedPlan, Lru, PlanCache};
+use crate::error::{AdmissionError, ServiceError};
+use crate::metrics::Metrics;
+use pathalg_core::budget::RequestQuota;
+use pathalg_core::expr::PlanExpr;
+use pathalg_core::ops::recursive::RecursionConfig;
+use pathalg_core::optimizer::Optimizer;
+use pathalg_core::pathset::PathSet;
+use pathalg_engine::cost::{estimate, estimate_plan_closures};
+use pathalg_engine::exec::{EngineEvaluator, ExecutionConfig, StrategyDecision};
+use pathalg_graph::graph::PropertyGraph;
+use pathalg_graph::stats::GraphStats;
+use pathalg_parser::normalize::{plan_cache_key, PlanKey};
+use pathalg_parser::parse_query;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// Per-request path quota granted for each worker thread of the execution
+/// configuration — the derivation of the default [`RequestQuota`] from
+/// [`ExecutionConfig`] (more workers, more budget; one knob scales both).
+pub const DEFAULT_QUOTA_PATHS_PER_THREAD: usize = 250_000;
+
+/// Default ceiling on the estimated closure cardinality of an admitted
+/// request (paths). Only predicted *blow-ups* (cyclic, super-unit expansion)
+/// are compared against it; saturating closures pass regardless.
+pub const DEFAULT_ADMISSION_CEILING: f64 = 5_000_000.0;
+
+/// Default bound on the number of cached plans.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Configuration of a [`QueryService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Parallel-execution knobs handed to the engine per request.
+    pub execution: ExecutionConfig,
+    /// Base recursion bounds of every request (before the quota applies).
+    pub recursion: RecursionConfig,
+    /// Per-request quota min-combined into the recursion bounds
+    /// ([`RequestQuota::apply`]).
+    pub quota: RequestQuota,
+    /// Reject predicted blow-ups whose estimated closure exceeds this many
+    /// paths; `None` disables estimate-based rejection.
+    pub admission_ceiling: Option<f64>,
+    /// Bound on the plan cache (entries).
+    pub plan_cache_capacity: usize,
+    /// Whether to run the logical optimizer when planning.
+    pub optimize: bool,
+}
+
+impl ServiceConfig {
+    /// A configuration for the given execution knobs, with the per-request
+    /// quota derived from them: [`DEFAULT_QUOTA_PATHS_PER_THREAD`] paths per
+    /// worker thread, default admission ceiling and cache bound.
+    pub fn with_execution(execution: ExecutionConfig) -> Self {
+        let quota = RequestQuota::new(
+            Some(DEFAULT_QUOTA_PATHS_PER_THREAD * execution.threads.max(1)),
+            None,
+        );
+        Self {
+            execution,
+            recursion: RecursionConfig::default(),
+            quota,
+            admission_ceiling: Some(DEFAULT_ADMISSION_CEILING),
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            optimize: true,
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::with_execution(ExecutionConfig::default())
+    }
+}
+
+/// Whether a request's planning work came from the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Planning was skipped: the (normalised plan, epoch) entry existed.
+    Hit,
+    /// Full parse→optimize→cost planning ran and populated the cache.
+    Miss,
+}
+
+/// A request's role in the in-flight deduplication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DedupRole {
+    /// This request ran the evaluation.
+    Leader,
+    /// This request joined an identical in-flight evaluation and received
+    /// the shared outcome.
+    Waiter,
+}
+
+/// The shared outcome of one evaluation — what the wait-map fans out.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The result paths, in the engine's canonical order.
+    pub paths: PathSet,
+    /// The strategy decisions the evaluator recorded.
+    pub decisions: Vec<StrategyDecision>,
+}
+
+impl QueryOutcome {
+    /// The canonical byte-comparable rendering of the result: one
+    /// `display_ids` line per path, in result order. Two responses are "the
+    /// same answer" exactly when these line vectors are equal.
+    pub fn canonical_lines(&self) -> Vec<String> {
+        self.paths
+            .as_slice()
+            .iter()
+            .map(|p| p.display_ids())
+            .collect()
+    }
+}
+
+/// One answered request: the shared outcome plus this request's view of how
+/// it was produced.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The (possibly shared) evaluation outcome.
+    pub outcome: Arc<QueryOutcome>,
+    /// Whether planning came from the cache.
+    pub cache: CacheStatus,
+    /// Whether this request evaluated or coalesced.
+    pub dedup: DedupRole,
+    /// The stats epoch the request ran under.
+    pub epoch: u64,
+}
+
+/// One in-flight evaluation: a slot the leader publishes into and a condvar
+/// the waiters block on. Results and errors are both `Clone`, so one
+/// outcome serves every coalesced request.
+#[derive(Default)]
+struct Flight {
+    slot: Mutex<Option<Result<Arc<QueryOutcome>, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Result<Arc<QueryOutcome>, ServiceError> {
+        let mut slot = self.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.ready.wait(slot).unwrap();
+        }
+        slot.as_ref().unwrap().clone()
+    }
+
+    fn publish(&self, outcome: Result<Arc<QueryOutcome>, ServiceError>) {
+        *self.slot.lock().unwrap() = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// The statistics snapshot requests plan against: recomputed and re-tagged
+/// by every epoch bump.
+struct StatsSnapshot {
+    stats: Arc<GraphStats>,
+    epoch: u64,
+}
+
+/// A deterministic test fence: called by the leader after it has claimed an
+/// execution (the `executions` counter is already incremented) and before
+/// the evaluation starts. Concurrency tests use it to hold the leader until
+/// the herd has provably coalesced behind it.
+pub type PreExecuteHook = Box<dyn Fn(&Metrics) + Send + Sync>;
+
+/// A long-lived query service over one shared graph. See the module docs
+/// for the request pipeline; `QueryService` is `Send + Sync` and designed to
+/// be shared behind an `Arc` by any number of threads.
+pub struct QueryService {
+    graph: Arc<PropertyGraph>,
+    config: ServiceConfig,
+    optimizer: Optimizer,
+    snapshot: RwLock<StatsSnapshot>,
+    cache: Mutex<PlanCache>,
+    text_cache: Mutex<Lru<String, (PlanExpr, PlanKey)>>,
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    metrics: Metrics,
+    pre_execute: RwLock<Option<PreExecuteHook>>,
+}
+
+impl QueryService {
+    /// Creates a service over `graph`, computing the initial statistics
+    /// snapshot (epoch 0).
+    pub fn new(graph: Arc<PropertyGraph>, config: ServiceConfig) -> Self {
+        let stats = Arc::new(GraphStats::compute(&graph));
+        Self {
+            graph,
+            config,
+            optimizer: Optimizer::new(),
+            snapshot: RwLock::new(StatsSnapshot { stats, epoch: 0 }),
+            cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+            text_cache: Mutex::new(Lru::new(config.plan_cache_capacity)),
+            flights: Mutex::new(HashMap::new()),
+            metrics: Metrics::default(),
+            pre_execute: RwLock::new(None),
+        }
+    }
+
+    /// A service with the default configuration.
+    pub fn with_defaults(graph: Arc<PropertyGraph>) -> Self {
+        Self::new(graph, ServiceConfig::default())
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<PropertyGraph> {
+        &self.graph
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The current stats epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.read().unwrap().epoch
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// The effective recursion bounds of every request: the configured base
+    /// bounds tightened by the per-request quota.
+    pub fn effective_recursion(&self) -> RecursionConfig {
+        self.config.quota.apply(self.config.recursion)
+    }
+
+    /// Installs the deterministic test fence (see [`PreExecuteHook`]).
+    pub fn set_pre_execute_hook(&self, hook: PreExecuteHook) {
+        *self.pre_execute.write().unwrap() = Some(hook);
+    }
+
+    /// Removes the test fence.
+    pub fn clear_pre_execute_hook(&self) {
+        *self.pre_execute.write().unwrap() = None;
+    }
+
+    /// Recomputes the statistics snapshot, advances the epoch, and purges
+    /// every cached plan of older epochs. Returns the new epoch. Requests
+    /// admitted before the bump finish against the snapshot they started
+    /// with (it is `Arc`-shared); requests after the bump re-plan.
+    pub fn bump_epoch(&self) -> u64 {
+        let stats = Arc::new(GraphStats::compute(&self.graph));
+        let mut snapshot = self.snapshot.write().unwrap();
+        snapshot.epoch += 1;
+        snapshot.stats = stats;
+        let epoch = snapshot.epoch;
+        // Purge while still holding the snapshot write lock, so no
+        // concurrent request can re-populate the cache under an old epoch.
+        self.cache.lock().unwrap().retain_epoch(epoch);
+        epoch
+    }
+
+    /// Submits one query: parse (or alias-cache) → plan (or plan-cache) →
+    /// admit → execute (or coalesce). See the module docs.
+    pub fn submit(&self, text: &str) -> Result<QueryResponse, ServiceError> {
+        let (plan, key) = self.plan_of(text)?;
+        self.submit_keyed(&plan, key)
+    }
+
+    /// [`QueryService::submit`] for a hand-built (already checked) plan: the
+    /// parse stage is skipped, everything else is identical.
+    pub fn submit_plan(&self, plan: &PlanExpr) -> Result<QueryResponse, ServiceError> {
+        let key = plan_cache_key(plan, &self.effective_recursion());
+        self.submit_keyed(plan, key)
+    }
+
+    fn submit_keyed(&self, plan: &PlanExpr, key: PlanKey) -> Result<QueryResponse, ServiceError> {
+        let recursion = self.effective_recursion();
+        let (stats, epoch) = {
+            let snapshot = self.snapshot.read().unwrap();
+            (snapshot.stats.clone(), snapshot.epoch)
+        };
+        let cache_key: CacheKey = (key, epoch);
+        let (cached, cache_status) = self.planned(plan, &cache_key, &stats, &recursion);
+        self.admit(&cached)?;
+
+        // Join or open the flight for this (plan, epoch).
+        let (flight, role) = {
+            let mut flights = self.flights.lock().unwrap();
+            match flights.get(&cache_key) {
+                Some(flight) => (flight.clone(), DedupRole::Waiter),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    flights.insert(cache_key.clone(), flight.clone());
+                    (flight, DedupRole::Leader)
+                }
+            }
+        };
+        let outcome = match role {
+            DedupRole::Waiter => {
+                self.metrics.inc_dedup_hits();
+                flight.wait()
+            }
+            DedupRole::Leader => {
+                self.metrics.inc_executions();
+                if let Some(hook) = self.pre_execute.read().unwrap().as_ref() {
+                    hook(&self.metrics);
+                }
+                let outcome = self.execute(&cached, &stats, recursion);
+                // Unregister before publishing: a request arriving after the
+                // publish must start a fresh flight, not join a finished one.
+                self.flights.lock().unwrap().remove(&cache_key);
+                flight.publish(outcome.clone());
+                outcome
+            }
+        }?;
+        self.metrics.inc_served();
+        Ok(QueryResponse {
+            outcome,
+            cache: cache_status,
+            dedup: role,
+            epoch,
+        })
+    }
+
+    /// Runs the parse, plan and admission stages — populating both caches —
+    /// without executing: the service's EXPLAIN-style entry point. Returns
+    /// the (possibly cached) planning artefacts and whether they came from
+    /// the cache. The `scaling_service` bench uses this to time planning in
+    /// isolation from evaluation.
+    pub fn prepare(&self, text: &str) -> Result<(Arc<CachedPlan>, CacheStatus), ServiceError> {
+        let (plan, key) = self.plan_of(text)?;
+        let recursion = self.effective_recursion();
+        let (stats, epoch) = {
+            let snapshot = self.snapshot.read().unwrap();
+            (snapshot.stats.clone(), snapshot.epoch)
+        };
+        let cache_key: CacheKey = (key, epoch);
+        let (cached, status) = self.planned(&plan, &cache_key, &stats, &recursion);
+        self.admit(&cached)?;
+        Ok((cached, status))
+    }
+
+    /// Parse stage with the text-alias cache: repeat request strings skip
+    /// the parser, the type check, and the key computation.
+    fn plan_of(&self, text: &str) -> Result<(PlanExpr, PlanKey), ServiceError> {
+        if let Some(hit) = self.text_cache.lock().unwrap().get(&text.to_string()) {
+            return Ok(hit);
+        }
+        let query = parse_query(text).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        let plan = query.to_checked_plan().map_err(ServiceError::Evaluation)?;
+        let key = plan_cache_key(&plan, &self.effective_recursion());
+        self.text_cache
+            .lock()
+            .unwrap()
+            .insert(text.to_string(), (plan.clone(), key.clone()));
+        Ok((plan, key))
+    }
+
+    /// Plan stage: cache lookup, or full optimize + cost + closure
+    /// estimation. Two racing misses both plan and the later insert wins —
+    /// harmless, the entries are identical.
+    fn planned(
+        &self,
+        plan: &PlanExpr,
+        cache_key: &CacheKey,
+        stats: &GraphStats,
+        recursion: &RecursionConfig,
+    ) -> (Arc<CachedPlan>, CacheStatus) {
+        if let Some(entry) = self.cache.lock().unwrap().get(cache_key) {
+            self.metrics.inc_cache_hits();
+            return (entry, CacheStatus::Hit);
+        }
+        self.metrics.inc_cache_misses();
+        let (optimized, rewrites) = if self.config.optimize {
+            self.optimizer.optimize_with_trace(plan)
+        } else {
+            (plan.clone(), Vec::new())
+        };
+        let cost_before = estimate(plan, stats);
+        let cost_after = estimate(&optimized, stats);
+        let closures = estimate_plan_closures(&optimized, stats, recursion);
+        let entry = Arc::new(CachedPlan {
+            plan: optimized,
+            rewrites,
+            cost_before,
+            cost_after,
+            closures,
+            decisions: Default::default(),
+        });
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(cache_key.clone(), entry.clone());
+        (entry, CacheStatus::Miss)
+    }
+
+    /// Admission stage: a predicted blow-up over the ceiling is refused with
+    /// the estimate as evidence, before any enumeration starts.
+    fn admit(&self, cached: &CachedPlan) -> Result<(), ServiceError> {
+        let Some(ceiling) = self.config.admission_ceiling else {
+            return Ok(());
+        };
+        for (operator, estimate) in &cached.closures {
+            if estimate.blows_up() && estimate.paths > ceiling {
+                self.metrics.inc_admission_rejected();
+                return Err(ServiceError::Admission(AdmissionError::PredictedBlowup {
+                    operator: operator.clone(),
+                    estimate: *estimate,
+                    ceiling,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execution stage: the engine evaluator over the cached optimized plan,
+    /// under the request's tightened bounds and the epoch's statistics.
+    fn execute(
+        &self,
+        cached: &CachedPlan,
+        stats: &GraphStats,
+        recursion: RecursionConfig,
+    ) -> Result<Arc<QueryOutcome>, ServiceError> {
+        let mut evaluator = EngineEvaluator::new(&self.graph, recursion, self.config.execution)
+            .with_graph_stats(stats);
+        let paths = evaluator
+            .eval_paths(&cached.plan)
+            .map_err(ServiceError::Evaluation)?;
+        let decisions = evaluator.decisions().to_vec();
+        let _ = cached.decisions.set(decisions.clone());
+        Ok(Arc::new(QueryOutcome { paths, decisions }))
+    }
+}
+
+/// The service only holds `Send + Sync` state (`Arc`s, locks, atomics); the
+/// hook type is explicitly `Send + Sync`. Spelled out so a regression (e.g.
+/// a non-`Sync` field) fails compilation here, next to the definition.
+fn _assert_service_is_shareable() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalg_graph::fixtures::figure1::figure1_graph;
+    use pathalg_graph::generator::structured::complete_graph;
+
+    const SHORTEST: &str = "MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)";
+
+    fn service() -> QueryService {
+        QueryService::with_defaults(Arc::new(figure1_graph()))
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_plan_cache() {
+        let svc = service();
+        let first = svc.submit(SHORTEST).unwrap();
+        assert_eq!(first.cache, CacheStatus::Miss);
+        assert_eq!(first.dedup, DedupRole::Leader);
+        assert!(!first.outcome.paths.is_empty());
+        let second = svc.submit(SHORTEST).unwrap();
+        assert_eq!(second.cache, CacheStatus::Hit);
+        assert_eq!(
+            first.outcome.canonical_lines(),
+            second.outcome.canonical_lines()
+        );
+        assert_eq!(svc.metrics().cache_hits(), 1);
+        assert_eq!(svc.metrics().cache_misses(), 1);
+        assert_eq!(svc.metrics().executions(), 2);
+        assert_eq!(svc.cached_plans(), 1);
+        // The first execution's strategy decisions are pinned on the entry.
+        assert!(!first.outcome.decisions.is_empty());
+    }
+
+    #[test]
+    fn prepare_plans_without_executing() {
+        let svc = service();
+        let (cold, cold_status) = svc.prepare(SHORTEST).unwrap();
+        assert_eq!(cold_status, CacheStatus::Miss);
+        assert!(!cold.closures.is_empty(), "ϕ node estimated at prepare");
+        assert_eq!(svc.metrics().executions(), 0, "prepare never evaluates");
+        let (_, warm_status) = svc.prepare(SHORTEST).unwrap();
+        assert_eq!(warm_status, CacheStatus::Hit);
+        // A later submit reuses the prepared entry.
+        let run = svc.submit(SHORTEST).unwrap();
+        assert_eq!(run.cache, CacheStatus::Hit);
+        assert_eq!(svc.cached_plans(), 1);
+    }
+
+    #[test]
+    fn association_reordered_plans_share_one_cache_entry() {
+        use pathalg_core::condition::Condition;
+        use pathalg_core::ops::recursive::PathSemantics;
+        let svc = service();
+        let scan = |l: &str| PlanExpr::edges().select(Condition::edge_label(1, l));
+        let left = scan("Likes")
+            .join(scan("Has_creator"))
+            .join(scan("Likes"))
+            .recursive(PathSemantics::Simple);
+        let right = scan("Likes")
+            .join(scan("Has_creator").join(scan("Likes")))
+            .recursive(PathSemantics::Simple);
+        let a = svc.submit_plan(&left).unwrap();
+        let b = svc.submit_plan(&right).unwrap();
+        assert_eq!(a.cache, CacheStatus::Miss);
+        assert_eq!(b.cache, CacheStatus::Hit, "re-associated join: same key");
+        assert_eq!(a.outcome.canonical_lines(), b.outcome.canonical_lines());
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cached_plans() {
+        let svc = service();
+        svc.submit(SHORTEST).unwrap();
+        assert_eq!(svc.cached_plans(), 1);
+        let epoch = svc.bump_epoch();
+        assert_eq!(epoch, 1);
+        assert_eq!(svc.cached_plans(), 0, "stale-epoch plans purged");
+        let again = svc.submit(SHORTEST).unwrap();
+        assert_eq!(again.cache, CacheStatus::Miss);
+        assert_eq!(again.epoch, 1);
+    }
+
+    #[test]
+    fn predicted_blowups_are_rejected_at_admission() {
+        let graph = Arc::new(complete_graph(14, "Knows"));
+        let config = ServiceConfig {
+            admission_ceiling: Some(1_000.0),
+            ..ServiceConfig::default()
+        };
+        let svc = QueryService::new(graph, config);
+        let err = svc
+            .submit("MATCH ALL TRAIL p = (?x)-[(:Knows)+]->(?y)")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Admission(AdmissionError::PredictedBlowup { .. })
+        ));
+        assert_eq!(svc.metrics().admission_rejected(), 1);
+        assert_eq!(svc.metrics().executions(), 0, "never started enumerating");
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        let svc = service();
+        let err = svc.submit("NOT GQL AT ALL").unwrap_err();
+        assert!(matches!(err, ServiceError::Parse(_)));
+        assert_eq!(err.kind(), "parse");
+    }
+
+    #[test]
+    fn quota_tightens_request_bounds() {
+        let config = ServiceConfig {
+            quota: RequestQuota::new(Some(7), Some(3)),
+            ..ServiceConfig::default()
+        };
+        let svc = QueryService::new(Arc::new(figure1_graph()), config);
+        let effective = svc.effective_recursion();
+        assert_eq!(effective.max_paths, Some(7));
+        assert_eq!(effective.max_length, Some(3));
+    }
+}

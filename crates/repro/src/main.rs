@@ -7,12 +7,22 @@
 //! everything; see EXPERIMENTS.md for the expected output.
 
 mod figures;
+mod serve;
 mod tables;
 
 use std::env;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    // `serve` is not a table/figure: it takes options and blocks, so it is
+    // dispatched before the regeneration table.
+    if args.first().map(String::as_str) == Some("serve") {
+        if let Err(message) = serve::run(&args[1..]) {
+            eprintln!("serve: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let selected: Vec<&str> = args.iter().map(|s| s.trim_start_matches("--")).collect();
     let run_all = selected.is_empty() || selected.contains(&"all");
 
@@ -102,6 +112,7 @@ fn main() {
         for (name, description, _) in items {
             eprintln!("  {name:<15} {description}");
         }
+        eprintln!("  {:<15} query service on a unix socket", "serve");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,79 @@
+//! The `repro serve` subcommand: a running query service on a unix socket.
+//!
+//! Loads a graph (the Figure 1 fixture by default, or an SNB-shaped
+//! synthetic graph with `--snb <persons>`), wraps it in a
+//! [`pathalg_server::QueryService`], and serves the line protocol until
+//! killed. Talk to it with any line client, e.g.
+//!
+//! ```text
+//! $ cargo run -p repro -- serve --socket /tmp/pathalg.sock &
+//! $ printf 'QUERY MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)\nSTATS\nQUIT\n' \
+//!     | nc -U /tmp/pathalg.sock
+//! ```
+
+use pathalg_engine::exec::ExecutionConfig;
+use pathalg_graph::fixtures::figure1::figure1_graph;
+use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
+use pathalg_server::{serve, QueryService, ServiceConfig};
+use std::sync::Arc;
+
+/// Parses the `serve` arguments and runs the server until the process is
+/// killed. Returns an error message for unusable arguments.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut socket = "/tmp/pathalg.sock".to_string();
+    let mut snb_persons: Option<usize> = None;
+    let mut threads = 1usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => socket = value("--socket")?,
+            "--snb" => {
+                snb_persons = Some(value("--snb")?.parse().map_err(|e| format!("--snb: {e}"))?)
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown serve option {other} (expected --socket PATH, --snb PERSONS, \
+                     --threads N)"
+                ))
+            }
+        }
+    }
+
+    let graph = match snb_persons {
+        Some(persons) => {
+            println!("loading SNB-shaped graph ({persons} persons)…");
+            snb_like_graph(&SnbConfig::scale(persons, 11))
+        }
+        None => figure1_graph(),
+    };
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let config = ServiceConfig::with_execution(ExecutionConfig::with_threads(threads));
+    let service = Arc::new(QueryService::new(Arc::new(graph), config));
+    // Bound to a name so the handle (and with it the socket file) lives for
+    // the whole process; killing the process is the only way out.
+    let _handle = serve(service, socket.clone()).map_err(|e| format!("bind {socket}: {e}"))?;
+    println!("serving on {socket} ({threads} engine thread(s)); commands:");
+    println!("  QUERY <gql>   run a query (OK/PATH…/END or ERR <kind>: …)");
+    println!("  STATS         service counters");
+    println!("  EPOCH | BUMP  read / advance the stats epoch");
+    println!("  PING | QUIT");
+    println!("press Ctrl-C to stop");
+    // The accept loop runs on its own thread; park this one forever.
+    loop {
+        std::thread::park();
+    }
+}

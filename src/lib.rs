@@ -19,6 +19,9 @@
 //!   enumeration (DESIGN.md §8).
 //! * [`engine`] — physical operators and restrictor-specific algorithms, graph
 //!   statistics, and the end-to-end query runner (parse → optimize → execute).
+//! * [`server`] — the long-lived query service: plan cache, in-flight
+//!   deduplication of identical concurrent queries, admission control, and a
+//!   line-oriented unix-socket protocol (DESIGN.md §11).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use pathalg_graph as graph;
 pub use pathalg_parser as parser;
 pub use pathalg_pmr as pmr;
 pub use pathalg_rpq as rpq;
+pub use pathalg_server as server;
 
 /// A convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {

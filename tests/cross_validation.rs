@@ -899,6 +899,87 @@ fn parallel_lazy_sliced_matches_serial_sliced_on_every_graph() {
     }
 }
 
+/// Serial completion sharpening: a partition-limited γST slice over an
+/// SNB-shaped workload is caught mid-source by the closing partition limit
+/// and switches to per-partition accounting (only its already-opened groups
+/// must fill) — strictly less expansion work than draining the closure —
+/// while staying byte-identical to the materialise-then-slice reference and
+/// to the parallel batch scheduler at 1/2/8 threads.
+#[test]
+fn serial_sharp_stop_matches_parallel_on_snb_workload() {
+    use pathalg::algebra::ops::group_by::GroupKey;
+    use pathalg::algebra::slice::{SliceCollector, SliceSpec};
+    use pathalg::pmr::parallel::{self, ParallelConfig};
+    use pathalg::pmr::Pmr;
+    use std::sync::Arc;
+
+    let graph = snb_like_graph(&SnbConfig {
+        persons: 16,
+        messages: 12,
+        knows_per_person: 3,
+        likes_per_person: 1,
+        seed: 7,
+        ..SnbConfig::default()
+    });
+    let csr = Arc::new(CsrGraph::with_label(&graph, "Knows"));
+    let cfg = RecursionConfig {
+        max_length: Some(6),
+        max_paths: None,
+    };
+    // per_group=1 fills every admitted partition on arrival, so the moment
+    // the 4th partition opens mid-source the sharp stop can skip the rest of
+    // that source's expansion.
+    let spec = SliceSpec {
+        group_key: GroupKey::SourceTarget,
+        per_group: Some(1),
+        max_partitions: Some(4),
+        ordered_by_length: false,
+    };
+    let factory = || Pmr::from_shared_csr(csr.clone(), PathSemantics::Trail, cfg);
+
+    // Ground truth: materialise the whole closure, then slice it.
+    let mut full = factory();
+    let everything = full.enumerate_all().unwrap();
+    let mut collector = SliceCollector::new(&spec);
+    for path in everything.iter() {
+        collector.offer(path.clone());
+    }
+    let reference = collector.finish();
+
+    // Serial sharp stop: byte parity with strictly less expansion work.
+    let mut serial = factory();
+    let sliced = serial.sliced(&spec).unwrap();
+    assert_eq!(sliced.as_slice(), reference.as_slice());
+    assert!(
+        serial.steps_generated() < full.steps_generated(),
+        "sharp stop generated {} steps, full closure {}",
+        serial.steps_generated(),
+        full.steps_generated()
+    );
+
+    // Parallel batch scheduler parity at 1/2/8 threads.
+    let sources = factory().sources();
+    for threads in [1usize, 2, 8] {
+        let run = parallel::sliced(
+            &factory,
+            &spec,
+            &sources,
+            None,
+            &ParallelConfig {
+                threads,
+                batch_size: 2,
+            },
+            cfg.max_paths,
+        )
+        .unwrap();
+        assert_eq!(
+            run.paths.as_slice(),
+            sliced.as_slice(),
+            "diverged at {threads} threads"
+        );
+    }
+}
+
 /// §10 end to end: multi-threaded engine configurations dispatch sliced
 /// pipelines to the *parallel* lazy strategy (recorded in the decision log)
 /// and still produce byte-identical output — including σ-pushdown pipelines

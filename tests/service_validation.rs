@@ -1,0 +1,375 @@
+//! Concurrency harness for the query service layer (DESIGN.md §11).
+//!
+//! The service's three contracts are exercised under real thread contention:
+//!
+//! * **In-flight deduplication** — a thundering herd of identical queries is
+//!   coalesced onto exactly one evaluation, and every waiter receives the
+//!   byte-identical canonical result (pinned at 1/2/8 engine threads).
+//! * **Plan cache + epochs** — repeat queries hit the cache, a stats-epoch
+//!   bump invalidates every cached plan, and re-planning repopulates it.
+//! * **Admission + budgets** — predicted blow-ups are rejected before any
+//!   enumeration starts, and a path budget tripping mid-enumeration surfaces
+//!   the same typed error serially and under 2/8-way concurrency without
+//!   wedging the service.
+//!
+//! A proptest block pins the plan-cache key itself: α-equivalent and
+//! association-reordered plans share a key; plans that differ semantically
+//! (labels, ϕ semantics, recursion bounds) never collide.
+
+use pathalg::algebra::budget::RequestQuota;
+use pathalg::algebra::condition::Condition;
+use pathalg::algebra::error::AlgebraError;
+use pathalg::algebra::expr::PlanExpr;
+use pathalg::algebra::ops::recursive::{PathSemantics, RecursionConfig};
+use pathalg::graph::fixtures::figure1::figure1_graph;
+use pathalg::graph::generator::structured::complete_graph;
+use pathalg::parser::{parse_query, plan_cache_key};
+use pathalg::server::{
+    AdmissionError, CacheStatus, DedupRole, QueryService, ServiceConfig, ServiceError,
+};
+use pathalg_engine::exec::ExecutionConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The recursive workload every test submits: dense enough on the complete
+/// graph to be measurably expensive, trivial on Figure 1.
+const TRAIL: &str = "MATCH ALL TRAIL p = (?x)-[(:Knows)+]->(?y)";
+
+fn figure1_service() -> Arc<QueryService> {
+    Arc::new(QueryService::with_defaults(Arc::new(figure1_graph())))
+}
+
+/// A service over K_n (complete Knows graph) with the admission gate off and
+/// bounded recursion — expensive enough that a herd genuinely overlaps.
+fn dense_service(n: usize, threads: usize, max_length: usize) -> Arc<QueryService> {
+    let mut config = ServiceConfig::with_execution(ExecutionConfig::with_threads(threads));
+    config.recursion = RecursionConfig {
+        max_length: Some(max_length),
+        max_paths: None,
+    };
+    config.admission_ceiling = None;
+    Arc::new(QueryService::new(
+        Arc::new(complete_graph(n, "Knows")),
+        config,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// In-flight deduplication
+// ---------------------------------------------------------------------------
+
+/// 8 threads race the same expensive closure. A pre-execute fence holds the
+/// leader until all 7 others have registered as waiters, so the dedup window
+/// is guaranteed (not racy): exactly one evaluation must serve all 8, and
+/// every response must carry byte-identical canonical output.
+#[test]
+fn thundering_herd_coalesces_onto_one_evaluation() {
+    const HERD: u64 = 8;
+    let svc = dense_service(7, 1, 5);
+    svc.set_pre_execute_hook(Box::new(|metrics| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while metrics.dedup_hits() < HERD - 1 {
+            assert!(Instant::now() < deadline, "herd never assembled");
+            thread::sleep(Duration::from_millis(1));
+        }
+    }));
+    let outputs: Vec<(DedupRole, Vec<String>)> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..HERD)
+            .map(|_| {
+                let svc = svc.clone();
+                scope.spawn(move || {
+                    let response = svc.submit(TRAIL).expect("herd submit");
+                    (response.dedup, response.outcome.canonical_lines())
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    svc.clear_pre_execute_hook();
+
+    assert_eq!(svc.metrics().executions(), 1, "one leader evaluation");
+    assert_eq!(svc.metrics().dedup_hits(), HERD - 1);
+    assert_eq!(svc.metrics().served(), HERD);
+    let leaders = outputs
+        .iter()
+        .filter(|(role, _)| *role == DedupRole::Leader)
+        .count();
+    assert_eq!(leaders, 1, "exactly one request led the flight");
+    let reference = &outputs[0].1;
+    assert!(!reference.is_empty());
+    for (_, lines) in &outputs {
+        assert_eq!(lines, reference, "every waiter got identical bytes");
+    }
+}
+
+/// The coalesced herd result must be byte-identical to a solo run of the
+/// same query — at 1, 2 and 8 engine worker threads, so deduplication is
+/// independent of intra-query parallelism.
+#[test]
+fn herd_output_matches_solo_at_every_thread_count() {
+    for threads in [1usize, 2, 8] {
+        let solo = dense_service(7, threads, 5)
+            .submit(TRAIL)
+            .expect("solo submit")
+            .outcome
+            .canonical_lines();
+        let svc = dense_service(7, threads, 5);
+        let herd: Vec<Vec<String>> = thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|_| {
+                    let svc = svc.clone();
+                    scope.spawn(move || {
+                        svc.submit(TRAIL)
+                            .expect("herd submit")
+                            .outcome
+                            .canonical_lines()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        for lines in &herd {
+            assert_eq!(lines, &solo, "threads={threads}: herd ≡ solo bytes");
+        }
+        assert!(
+            svc.metrics().executions() <= 8,
+            "never more evaluations than submitters"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache + epochs
+// ---------------------------------------------------------------------------
+
+/// A stats-epoch bump must invalidate every cached plan: the same query is
+/// a miss again, and replanning repopulates the cache at the new epoch.
+#[test]
+fn epoch_bump_invalidates_the_plan_cache() {
+    let svc = figure1_service();
+    let cold = svc.submit(TRAIL).unwrap();
+    assert_eq!(cold.cache, CacheStatus::Miss);
+    let warm = svc.submit(TRAIL).unwrap();
+    assert_eq!(warm.cache, CacheStatus::Hit);
+    assert_eq!(warm.epoch, cold.epoch);
+    assert_eq!(svc.cached_plans(), 1);
+
+    let bumped = svc.bump_epoch();
+    assert!(bumped > cold.epoch);
+    assert_eq!(svc.cached_plans(), 0, "stale entries purged");
+    let replanned = svc.submit(TRAIL).unwrap();
+    assert_eq!(replanned.cache, CacheStatus::Miss, "stale epoch = cold");
+    assert_eq!(replanned.epoch, bumped);
+    assert_eq!(
+        replanned.outcome.canonical_lines(),
+        cold.outcome.canonical_lines(),
+        "same graph, same answer across epochs"
+    );
+    assert_eq!(svc.submit(TRAIL).unwrap().cache, CacheStatus::Hit);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control + budget faults
+// ---------------------------------------------------------------------------
+
+/// A predicted blow-up over the ceiling is refused at admission: the typed
+/// error carries the estimate, and no evaluation ever starts.
+#[test]
+fn admission_rejects_predicted_blowup_before_enumerating() {
+    let config = ServiceConfig {
+        admission_ceiling: Some(1_000.0),
+        ..ServiceConfig::default()
+    };
+    let svc = QueryService::new(Arc::new(complete_graph(14, "Knows")), config);
+    let err = svc
+        .submit(TRAIL)
+        .expect_err("K14 walk closure must be refused");
+    match &err {
+        ServiceError::Admission(AdmissionError::PredictedBlowup {
+            estimate, ceiling, ..
+        }) => {
+            assert!(estimate.paths > *ceiling);
+            assert!(estimate.blows_up());
+        }
+        other => panic!("expected admission rejection, got {other:?}"),
+    }
+    assert_eq!(err.kind(), "admission");
+    assert_eq!(
+        svc.metrics().executions(),
+        0,
+        "rejection precedes evaluation"
+    );
+    assert_eq!(svc.metrics().admission_rejected(), 1);
+}
+
+/// A tight per-request path budget trips mid-enumeration. The same typed
+/// error must surface serially and under 2/8-way concurrency, and the
+/// service must keep serving afterwards (no wedged flight, no poisoning).
+#[test]
+fn budget_exhaustion_is_typed_and_does_not_wedge_the_service() {
+    let build = || {
+        let mut config = ServiceConfig::with_execution(ExecutionConfig::with_threads(1));
+        config.admission_ceiling = None;
+        // Min-combined into every request: the closure on K7 has far more
+        // than 10 trails, so enumeration starts and then trips.
+        config.quota = RequestQuota::new(Some(10), None);
+        config.recursion = RecursionConfig {
+            max_length: Some(5),
+            max_paths: None,
+        };
+        Arc::new(QueryService::new(
+            Arc::new(complete_graph(7, "Knows")),
+            config,
+        ))
+    };
+    let expect_budget_trip = |err: &ServiceError| match err {
+        ServiceError::Evaluation(AlgebraError::ResultLimitExceeded { limit }) => {
+            assert_eq!(*limit, 10, "the request quota is the limit that trips")
+        }
+        other => panic!("expected a budget trip, got {other:?}"),
+    };
+
+    // Serially.
+    let svc = build();
+    let serial = svc.submit(TRAIL).expect_err("budget must trip");
+    expect_budget_trip(&serial);
+    assert_eq!(serial.kind(), "evaluation");
+
+    // Under concurrency: every member of the herd sees the same typed error
+    // (leader and waiters alike — errors fan out through the flight too).
+    for herd in [2usize, 8] {
+        let svc = build();
+        let errors: Vec<ServiceError> = thread::scope(|scope| {
+            let workers: Vec<_> = (0..herd)
+                .map(|_| {
+                    let svc = svc.clone();
+                    scope.spawn(move || svc.submit(TRAIL).expect_err("budget must trip"))
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        for err in &errors {
+            expect_budget_trip(err);
+            assert_eq!(err, &serial, "identical typed error at herd={herd}");
+        }
+        // The failed flight is unregistered: the service still serves. (A
+        // non-recursive query — the path quota caps ϕ, which every closure
+        // on K7 exceeds by design here.)
+        let followup = svc
+            .submit("MATCH ALL TRAIL p = (?x)-[:Knows]->(?y)")
+            .expect("service must recover after a budget fault");
+        assert!(!followup.outcome.paths.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache key properties (vendored proptest)
+// ---------------------------------------------------------------------------
+
+fn scan(label: &str) -> PlanExpr {
+    PlanExpr::edges().select(Condition::edge_label(1, label))
+}
+
+/// Builds an arbitrary association shape of `labels.join(...)` driven by the
+/// proptest-supplied split seed — same label sequence, different tree. Each
+/// recursion peels one byte off the seed to pick the split point.
+fn join_tree(labels: &[&str], seed: u64) -> PlanExpr {
+    if labels.len() == 1 {
+        return scan(labels[0]);
+    }
+    let split = (seed & 0xff) as usize % (labels.len() - 1) + 1;
+    join_tree(&labels[..split], seed >> 8).join(join_tree(&labels[split..], seed >> 8 >> 8))
+}
+
+/// The label sequence the seed encodes: 2 bits per position.
+fn label_sequence(seed: u64, len: usize) -> Vec<&'static str> {
+    (0..len)
+        .map(|i| LABELS[((seed >> (2 * i)) & 0b11) as usize % LABELS.len()])
+        .collect()
+}
+
+const LABELS: [&str; 3] = ["Knows", "Likes", "Has_creator"];
+// Non-keyword identifiers only (SOURCE/TARGET etc. are reserved).
+const NAMES: [&str; 6] = ["x", "y", "alpha", "beta", "src", "dst"];
+const SEMANTICS: [PathSemantics; 3] = [
+    PathSemantics::Walk,
+    PathSemantics::Trail,
+    PathSemantics::Simple,
+];
+
+fn unbounded() -> RecursionConfig {
+    RecursionConfig {
+        max_length: Some(6),
+        max_paths: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two arbitrary association shapes over the same label sequence under
+    /// the same ϕ semantics normalise to the same cache key; changing the
+    /// sequence, the semantics, or the recursion bounds always changes it.
+    #[test]
+    fn cache_key_is_association_invariant_and_semantics_sensitive(
+        len in 2usize..6,
+        label_seed in 0u64..(1u64 << 62),
+        shape_a in 0u64..(1u64 << 62),
+        shape_b in 0u64..(1u64 << 62),
+        sem in 0usize..SEMANTICS.len(),
+    ) {
+        let labels = label_sequence(label_seed, len);
+        let tree_a = join_tree(&labels, shape_a).recursive(SEMANTICS[sem]);
+        let tree_b = join_tree(&labels, shape_b).recursive(SEMANTICS[sem]);
+        let key_a = plan_cache_key(&tree_a, &unbounded());
+        let key_b = plan_cache_key(&tree_b, &unbounded());
+        prop_assert_eq!(&key_a, &key_b, "association reorder must share a key");
+
+        // Distinct ϕ semantics never collide.
+        let other = SEMANTICS[(sem + 1) % SEMANTICS.len()];
+        let tree_other = join_tree(&labels, shape_a).recursive(other);
+        let key_other = plan_cache_key(&tree_other, &unbounded());
+        prop_assert!(key_a != key_other, "semantics must reach the key");
+
+        // Distinct recursion bounds never collide (they change results).
+        let tighter = RecursionConfig { max_length: Some(3), max_paths: Some(10) };
+        let key_tight = plan_cache_key(&tree_a, &tighter);
+        prop_assert!(key_a != key_tight, "bounds must reach the key");
+
+        // A different label sequence never collides.
+        let mut swapped = labels.clone();
+        let current = LABELS.iter().position(|l| *l == swapped[0]).unwrap();
+        swapped[0] = LABELS[(current + 1) % LABELS.len()];
+        let tree_swapped = join_tree(&swapped, shape_a).recursive(SEMANTICS[sem]);
+        let key_swapped = plan_cache_key(&tree_swapped, &unbounded());
+        prop_assert!(key_a != key_swapped, "labels must reach the key");
+    }
+
+    /// α-equivalence is free: the surface variable names never reach the
+    /// plan, so renaming them cannot change the cache key.
+    #[test]
+    fn cache_key_ignores_surface_variable_names(
+        a in 0usize..NAMES.len(),
+        b in 0usize..NAMES.len(),
+        p in 0usize..NAMES.len(),
+    ) {
+        let original = parse_query("MATCH ALL TRAIL p = (?x)-[(:Knows)+]->(?y)")
+            .unwrap()
+            .to_checked_plan()
+            .unwrap();
+        let renamed_text = format!(
+            "MATCH ALL TRAIL {} = (?{})-[(:Knows)+]->(?{})",
+            NAMES[p], NAMES[a], NAMES[b],
+        );
+        let renamed = parse_query(&renamed_text)
+            .unwrap()
+            .to_checked_plan()
+            .unwrap();
+        prop_assert_eq!(
+            plan_cache_key(&original, &unbounded()),
+            plan_cache_key(&renamed, &unbounded())
+        );
+    }
+}
