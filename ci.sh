@@ -58,6 +58,9 @@ full() {
     step "examples compile"
     cargo build -q --examples
 
+    step "repro surfaces (cross-surface front-end demo)"
+    cargo run -q --release -p repro -- surfaces
+
     printf '\nci.sh: all checks passed\n'
 }
 

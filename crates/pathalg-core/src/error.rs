@@ -51,6 +51,16 @@ pub enum AlgebraError {
     },
     /// Generic invalid-argument error (e.g. `k = 0` for a `SHORTEST k` selector).
     InvalidArgument(String),
+    /// A query IR failed validation while lowering to a plan — the typed
+    /// rejection the unified front-end raises for any surface (GQL, the RPQ
+    /// surface, raw JSON IR) whose lowered plan is structurally unsound.
+    IrValidation {
+        /// The IR field (or lowering stage) that failed, e.g. `"output"` or
+        /// `"plan"`.
+        field: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for AlgebraError {
@@ -82,6 +92,9 @@ impl fmt::Display for AlgebraError {
                 "position {position} is out of range for a path of length {path_len}"
             ),
             AlgebraError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            AlgebraError::IrValidation { field, message } => {
+                write!(f, "invalid query IR at {field}: {message}")
+            }
         }
     }
 }

@@ -10,9 +10,6 @@
 //! supports (and which [`translate`] reproduces).
 
 use crate::expr::PlanExpr;
-use crate::ops::group_by::GroupKey;
-use crate::ops::order_by::OrderKey;
-use crate::ops::projection::{ProjectionSpec, Take};
 use crate::ops::recursive::PathSemantics;
 use std::fmt;
 
@@ -137,41 +134,12 @@ impl fmt::Display for Restrictor {
 /// `inner` is the algebra expression for the regular path pattern `RE` (for
 /// instance `σ label(edge(1))="Knows" (Edges(G))`, or whatever the RPQ
 /// compiler produced); the function wraps it in `ϕ` under the restrictor's
-/// semantics and in the selector's γ/τ/π pipeline.
+/// semantics and in the selector's γ/τ/π pipeline
+/// ([`PlanExpr::with_selector`], the shared Table-7 implementation).
 pub fn translate(selector: Selector, restrictor: Restrictor, inner: PlanExpr) -> PlanExpr {
-    let phi = inner.recursive(restrictor.semantics());
-    match selector {
-        // ALL: π(*,*,*)(γ(ϕ(RE)))
-        Selector::All => phi.group_by(GroupKey::Empty).project(ProjectionSpec::all()),
-        // ANY SHORTEST: π(*,*,1)(τA(γST(ϕ(RE))))
-        Selector::AnyShortest => phi
-            .group_by(GroupKey::SourceTarget)
-            .order_by(OrderKey::Path)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
-        // ALL SHORTEST: π(*,1,*)(τG(γSTL(ϕ(RE))))
-        Selector::AllShortest => phi
-            .group_by(GroupKey::SourceTargetLength)
-            .order_by(OrderKey::Group)
-            .project(ProjectionSpec::new(Take::All, Take::Count(1), Take::All)),
-        // ANY: π(*,*,1)(γST(ϕ(RE)))
-        Selector::Any => phi
-            .group_by(GroupKey::SourceTarget)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
-        // ANY k: π(*,*,k)(γST(ϕ(RE)))
-        Selector::AnyK(k) => phi
-            .group_by(GroupKey::SourceTarget)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
-        // SHORTEST k: π(*,*,k)(τA(γST(ϕ(RE))))
-        Selector::ShortestK(k) => phi
-            .group_by(GroupKey::SourceTarget)
-            .order_by(OrderKey::Path)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
-        // SHORTEST k GROUP: π(*,k,*)(τG(γSTL(ϕ(RE))))
-        Selector::ShortestKGroup(k) => phi
-            .group_by(GroupKey::SourceTargetLength)
-            .order_by(OrderKey::Group)
-            .project(ProjectionSpec::new(Take::All, Take::Count(k), Take::All)),
-    }
+    inner
+        .recursive(restrictor.semantics())
+        .with_selector(selector)
 }
 
 #[cfg(test)]

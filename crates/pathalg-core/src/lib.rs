@@ -41,6 +41,7 @@ pub mod optimizer;
 pub mod path;
 pub mod pathset;
 pub mod pathset_repr;
+pub mod plan;
 pub mod slice;
 pub mod solution_space;
 

@@ -1,34 +1,41 @@
-//! # pathalg-parser — the extended-GQL surface syntax
+//! # pathalg-parser — the multi-surface query front-end
 //!
 //! Section 7.1 of the paper extends the GQL path-query grammar so that every
 //! operator of the path algebra can be written in a declarative query, and
 //! Section 7.2 describes a parser that turns such queries into logical plans.
-//! The paper's reference parser is a Java/ANTLR application; this crate is the
-//! equivalent component in Rust: a hand-written lexer and recursive-descent
-//! parser, an AST, and a plan generator producing
-//! [`pathalg_core::expr::PlanExpr`] trees.
+//! This crate is that component in Rust — and since the front-end redesign it
+//! accepts **three** surfaces, all funnelled through one serializable,
+//! α-canonical intermediate representation ([`QueryIr`], version
+//! `query_ir_v1`) and one checked lowering ([`lower_to_checked_plan`]):
 //!
-//! Two query forms are accepted:
-//!
-//! * **Extended form** (the paper's §7.1 grammar):
+//! * **Extended GQL** ([`parse_query`], §7.1 grammar):
 //!   `MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y)
 //!    GROUP BY TARGET ORDER BY PATH`
-//! * **Standard GQL form** (selector + restrictor, §2.3):
-//!   `MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)`
+//!   — with the standard selector form (`MATCH ANY SHORTEST TRAIL …`, §2.3)
+//!   accepted alongside.
+//! * **Datalog-ish RPQ rules** ([`parse_rpq`]):
+//!   `reach(x, y) :- (:Knows)+, trail, any_shortest.`
+//! * **Raw JSON IR** ([`QueryIr::from_json_str`]): versioned `query_ir_v1`
+//!   documents, round-trippable byte-for-byte via [`QueryIr::to_json_string`].
 //!
-//! Both compile to the same algebra. Node patterns may carry label and
-//! property constraints (`(?x:Person {name:"Moe"})`), and an optional `WHERE`
-//! clause accepts the full selection-condition language of §3.1.
+//! [`parse_surface`] dispatches on a [`QuerySurface`] tag. Because every
+//! surface lowers through the same IR and the same plan generator, the same
+//! logical query — however it is written — produces structurally equal plans
+//! and therefore the same plan-cache key ([`plan_cache_key`]), the same
+//! admission decision, and one deduplicated in-flight evaluation.
 //!
 //! ```
-//! use pathalg_parser::parse_query;
+//! use pathalg_parser::{parse_surface, parse_query, QuerySurface};
 //!
-//! let q = parse_query(
-//!     "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) \
-//!      GROUP BY TARGET ORDER BY PATH",
+//! let gql = parse_query(
+//!     "MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)",
+//! ).unwrap().to_ir();
+//! let rule = parse_surface(
+//!     QuerySurface::Rpq,
+//!     "reach(x, y) :- (:Knows)+, trail, any_shortest.",
 //! ).unwrap();
-//! let plan = q.to_plan();
-//! assert!(plan.to_string().starts_with("π(*,*,1)(τA(γT("));
+//! assert_eq!(gql, rule);
+//! assert!(gql.to_plan().to_string().starts_with("π(*,*,1)(τA(γST("));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -36,12 +43,22 @@
 
 pub mod ast;
 pub mod error;
-pub mod lexer;
+pub mod ir;
+pub mod json;
+pub(crate) mod lexer;
 pub mod normalize;
 pub mod parser;
 pub mod plan_gen;
+pub mod rpq_surface;
+pub mod surface;
 
 pub use ast::PathQuery;
 pub use error::ParseError;
+pub use ir::{lower_to_checked_plan, IrError, IrNode, IrOutput, QueryIr, QUERY_IR_VERSION};
+pub use json::{parse_json, Json, JsonError};
 pub use normalize::{normalize_plan, plan_cache_key, PlanKey};
 pub use parser::parse_query;
+pub use rpq_surface::parse_rpq;
+pub use surface::{
+    parse_surface, parse_to_checked_plan, QuerySurface, SurfaceError, SurfaceParseOrLowerError,
+};

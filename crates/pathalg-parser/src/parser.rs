@@ -560,6 +560,26 @@ impl QueryParser {
     }
 }
 
+/// Parses a standalone selection condition — the RPQ surface's `where(…)`
+/// clause reuses the full GQL condition grammar through this entry point.
+pub(crate) fn parse_condition_text(input: &str) -> Result<Condition, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = QueryParser { tokens, pos: 0 };
+    let condition = parser.parse_condition()?;
+    parser.expect_eof()?;
+    Ok(condition)
+}
+
+/// Parses a standalone node pattern such as `(?x:Person {name:"Moe"})` — the
+/// RPQ surface's head-argument syntax reuses the GQL node-pattern grammar.
+pub(crate) fn parse_node_pattern_text(input: &str) -> Result<NodePattern, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = QueryParser { tokens, pos: 0 };
+    let pattern = parser.parse_node_pattern()?;
+    parser.expect_eof()?;
+    Ok(pattern)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

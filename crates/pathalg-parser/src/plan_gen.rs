@@ -1,48 +1,37 @@
 //! Logical-plan generation (Section 7.2).
 //!
-//! The plan generator walks a parsed [`PathQuery`] and produces the
-//! corresponding path-algebra expression:
-//!
-//! 1. the regular expression of the edge pattern is compiled with
-//!    [`pathalg_rpq::compile::compile_to_algebra`] under the restrictor's
-//!    path semantics (this yields the σ/⋈/∪/ϕ part of Figures 2–4);
-//! 2. the endpoint constraints of the node patterns and the `WHERE` clause
-//!    become a selection over the matched paths (the root σ of Figure 2);
-//! 3. the selector — or, in the extended form, the explicit
-//!    `GROUP BY` / `ORDER BY` / projection clauses — become the γ/τ/π
-//!    pipeline of Table 7.
-//!
-//! [`explain`] renders the result in the textual format of Section 7.2.
+//! Since the multi-surface front-end landed, the actual lowering lives in
+//! [`crate::ir`]: a parsed [`PathQuery`] is first converted to the
+//! surface-independent [`crate::ir::QueryIr`] and the IR is what produces the
+//! path-algebra expression (regex compilation, endpoint/WHERE/restrictor
+//! selection, Table-7 γ/τ/π pipeline). This module keeps the convenient
+//! methods on `PathQuery` and the Section 7.2 [`explain`] renderer.
 
-use crate::ast::{NodePattern, OutputSpec, PathQuery};
-use pathalg_core::condition::Condition;
+use crate::ast::{OutputSpec, PathQuery};
+use crate::ir::lower_to_checked_plan;
 use pathalg_core::display::plan_tree;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::expr::PlanExpr;
-use pathalg_core::gql::{Restrictor, Selector};
 use pathalg_core::ops::group_by::GroupKey;
 use pathalg_core::ops::order_by::OrderKey;
-use pathalg_core::ops::projection::{ProjectionSpec, Take};
+use pathalg_core::ops::projection::Take;
 use pathalg_core::ops::recursive::RecursionConfig;
-use pathalg_rpq::compile::compile_to_algebra;
-use pathalg_rpq::regex::LabelRegex;
 
 impl PathQuery {
-    /// Generates the logical plan (path-algebra expression) for this query.
+    /// Generates the logical plan (path-algebra expression) for this query
+    /// by lowering through the surface-independent IR.
     pub fn to_plan(&self) -> PlanExpr {
-        generate_plan(self)
+        self.to_ir().to_plan()
     }
 
     /// Generates the logical plan and type-checks it, propagating the
     /// failure as a proper [`AlgebraError`] instead of leaving every caller
-    /// to panic. The runner uses this as its single entry point from parsed
-    /// queries to validated plans.
+    /// to panic. This is the same checked lowering every other query surface
+    /// uses ([`crate::ir::lower_to_checked_plan`]), so the runner, the
+    /// service and the raw-IR surface all reject a malformed query with the
+    /// identical typed error.
     pub fn to_checked_plan(&self) -> Result<PlanExpr, AlgebraError> {
-        let plan = self.to_plan();
-        plan.type_check().map_err(|msg| {
-            AlgebraError::InvalidArgument(format!("plan does not type-check: {msg}"))
-        })?;
-        Ok(plan)
+        lower_to_checked_plan(&self.to_ir())
     }
 
     /// True if the query's plan is a *sliceable* γ/τ/π pipeline over a
@@ -64,142 +53,10 @@ impl PathQuery {
     }
 }
 
-/// Generates the logical plan for a parsed query.
+/// Generates the logical plan for a parsed query (kept for callers that used
+/// the free function; equivalent to `query.to_ir().to_plan()`).
 pub fn generate_plan(query: &PathQuery) -> PlanExpr {
-    // 1. Compile the regular path expression under the restrictor semantics.
-    let compiled = compile_to_algebra(&query.regex, query.restrictor.semantics());
-
-    // 2. Endpoint constraints and WHERE clause become a selection over the
-    //    matched paths.
-    let condition = pattern_condition(query);
-    let filtered = match condition {
-        Some(c) => compiled.select(c),
-        None => compiled,
-    };
-
-    // 3. Selector / extended clauses become the γ/τ/π pipeline.
-    match &query.output {
-        OutputSpec::Projection(spec) => {
-            let grouped = filtered.group_by(query.group_by.unwrap_or(GroupKey::Empty));
-            let ordered = match query.order_by {
-                Some(key) => grouped.order_by(key),
-                None => grouped,
-            };
-            ordered.project(*spec)
-        }
-        OutputSpec::Selector(selector) => selector_pipeline(*selector, filtered),
-    }
-}
-
-/// Builds the combined endpoint/WHERE condition of a query, if any.
-fn pattern_condition(query: &PathQuery) -> Option<Condition> {
-    let mut parts: Vec<Condition> = Vec::new();
-    parts.extend(node_conditions(&query.source, true));
-    parts.extend(node_conditions(&query.target, false));
-    if let Some(w) = &query.where_clause {
-        parts.push(w.clone());
-    }
-    // The recursive operator enforces the restrictor on everything it
-    // produces, but parts of the pattern that compile without recursion
-    // (plain labels, concatenations, bounded repetitions) are built from σ, ⋈
-    // and ∪ only — there the restrictor must be enforced with an explicit
-    // whole-path predicate (GQL applies restrictors to the entire matched
-    // path, not only to its repeated portions).
-    if let Some(predicate) = restrictor_filter(query.restrictor, &query.regex) {
-        parts.push(predicate);
-    }
-    parts.into_iter().reduce(|a, b| a.and(b))
-}
-
-/// The whole-path predicate needed to enforce `restrictor` on paths matched by
-/// `regex`, or `None` when the compiled plan already enforces it (every way of
-/// matching goes through a recursive operator, or the restrictor is trivially
-/// satisfied by the shapes the regex can produce).
-fn restrictor_filter(restrictor: Restrictor, regex: &LabelRegex) -> Option<Condition> {
-    let predicate = match restrictor {
-        Restrictor::Walk | Restrictor::Shortest => return None,
-        Restrictor::Trail => Condition::IsTrail,
-        Restrictor::Acyclic => Condition::IsAcyclic,
-        Restrictor::Simple => Condition::IsSimple,
-    };
-    if fully_guarded(regex, restrictor) {
-        None
-    } else {
-        Some(predicate)
-    }
-}
-
-/// True if every path matched by `regex` is guaranteed to satisfy the
-/// restrictor already — either because it is produced by a recursive operator
-/// (which filters), or because its shape cannot violate the restrictor (a
-/// single edge is always a trail; the empty path satisfies everything).
-fn fully_guarded(regex: &LabelRegex, restrictor: Restrictor) -> bool {
-    match regex {
-        LabelRegex::Epsilon => true,
-        // A single edge always is a trail and is simple (a self loop has
-        // first = last); it is *not* necessarily acyclic (self loops).
-        LabelRegex::Label(_) | LabelRegex::AnyLabel => {
-            matches!(restrictor, Restrictor::Trail | Restrictor::Simple)
-        }
-        LabelRegex::Alt(a, b) => fully_guarded(a, restrictor) && fully_guarded(b, restrictor),
-        LabelRegex::Optional(a) => fully_guarded(a, restrictor),
-        // Plus and Star compile to ϕ, which enforces the restrictor on the
-        // complete concatenation.
-        LabelRegex::Plus(_) | LabelRegex::Star(_) => true,
-        // Concatenations and bounded repetitions compile to plain joins.
-        LabelRegex::Concat(_, _) | LabelRegex::Repeat { .. } => false,
-    }
-}
-
-fn node_conditions(pattern: &NodePattern, is_source: bool) -> Vec<Condition> {
-    let mut out = Vec::new();
-    if let Some(label) = &pattern.label {
-        out.push(if is_source {
-            Condition::first_label(label.clone())
-        } else {
-            Condition::last_label(label.clone())
-        });
-    }
-    for (prop, value) in &pattern.properties {
-        out.push(if is_source {
-            Condition::first_property(prop.clone(), value.clone())
-        } else {
-            Condition::last_property(prop.clone(), value.clone())
-        });
-    }
-    out
-}
-
-/// The γ/τ/π pipeline of a GQL selector (the selector columns of Table 7),
-/// applied to an already-compiled path expression.
-fn selector_pipeline(selector: Selector, expr: PlanExpr) -> PlanExpr {
-    match selector {
-        Selector::All => expr
-            .group_by(GroupKey::Empty)
-            .project(ProjectionSpec::all()),
-        Selector::AnyShortest => expr
-            .group_by(GroupKey::SourceTarget)
-            .order_by(OrderKey::Path)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
-        Selector::AllShortest => expr
-            .group_by(GroupKey::SourceTargetLength)
-            .order_by(OrderKey::Group)
-            .project(ProjectionSpec::new(Take::All, Take::Count(1), Take::All)),
-        Selector::Any => expr
-            .group_by(GroupKey::SourceTarget)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(1))),
-        Selector::AnyK(k) => expr
-            .group_by(GroupKey::SourceTarget)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
-        Selector::ShortestK(k) => expr
-            .group_by(GroupKey::SourceTarget)
-            .order_by(OrderKey::Path)
-            .project(ProjectionSpec::new(Take::All, Take::All, Take::Count(k))),
-        Selector::ShortestKGroup(k) => expr
-            .group_by(GroupKey::SourceTargetLength)
-            .order_by(OrderKey::Group)
-            .project(ProjectionSpec::new(Take::All, Take::Count(k), Take::All)),
-    }
+    query.to_ir().to_plan()
 }
 
 /// Renders a query and its plan in the Section 7.2 output format:

@@ -20,8 +20,13 @@
 //! * **Admission control** — per-request quotas tighten the recursion
 //!   bounds, and the §9 closure estimator rejects predicted blow-ups with a
 //!   typed [`AdmissionError`] before any enumeration starts ([`error`]).
-//! * **Wire protocol** — a line-oriented text protocol over a unix socket,
-//!   one thread per connection ([`protocol`]); `repro serve` wires it to a
+//! * **Typed wire protocol** — requests and responses are typed
+//!   ([`Request`] / [`Response`]); the line-oriented text form exists only
+//!   at the socket boundary. `QUERY` lines carry an optional surface tag
+//!   (`GQL`, `RPQ`, `IR` — see [`pathalg_parser::QuerySurface`]), and every
+//!   surface funnels through the same checked IR lowering, so the same
+//!   logical query shares one cached plan and one in-flight evaluation no
+//!   matter how it was written ([`protocol`]); `repro serve` wires it to a
 //!   CLI.
 //!
 //! ```
@@ -49,7 +54,9 @@ pub mod service;
 pub use cache::CachedPlan;
 pub use error::{AdmissionError, ServiceError};
 pub use metrics::Metrics;
-pub use protocol::{handle_line, serve, Client, ServerHandle};
+pub use protocol::{
+    handle_line, handle_request, serve, Client, QueryReply, Request, Response, ServerHandle,
+};
 pub use service::{
     CacheStatus, DedupRole, QueryOutcome, QueryResponse, QueryService, ServiceConfig,
 };

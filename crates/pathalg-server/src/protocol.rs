@@ -1,24 +1,38 @@
-//! The line-oriented text protocol and the unix-socket server.
+//! The typed request/response protocol and the unix-socket server.
 //!
-//! One request and one response per line group; every payload is a single
-//! line of UTF-8, so the protocol needs no framing beyond `\n`:
+//! The wire format is line-oriented text — one request and one response per
+//! line group, no framing beyond `\n` — but inside the process every request
+//! is a typed [`Request`] and every answer a typed [`Response`]. Parsing and
+//! rendering happen exactly once, at the socket boundary
+//! ([`Request::parse`] / [`Response::render`]); [`handle_request`] is the
+//! stringly-free core that tests and embedders drive directly.
 //!
-//! | request            | response                                                        |
-//! |--------------------|-----------------------------------------------------------------|
-//! | `QUERY <gql>`      | `OK <n> cache=<hit\|miss> dedup=<leader\|waiter> epoch=<e>` then `PATH <ids>` × n, then `END` — or `ERR <kind>: <message>` |
-//! | `STATS`            | `STATS <counters>` ([`crate::Metrics`] display form)            |
-//! | `EPOCH`            | `EPOCH <n>`                                                     |
-//! | `BUMP`             | `EPOCH <n>` (after recomputing stats and purging stale plans)   |
-//! | `PING`             | `PONG`                                                          |
-//! | `QUIT`             | connection closed                                               |
+//! | request                         | response                             |
+//! |---------------------------------|--------------------------------------|
+//! | `QUERY <gql>`                   | `OK <n> cache=<hit\|miss> dedup=<leader\|waiter> epoch=<e>` then `PATH <ids>` × n, then `END` — or `ERR <kind>: <message>` |
+//! | `QUERY GQL\|RPQ\|IR <payload>`  | same — the tag picks the query surface ([`QuerySurface`]) |
+//! | `STATS`                         | `STATS <counters>` ([`crate::Metrics`] display form) |
+//! | `EPOCH`                         | `EPOCH <n>`                          |
+//! | `BUMP`                          | `EPOCH <n>` (after recomputing stats and purging stale plans) |
+//! | `PING`                          | `PONG`                               |
+//! | `QUIT`                          | connection closed                    |
+//!
+//! A bare `QUERY <text>` defaults to the GQL surface, so pre-redesign
+//! clients keep working unchanged. Because every surface lowers through the
+//! same checked IR, `QUERY GQL …`, `QUERY RPQ …` and `QUERY IR …` spelling
+//! the same logical query share one cached plan and one in-flight
+//! evaluation — the `cache=`/`dedup=` fields make that observable.
 //!
 //! The server ([`serve`]) runs one OS thread per connection: connections are
 //! long-lived and few (this is an experiment harness, not a C10K server),
 //! and a blocked connection thread costs nothing while the engine threads do
 //! the real work. [`Client`] is the matching blocking client used by the
-//! `repro serve` demo, the benches, and the tests.
+//! `repro serve` demo, the benches, and the tests; [`Client::query`] returns
+//! the typed [`Response`].
 
-use crate::service::QueryService;
+use crate::service::{CacheStatus, DedupRole, QueryService};
+use pathalg_parser::QuerySurface;
+use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -26,53 +40,287 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Handles one protocol line. Returns `None` for `QUIT` (close the
-/// connection), otherwise the response lines. Exposed so tests can drive
-/// the protocol without a socket.
-pub fn handle_line(service: &QueryService, line: &str) -> Option<Vec<String>> {
-    let line = line.trim_end_matches(['\r', '\n']);
-    let (command, rest) = match line.split_once(' ') {
-        Some((c, r)) => (c, r.trim()),
-        None => (line, ""),
-    };
-    match command {
-        "" => Some(Vec::new()),
-        "PING" => Some(vec!["PONG".to_string()]),
-        "EPOCH" => Some(vec![format!("EPOCH {}", service.epoch())]),
-        "BUMP" => Some(vec![format!("EPOCH {}", service.bump_epoch())]),
-        "STATS" => Some(vec![format!("STATS {}", service.metrics())]),
-        "QUIT" => None,
-        "QUERY" if !rest.is_empty() => Some(match service.submit(rest) {
-            Ok(response) => {
-                let mut out = Vec::with_capacity(response.outcome.paths.len() + 2);
+/// One parsed protocol request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY [GQL|RPQ|IR] <payload>` — run a query on the tagged surface.
+    Query {
+        /// The surface the payload is written in.
+        surface: QuerySurface,
+        /// The query text (GQL, an RPQ rule, or a JSON IR document).
+        text: String,
+    },
+    /// `STATS` — the service counters.
+    Stats,
+    /// `EPOCH` — the current stats epoch.
+    Epoch,
+    /// `BUMP` — recompute stats, purge stale plans, advance the epoch.
+    Bump,
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — close the connection.
+    Quit,
+    /// An empty line (ignored; yields [`Response::Empty`]).
+    Empty,
+}
+
+impl Request {
+    /// Parses one wire line. Errors are protocol-level (unknown command,
+    /// missing payload) and carry the message the server echoes back.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (command, rest) = match line.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match command {
+            "" => Ok(Request::Empty),
+            "PING" => Ok(Request::Ping),
+            "EPOCH" => Ok(Request::Epoch),
+            "BUMP" => Ok(Request::Bump),
+            "STATS" => Ok(Request::Stats),
+            "QUIT" => Ok(Request::Quit),
+            "QUERY" if !rest.is_empty() => {
+                // An optional surface tag before the payload; bare text is GQL.
+                let (surface, text) = match rest.split_once(' ') {
+                    Some((tag, payload)) => match QuerySurface::from_tag(tag) {
+                        Some(surface) => (surface, payload.trim()),
+                        None => (QuerySurface::Gql, rest),
+                    },
+                    None => match QuerySurface::from_tag(rest) {
+                        Some(_) => {
+                            return Err(format!("QUERY {rest} needs a query text"));
+                        }
+                        None => (QuerySurface::Gql, rest),
+                    },
+                };
+                Ok(Request::Query {
+                    surface,
+                    text: text.to_string(),
+                })
+            }
+            "QUERY" => Err("QUERY needs a query text".to_string()),
+            other => Err(format!("unknown command {other}")),
+        }
+    }
+
+    /// Renders the request as its wire line (the inverse of
+    /// [`Request::parse`]; queries always carry the explicit surface tag).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Query { surface, text } => format!("QUERY {} {}", surface.tag(), text),
+            Request::Stats => "STATS".to_string(),
+            Request::Epoch => "EPOCH".to_string(),
+            Request::Bump => "BUMP".to_string(),
+            Request::Ping => "PING".to_string(),
+            Request::Quit => "QUIT".to_string(),
+            Request::Empty => String::new(),
+        }
+    }
+}
+
+/// The typed payload of a successful query response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Whether planning came from the plan cache.
+    pub cache: CacheStatus,
+    /// Whether this request evaluated (leader) or coalesced (waiter).
+    pub dedup: DedupRole,
+    /// The stats epoch the request ran under.
+    pub epoch: u64,
+    /// The canonical result lines, one per path, in result order.
+    pub paths: Vec<String>,
+}
+
+/// One typed protocol response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// A successful query (`OK …` / `PATH …` × n / `END`).
+    Query(QueryReply),
+    /// `PONG`.
+    Pong,
+    /// `EPOCH <n>`.
+    Epoch(u64),
+    /// `STATS <counters>`.
+    Stats(String),
+    /// The empty response to an empty request line.
+    Empty,
+    /// `ERR <kind>: <message>` — `kind` is `parse`, `admission`,
+    /// `evaluation` ([`crate::ServiceError::kind`]) or `protocol`.
+    Error {
+        /// The error category.
+        kind: String,
+        /// The single-line message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as its wire lines (the server side of the
+    /// boundary).
+    pub fn render(&self) -> Vec<String> {
+        match self {
+            Response::Query(reply) => {
+                let mut out = Vec::with_capacity(reply.paths.len() + 2);
                 out.push(format!(
                     "OK {} cache={} dedup={} epoch={}",
-                    response.outcome.paths.len(),
-                    match response.cache {
-                        crate::service::CacheStatus::Hit => "hit",
-                        crate::service::CacheStatus::Miss => "miss",
+                    reply.paths.len(),
+                    match reply.cache {
+                        CacheStatus::Hit => "hit",
+                        CacheStatus::Miss => "miss",
                     },
-                    match response.dedup {
-                        crate::service::DedupRole::Leader => "leader",
-                        crate::service::DedupRole::Waiter => "waiter",
+                    match reply.dedup {
+                        DedupRole::Leader => "leader",
+                        DedupRole::Waiter => "waiter",
                     },
-                    response.epoch
+                    reply.epoch
                 ));
-                for path in response.outcome.canonical_lines() {
+                for path in &reply.paths {
                     out.push(format!("PATH {path}"));
                 }
                 out.push("END".to_string());
                 out
             }
-            Err(e) => vec![format!(
-                "ERR {}: {}",
-                e.kind(),
-                e.to_string().replace('\n', " ")
-            )],
-        }),
-        "QUERY" => Some(vec!["ERR protocol: QUERY needs a query text".to_string()]),
-        other => Some(vec![format!("ERR protocol: unknown command {other}")]),
+            Response::Pong => vec!["PONG".to_string()],
+            Response::Epoch(n) => vec![format!("EPOCH {n}")],
+            Response::Stats(counters) => vec![format!("STATS {counters}")],
+            Response::Empty => Vec::new(),
+            Response::Error { kind, message } => vec![format!("ERR {kind}: {message}")],
+        }
     }
+
+    /// Parses response lines back into the typed form (the client side of
+    /// the boundary). Errors mean the peer violated the protocol.
+    pub fn parse(lines: &[String]) -> Result<Response, String> {
+        let Some(first) = lines.first() else {
+            return Ok(Response::Empty);
+        };
+        if first == "PONG" {
+            return Ok(Response::Pong);
+        }
+        if let Some(n) = first.strip_prefix("EPOCH ") {
+            return n
+                .parse()
+                .map(Response::Epoch)
+                .map_err(|_| format!("malformed epoch line: {first}"));
+        }
+        if let Some(counters) = first.strip_prefix("STATS ") {
+            return Ok(Response::Stats(counters.to_string()));
+        }
+        if let Some(error) = first.strip_prefix("ERR ") {
+            let (kind, message) = error
+                .split_once(": ")
+                .ok_or_else(|| format!("malformed error line: {first}"))?;
+            return Ok(Response::Error {
+                kind: kind.to_string(),
+                message: message.to_string(),
+            });
+        }
+        if let Some(header) = first.strip_prefix("OK ") {
+            let mut cache = None;
+            let mut dedup = None;
+            let mut epoch = None;
+            for field in header.split(' ').skip(1) {
+                match field.split_once('=') {
+                    Some(("cache", "hit")) => cache = Some(CacheStatus::Hit),
+                    Some(("cache", "miss")) => cache = Some(CacheStatus::Miss),
+                    Some(("dedup", "leader")) => dedup = Some(DedupRole::Leader),
+                    Some(("dedup", "waiter")) => dedup = Some(DedupRole::Waiter),
+                    Some(("epoch", e)) => epoch = e.parse().ok(),
+                    _ => {}
+                }
+            }
+            let (Some(cache), Some(dedup), Some(epoch)) = (cache, dedup, epoch) else {
+                return Err(format!("malformed OK header: {first}"));
+            };
+            if lines.last().map(String::as_str) != Some("END") {
+                return Err("query response not terminated by END".to_string());
+            }
+            let paths = lines[1..lines.len() - 1]
+                .iter()
+                .map(|l| {
+                    l.strip_prefix("PATH ")
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("malformed path line: {l}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::Query(QueryReply {
+                cache,
+                dedup,
+                epoch,
+                paths,
+            }));
+        }
+        Err(format!("unrecognised response line: {first}"))
+    }
+
+    /// The result paths of a successful query, or the error rendered as
+    /// `Err` — the convenient view for callers that only want the answer.
+    pub fn into_paths(self) -> Result<Vec<String>, String> {
+        match self {
+            Response::Query(reply) => Ok(reply.paths),
+            Response::Error { kind, message } => Err(format!("ERR {kind}: {message}")),
+            other => Err(format!("not a query response: {other:?}")),
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, line) in self.render().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            f.write_str(line)?;
+        }
+        Ok(())
+    }
+}
+
+/// Handles one typed request. Returns `None` for [`Request::Quit`] (close
+/// the connection), otherwise the typed response. This is the whole server
+/// logic — no strings until [`Response::render`].
+pub fn handle_request(service: &QueryService, request: &Request) -> Option<Response> {
+    match request {
+        Request::Quit => None,
+        Request::Empty => Some(Response::Empty),
+        Request::Ping => Some(Response::Pong),
+        Request::Epoch => Some(Response::Epoch(service.epoch())),
+        Request::Bump => Some(Response::Epoch(service.bump_epoch())),
+        Request::Stats => Some(Response::Stats(service.metrics().to_string())),
+        Request::Query { surface, text } => Some(match service.submit_on(*surface, text) {
+            Ok(response) => Response::Query(QueryReply {
+                cache: response.cache,
+                dedup: response.dedup,
+                epoch: response.epoch,
+                paths: response.outcome.canonical_lines(),
+            }),
+            Err(e) => Response::Error {
+                kind: e.kind().to_string(),
+                message: e.to_string().replace('\n', " "),
+            },
+        }),
+    }
+}
+
+/// Handles one wire line: parse → [`handle_request`] → render. Returns
+/// `None` for `QUIT` (close the connection), otherwise the response lines.
+/// Kept as the socket loop's entry point and for tests that drive the
+/// protocol textually.
+pub fn handle_line(service: &QueryService, line: &str) -> Option<Vec<String>> {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => {
+            return Some(
+                Response::Error {
+                    kind: "protocol".to_string(),
+                    message,
+                }
+                .render(),
+            )
+        }
+    };
+    handle_request(service, &request).map(|response| response.render())
 }
 
 /// A handle on a running server: shuts it down and cleans up the socket on
@@ -211,18 +459,35 @@ impl Client {
         Ok(out)
     }
 
-    /// Sends `QUERY <text>` and returns the `PATH` payload lines, or the
-    /// error line as `Err`.
-    pub fn query(&mut self, text: &str) -> io::Result<Result<Vec<String>, String>> {
-        let response = self.request(&format!("QUERY {text}"))?;
-        if response[0].starts_with("OK ") {
-            Ok(Ok(response[1..response.len() - 1]
-                .iter()
-                .map(|l| l.trim_start_matches("PATH ").to_string())
-                .collect()))
-        } else {
-            Ok(Err(response[0].clone()))
+    /// Sends a typed request and parses the typed response. `Ok(None)`
+    /// means the request was [`Request::Quit`] (no response follows).
+    /// Protocol violations by the peer surface as `InvalidData` errors.
+    pub fn send(&mut self, request: &Request) -> io::Result<Option<Response>> {
+        if matches!(request, Request::Quit) {
+            self.writer.write_all(b"QUIT\n")?;
+            self.writer.flush()?;
+            return Ok(None);
         }
+        let lines = self.request(&request.render())?;
+        Response::parse(&lines)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `QUERY GQL <text>` and returns the typed [`Response`] — a
+    /// [`Response::Query`] with the cache/dedup/epoch metadata and the
+    /// canonical path lines, or a [`Response::Error`].
+    pub fn query(&mut self, text: &str) -> io::Result<Response> {
+        self.query_on(QuerySurface::Gql, text)
+    }
+
+    /// [`Client::query`] for any query surface.
+    pub fn query_on(&mut self, surface: QuerySurface, text: &str) -> io::Result<Response> {
+        let response = self.send(&Request::Query {
+            surface,
+            text: text.to_string(),
+        })?;
+        Ok(response.expect("query requests always get a response"))
     }
 
     fn read_line(&mut self) -> io::Result<String> {
@@ -249,31 +514,157 @@ mod tests {
         Arc::new(QueryService::with_defaults(Arc::new(figure1_graph())))
     }
 
+    const SHORTEST: &str = "MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)";
+
     #[test]
-    fn handle_line_covers_the_whole_command_table() {
+    fn requests_parse_into_typed_variants() {
+        assert_eq!(Request::parse("PING"), Ok(Request::Ping));
+        assert_eq!(Request::parse("EPOCH"), Ok(Request::Epoch));
+        assert_eq!(Request::parse("BUMP"), Ok(Request::Bump));
+        assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+        assert_eq!(Request::parse(""), Ok(Request::Empty));
+        assert_eq!(
+            Request::parse("QUERY MATCH ALL WALK p = (?x)-[:Knows]->(?y)"),
+            Ok(Request::Query {
+                surface: QuerySurface::Gql,
+                text: "MATCH ALL WALK p = (?x)-[:Knows]->(?y)".to_string(),
+            }),
+            "bare QUERY defaults to the GQL surface"
+        );
+        assert_eq!(
+            Request::parse("QUERY RPQ reach(x, y) :- :Knows+, trail."),
+            Ok(Request::Query {
+                surface: QuerySurface::Rpq,
+                text: "reach(x, y) :- :Knows+, trail.".to_string(),
+            })
+        );
+        assert_eq!(
+            Request::parse("QUERY IR {\"version\":\"query_ir_v1\"}"),
+            Ok(Request::Query {
+                surface: QuerySurface::Ir,
+                text: "{\"version\":\"query_ir_v1\"}".to_string(),
+            })
+        );
+        assert!(Request::parse("QUERY").is_err());
+        assert!(Request::parse("QUERY RPQ").is_err(), "tag without payload");
+        assert!(Request::parse("NONSENSE").is_err());
+    }
+
+    #[test]
+    fn requests_render_back_to_wire_lines() {
+        for line in ["PING", "EPOCH", "BUMP", "STATS", "QUIT", ""] {
+            assert_eq!(Request::parse(line).unwrap().render(), line);
+        }
+        let query = Request::parse("QUERY RPQ reach(x, y) :- :Knows+.").unwrap();
+        assert_eq!(query.render(), "QUERY RPQ reach(x, y) :- :Knows+.");
+        assert_eq!(Request::parse(&query.render()), Ok(query));
+    }
+
+    #[test]
+    fn handle_request_covers_the_whole_command_table() {
+        let svc = service();
+        assert_eq!(handle_request(&svc, &Request::Ping), Some(Response::Pong));
+        assert_eq!(
+            handle_request(&svc, &Request::Epoch),
+            Some(Response::Epoch(0))
+        );
+        assert_eq!(
+            handle_request(&svc, &Request::Bump),
+            Some(Response::Epoch(1))
+        );
+        assert!(matches!(
+            handle_request(&svc, &Request::Stats),
+            Some(Response::Stats(_))
+        ));
+        assert_eq!(handle_request(&svc, &Request::Quit), None);
+        assert_eq!(handle_request(&svc, &Request::Empty), Some(Response::Empty));
+
+        let ok = handle_request(
+            &svc,
+            &Request::Query {
+                surface: QuerySurface::Gql,
+                text: SHORTEST.to_string(),
+            },
+        )
+        .unwrap();
+        let Response::Query(reply) = &ok else {
+            panic!("expected a query reply, got {ok:?}");
+        };
+        assert_eq!(reply.cache, CacheStatus::Miss);
+        assert_eq!(reply.dedup, DedupRole::Leader);
+        assert!(!reply.paths.is_empty());
+
+        let bad = handle_request(
+            &svc,
+            &Request::Query {
+                surface: QuerySurface::Gql,
+                text: "THIS IS NOT GQL".to_string(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(bad, Response::Error { ref kind, .. } if kind == "parse"));
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_form() {
+        let cases = [
+            Response::Pong,
+            Response::Epoch(42),
+            Response::Stats("served=1".to_string()),
+            Response::Empty,
+            Response::Error {
+                kind: "parse".to_string(),
+                message: "bad query".to_string(),
+            },
+            Response::Query(QueryReply {
+                cache: CacheStatus::Hit,
+                dedup: DedupRole::Waiter,
+                epoch: 3,
+                paths: vec!["n1-e1-n2".to_string(), "n2-e2-n3".to_string()],
+            }),
+        ];
+        for response in cases {
+            let parsed = Response::parse(&response.render()).unwrap();
+            assert_eq!(parsed, response);
+        }
+        assert!(Response::parse(&["WHAT".to_string()]).is_err());
+    }
+
+    #[test]
+    fn handle_line_parses_dispatches_and_renders() {
         let svc = service();
         assert_eq!(handle_line(&svc, "PING"), Some(vec!["PONG".into()]));
-        assert_eq!(handle_line(&svc, "EPOCH"), Some(vec!["EPOCH 0".into()]));
-        assert_eq!(handle_line(&svc, "BUMP"), Some(vec!["EPOCH 1".into()]));
-        assert!(handle_line(&svc, "STATS").unwrap()[0].starts_with("STATS served="));
         assert_eq!(handle_line(&svc, "QUIT"), None);
         assert_eq!(handle_line(&svc, ""), Some(Vec::new()));
         assert!(handle_line(&svc, "NONSENSE").unwrap()[0].starts_with("ERR protocol"));
         assert!(handle_line(&svc, "QUERY").unwrap()[0].starts_with("ERR protocol"));
-        let response = handle_line(
-            &svc,
-            "QUERY MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)",
-        )
-        .unwrap();
+        let response = handle_line(&svc, &format!("QUERY {SHORTEST}")).unwrap();
         assert!(response[0].starts_with("OK "));
         assert!(response[0].contains("cache=miss"));
         assert!(response[0].contains("dedup=leader"));
         assert_eq!(response.last().unwrap(), "END");
-        assert!(response[1..response.len() - 1]
-            .iter()
-            .all(|l| l.starts_with("PATH ")));
-        let bad = handle_line(&svc, "QUERY THIS IS NOT GQL").unwrap();
-        assert!(bad[0].starts_with("ERR parse:"));
+    }
+
+    #[test]
+    fn every_surface_works_over_the_wire_and_shares_the_plan_cache() {
+        let svc = service();
+        let gql = handle_line(&svc, &format!("QUERY GQL {SHORTEST}")).unwrap();
+        assert!(gql[0].contains("cache=miss"), "{}", gql[0]);
+        let rpq = handle_line(
+            &svc,
+            "QUERY RPQ reach(x, y) :- (:Knows)+, trail, any_shortest.",
+        )
+        .unwrap();
+        assert!(rpq[0].contains("cache=hit"), "{}", rpq[0]);
+        let ir_doc = pathalg_parser::parse_surface(QuerySurface::Gql, SHORTEST)
+            .unwrap()
+            .to_json_string();
+        let ir = handle_line(&svc, &format!("QUERY IR {ir_doc}")).unwrap();
+        assert!(ir[0].contains("cache=hit"), "{}", ir[0]);
+        // Byte-identical result lines across all three surfaces.
+        assert_eq!(gql[1..], rpq[1..]);
+        assert_eq!(gql[1..], ir[1..]);
     }
 
     #[test]
@@ -283,18 +674,26 @@ mod tests {
         let path = dir.join(format!("pathalg-test-{}.sock", std::process::id()));
         let handle = serve(svc, path.clone()).unwrap();
         let mut client = Client::connect(&path).unwrap();
-        assert_eq!(client.request("PING").unwrap(), vec!["PONG".to_string()]);
-        let paths = client
-            .query("MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)")
-            .unwrap()
-            .unwrap();
-        assert!(!paths.is_empty());
-        // Second run on a second connection: the plan cache is shared.
+        assert_eq!(client.send(&Request::Ping).unwrap(), Some(Response::Pong));
+        let Response::Query(reply) = client.query(SHORTEST).unwrap() else {
+            panic!("expected a query reply");
+        };
+        assert!(!reply.paths.is_empty());
+        assert_eq!(reply.cache, CacheStatus::Miss);
+        // Second run on a second connection, over the RPQ surface: the plan
+        // cache is shared across connections *and* surfaces.
         let mut second = Client::connect(&path).unwrap();
         let response = second
-            .request("QUERY MATCH ANY SHORTEST TRAIL p = (?x)-[(:Knows)+]->(?y)")
+            .query_on(
+                QuerySurface::Rpq,
+                "reach(x, y) :- (:Knows)+, trail, any_shortest.",
+            )
             .unwrap();
-        assert!(response[0].contains("cache=hit"));
+        let Response::Query(rpq_reply) = response else {
+            panic!("expected a query reply");
+        };
+        assert_eq!(rpq_reply.cache, CacheStatus::Hit);
+        assert_eq!(rpq_reply.paths, reply.paths, "byte-identical answers");
         drop(client);
         drop(second);
         handle.shutdown();

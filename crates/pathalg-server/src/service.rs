@@ -36,7 +36,7 @@ use pathalg_engine::exec::{EngineEvaluator, ExecutionConfig, StrategyDecision};
 use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::stats::GraphStats;
 use pathalg_parser::normalize::{plan_cache_key, PlanKey};
-use pathalg_parser::parse_query;
+use pathalg_parser::{lower_to_checked_plan, parse_surface, QuerySurface};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
@@ -199,7 +199,7 @@ pub struct QueryService {
     optimizer: Optimizer,
     snapshot: RwLock<StatsSnapshot>,
     cache: Mutex<PlanCache>,
-    text_cache: Mutex<Lru<String, (PlanExpr, PlanKey)>>,
+    text_cache: Mutex<Lru<(QuerySurface, String), (PlanExpr, PlanKey)>>,
     flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
     metrics: Metrics,
     pre_execute: RwLock<Option<PreExecuteHook>>,
@@ -285,10 +285,24 @@ impl QueryService {
         epoch
     }
 
-    /// Submits one query: parse (or alias-cache) → plan (or plan-cache) →
-    /// admit → execute (or coalesce). See the module docs.
+    /// Submits one GQL query: parse (or alias-cache) → plan (or plan-cache)
+    /// → admit → execute (or coalesce). See the module docs. Shorthand for
+    /// [`QueryService::submit_on`] with [`QuerySurface::Gql`].
     pub fn submit(&self, text: &str) -> Result<QueryResponse, ServiceError> {
-        let (plan, key) = self.plan_of(text)?;
+        self.submit_on(QuerySurface::Gql, text)
+    }
+
+    /// Submits one query written in any surface. Every surface lowers
+    /// through the same IR and checked plan, so the plan-cache key, the
+    /// admission decision and the in-flight deduplication are identical for
+    /// the same logical query regardless of `surface` — a GQL leader's
+    /// evaluation is shared with an RPQ waiter and vice versa.
+    pub fn submit_on(
+        &self,
+        surface: QuerySurface,
+        text: &str,
+    ) -> Result<QueryResponse, ServiceError> {
+        let (plan, key) = self.plan_of(surface, text)?;
         self.submit_keyed(&plan, key)
     }
 
@@ -354,7 +368,16 @@ impl QueryService {
     /// the cache. The `scaling_service` bench uses this to time planning in
     /// isolation from evaluation.
     pub fn prepare(&self, text: &str) -> Result<(Arc<CachedPlan>, CacheStatus), ServiceError> {
-        let (plan, key) = self.plan_of(text)?;
+        self.prepare_on(QuerySurface::Gql, text)
+    }
+
+    /// [`QueryService::prepare`] for any query surface.
+    pub fn prepare_on(
+        &self,
+        surface: QuerySurface,
+        text: &str,
+    ) -> Result<(Arc<CachedPlan>, CacheStatus), ServiceError> {
+        let (plan, key) = self.plan_of(surface, text)?;
         let recursion = self.effective_recursion();
         let (stats, epoch) = {
             let snapshot = self.snapshot.read().unwrap();
@@ -366,19 +389,27 @@ impl QueryService {
         Ok((cached, status))
     }
 
-    /// Parse stage with the text-alias cache: repeat request strings skip
-    /// the parser, the type check, and the key computation.
-    fn plan_of(&self, text: &str) -> Result<(PlanExpr, PlanKey), ServiceError> {
-        if let Some(hit) = self.text_cache.lock().unwrap().get(&text.to_string()) {
+    /// Parse stage with the text-alias cache: repeat request strings (per
+    /// surface) skip the parser, the IR lowering, the type check, and the
+    /// key computation. Different surfaces spelling the same logical query
+    /// alias to distinct text entries but converge on the same [`PlanKey`] —
+    /// and therefore one plan-cache entry and one flight.
+    fn plan_of(
+        &self,
+        surface: QuerySurface,
+        text: &str,
+    ) -> Result<(PlanExpr, PlanKey), ServiceError> {
+        let alias = (surface, text.to_string());
+        if let Some(hit) = self.text_cache.lock().unwrap().get(&alias) {
             return Ok(hit);
         }
-        let query = parse_query(text).map_err(|e| ServiceError::Parse(e.to_string()))?;
-        let plan = query.to_checked_plan().map_err(ServiceError::Evaluation)?;
+        let ir = parse_surface(surface, text).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        let plan = lower_to_checked_plan(&ir).map_err(ServiceError::Evaluation)?;
         let key = plan_cache_key(&plan, &self.effective_recursion());
         self.text_cache
             .lock()
             .unwrap()
-            .insert(text.to_string(), (plan.clone(), key.clone()));
+            .insert(alias, (plan.clone(), key.clone()));
         Ok((plan, key))
     }
 
@@ -564,6 +595,28 @@ mod tests {
         ));
         assert_eq!(svc.metrics().admission_rejected(), 1);
         assert_eq!(svc.metrics().executions(), 0, "never started enumerating");
+    }
+
+    #[test]
+    fn surfaces_converge_on_one_plan_cache_entry() {
+        let svc = service();
+        let gql = svc.submit_on(QuerySurface::Gql, SHORTEST).unwrap();
+        let rpq = svc
+            .submit_on(
+                QuerySurface::Rpq,
+                "reach(x, y) :- (:Knows)+, trail, any_shortest.",
+            )
+            .unwrap();
+        let ir_doc = parse_surface(QuerySurface::Gql, SHORTEST)
+            .unwrap()
+            .to_json_string();
+        let ir = svc.submit_on(QuerySurface::Ir, &ir_doc).unwrap();
+        assert_eq!(gql.cache, CacheStatus::Miss);
+        assert_eq!(rpq.cache, CacheStatus::Hit, "RPQ shares the GQL plan");
+        assert_eq!(ir.cache, CacheStatus::Hit, "raw IR shares the GQL plan");
+        assert_eq!(svc.cached_plans(), 1, "one logical query, one entry");
+        assert_eq!(gql.outcome.canonical_lines(), rpq.outcome.canonical_lines());
+        assert_eq!(gql.outcome.canonical_lines(), ir.outcome.canonical_lines());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 mod figures;
 mod serve;
+mod surfaces;
 mod tables;
 
 use std::env;
@@ -91,6 +92,11 @@ fn main() {
             "optimizer-demo",
             "Section 7.3 ϕWalk→ϕShortest rewrite",
             figures::optimizer_demo,
+        ),
+        (
+            "surfaces",
+            "one query through the GQL, RPQ and JSON-IR surfaces",
+            surfaces::surfaces,
         ),
     ];
 

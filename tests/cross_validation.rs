@@ -576,8 +576,7 @@ proptest! {
     ) {
         use pathalg::algebra::ops::group_by::{group_by, GroupKey};
         use pathalg::algebra::ops::projection::{projection, ProjectionSpec, Take};
-        use pathalg::algebra::PlanExpr;
-        use pathalg::engine::EngineEvaluator;
+            use pathalg::engine::EngineEvaluator;
 
         let (semantics, cfg) = join_semantics_cases()[sem % 5];
         let condition = match side {
@@ -593,11 +592,7 @@ proptest! {
                 &ProjectionSpec::new(Take::All, Take::All, Take::Count(1)),
                 &group_by(GroupKey::SourceTarget, &filtered),
             );
-            let base = labels
-                .iter()
-                .map(|l| PlanExpr::edges().select(Condition::edge_label(1, *l)))
-                .reduce(|a, b| a.join(b))
-                .expect("at least one label");
+            let base = pathalg::algebra::plan::chain(labels.iter().copied());
             let plan = base
                 .recursive(semantics)
                 .select(condition)
@@ -645,7 +640,7 @@ fn sigma_pushdown_lazy_equals_filter_after_materialise_at_every_thread_count() {
     use pathalg::algebra::PlanExpr;
     use pathalg::engine::EngineEvaluator;
 
-    let scan = |label: &str| PlanExpr::edges().select(Condition::edge_label(1, label));
+    let scan = |label: &str| pathalg::algebra::plan::scan(label);
     // (condition, base plan, base labels) — first-only, last-only, and a
     // conjunction of both, over a plain scan and over a join chain.
     let cases: Vec<(Condition, PlanExpr, Vec<&str>)> = vec![
@@ -725,10 +720,9 @@ fn sliced_pipelines_over_join_chains_match_materialised_evaluation() {
     use pathalg::algebra::ops::group_by::{group_by, GroupKey};
     use pathalg::algebra::ops::order_by::{order_by, OrderKey};
     use pathalg::algebra::ops::projection::{projection, ProjectionSpec, Take};
-    use pathalg::algebra::PlanExpr;
     use pathalg::engine::EngineEvaluator;
 
-    let scan = |label: &str| PlanExpr::edges().select(Condition::edge_label(1, label));
+    let scan = |label: &str| pathalg::algebra::plan::scan(label);
     for (name, graph) in test_graphs() {
         for (semantics, recursion) in join_semantics_cases() {
             let closure = match materialized_join_closure(
@@ -988,10 +982,9 @@ fn serial_sharp_stop_matches_parallel_on_snb_workload() {
 fn engine_parallel_lazy_pipelines_record_their_strategy_and_match_serial() {
     use pathalg::algebra::ops::group_by::GroupKey;
     use pathalg::algebra::ops::projection::{ProjectionSpec, Take};
-    use pathalg::algebra::PlanExpr;
     use pathalg::engine::EngineEvaluator;
 
-    let scan = |label: &str| PlanExpr::edges().select(Condition::edge_label(1, label));
+    let scan = |label: &str| pathalg::algebra::plan::scan(label);
     let recursion = RecursionConfig::default();
     let plans = [
         scan("Knows")

@@ -17,7 +17,6 @@
 //! (labels, ϕ semantics, recursion bounds) never collide.
 
 use pathalg::algebra::budget::RequestQuota;
-use pathalg::algebra::condition::Condition;
 use pathalg::algebra::error::AlgebraError;
 use pathalg::algebra::expr::PlanExpr;
 use pathalg::algebra::ops::recursive::{PathSemantics, RecursionConfig};
@@ -268,9 +267,7 @@ fn budget_exhaustion_is_typed_and_does_not_wedge_the_service() {
 // Plan-cache key properties (vendored proptest)
 // ---------------------------------------------------------------------------
 
-fn scan(label: &str) -> PlanExpr {
-    PlanExpr::edges().select(Condition::edge_label(1, label))
-}
+use pathalg::algebra::plan::scan;
 
 /// Builds an arbitrary association shape of `labels.join(...)` driven by the
 /// proptest-supplied split seed — same label sequence, different tree. Each
