@@ -8,8 +8,8 @@
 #   ./ci.sh --bench-json  run every bench target under PATHALG_BENCH_MAX_MS
 #                         and write the perf-trajectory artifact
 #                         (bench id → ns/iter) at the repo root; the output
-#                         file is $PATHALG_BENCH_OUT (default BENCH_PR6.json)
-#   ./ci.sh --perf-diff OLD.json NEW.json [--threshold X]
+#                         file is $PATHALG_BENCH_OUT (default BENCH_PR8.json)
+#   ./ci.sh --perf-diff OLD.json NEW.json [--threshold X] [--geomean]
 #                         compare two trajectory artifacts: per-target
 #                         geometric-mean ratios over the shared ids, the
 #                         worst individual regressions, and clearly-labelled
@@ -18,7 +18,12 @@
 #                         benches with *expected* larger deltas — e.g.
 #                         thread sweeps moved onto new machinery — can be
 #                         gated intentionally at a looser factor instead of
-#                         being exempted)
+#                         being exempted). With --geomean the gate applies
+#                         to each per-target geometric mean instead of to
+#                         individual ids — the right mode for tight
+#                         thresholds on wall-time benches, where single-id
+#                         run-to-run drift exceeds the threshold but the
+#                         aggregate averages it out
 #   ./ci.sh --perf-diff-selftest
 #                         run the perf-diff comparator against generated
 #                         fixtures (pass, regression, added/removed,
@@ -61,15 +66,18 @@ full() {
     step "repro surfaces (cross-surface front-end demo)"
     cargo run -q --release -p repro -- surfaces
 
+    step "repro obs (observability demo: trace + METRICS exposition)"
+    cargo run -q --release -p repro -- obs
+
     printf '\nci.sh: all checks passed\n'
 }
 
 # Runs every bench target with the vendored criterion's JSON-lines emitter
-# enabled, then assembles $PATHALG_BENCH_OUT (default BENCH_PR6.json): a flat
+# enabled, then assembles $PATHALG_BENCH_OUT (default BENCH_PR8.json): a flat
 # "target/bench-id" → ns/iter map. PATHALG_BENCH_MAX_MS caps the
 # per-benchmark measurement window.
 bench_json() {
-    local out="${PATHALG_BENCH_OUT:-BENCH_PR6.json}"
+    local out="${PATHALG_BENCH_OUT:-BENCH_PR8.json}"
     local jsonl="${out}.jsonl.tmp"
     rm -f "$jsonl" "$out"
 
@@ -121,18 +129,20 @@ bench_json() {
 # per-target geometric-mean ratio (NEW/OLD) plus the worst individual ids,
 # lists added/removed ids in clearly-labelled sections, and fails when any
 # shared id regressed by more than the threshold (third argument, falling
-# back to PATHALG_PERF_FACTOR, default 2.0).
+# back to PATHALG_PERF_FACTOR, default 2.0). A fourth argument of
+# "geomean" gates each per-target geometric mean instead of individual ids.
 perf_diff() {
     local old="$1" new="$2"
     local factor="${3:-${PATHALG_PERF_FACTOR:-2.0}}"
+    local mode="${4:-ids}"
     for f in "$old" "$new"; do
         if [ ! -f "$f" ]; then
             echo "ci.sh: perf-diff: no such file: $f" >&2
             exit 2
         fi
     done
-    step "perf diff $old -> $new (fail on >${factor}x regression)"
-    awk -v factor="$factor" '
+    step "perf diff $old -> $new (fail on >${factor}x regression, per ${mode})"
+    awk -v factor="$factor" -v mode="$mode" '
         # Trajectory lines look like:   "target/bench-id": 1234.5,
         /": *[0-9]/ {
             key = $0; sub(/^ *"/, "", key); sub(/".*/, "", key)
@@ -151,15 +161,20 @@ perf_diff() {
                 target = key; sub(/\/.*/, "", target)
                 logsum[target] += log(ratio); n[target]++
                 if (ratio > worst[target]) { worst[target] = ratio; worst_id[target] = key }
-                if (ratio > factor) {
+                if (mode != "geomean" && ratio > factor) {
                     printf "  REGRESSION %.2fx  %s (%.0f -> %.0f ns/iter)\n", ratio, key, old[key], new_[key]
                     regressions++
                 }
             }
             printf "  == shared ids: %d, per-target geomean (NEW/OLD) ==\n", shared
             for (target in n) {
+                gm = exp(logsum[target] / n[target])
                 printf "  %-24s geomean %.2fx  worst %.2fx (%s)\n", \
-                    target, exp(logsum[target] / n[target]), worst[target], worst_id[target]
+                    target, gm, worst[target], worst_id[target]
+                if (mode == "geomean" && gm > factor) {
+                    printf "  REGRESSION geomean %.2fx  %s\n", gm, target
+                    regressions++
+                }
             }
             # -- changed id sets, labelled so renames are never silent ------
             added = 0
@@ -259,6 +274,20 @@ JSON
         echo "ci.sh: selftest: tightened-threshold regression line missing" >&2
         cat "$dir/tight.out" >&2; return 1; }
 
+    # Geomean mode: the same 1.2 threshold that fails per-id (alpha/x is
+    # 1.5x) passes on the aggregate (alpha geomean ≈ 1.16x), and a 1.1
+    # threshold catches the aggregate.
+    out="$(perf_diff "$dir/old.json" "$dir/new.json" 1.2 geomean)" || {
+        echo "ci.sh: selftest: geomean 1.2 should tolerate a 1.16x aggregate" >&2; return 1; }
+    status=0
+    (perf_diff "$dir/old.json" "$dir/new.json" 1.1 geomean > "$dir/gm.out" 2>&1) || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "ci.sh: selftest: geomean 1.1 exited $status, expected 1" >&2; return 1
+    fi
+    grep -q "REGRESSION geomean 1.16x" "$dir/gm.out" || {
+        echo "ci.sh: selftest: geomean regression line missing" >&2
+        cat "$dir/gm.out" >&2; return 1; }
+
     cat > "$dir/disjoint.json" <<'JSON'
 {
   "gamma/only": 10
@@ -288,19 +317,26 @@ case "${1:-}" in
         bench_json
         ;;
     --perf-diff)
-        if [ $# -lt 3 ] || [ $# -gt 5 ]; then
-            echo "usage: ./ci.sh --perf-diff OLD.json NEW.json [--threshold X]" >&2
+        usage="usage: ./ci.sh --perf-diff OLD.json NEW.json [--threshold X] [--geomean]"
+        if [ $# -lt 3 ]; then
+            echo "$usage" >&2
             exit 2
         fi
-        threshold=""
-        if [ $# -ge 4 ]; then
-            if [ "$4" != "--threshold" ] || [ $# -ne 5 ]; then
-                echo "usage: ./ci.sh --perf-diff OLD.json NEW.json [--threshold X]" >&2
-                exit 2
-            fi
-            threshold="$5"
-        fi
-        perf_diff "$2" "$3" $threshold
+        old_json="$2" new_json="$3"
+        shift 3
+        threshold="" mode="ids"
+        while [ $# -gt 0 ]; do
+            case "$1" in
+                --threshold)
+                    if [ $# -lt 2 ]; then echo "$usage" >&2; exit 2; fi
+                    threshold="$2"; shift 2 ;;
+                --geomean)
+                    mode="geomean"; shift ;;
+                *)
+                    echo "$usage" >&2; exit 2 ;;
+            esac
+        done
+        perf_diff "$old_json" "$new_json" "${threshold:-${PATHALG_PERF_FACTOR:-2.0}}" "$mode"
         ;;
     --perf-diff-selftest)
         perf_diff_selftest
@@ -309,7 +345,7 @@ case "${1:-}" in
         full
         ;;
     *)
-        echo "usage: ./ci.sh [--quick | --bench-json | --perf-diff OLD.json NEW.json [--threshold X] | --perf-diff-selftest]" >&2
+        echo "usage: ./ci.sh [--quick | --bench-json | --perf-diff OLD.json NEW.json [--threshold X] [--geomean] | --perf-diff-selftest]" >&2
         exit 2
         ;;
 esac

@@ -36,6 +36,7 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod gql;
+pub mod obs;
 pub mod ops;
 pub mod optimizer;
 pub mod path;
@@ -50,6 +51,7 @@ pub use error::AlgebraError;
 pub use eval::{EvalConfig, EvalOutput, EvalStats, Evaluator};
 pub use expr::PlanExpr;
 pub use gql::{Restrictor, Selector};
+pub use obs::{LatencyHistogram, Stage, StageSpans, WorkCounters};
 pub use ops::group_by::GroupKey;
 pub use ops::order_by::OrderKey;
 pub use ops::projection::{ProjectionSpec, Take};

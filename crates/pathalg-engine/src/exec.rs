@@ -31,6 +31,7 @@ use pathalg_core::condition::Condition;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::eval::{EvalOutput, EvalStats};
 use pathalg_core::expr::PlanExpr;
+use pathalg_core::obs::WorkCounters;
 use pathalg_core::ops::group_by::group_by;
 use pathalg_core::ops::join::join;
 use pathalg_core::ops::order_by::order_by;
@@ -156,6 +157,7 @@ pub struct EngineEvaluator<'g> {
     exec: ExecutionConfig,
     graph_stats: Option<&'g GraphStats>,
     stats: EvalStats,
+    work: WorkCounters,
     depth: usize,
     lazy_pipeline_fired: bool,
     decisions: Vec<StrategyDecision>,
@@ -177,6 +179,7 @@ impl<'g> EngineEvaluator<'g> {
             exec,
             graph_stats: None,
             stats: EvalStats::default(),
+            work: WorkCounters::default(),
             depth: 0,
             lazy_pipeline_fired: false,
             decisions: Vec::new(),
@@ -196,6 +199,18 @@ impl<'g> EngineEvaluator<'g> {
     /// evaluator).
     pub fn stats(&self) -> EvalStats {
         self.stats
+    }
+
+    /// The deterministic PMR work counters accumulated across every lazy
+    /// dispatch this evaluator performed (serial and parallel, full drains
+    /// and sliced pipelines); zero when no lazy strategy fired. Parallel
+    /// dispatches fold in the batch-order merged [`ParallelRun::work`]
+    /// totals, so on serial-parity schedules the counters match the serial
+    /// run byte for byte at every thread count.
+    ///
+    /// [`ParallelRun::work`]: pathalg_pmr::parallel::ParallelRun::work
+    pub fn work_counters(&self) -> WorkCounters {
+        self.work
     }
 
     /// The strategy decisions recorded so far, in evaluation order — one per
@@ -286,9 +301,24 @@ impl<'g> EngineEvaluator<'g> {
                             // until emission. Output sequence identical to
                             // the frontier.
                             PhiImpl::PmrLazy => {
-                                Pmr::from_csr(csr, *semantics, self.recursion).enumerate_all()?
+                                let mut pmr = Pmr::from_csr(csr, *semantics, self.recursion);
+                                let out = pmr.enumerate_all()?;
+                                self.work.merge(&pmr.work_counters());
+                                out
                             }
-                            _ => phi_frontier_csr(&csr, *semantics, &self.recursion, &self.exec)?,
+                            _ => {
+                                let out = phi_frontier_csr(
+                                    &csr,
+                                    *semantics,
+                                    &self.recursion,
+                                    &self.exec,
+                                )?;
+                                // The frontier produces exactly the paths it
+                                // keeps, so its emission count matches what
+                                // the PMR reports on the same full drain.
+                                self.work.paths_emitted += out.len() as u64;
+                                out
+                            }
                         };
                         EvalOutput::Paths(out)
                     }
@@ -326,12 +356,14 @@ impl<'g> EngineEvaluator<'g> {
                                 &self.parallel_config(),
                                 recursion.max_paths,
                             )?;
+                            self.work.merge(&run.work);
                             (run.paths, run.base_segments.unwrap_or(0))
                         } else {
                             let mut pmr =
                                 Pmr::from_shared_join(hops.clone(), *semantics, self.recursion);
                             let out = pmr.enumerate_all()?;
                             let segments = pmr.base_segments().unwrap_or(0);
+                            self.work.merge(&pmr.work_counters());
                             (out, segments)
                         };
                         // Charge the k−1 joins with the slice of the join
@@ -367,6 +399,10 @@ impl<'g> EngineEvaluator<'g> {
                                 phi_frontier(*semantics, &base, &self.recursion, &self.exec)?
                             }
                         };
+                        // Every materialised-base implementation emits
+                        // exactly its output; count it so closures that never
+                        // touch the PMR still report work.
+                        self.work.paths_emitted += out.len() as u64;
                         EvalOutput::Paths(out)
                     }
                 }
@@ -465,6 +501,7 @@ impl<'g> EngineEvaluator<'g> {
                 });
                 let out = pmr.sliced(&plan.spec)?;
                 let generated = pmr.steps_generated();
+                self.work.merge(&pmr.work_counters());
                 (out, generated)
             }
             LazyMode::Parallel => {
@@ -502,6 +539,7 @@ impl<'g> EngineEvaluator<'g> {
                     &self.parallel_config(),
                     self.recursion.max_paths,
                 )?;
+                self.work.merge(&run.work);
                 (run.paths, run.steps_generated)
             }
         };

@@ -48,6 +48,25 @@ impl QuerySurface {
         }
     }
 
+    /// Zero-based position of the surface in [`QuerySurface::ALL`] — the
+    /// index per-surface metric arrays are keyed by.
+    pub fn index(self) -> usize {
+        match self {
+            QuerySurface::Gql => 0,
+            QuerySurface::Rpq => 1,
+            QuerySurface::Ir => 2,
+        }
+    }
+
+    /// Lowercase label used in metric expositions (`surface="gql"`).
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            QuerySurface::Gql => "gql",
+            QuerySurface::Rpq => "rpq",
+            QuerySurface::Ir => "ir",
+        }
+    }
+
     /// Parses a wire tag back into a surface (case-insensitive).
     pub fn from_tag(tag: &str) -> Option<Self> {
         match tag.to_ascii_uppercase().as_str() {

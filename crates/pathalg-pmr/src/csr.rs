@@ -117,6 +117,11 @@ impl CsrExpansion {
         self.arena.len()
     }
 
+    /// Paths recorded against the (possibly shared) budget so far.
+    pub(crate) fn budget_count(&self) -> usize {
+        self.budget.count()
+    }
+
     /// The path semantics this expansion enumerates under.
     pub fn semantics(&self) -> PathSemantics {
         self.semantics

@@ -123,6 +123,11 @@ impl JoinExpansion {
         self.arena.len()
     }
 
+    /// Paths recorded against the (possibly shared) budget so far.
+    pub(crate) fn budget_count(&self) -> usize {
+        self.budget.count()
+    }
+
     /// Number of base segments (level-0 join results) generated so far — the
     /// part of the join output the expansion actually touched.
     pub fn base_segments(&self) -> usize {

@@ -48,6 +48,7 @@ use crate::join::JoinExpansion;
 use crate::product::{ProductExpansion, ProductItem};
 use pathalg_core::budget::PathBudget;
 use pathalg_core::error::AlgebraError;
+use pathalg_core::obs::WorkCounters;
 use pathalg_core::ops::group_by::{group_counts_from_triples, GroupCounts, GroupKey};
 use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
 use pathalg_core::path::Path;
@@ -69,6 +70,20 @@ pub struct Pmr<'g> {
     /// last node is unmarked are skipped at emission (never reconstructed)
     /// while the expansion still runs *through* them.
     target_mask: Option<Vec<bool>>,
+    /// Deterministic per-enumeration event tallies ([`Pmr::work_counters`]).
+    counts: LocalCounts,
+}
+
+/// The event tallies a `Pmr` tracks itself; everything else in
+/// [`WorkCounters`] (arena steps, base segments, budget claims) is read off
+/// the expansion state when [`Pmr::work_counters`] assembles the totals.
+#[derive(Clone, Copy, Debug, Default)]
+struct LocalCounts {
+    emitted: u64,
+    skipped: u64,
+    abandoned: u64,
+    partitions: u64,
+    kept: u64,
 }
 
 enum Inner<'g> {
@@ -139,6 +154,7 @@ impl Pmr<'static> {
         Pmr {
             inner: Inner::Csr(Box::new(CsrExpansion::new(csr, semantics, config))),
             target_mask: None,
+            counts: LocalCounts::default(),
         }
     }
 
@@ -184,6 +200,7 @@ impl Pmr<'static> {
         Pmr {
             inner: Inner::Join(Box::new(JoinExpansion::new(hops, semantics, config))),
             target_mask: None,
+            counts: LocalCounts::default(),
         }
     }
 }
@@ -202,6 +219,7 @@ impl<'g> Pmr<'g> {
                 graph, regex, semantics, config,
             ))),
             target_mask: None,
+            counts: LocalCounts::default(),
         }
     }
 
@@ -292,8 +310,16 @@ impl<'g> Pmr<'g> {
                 }),
             };
             match emit {
-                Some(e) if !self.target_admits(e.last) => continue,
-                other => return Ok(other),
+                Some(e) if !self.target_admits(e.last) => {
+                    self.counts.skipped += 1;
+                    continue;
+                }
+                other => {
+                    if other.is_some() {
+                        self.counts.emitted += 1;
+                    }
+                    return Ok(other);
+                }
             }
         }
     }
@@ -307,7 +333,15 @@ impl<'g> Pmr<'g> {
         }
     }
 
+    /// Counts an emitted path a sliced consumer discarded (would-not-keep),
+    /// so batch workers ([`parallel::sliced`]) tally skips exactly as the
+    /// serial [`Pmr::sliced`] loop does.
+    pub(crate) fn note_slice_skip(&mut self) {
+        self.counts.skipped += 1;
+    }
+
     pub(crate) fn skip_source(&mut self) {
+        self.counts.abandoned += 1;
         match &mut self.inner {
             Inner::Csr(e) => e.skip_source(),
             Inner::Join(e) => e.skip_source(),
@@ -332,6 +366,42 @@ impl<'g> Pmr<'g> {
         match &self.inner {
             Inner::Join(e) => Some(e.base_segments()),
             _ => None,
+        }
+    }
+
+    /// The deterministic work totals of everything pulled from this PMR so
+    /// far: arena steps and base segments off the expansion state, emission
+    /// and skip tallies from the pull loop, per-source abandonments, budget
+    /// claims, and — after a [`Pmr::sliced`] run — the admitting collector's
+    /// partition and kept-path counts. A path filtered before realisation
+    /// (target-mask miss, or a sliced path the collector provably would not
+    /// keep) counts as skipped; a sliced would-not-keep path was also
+    /// emitted by the expansion first, so `emitted` is the expansion-side
+    /// tally and `kept` the collector-side one. On serial-parity schedules
+    /// the whole record is byte-identical at every thread count (see
+    /// [`parallel`]).
+    pub fn work_counters(&self) -> WorkCounters {
+        WorkCounters {
+            arena_steps: self.steps_generated() as u64,
+            base_segments: self.base_segments().unwrap_or(0) as u64,
+            paths_emitted: self.counts.emitted,
+            paths_skipped: self.counts.skipped,
+            sources_abandoned: self.counts.abandoned,
+            budget_claimed: self.budget_count() as u64,
+            partitions_opened: self.counts.partitions,
+            paths_kept: self.counts.kept,
+            ..WorkCounters::default()
+        }
+    }
+
+    /// Paths recorded against the expansion's [`PathBudget`] so far. For a
+    /// batch-restricted PMR sharing one budget this is the *global* tally,
+    /// so the parallel merge reads it once instead of summing per batch.
+    pub(crate) fn budget_count(&self) -> usize {
+        match &self.inner {
+            Inner::Csr(e) => e.budget_count(),
+            Inner::Join(e) => e.budget_count(),
+            Inner::Product(e) => e.budget_count(),
         }
     }
 
@@ -428,6 +498,9 @@ impl<'g> Pmr<'g> {
                 if state == SliceState::Complete {
                     break;
                 }
+            } else {
+                // Provably not kept: skipped without reconstruction.
+                self.counts.skipped += 1;
             }
             if spec.per_group.is_some() {
                 let source_done = match spec.group_key {
@@ -452,7 +525,10 @@ impl<'g> Pmr<'g> {
                 }
             }
         }
-        Ok(collector.finish())
+        self.counts.partitions = collector.partition_count() as u64;
+        let out = collector.finish();
+        self.counts.kept = out.len() as u64;
+        Ok(out)
     }
 
     /// The full set of groups source `s` can ever contribute to, for the

@@ -45,6 +45,7 @@ use crate::Pmr;
 use mini_pool::parallel_map;
 use pathalg_core::budget::{PathBudget, SliceBudget};
 use pathalg_core::error::AlgebraError;
+use pathalg_core::obs::WorkCounters;
 use pathalg_core::ops::group_by::GroupKey;
 use pathalg_core::path::Path;
 use pathalg_core::pathset::PathSet;
@@ -78,6 +79,18 @@ pub struct ParallelRun {
     /// Total level-0 join segments generated across all batches (`None` for
     /// non-join forms).
     pub base_segments: Option<usize>,
+    /// Merged work counters: per-batch expansion tallies summed in batch
+    /// order, `budget_claimed` read once off the shared [`PathBudget`]
+    /// (each batch sees the global tally, so summing would multiply-count),
+    /// and for sliced runs the merge-side collector's partition/kept counts
+    /// (the serial admission replay, deterministic at every thread count).
+    /// On serial-parity schedules — full drains, and sliced specs without
+    /// cross-source coupling (no partition limit, source-local group key) —
+    /// [`WorkCounters::deterministic_line`] is byte-identical to the serial
+    /// [`Pmr::work_counters`] at every thread count; the scheduling
+    /// counters (`batches_scheduled`/`batches_merged`) are excluded from
+    /// that subset.
+    pub work: WorkCounters,
 }
 
 /// Splits `n` sources into contiguous batches. Without weights: fixed
@@ -161,26 +174,42 @@ where
                 Err(e) => return Err(e),
             }
         }
-        Ok((paths, pmr.steps_generated(), pmr.base_segments()))
+        Ok((
+            paths,
+            pmr.steps_generated(),
+            pmr.base_segments(),
+            pmr.work_counters(),
+        ))
     });
 
     let mut out = PathSet::new();
     let mut steps = 0usize;
     let mut segments: Option<usize> = None;
+    let mut work = WorkCounters {
+        batches_scheduled: batches.len() as u64,
+        ..WorkCounters::default()
+    };
     for result in results {
-        let (paths, batch_steps, batch_segments) = result?;
+        let (paths, batch_steps, batch_segments, mut batch_work) = result?;
         steps += batch_steps;
         if let Some(n) = batch_segments {
             *segments.get_or_insert(0) += n;
         }
+        // Every batch reads the same shared budget, so its tally is global
+        // already — zero it before summing and set it once below.
+        batch_work.budget_claimed = 0;
+        work.merge(&batch_work);
+        work.batches_merged += 1;
         for p in paths {
             out.insert(p);
         }
     }
+    work.budget_claimed = budget.count() as u64;
     Ok(ParallelRun {
         paths: out,
         steps_generated: steps,
         base_segments: segments,
+        work,
     })
 }
 
@@ -244,20 +273,34 @@ where
         pmr.set_sources(sources[range.clone()].to_vec());
         pmr.share_budget(path_budget.clone());
         let kept = drive_batch(&mut pmr, spec, &budget, i);
-        kept.map(|paths| (paths, pmr.steps_generated(), pmr.base_segments()))
+        kept.map(|paths| {
+            (
+                paths,
+                pmr.steps_generated(),
+                pmr.base_segments(),
+                pmr.work_counters(),
+            )
+        })
     });
 
     let mut collector = SliceCollector::new(spec);
     let mut complete = false;
     let mut steps = 0usize;
     let mut segments: Option<usize> = None;
+    let mut work = WorkCounters {
+        batches_scheduled: batches.len() as u64,
+        ..WorkCounters::default()
+    };
     for result in results {
         match result {
-            Ok((paths, batch_steps, batch_segments)) => {
+            Ok((paths, batch_steps, batch_segments, mut batch_work)) => {
                 steps += batch_steps;
                 if let Some(n) = batch_segments {
                     *segments.get_or_insert(0) += n;
                 }
+                batch_work.budget_claimed = 0;
+                work.merge(&batch_work);
+                work.batches_merged += 1;
                 if complete {
                     continue;
                 }
@@ -280,10 +323,18 @@ where
             }
         }
     }
+    work.budget_claimed = path_budget.count() as u64;
+    // The merge-side collector replays the serial admission, so its
+    // partition/kept counts are the deterministic ones (the per-batch
+    // tallies never see the global partition limit).
+    work.partitions_opened = collector.partition_count() as u64;
+    let paths = collector.finish();
+    work.paths_kept = paths.len() as u64;
     Ok(ParallelRun {
-        paths: collector.finish(),
+        paths,
         steps_generated: steps,
         base_segments: segments,
+        work,
     })
 }
 
@@ -376,6 +427,8 @@ fn drive_batch(
             if spec.group_key == GroupKey::Empty && groups.is_full(&key, per_group) {
                 break;
             }
+        } else {
+            pmr.note_slice_skip();
         }
         if per_group.is_some() {
             let source_done = match spec.group_key {

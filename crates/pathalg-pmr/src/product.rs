@@ -128,6 +128,11 @@ impl<'g> ProductExpansion<'g> {
         self.arena.len()
     }
 
+    /// Paths recorded against the (possibly shared) budget so far.
+    pub(crate) fn budget_count(&self) -> usize {
+        self.budget.count()
+    }
+
     /// Reconstructs the path of an emitted item.
     pub fn realize(&self, item: ProductItem, source: NodeId) -> Path {
         match item {

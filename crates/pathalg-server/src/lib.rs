@@ -50,13 +50,15 @@ pub mod error;
 pub mod metrics;
 pub mod protocol;
 pub mod service;
+pub mod trace;
 
 pub use cache::CachedPlan;
 pub use error::{AdmissionError, ServiceError};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{
     handle_line, handle_request, serve, Client, QueryReply, Request, Response, ServerHandle,
 };
 pub use service::{
     CacheStatus, DedupRole, QueryOutcome, QueryResponse, QueryService, ServiceConfig,
 };
+pub use trace::{QueryTrace, TraceRing};

@@ -9,9 +9,11 @@
 //!
 //! | request                         | response                             |
 //! |---------------------------------|--------------------------------------|
-//! | `QUERY <gql>`                   | `OK <n> cache=<hit\|miss> dedup=<leader\|waiter> epoch=<e>` then `PATH <ids>` × n, then `END` — or `ERR <kind>: <message>` |
+//! | `QUERY <gql>`                   | `OK <n> cache=<hit\|miss> dedup=<leader\|waiter> epoch=<e> trace=<id>` then `PATH <ids>` × n, then `END` — or `ERR <kind>: <message>` |
 //! | `QUERY GQL\|RPQ\|IR <payload>`  | same — the tag picks the query surface ([`QuerySurface`]) |
-//! | `STATS`                         | `STATS <counters>` ([`crate::Metrics`] display form) |
+//! | `STATS`                         | `STATS <counters>` (single-line [`crate::MetricsSnapshot`] display form) |
+//! | `METRICS`                       | `METRICS`, then the Prometheus-style exposition lines ([`crate::Metrics::expose`]), then `END` |
+//! | `TRACE <id>`                    | `TRACE <id>`, then the per-request report lines ([`crate::QueryTrace`] display form), then `END` — or `ERR protocol: …` when the id fell out of the ring |
 //! | `EPOCH`                         | `EPOCH <n>`                          |
 //! | `BUMP`                          | `EPOCH <n>` (after recomputing stats and purging stale plans) |
 //! | `PING`                          | `PONG`                               |
@@ -50,8 +52,12 @@ pub enum Request {
         /// The query text (GQL, an RPQ rule, or a JSON IR document).
         text: String,
     },
-    /// `STATS` — the service counters.
+    /// `STATS` — the service counters (single line).
     Stats,
+    /// `METRICS` — the multi-line Prometheus-style exposition.
+    Metrics,
+    /// `TRACE <id>` — the per-request report of one retained trace.
+    Trace(u64),
     /// `EPOCH` — the current stats epoch.
     Epoch,
     /// `BUMP` — recompute stats, purge stale plans, advance the epoch.
@@ -79,6 +85,12 @@ impl Request {
             "EPOCH" => Ok(Request::Epoch),
             "BUMP" => Ok(Request::Bump),
             "STATS" => Ok(Request::Stats),
+            "METRICS" => Ok(Request::Metrics),
+            "TRACE" if !rest.is_empty() => rest
+                .parse()
+                .map(Request::Trace)
+                .map_err(|_| format!("TRACE needs a numeric trace id, got {rest}")),
+            "TRACE" => Err("TRACE needs a trace id".to_string()),
             "QUIT" => Ok(Request::Quit),
             "QUERY" if !rest.is_empty() => {
                 // An optional surface tag before the payload; bare text is GQL.
@@ -110,6 +122,8 @@ impl Request {
         match self {
             Request::Query { surface, text } => format!("QUERY {} {}", surface.tag(), text),
             Request::Stats => "STATS".to_string(),
+            Request::Metrics => "METRICS".to_string(),
+            Request::Trace(id) => format!("TRACE {id}"),
             Request::Epoch => "EPOCH".to_string(),
             Request::Bump => "BUMP".to_string(),
             Request::Ping => "PING".to_string(),
@@ -128,6 +142,9 @@ pub struct QueryReply {
     pub dedup: DedupRole,
     /// The stats epoch the request ran under.
     pub epoch: u64,
+    /// The id of the request's retained trace (`TRACE <id>` reads it back).
+    /// `None` only when talking to a pre-trace server.
+    pub trace: Option<u64>,
     /// The canonical result lines, one per path, in result order.
     pub paths: Vec<String>,
 }
@@ -143,6 +160,17 @@ pub enum Response {
     Epoch(u64),
     /// `STATS <counters>`.
     Stats(String),
+    /// `METRICS` / exposition lines / `END` — the multi-line Prometheus-
+    /// style text (stored without the framing lines).
+    Metrics(String),
+    /// `TRACE <id>` / report lines / `END` — one retained trace's report
+    /// (stored without the framing lines).
+    Trace {
+        /// The trace id the report describes.
+        id: u64,
+        /// The report body ([`crate::QueryTrace`] display form).
+        report: String,
+    },
     /// The empty response to an empty request line.
     Empty,
     /// `ERR <kind>: <message>` — `kind` is `parse`, `admission`,
@@ -162,7 +190,7 @@ impl Response {
         match self {
             Response::Query(reply) => {
                 let mut out = Vec::with_capacity(reply.paths.len() + 2);
-                out.push(format!(
+                let mut header = format!(
                     "OK {} cache={} dedup={} epoch={}",
                     reply.paths.len(),
                     match reply.cache {
@@ -174,7 +202,11 @@ impl Response {
                         DedupRole::Waiter => "waiter",
                     },
                     reply.epoch
-                ));
+                );
+                if let Some(trace) = reply.trace {
+                    header.push_str(&format!(" trace={trace}"));
+                }
+                out.push(header);
                 for path in &reply.paths {
                     out.push(format!("PATH {path}"));
                 }
@@ -184,6 +216,18 @@ impl Response {
             Response::Pong => vec!["PONG".to_string()],
             Response::Epoch(n) => vec![format!("EPOCH {n}")],
             Response::Stats(counters) => vec![format!("STATS {counters}")],
+            Response::Metrics(text) => {
+                let mut out = vec!["METRICS".to_string()];
+                out.extend(text.lines().map(str::to_string));
+                out.push("END".to_string());
+                out
+            }
+            Response::Trace { id, report } => {
+                let mut out = vec![format!("TRACE {id}")];
+                out.extend(report.lines().map(str::to_string));
+                out.push("END".to_string());
+                out
+            }
             Response::Empty => Vec::new(),
             Response::Error { kind, message } => vec![format!("ERR {kind}: {message}")],
         }
@@ -207,6 +251,17 @@ impl Response {
         if let Some(counters) = first.strip_prefix("STATS ") {
             return Ok(Response::Stats(counters.to_string()));
         }
+        if first == "METRICS" {
+            let body = framed_body(lines)?;
+            return Ok(Response::Metrics(body));
+        }
+        if let Some(id) = first.strip_prefix("TRACE ") {
+            let id = id
+                .parse()
+                .map_err(|_| format!("malformed trace header: {first}"))?;
+            let report = framed_body(lines)?;
+            return Ok(Response::Trace { id, report });
+        }
         if let Some(error) = first.strip_prefix("ERR ") {
             let (kind, message) = error
                 .split_once(": ")
@@ -220,6 +275,7 @@ impl Response {
             let mut cache = None;
             let mut dedup = None;
             let mut epoch = None;
+            let mut trace = None;
             for field in header.split(' ').skip(1) {
                 match field.split_once('=') {
                     Some(("cache", "hit")) => cache = Some(CacheStatus::Hit),
@@ -227,6 +283,7 @@ impl Response {
                     Some(("dedup", "leader")) => dedup = Some(DedupRole::Leader),
                     Some(("dedup", "waiter")) => dedup = Some(DedupRole::Waiter),
                     Some(("epoch", e)) => epoch = e.parse().ok(),
+                    Some(("trace", t)) => trace = t.parse().ok(),
                     _ => {}
                 }
             }
@@ -248,6 +305,7 @@ impl Response {
                 cache,
                 dedup,
                 epoch,
+                trace,
                 paths,
             }));
         }
@@ -263,6 +321,18 @@ impl Response {
             other => Err(format!("not a query response: {other:?}")),
         }
     }
+}
+
+/// The body of a header / body / `END` framed response: the lines between
+/// the first and the terminating `END`, re-joined with newlines.
+fn framed_body(lines: &[String]) -> Result<String, String> {
+    if lines.len() < 2 || lines.last().map(String::as_str) != Some("END") {
+        return Err(format!(
+            "framed response not terminated by END: {:?}",
+            lines.first()
+        ));
+    }
+    Ok(lines[1..lines.len() - 1].join("\n"))
 }
 
 impl fmt::Display for Response {
@@ -287,12 +357,26 @@ pub fn handle_request(service: &QueryService, request: &Request) -> Option<Respo
         Request::Ping => Some(Response::Pong),
         Request::Epoch => Some(Response::Epoch(service.epoch())),
         Request::Bump => Some(Response::Epoch(service.bump_epoch())),
-        Request::Stats => Some(Response::Stats(service.metrics().to_string())),
+        Request::Stats => Some(Response::Stats(service.metrics().snapshot().to_string())),
+        Request::Metrics => Some(Response::Metrics(
+            service.metrics().expose().trim_end().to_string(),
+        )),
+        Request::Trace(id) => Some(match service.trace(*id) {
+            Some(trace) => Response::Trace {
+                id: *id,
+                report: trace.to_string().trim_end().to_string(),
+            },
+            None => Response::Error {
+                kind: "protocol".to_string(),
+                message: format!("no retained trace with id {id}"),
+            },
+        }),
         Request::Query { surface, text } => Some(match service.submit_on(*surface, text) {
             Ok(response) => Response::Query(QueryReply {
                 cache: response.cache,
                 dedup: response.dedup,
                 epoch: response.epoch,
+                trace: Some(response.trace.id),
                 paths: response.outcome.canonical_lines(),
             }),
             Err(e) => Response::Error {
@@ -307,6 +391,10 @@ pub fn handle_request(service: &QueryService, request: &Request) -> Option<Respo
 /// `None` for `QUIT` (close the connection), otherwise the response lines.
 /// Kept as the socket loop's entry point and for tests that drive the
 /// protocol textually.
+///
+/// The render stage is timed here — rendering is the protocol boundary's
+/// work, invisible to API callers — and patched into the request's retained
+/// trace plus the service-wide render histogram.
 pub fn handle_line(service: &QueryService, line: &str) -> Option<Vec<String>> {
     let request = match Request::parse(line) {
         Ok(request) => request,
@@ -320,7 +408,19 @@ pub fn handle_line(service: &QueryService, line: &str) -> Option<Vec<String>> {
             )
         }
     };
-    handle_request(service, &request).map(|response| response.render())
+    let response = handle_request(service, &request)?;
+    let started = std::time::Instant::now();
+    let lines = response.render();
+    let span = started.elapsed();
+    if let Response::Query(reply) = &response {
+        service
+            .metrics()
+            .record_stage(pathalg_core::obs::Stage::Render, span);
+        if let Some(id) = reply.trace {
+            service.traces().set_render(id, span);
+        }
+    }
+    Some(lines)
 }
 
 /// A handle on a running server: shuts it down and cleans up the socket on
@@ -438,15 +538,15 @@ impl Client {
     }
 
     /// Sends one request line and reads the full response: multi-line for
-    /// `OK … / PATH … / END` query responses, a single line for everything
-    /// else.
+    /// the `END`-framed forms (`OK …`, `METRICS`, `TRACE <id>`), a single
+    /// line for everything else.
     pub fn request(&mut self, line: &str) -> io::Result<Vec<String>> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let first = self.read_line()?;
         let mut out = vec![first];
-        if out[0].starts_with("OK ") {
+        if out[0].starts_with("OK ") || out[0] == "METRICS" || out[0].starts_with("TRACE ") {
             loop {
                 let line = self.read_line()?;
                 let done = line == "END";
@@ -522,6 +622,10 @@ mod tests {
         assert_eq!(Request::parse("EPOCH"), Ok(Request::Epoch));
         assert_eq!(Request::parse("BUMP"), Ok(Request::Bump));
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("METRICS"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("TRACE 12"), Ok(Request::Trace(12)));
+        assert!(Request::parse("TRACE").is_err(), "TRACE needs an id");
+        assert!(Request::parse("TRACE abc").is_err(), "id must be numeric");
         assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
         assert_eq!(Request::parse(""), Ok(Request::Empty));
         assert_eq!(
@@ -553,7 +657,9 @@ mod tests {
 
     #[test]
     fn requests_render_back_to_wire_lines() {
-        for line in ["PING", "EPOCH", "BUMP", "STATS", "QUIT", ""] {
+        for line in [
+            "PING", "EPOCH", "BUMP", "STATS", "METRICS", "TRACE 3", "QUIT", "",
+        ] {
             assert_eq!(Request::parse(line).unwrap().render(), line);
         }
         let query = Request::parse("QUERY RPQ reach(x, y) :- :Knows+.").unwrap();
@@ -577,6 +683,17 @@ mod tests {
             handle_request(&svc, &Request::Stats),
             Some(Response::Stats(_))
         ));
+        assert!(matches!(
+            handle_request(&svc, &Request::Metrics),
+            Some(Response::Metrics(_))
+        ));
+        assert!(
+            matches!(
+                handle_request(&svc, &Request::Trace(99)),
+                Some(Response::Error { ref kind, .. }) if kind == "protocol"
+            ),
+            "unknown trace id is a protocol error"
+        );
         assert_eq!(handle_request(&svc, &Request::Quit), None);
         assert_eq!(handle_request(&svc, &Request::Empty), Some(Response::Empty));
 
@@ -617,11 +734,24 @@ mod tests {
                 kind: "parse".to_string(),
                 message: "bad query".to_string(),
             },
+            Response::Metrics("# TYPE x counter\nx 1".to_string()),
+            Response::Trace {
+                id: 7,
+                report: "trace 7 surface=GQL epoch=0 paths=2\n  query: x".to_string(),
+            },
             Response::Query(QueryReply {
                 cache: CacheStatus::Hit,
                 dedup: DedupRole::Waiter,
                 epoch: 3,
+                trace: Some(9),
                 paths: vec!["n1-e1-n2".to_string(), "n2-e2-n3".to_string()],
+            }),
+            Response::Query(QueryReply {
+                cache: CacheStatus::Miss,
+                dedup: DedupRole::Leader,
+                epoch: 0,
+                trace: None,
+                paths: Vec::new(),
             }),
         ];
         for response in cases {
@@ -665,6 +795,40 @@ mod tests {
         // Byte-identical result lines across all three surfaces.
         assert_eq!(gql[1..], rpq[1..]);
         assert_eq!(gql[1..], ir[1..]);
+    }
+
+    #[test]
+    fn metrics_and_trace_commands_read_back_observability() {
+        let svc = service();
+        let ok = handle_line(&svc, &format!("QUERY {SHORTEST}")).unwrap();
+        let trace_id: u64 = ok[0]
+            .split(' ')
+            .find_map(|f| f.strip_prefix("trace="))
+            .expect("OK header carries the trace id")
+            .parse()
+            .unwrap();
+
+        let metrics = handle_line(&svc, "METRICS").unwrap();
+        assert_eq!(metrics[0], "METRICS");
+        assert_eq!(metrics.last().unwrap(), "END");
+        let body = metrics[1..metrics.len() - 1].join("\n");
+        assert!(
+            body.contains("pathalg_requests_total{surface=\"gql\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("pathalg_stage_latency_ns_count{stage=\"execute\"} 1"),
+            "{body}"
+        );
+
+        let trace = handle_line(&svc, &format!("TRACE {trace_id}")).unwrap();
+        assert_eq!(trace[0], format!("TRACE {trace_id}"));
+        assert_eq!(trace.last().unwrap(), "END");
+        let report = trace.join("\n");
+        assert!(report.contains("dedup=leader"), "{report}");
+        // handle_line timed the response rendering and patched it in.
+        assert!(!report.contains("render=-"), "{report}");
+        assert!(report.contains("render="), "{report}");
     }
 
     #[test]

@@ -26,8 +26,10 @@
 use crate::cache::{CacheKey, CachedPlan, Lru, PlanCache};
 use crate::error::{AdmissionError, ServiceError};
 use crate::metrics::Metrics;
+use crate::trace::{QueryTrace, TraceRing, DEFAULT_TRACE_CAPACITY};
 use pathalg_core::budget::RequestQuota;
 use pathalg_core::expr::PlanExpr;
+use pathalg_core::obs::{Stage, StageSpans, WorkCounters};
 use pathalg_core::ops::recursive::RecursionConfig;
 use pathalg_core::optimizer::Optimizer;
 use pathalg_core::pathset::PathSet;
@@ -39,6 +41,7 @@ use pathalg_parser::normalize::{plan_cache_key, PlanKey};
 use pathalg_parser::{lower_to_checked_plan, parse_surface, QuerySurface};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// Per-request path quota granted for each worker thread of the execution
 /// configuration — the derivation of the default [`RequestQuota`] from
@@ -70,6 +73,8 @@ pub struct ServiceConfig {
     pub plan_cache_capacity: usize,
     /// Whether to run the logical optimizer when planning.
     pub optimize: bool,
+    /// Bound on the per-request trace ring (entries; 0 disables retention).
+    pub trace_capacity: usize,
 }
 
 impl ServiceConfig {
@@ -88,6 +93,7 @@ impl ServiceConfig {
             admission_ceiling: Some(DEFAULT_ADMISSION_CEILING),
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             optimize: true,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -124,6 +130,9 @@ pub struct QueryOutcome {
     pub paths: PathSet,
     /// The strategy decisions the evaluator recorded.
     pub decisions: Vec<StrategyDecision>,
+    /// The deterministic work counters of the evaluation that produced this
+    /// outcome (zero when no lazy strategy fired).
+    pub work: WorkCounters,
 }
 
 impl QueryOutcome {
@@ -151,6 +160,9 @@ pub struct QueryResponse {
     pub dedup: DedupRole,
     /// The stats epoch the request ran under.
     pub epoch: u64,
+    /// This request's trace — its own stage spans and dedup attribution,
+    /// retained in the service's [`TraceRing`] under `trace.id`.
+    pub trace: Arc<QueryTrace>,
 }
 
 /// One in-flight evaluation: a slot the leader publishes into and a condvar
@@ -202,6 +214,7 @@ pub struct QueryService {
     text_cache: Mutex<Lru<(QuerySurface, String), (PlanExpr, PlanKey)>>,
     flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
     metrics: Metrics,
+    traces: TraceRing,
     pre_execute: RwLock<Option<PreExecuteHook>>,
 }
 
@@ -219,6 +232,7 @@ impl QueryService {
             text_cache: Mutex::new(Lru::new(config.plan_cache_capacity)),
             flights: Mutex::new(HashMap::new()),
             metrics: Metrics::default(),
+            traces: TraceRing::new(config.trace_capacity),
             pre_execute: RwLock::new(None),
         }
     }
@@ -241,6 +255,21 @@ impl QueryService {
     /// The service counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The bounded ring of per-request traces.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// The retained trace with the given id ([`QueryTrace::id`]).
+    pub fn trace(&self, id: u64) -> Option<Arc<QueryTrace>> {
+        self.traces.get(id)
+    }
+
+    /// The most recently retained trace.
+    pub fn latest_trace(&self) -> Option<Arc<QueryTrace>> {
+        self.traces.latest()
     }
 
     /// The current stats epoch.
@@ -302,26 +331,65 @@ impl QueryService {
         surface: QuerySurface,
         text: &str,
     ) -> Result<QueryResponse, ServiceError> {
-        let (plan, key) = self.plan_of(surface, text)?;
-        self.submit_keyed(&plan, key)
+        self.metrics.inc_surface(surface);
+        let mut spans = StageSpans::new();
+        let started = Instant::now();
+        let parsed = self.plan_of(surface, text);
+        let parse_span = started.elapsed();
+        spans.set(Stage::Parse, parse_span);
+        self.metrics.record_stage(Stage::Parse, parse_span);
+        let (plan, key) = match parsed {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.record_failure(surface, text, spans, None, &e);
+                return Err(e);
+            }
+        };
+        self.submit_keyed(surface, text, &plan, key, spans)
     }
 
     /// [`QueryService::submit`] for a hand-built (already checked) plan: the
-    /// parse stage is skipped, everything else is identical.
+    /// parse stage is skipped, everything else is identical. The trace
+    /// carries the plan's display form as the query text.
     pub fn submit_plan(&self, plan: &PlanExpr) -> Result<QueryResponse, ServiceError> {
         let key = plan_cache_key(plan, &self.effective_recursion());
-        self.submit_keyed(plan, key)
+        self.submit_keyed(
+            QuerySurface::Gql,
+            &plan.to_string(),
+            plan,
+            key,
+            StageSpans::new(),
+        )
     }
 
-    fn submit_keyed(&self, plan: &PlanExpr, key: PlanKey) -> Result<QueryResponse, ServiceError> {
+    fn submit_keyed(
+        &self,
+        surface: QuerySurface,
+        query: &str,
+        plan: &PlanExpr,
+        key: PlanKey,
+        mut spans: StageSpans,
+    ) -> Result<QueryResponse, ServiceError> {
         let recursion = self.effective_recursion();
         let (stats, epoch) = {
             let snapshot = self.snapshot.read().unwrap();
             (snapshot.stats.clone(), snapshot.epoch)
         };
         let cache_key: CacheKey = (key, epoch);
+        let stage = Instant::now();
         let (cached, cache_status) = self.planned(plan, &cache_key, &stats, &recursion);
-        self.admit(&cached)?;
+        let plan_span = stage.elapsed();
+        spans.set(Stage::Plan, plan_span);
+        self.metrics.record_stage(Stage::Plan, plan_span);
+        let stage = Instant::now();
+        let admitted = self.admit(&cached);
+        let admit_span = stage.elapsed();
+        spans.set(Stage::Admit, admit_span);
+        self.metrics.record_stage(Stage::Admit, admit_span);
+        if let Err(e) = admitted {
+            self.record_failure(surface, query, spans, Some(cache_status), &e);
+            return Err(e);
+        }
 
         // Join or open the flight for this (plan, epoch).
         let (flight, role) = {
@@ -337,6 +405,8 @@ impl QueryService {
         };
         let outcome = match role {
             DedupRole::Waiter => {
+                // A waiter's trace gets NO execute span — it never ran one.
+                // Its evaluation cost is attributed to the leader's trace.
                 self.metrics.inc_dedup_hits();
                 flight.wait()
             }
@@ -345,21 +415,82 @@ impl QueryService {
                 if let Some(hook) = self.pre_execute.read().unwrap().as_ref() {
                     hook(&self.metrics);
                 }
+                let stage = Instant::now();
                 let outcome = self.execute(&cached, &stats, recursion);
+                let execute_span = stage.elapsed();
+                spans.set(Stage::Execute, execute_span);
+                self.metrics.record_stage(Stage::Execute, execute_span);
+                if let Ok(outcome) = &outcome {
+                    self.metrics.record_work(&outcome.work);
+                }
                 // Unregister before publishing: a request arriving after the
                 // publish must start a fresh flight, not join a finished one.
                 self.flights.lock().unwrap().remove(&cache_key);
                 flight.publish(outcome.clone());
                 outcome
             }
-        }?;
+        };
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                let mut trace = self.new_trace(surface, query, spans);
+                trace.cache = Some(cache_status);
+                trace.dedup = Some(role);
+                trace.epoch = epoch;
+                trace.error = Some(e.to_string());
+                self.traces.push(trace);
+                return Err(e);
+            }
+        };
         self.metrics.inc_served();
+        let mut trace = self.new_trace(surface, query, spans);
+        trace.cache = Some(cache_status);
+        trace.dedup = Some(role);
+        trace.epoch = epoch;
+        trace.paths = outcome.paths.len();
+        if role == DedupRole::Leader {
+            trace.work = outcome.work;
+        }
+        let trace = self.traces.push(trace);
         Ok(QueryResponse {
             outcome,
             cache: cache_status,
             dedup: role,
             epoch,
+            trace,
         })
+    }
+
+    /// A fresh trace skeleton stamped with the next request id.
+    fn new_trace(&self, surface: QuerySurface, query: &str, spans: StageSpans) -> QueryTrace {
+        QueryTrace {
+            id: self.traces.next_id(),
+            surface,
+            query: query.to_string(),
+            cache: None,
+            dedup: None,
+            epoch: self.epoch(),
+            spans,
+            work: WorkCounters::default(),
+            paths: 0,
+            error: None,
+        }
+    }
+
+    /// Retains the trace of a request that failed before reaching a flight
+    /// (parse or admission).
+    fn record_failure(
+        &self,
+        surface: QuerySurface,
+        query: &str,
+        spans: StageSpans,
+        cache: Option<CacheStatus>,
+        error: &ServiceError,
+    ) {
+        let mut trace = self.new_trace(surface, query, spans);
+        trace.cache = cache;
+        trace.error = Some(error.to_string());
+        self.traces.push(trace);
     }
 
     /// Runs the parse, plan and admission stages — populating both caches —
@@ -459,7 +590,7 @@ impl QueryService {
         };
         for (operator, estimate) in &cached.closures {
             if estimate.blows_up() && estimate.paths > ceiling {
-                self.metrics.inc_admission_rejected();
+                self.metrics.inc_admission_rejected(estimate.paths, ceiling);
                 return Err(ServiceError::Admission(AdmissionError::PredictedBlowup {
                     operator: operator.clone(),
                     estimate: *estimate,
@@ -484,8 +615,13 @@ impl QueryService {
             .eval_paths(&cached.plan)
             .map_err(ServiceError::Evaluation)?;
         let decisions = evaluator.decisions().to_vec();
+        let work = evaluator.work_counters();
         let _ = cached.decisions.set(decisions.clone());
-        Ok(Arc::new(QueryOutcome { paths, decisions }))
+        Ok(Arc::new(QueryOutcome {
+            paths,
+            decisions,
+            work,
+        }))
     }
 }
 

@@ -7,6 +7,7 @@
 //! everything; see EXPERIMENTS.md for the expected output.
 
 mod figures;
+mod obs;
 mod serve;
 mod surfaces;
 mod tables;
@@ -97,6 +98,11 @@ fn main() {
             "surfaces",
             "one query through the GQL, RPQ and JSON-IR surfaces",
             surfaces::surfaces,
+        ),
+        (
+            "obs",
+            "traced query: stage spans, work counters, METRICS exposition",
+            obs::obs,
         ),
     ];
 

@@ -23,6 +23,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut socket = "/tmp/pathalg.sock".to_string();
     let mut snb_persons: Option<usize> = None;
     let mut threads = 1usize;
+    let mut metrics = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
@@ -40,10 +41,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--metrics" => metrics = true,
             other => {
                 return Err(format!(
                     "unknown serve option {other} (expected --socket PATH, --snb PERSONS, \
-                     --threads N)"
+                     --threads N, --metrics)"
                 ))
             }
         }
@@ -65,12 +67,25 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let service = Arc::new(QueryService::new(Arc::new(graph), config));
     // Bound to a name so the handle (and with it the socket file) lives for
     // the whole process; killing the process is the only way out.
-    let _handle = serve(service, socket.clone()).map_err(|e| format!("bind {socket}: {e}"))?;
+    let _handle =
+        serve(service.clone(), socket.clone()).map_err(|e| format!("bind {socket}: {e}"))?;
     println!("serving on {socket} ({threads} engine thread(s)); commands:");
     println!("  QUERY <gql>   run a query (OK/PATH…/END or ERR <kind>: …)");
-    println!("  STATS         service counters");
+    println!("  STATS         service counters (one line)");
+    println!("  METRICS       Prometheus-style exposition (END-framed)");
+    println!("  TRACE <id>    per-request stage/work report (ids on OK headers)");
     println!("  EPOCH | BUMP  read / advance the stats epoch");
     println!("  PING | QUIT");
+    if metrics {
+        // A background reporter: dump the exposition to stdout every 10s so
+        // a scrape-less deployment still sees the counters move.
+        let reporter = service.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(10));
+            println!("{}", reporter.metrics().expose());
+        });
+        println!("metrics reporter on: exposition printed every 10s");
+    }
     println!("press Ctrl-C to stop");
     // The accept loop runs on its own thread; park this one forever.
     loop {

@@ -1141,6 +1141,158 @@ fn parallel_lazy_max_paths_claim_parity() {
     }
 }
 
+/// §13 deterministic-counter parity on full drains: the work counters are
+/// part of the observable engine contract, not best-effort telemetry. On
+/// every test graph, single scans and join chains under all five semantics,
+/// the deterministic subset rendered by `WorkCounters::deterministic_line`
+/// is byte-identical between the serial PMR and the parallel batch scheduler
+/// at 1, 2 and 8 threads.
+#[test]
+fn work_counters_are_byte_identical_across_thread_counts() {
+    use pathalg::pmr::parallel::{self, ParallelConfig};
+    use pathalg::pmr::Pmr;
+    use std::sync::Arc;
+
+    let chains: Vec<Vec<&str>> = vec![vec!["Knows"], vec!["Likes", "Has_creator"]];
+    for (name, graph) in test_graphs() {
+        for labels in &chains {
+            for (semantics, cfg) in join_semantics_cases() {
+                let hops: Arc<[CsrGraph]> = labels
+                    .iter()
+                    .map(|l| CsrGraph::with_label(&graph, l))
+                    .collect();
+                let factory = || {
+                    if hops.len() == 1 {
+                        Pmr::from_shared_csr(Arc::new(hops[0].clone()), semantics, cfg)
+                    } else {
+                        Pmr::from_shared_join(hops.clone(), semantics, cfg)
+                    }
+                };
+                let mut serial = factory();
+                if serial.enumerate_all().is_err() {
+                    continue; // error-value parity is pinned elsewhere
+                }
+                let reference = serial.work_counters().deterministic_line();
+                let sources = factory().sources();
+                for threads in [1usize, 2, 8] {
+                    let run = parallel::enumerate_all(
+                        &factory,
+                        &sources,
+                        None,
+                        &ParallelConfig {
+                            threads,
+                            batch_size: 2,
+                        },
+                        cfg.max_paths,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        run.work.deterministic_line(),
+                        reference,
+                        "{name}: ϕ{semantics:?}({labels:?}) counters diverged at \
+                         {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// §13 deterministic-counter parity on uncoupled sliced specs (no partition
+/// limit, source-local group key): serial `Pmr::sliced` and the parallel
+/// batch scheduler — including its would-not-keep skip accounting — report
+/// byte-identical deterministic counters at 1, 2 and 8 threads.
+#[test]
+fn sliced_work_counters_are_thread_invariant_on_uncoupled_specs() {
+    use pathalg::algebra::ops::group_by::GroupKey;
+    use pathalg::algebra::slice::SliceSpec;
+    use pathalg::pmr::parallel::{self, ParallelConfig};
+    use pathalg::pmr::Pmr;
+    use std::sync::Arc;
+
+    let specs = [
+        SliceSpec {
+            group_key: GroupKey::SourceTarget,
+            per_group: Some(1),
+            max_partitions: None,
+            ordered_by_length: false,
+        },
+        SliceSpec {
+            group_key: GroupKey::Source,
+            per_group: Some(2),
+            max_partitions: None,
+            ordered_by_length: false,
+        },
+    ];
+    for (name, graph) in test_graphs() {
+        let csr = Arc::new(CsrGraph::with_label(&graph, "Knows"));
+        for (semantics, mut cfg) in join_semantics_cases() {
+            cfg.max_paths = None;
+            let factory = || Pmr::from_shared_csr(csr.clone(), semantics, cfg);
+            let sources = factory().sources();
+            for spec in &specs {
+                let mut serial = factory();
+                serial.sliced(spec).unwrap();
+                let reference = serial.work_counters().deterministic_line();
+                for threads in [1usize, 2, 8] {
+                    let run = parallel::sliced(
+                        &factory,
+                        spec,
+                        &sources,
+                        None,
+                        &ParallelConfig {
+                            threads,
+                            batch_size: 2,
+                        },
+                        cfg.max_paths,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        run.work.deterministic_line(),
+                        reference,
+                        "{name}: {spec:?} under {semantics:?} counters diverged at \
+                         {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// End to end through the engine: a join-chain closure stays on the lazy PMR
+/// strategy at every thread count, so the evaluator's accumulated
+/// deterministic counters must be byte-identical at 1, 2 and 8 engine
+/// threads on every test graph.
+#[test]
+fn engine_work_counters_are_thread_invariant_on_lazy_chains() {
+    use pathalg::algebra::plan::scan;
+    use pathalg::engine::exec::EngineEvaluator;
+
+    let plan = scan("Likes")
+        .join(scan("Has_creator"))
+        .recursive(PathSemantics::Trail);
+    let cfg = RecursionConfig {
+        max_length: Some(6),
+        max_paths: None,
+    };
+    for (name, graph) in test_graphs() {
+        let mut lines = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut engine =
+                EngineEvaluator::new(&graph, cfg, ExecutionConfig::with_threads(threads));
+            engine.eval_paths(&plan).unwrap();
+            lines.push((threads, engine.work_counters().deterministic_line()));
+        }
+        let (_, reference) = &lines[0];
+        for (threads, line) in &lines {
+            assert_eq!(
+                line, reference,
+                "{name}: engine counters diverged at {threads} threads"
+            );
+        }
+    }
+}
+
 #[test]
 fn optimizer_never_changes_results() {
     let queries = [

@@ -19,6 +19,7 @@
 use pathalg::algebra::budget::RequestQuota;
 use pathalg::algebra::error::AlgebraError;
 use pathalg::algebra::expr::PlanExpr;
+use pathalg::algebra::obs::Stage;
 use pathalg::algebra::ops::recursive::{PathSemantics, RecursionConfig};
 use pathalg::graph::fixtures::figure1::figure1_graph;
 use pathalg::graph::generator::structured::complete_graph;
@@ -100,6 +101,32 @@ fn thundering_herd_coalesces_onto_one_evaluation() {
     assert!(!reference.is_empty());
     for (_, lines) in &outputs {
         assert_eq!(lines, reference, "every waiter got identical bytes");
+    }
+
+    // The traces attribute the evaluation: exactly one member of the herd
+    // carries an execute span and the work counters (the leader); the other
+    // seven are dedup-attributed — no execute span, no work of their own.
+    let traces = svc.traces().all();
+    assert_eq!(traces.len(), HERD as usize, "one trace per herd member");
+    let executed: Vec<_> = traces
+        .iter()
+        .filter(|t| t.spans.get(Stage::Execute).is_some())
+        .collect();
+    assert_eq!(executed.len(), 1, "exactly one execute span in the herd");
+    assert_eq!(executed[0].dedup, Some(DedupRole::Leader));
+    assert!(
+        !executed[0].work.is_empty(),
+        "the leader's trace carries the evaluation's work counters"
+    );
+    let waiters: Vec<_> = traces
+        .iter()
+        .filter(|t| t.dedup == Some(DedupRole::Waiter))
+        .collect();
+    assert_eq!(waiters.len(), (HERD - 1) as usize, "seven dedup-attributed");
+    for waiter in waiters {
+        assert_eq!(waiter.spans.get(Stage::Execute), None, "waiter never ran");
+        assert!(waiter.work.is_empty(), "work attributed to the leader only");
+        assert_eq!(waiter.paths, executed[0].paths, "shared outcome");
     }
 }
 
@@ -201,6 +228,11 @@ fn admission_rejects_predicted_blowup_before_enumerating() {
         "rejection precedes evaluation"
     );
     assert_eq!(svc.metrics().admission_rejected(), 1);
+    // The rejecting estimate rides along with the counter, so observed vs
+    // ceiling is reportable from the metrics alone.
+    let (estimate, ceiling) = svc.metrics().last_rejection().expect("evidence");
+    assert_eq!(ceiling, 1_000.0);
+    assert!(estimate > ceiling, "estimate {estimate} over ceiling");
 }
 
 /// A tight per-request path budget trips mid-enumeration. The same typed
