@@ -8,7 +8,7 @@
 #   ./ci.sh --bench-json  run every bench target under PATHALG_BENCH_MAX_MS
 #                         and write the perf-trajectory artifact
 #                         (bench id → ns/iter) at the repo root; the output
-#                         file is $PATHALG_BENCH_OUT (default BENCH_PR8.json)
+#                         file is $PATHALG_BENCH_OUT (default BENCH_PR9.json)
 #   ./ci.sh --perf-diff OLD.json NEW.json [--threshold X] [--geomean]
 #                         compare two trajectory artifacts: per-target
 #                         geometric-mean ratios over the shared ids, the
@@ -69,6 +69,9 @@ full() {
     step "repro obs (observability demo: trace + METRICS exposition)"
     cargo run -q --release -p repro -- obs
 
+    step "repro chaos (fault-injection demo: deadline, cancel, panic, shed)"
+    cargo run -q --release -p repro -- chaos
+
     printf '\nci.sh: all checks passed\n'
 }
 
@@ -77,7 +80,7 @@ full() {
 # "target/bench-id" → ns/iter map. PATHALG_BENCH_MAX_MS caps the
 # per-benchmark measurement window.
 bench_json() {
-    local out="${PATHALG_BENCH_OUT:-BENCH_PR8.json}"
+    local out="${PATHALG_BENCH_OUT:-BENCH_PR9.json}"
     local jsonl="${out}.jsonl.tmp"
     rm -f "$jsonl" "$out"
 

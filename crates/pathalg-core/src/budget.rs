@@ -19,7 +19,8 @@
 
 use crate::error::AlgebraError;
 use crate::ops::recursive::RecursionConfig;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Per-request resource quotas a serving layer imposes on top of whatever
 /// bounds a query already carries. A service admits requests from many
@@ -64,6 +65,80 @@ fn min_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
         (Some(x), Some(y)) => Some(x.min(y)),
         (x, None) => x,
         (None, y) => y,
+    }
+}
+
+/// A shared, cooperative cancellation signal with an optional monotonic
+/// deadline.
+///
+/// Enumeration is pull-driven and can run for a long time between pulls
+/// (one closure level, one source, one batch), so cancellation has to be
+/// *cooperative*: every enumeration loop polls [`CancelToken::check`] at
+/// its natural granularity boundary and aborts with a typed error when the
+/// token fired. Checks are read-only (a relaxed flag load plus, when a
+/// deadline is set, one `Instant::now()` call), so a run that completes
+/// without tripping the token is byte-identical to an uncancellable run.
+///
+/// Like [`PathBudget`], one token is shared across all batch workers of a
+/// parallel enumeration: cancelling it (or its deadline passing) stops
+/// every worker within one batch.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (only via [`CancelToken::cancel`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token whose deadline is `timeout` from now (monotonic clock).
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token with an absolute monotonic deadline.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        Self {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Fires the token: every subsequent [`CancelToken::check`] fails with
+    /// [`AlgebraError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] was called (does not consult the
+    /// deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The absolute deadline, if one is set — used by blocking waiters
+    /// (e.g. a dedup flight's `wait_timeout` loop) to bound their own wait
+    /// by the same clock the workers poll.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The cooperative cancellation point: fails with
+    /// [`AlgebraError::Cancelled`] once the token fired, or with
+    /// [`AlgebraError::DeadlineExceeded`] once the deadline passed.
+    pub fn check(&self) -> Result<(), AlgebraError> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(AlgebraError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(AlgebraError::DeadlineExceeded);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -296,6 +371,37 @@ mod tests {
         b.keep_path(0);
         assert!(!b.partitions_closed(1, 100));
         assert!(!b.kept_complete(1));
+    }
+
+    #[test]
+    fn cancel_token_without_deadline_only_fires_on_cancel() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(AlgebraError::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_deadline_fires_once_passed() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(expired.check(), Err(AlgebraError::DeadlineExceeded));
+        // Explicit cancellation takes precedence over the deadline.
+        expired.cancel();
+        assert_eq!(expired.check(), Err(AlgebraError::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let t = CancelToken::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| t.cancel());
+        });
+        assert_eq!(t.check(), Err(AlgebraError::Cancelled));
     }
 
     #[test]

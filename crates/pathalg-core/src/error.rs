@@ -61,6 +61,14 @@ pub enum AlgebraError {
         /// What was wrong with it.
         message: String,
     },
+    /// The evaluation's deadline passed before enumeration finished. Raised
+    /// cooperatively at the [`crate::budget::CancelToken`] check sites, so
+    /// the error surfaces within one enumeration level / batch of the
+    /// deadline firing.
+    DeadlineExceeded,
+    /// The evaluation was cancelled via [`crate::budget::CancelToken`]
+    /// before enumeration finished.
+    Cancelled,
 }
 
 impl fmt::Display for AlgebraError {
@@ -95,6 +103,10 @@ impl fmt::Display for AlgebraError {
             AlgebraError::IrValidation { field, message } => {
                 write!(f, "invalid query IR at {field}: {message}")
             }
+            AlgebraError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before evaluation finished")
+            }
+            AlgebraError::Cancelled => write!(f, "evaluation cancelled"),
         }
     }
 }

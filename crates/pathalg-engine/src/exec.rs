@@ -27,6 +27,7 @@ use crate::cost::{
     choose_phi_impl, choose_pipeline_strategy, choose_scan_phi_impl, estimate_phi, ClosureEstimate,
     LazyMode, PhiImpl,
 };
+use pathalg_core::budget::CancelToken;
 use pathalg_core::condition::Condition;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::eval::{EvalOutput, EvalStats};
@@ -52,8 +53,8 @@ use pathalg_pmr::parallel::{self as pmr_parallel, ParallelConfig};
 use pathalg_pmr::{EndpointFilter, Pmr};
 use std::sync::Arc;
 
-use crate::physical::frontier::{phi_frontier, phi_frontier_csr};
-use crate::physical::{phi_bfs_shortest, phi_seminaive};
+use crate::physical::frontier::{phi_frontier_csr_with_cancel, phi_frontier_with_cancel};
+use crate::physical::{phi_bfs_shortest_with_cancel, phi_seminaive};
 
 /// One recorded strategy decision: which physical implementation a ϕ node or
 /// sliced pipeline was dispatched to, and the closure estimate (when graph
@@ -156,6 +157,7 @@ pub struct EngineEvaluator<'g> {
     recursion: RecursionConfig,
     exec: ExecutionConfig,
     graph_stats: Option<&'g GraphStats>,
+    cancel: Option<Arc<CancelToken>>,
     stats: EvalStats,
     work: WorkCounters,
     depth: usize,
@@ -178,6 +180,7 @@ impl<'g> EngineEvaluator<'g> {
             recursion,
             exec,
             graph_stats: None,
+            cancel: None,
             stats: EvalStats::default(),
             work: WorkCounters::default(),
             depth: 0,
@@ -193,6 +196,26 @@ impl<'g> EngineEvaluator<'g> {
     pub fn with_graph_stats(mut self, stats: &'g GraphStats) -> Self {
         self.graph_stats = Some(stats);
         self
+    }
+
+    /// Attaches a shared [`CancelToken`]: every ϕ dispatch (serial and
+    /// parallel, full drains and sliced pipelines) threads the token into
+    /// its enumeration loops, so firing it — or its deadline passing —
+    /// aborts the evaluation with a typed
+    /// [`AlgebraError::Cancelled`] / [`AlgebraError::DeadlineExceeded`]
+    /// within one expansion level or batch. A token that never fires leaves
+    /// results byte-identical at every thread count.
+    pub fn with_cancel(mut self, cancel: Arc<CancelToken>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The evaluator-level cancellation point, polled at every ϕ dispatch.
+    fn check_cancel(&self) -> Result<(), AlgebraError> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
     }
 
     /// The statistics collected so far (same counters as the reference
@@ -257,6 +280,7 @@ impl<'g> EngineEvaluator<'g> {
                 EvalOutput::Paths(union(&l, &r))
             }
             PlanExpr::Recursive { semantics, input } => {
+                self.check_cancel()?;
                 self.stats.recursive_calls += 1;
                 let chain: Option<Vec<&str>> = input.label_scan_chain();
                 let estimate = match (&chain, self.graph_stats) {
@@ -302,16 +326,20 @@ impl<'g> EngineEvaluator<'g> {
                             // the frontier.
                             PhiImpl::PmrLazy => {
                                 let mut pmr = Pmr::from_csr(csr, *semantics, self.recursion);
+                                if let Some(token) = &self.cancel {
+                                    pmr.share_cancel(token.clone());
+                                }
                                 let out = pmr.enumerate_all()?;
                                 self.work.merge(&pmr.work_counters());
                                 out
                             }
                             _ => {
-                                let out = phi_frontier_csr(
+                                let out = phi_frontier_csr_with_cancel(
                                     &csr,
                                     *semantics,
                                     &self.recursion,
                                     &self.exec,
+                                    self.cancel.as_deref(),
                                 )?;
                                 // The frontier produces exactly the paths it
                                 // keeps, so its emission count matches what
@@ -345,8 +373,15 @@ impl<'g> EngineEvaluator<'g> {
                         }
                         let (out, segments) = if self.exec.threads > 1 {
                             let (semantics, recursion) = (*semantics, self.recursion);
-                            let factory =
-                                || Pmr::from_shared_join(hops.clone(), semantics, recursion);
+                            let cancel = self.cancel.clone();
+                            let factory = || {
+                                let mut pmr =
+                                    Pmr::from_shared_join(hops.clone(), semantics, recursion);
+                                if let Some(token) = &cancel {
+                                    pmr.share_cancel(token.clone());
+                                }
+                                pmr
+                            };
                             let sources = factory().sources();
                             let weights = source_weights(&hops[0], estimate.as_ref(), &sources);
                             let run = pmr_parallel::enumerate_all(
@@ -361,6 +396,9 @@ impl<'g> EngineEvaluator<'g> {
                         } else {
                             let mut pmr =
                                 Pmr::from_shared_join(hops.clone(), *semantics, self.recursion);
+                            if let Some(token) = &self.cancel {
+                                pmr.share_cancel(token.clone());
+                            }
                             let out = pmr.enumerate_all()?;
                             let segments = pmr.base_segments().unwrap_or(0);
                             self.work.merge(&pmr.work_counters());
@@ -388,16 +426,27 @@ impl<'g> EngineEvaluator<'g> {
                             estimate,
                         );
                         let out = match chosen {
+                            // The cost model only dispatches the fixpoint for
+                            // tiny bases; the arm-entry check above is its
+                            // cancellation point.
                             PhiImpl::Seminaive => {
                                 phi_seminaive(*semantics, &base, &self.recursion)?
                             }
-                            PhiImpl::BfsShortest => phi_bfs_shortest(&base, &self.recursion)?,
+                            PhiImpl::BfsShortest => phi_bfs_shortest_with_cancel(
+                                &base,
+                                &self.recursion,
+                                self.cancel.as_deref(),
+                            )?,
                             // `choose_phi_impl` never picks the PMR for a
                             // materialised base — it only applies to label
                             // scans and sliced pipelines.
-                            PhiImpl::Frontier | PhiImpl::PmrLazy => {
-                                phi_frontier(*semantics, &base, &self.recursion, &self.exec)?
-                            }
+                            PhiImpl::Frontier | PhiImpl::PmrLazy => phi_frontier_with_cancel(
+                                *semantics,
+                                &base,
+                                &self.recursion,
+                                &self.exec,
+                                self.cancel.as_deref(),
+                            )?,
                         };
                         // Every materialised-base implementation emits
                         // exactly its output; count it so closures that never
@@ -499,6 +548,9 @@ impl<'g> EngineEvaluator<'g> {
                     sources: source_mask,
                     targets: target_mask,
                 });
+                if let Some(token) = &self.cancel {
+                    pmr.share_cancel(token.clone());
+                }
                 let out = pmr.sliced(&plan.spec)?;
                 let generated = pmr.steps_generated();
                 self.work.merge(&pmr.work_counters());
@@ -517,6 +569,7 @@ impl<'g> EngineEvaluator<'g> {
                         .collect(),
                 };
                 let (semantics, recursion) = (plan.semantics, self.recursion);
+                let cancel = self.cancel.clone();
                 let factory = || {
                     let mut pmr = match &scan {
                         Some(csr) => Pmr::from_shared_csr(csr.clone(), semantics, recursion),
@@ -526,6 +579,9 @@ impl<'g> EngineEvaluator<'g> {
                         sources: source_mask.clone(),
                         targets: target_mask.clone(),
                     });
+                    if let Some(token) = &cancel {
+                        pmr.share_cancel(token.clone());
+                    }
                     pmr
                 };
                 let sources = factory().sources();
@@ -689,6 +745,7 @@ fn source_weights(
 mod tests {
     use super::*;
     use crate::cost::choose_pipeline_impl;
+    use crate::physical::frontier::phi_frontier_csr;
     use pathalg_core::condition::Condition;
     use pathalg_core::eval::Evaluator;
     use pathalg_core::ops::projection::ProjectionSpec;

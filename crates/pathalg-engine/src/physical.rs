@@ -26,6 +26,7 @@
 
 pub mod frontier;
 
+use pathalg_core::budget::CancelToken;
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::join::join;
 use pathalg_core::ops::recursive::{recursive, PathSemantics, RecursionConfig};
@@ -170,6 +171,16 @@ pub fn phi_dfs(
 /// is dropped as soon as a strictly shorter path between the same endpoints is
 /// known.
 pub fn phi_bfs_shortest(base: &PathSet, config: &RecursionConfig) -> Result<PathSet, AlgebraError> {
+    phi_bfs_shortest_with_cancel(base, config, None)
+}
+
+/// [`phi_bfs_shortest`] with a cooperative [`CancelToken`], polled once per
+/// BFS level.
+pub fn phi_bfs_shortest_with_cancel(
+    base: &PathSet,
+    config: &RecursionConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<PathSet, AlgebraError> {
     let mut by_first: HashMap<NodeId, Vec<&Path>> = HashMap::new();
     for p in base.iter() {
         if !p.is_empty() {
@@ -191,6 +202,9 @@ pub fn phi_bfs_shortest(base: &PathSet, config: &RecursionConfig) -> Result<Path
         }
     }
     while !frontier.is_empty() {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         let mut next = Vec::new();
         for current in &frontier {
             let Some(extensions) = by_first.get(&current.last()) else {

@@ -44,7 +44,7 @@
 
 use crate::exec::ExecutionConfig;
 use mini_pool::parallel_map_chunks;
-use pathalg_core::budget::PathBudget;
+use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{
     PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
@@ -70,6 +70,19 @@ pub fn phi_frontier(
     base: &PathSet,
     config: &RecursionConfig,
     exec: &ExecutionConfig,
+) -> Result<PathSet, AlgebraError> {
+    phi_frontier_with_cancel(semantics, base, config, exec, None)
+}
+
+/// [`phi_frontier`] with a cooperative [`CancelToken`], polled once per
+/// source: a fired token (or passed deadline) aborts every batch worker
+/// within one source expansion.
+pub fn phi_frontier_with_cancel(
+    semantics: PathSemantics,
+    base: &PathSet,
+    config: &RecursionConfig,
+    exec: &ExecutionConfig,
+    cancel: Option<&CancelToken>,
 ) -> Result<PathSet, AlgebraError> {
     let admitted: Vec<&Path> = base
         .iter()
@@ -103,6 +116,9 @@ pub fn phi_frontier(
         |_, chunk| -> Result<Vec<Path>, AlgebraError> {
             let mut out = Vec::new();
             for &source in chunk {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
                 expand_base_source(
                     source,
                     &admitted,
@@ -132,6 +148,19 @@ pub fn phi_frontier_csr(
     config: &RecursionConfig,
     exec: &ExecutionConfig,
 ) -> Result<PathSet, AlgebraError> {
+    phi_frontier_csr_with_cancel(csr, semantics, config, exec, None)
+}
+
+/// [`phi_frontier_csr`] with a cooperative [`CancelToken`], polled once per
+/// source (and once per expansion level inside each source, so even one
+/// explosive source stops promptly).
+pub fn phi_frontier_csr_with_cancel(
+    csr: &CsrGraph,
+    semantics: PathSemantics,
+    config: &RecursionConfig,
+    exec: &ExecutionConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<PathSet, AlgebraError> {
     let sources: Vec<NodeId> = (0..csr.node_count())
         .map(|i| NodeId(i as u32))
         .filter(|&n| csr.out_degree(n) > 0)
@@ -154,6 +183,9 @@ pub fn phi_frontier_csr(
                 None
             };
             for &source in chunk {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
                 if let Some((seen, _)) = &mut scratch {
                     seen.reset();
                 }
@@ -163,6 +195,7 @@ pub fn phi_frontier_csr(
                     semantics,
                     config,
                     &budget,
+                    cancel,
                     scratch.as_mut(),
                     &mut out,
                 )?;
@@ -406,12 +439,14 @@ fn expand_base_source(
 
 /// Expands one source directly over the CSR edge base, appending this
 /// source's result paths to `out` in level (= length) order.
+#[allow(clippy::too_many_arguments)]
 fn expand_csr_source(
     source: NodeId,
     csr: &CsrGraph,
     semantics: PathSemantics,
     config: &RecursionConfig,
     budget: &PathBudget,
+    cancel: Option<&CancelToken>,
     mut scratch: Option<&mut (Frontier, Vec<usize>)>,
     out: &mut Vec<Path>,
 ) -> Result<(), AlgebraError> {
@@ -442,6 +477,9 @@ fn expand_csr_source(
 
     let mut iterations = 0usize;
     while !cur.is_empty() {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         iterations += 1;
         if walk_unbounded && iterations > UNBOUNDED_WALK_ITERATION_LIMIT {
             // Local tally (this source's output), so the error value is

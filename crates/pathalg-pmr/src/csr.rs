@@ -11,7 +11,7 @@
 //! contract of [`pathalg_core::pathset_repr::LazyPathStream`].
 
 use crate::arena::{StepArena, NO_PARENT};
-use pathalg_core::budget::PathBudget;
+use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{
     PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
@@ -56,6 +56,9 @@ pub(crate) struct CsrExpansion {
     /// steps are recorded (counted, never limit-checked), recursion
     /// candidates are claimed, mirroring the frontier engine.
     budget: Arc<PathBudget>,
+    /// Cooperative cancellation, checked once per expansion level (never per
+    /// edge, so successful runs stay byte-identical and near-free).
+    cancel: Option<Arc<CancelToken>>,
     /// Shortest scratch: per-source visited set + distance table.
     seen: Frontier,
     dist: Vec<usize>,
@@ -88,6 +91,7 @@ impl CsrExpansion {
             src_emitted: 0,
             pending: VecDeque::new(),
             budget: Arc::new(PathBudget::new(config.max_paths)),
+            cancel: None,
             seen: Frontier::new(n),
             dist: vec![0; n],
             reach_seen: Frontier::new(n),
@@ -152,6 +156,19 @@ impl CsrExpansion {
         self.budget = budget;
     }
 
+    /// Installs a shared cancellation token, checked at every expansion
+    /// level. May be applied at any time; the next level boundary observes it.
+    pub fn share_cancel(&mut self, cancel: Arc<CancelToken>) {
+        self.cancel = Some(cancel);
+    }
+
+    fn check_cancel(&self) -> Result<(), AlgebraError> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
+    }
+
     fn within(&self, len: usize) -> bool {
         self.config.max_length.is_none_or(|l| len <= l)
     }
@@ -205,6 +222,7 @@ impl CsrExpansion {
     /// One level of expansion for the current source (non-Shortest
     /// semantics), with the frontier engine's admission predicates.
     fn advance_level(&mut self) -> Result<(), AlgebraError> {
+        self.check_cancel()?;
         self.iterations += 1;
         if self.walk_unbounded && self.iterations > UNBOUNDED_WALK_ITERATION_LIMIT {
             return Err(AlgebraError::RecursionLimitExceeded {
@@ -279,6 +297,7 @@ impl CsrExpansion {
             }
         }
         while !cur.is_empty() {
+            self.check_cancel()?;
             let mut next: Vec<u32> = Vec::new();
             for &pid in &cur {
                 let head = *self.arena.step(pid);

@@ -23,7 +23,7 @@
 
 use crate::arena::{StepArena, NO_PARENT};
 use crate::csr::ReachInfo;
-use pathalg_core::budget::PathBudget;
+use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{
     PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
@@ -60,6 +60,8 @@ pub(crate) struct JoinExpansion {
     /// segments are recorded (counted, never limit-checked), recursion
     /// candidates are claimed, mirroring the frontier engine.
     budget: Arc<PathBudget>,
+    /// Cooperative cancellation, checked once per expansion level.
+    cancel: Option<Arc<CancelToken>>,
     level0_segments: usize,
     /// Shortest scratch: per-source best-known distance per target.
     seen: Frontier,
@@ -95,6 +97,7 @@ impl JoinExpansion {
             src_emitted: 0,
             pending: VecDeque::new(),
             budget: Arc::new(PathBudget::new(config.max_paths)),
+            cancel: None,
             level0_segments: 0,
             seen: Frontier::new(n),
             dist: vec![0; n],
@@ -164,6 +167,19 @@ impl JoinExpansion {
         self.budget = budget;
     }
 
+    /// Installs a shared cancellation token, checked at every expansion
+    /// level. May be applied at any time; the next level boundary observes it.
+    pub fn share_cancel(&mut self, cancel: Arc<CancelToken>) {
+        self.cancel = Some(cancel);
+    }
+
+    fn check_cancel(&self) -> Result<(), AlgebraError> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
+    }
+
     fn within(&self, len: usize) -> bool {
         self.config.max_length.is_none_or(|l| len <= l)
     }
@@ -229,6 +245,7 @@ impl JoinExpansion {
     /// One level of expansion for the current source (non-Shortest
     /// semantics), mirroring `phi_frontier`'s composite-base level step.
     fn advance_level(&mut self) -> Result<(), AlgebraError> {
+        self.check_cancel()?;
         self.iterations += 1;
         if self.walk_unbounded && self.iterations > UNBOUNDED_WALK_ITERATION_LIMIT {
             return Err(AlgebraError::RecursionLimitExceeded {
@@ -301,6 +318,7 @@ impl JoinExpansion {
             cur.push(id);
         }
         while !cur.is_empty() {
+            self.check_cancel()?;
             let mut next: Vec<u32> = Vec::new();
             for &pid in &cur {
                 let head = *self.arena.step(pid);

@@ -46,7 +46,7 @@ mod product;
 use crate::csr::{CsrExpansion, ReachInfo};
 use crate::join::JoinExpansion;
 use crate::product::{ProductExpansion, ProductItem};
-use pathalg_core::budget::PathBudget;
+use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::obs::WorkCounters;
 use pathalg_core::ops::group_by::{group_counts_from_triples, GroupCounts, GroupKey};
@@ -269,6 +269,21 @@ impl<'g> Pmr<'g> {
             Inner::Csr(e) => e.share_budget(budget),
             Inner::Join(e) => e.share_budget(budget),
             Inner::Product(e) => e.share_budget(budget),
+        }
+    }
+
+    /// Installs a shared cancellation token on the underlying expansion:
+    /// every subsequent pull polls the token at its level (or BFS-chunk)
+    /// boundary and aborts with [`AlgebraError::Cancelled`] /
+    /// [`AlgebraError::DeadlineExceeded`] once it fires. Under parallel
+    /// enumeration the same token is installed in every batch worker's
+    /// expansion (via the factory closure), so one token stops all workers
+    /// within one batch.
+    pub fn share_cancel(&mut self, cancel: Arc<CancelToken>) {
+        match &mut self.inner {
+            Inner::Csr(e) => e.share_cancel(cancel),
+            Inner::Join(e) => e.share_cancel(cancel),
+            Inner::Product(e) => e.share_cancel(cancel),
         }
     }
 

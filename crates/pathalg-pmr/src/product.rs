@@ -10,7 +10,7 @@
 //! while sources beyond the consumer's demand are never expanded at all.
 
 use crate::arena::{StepArena, NO_PARENT};
-use pathalg_core::budget::PathBudget;
+use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
 use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
 use pathalg_core::path::Path;
@@ -50,6 +50,10 @@ pub(crate) struct ProductExpansion<'g> {
     /// workers under parallel enumeration ([`crate::parallel`]). Every
     /// accepted path is claimed, mirroring the serial automaton evaluator.
     budget: Arc<PathBudget>,
+    /// Cooperative cancellation, checked periodically inside the eager
+    /// per-source product BFS (the source expansion is the long-running
+    /// unit of work here, unlike the level-ordered CSR/join expanders).
+    cancel: Option<Arc<CancelToken>>,
 }
 
 impl<'g> ProductExpansion<'g> {
@@ -75,6 +79,7 @@ impl<'g> ProductExpansion<'g> {
             pending: VecDeque::new(),
             cur_source: NodeId(0),
             budget: Arc::new(PathBudget::new(config.max_paths)),
+            cancel: None,
         }
     }
 
@@ -121,6 +126,12 @@ impl<'g> ProductExpansion<'g> {
     /// before the first pull.
     pub fn share_budget(&mut self, budget: Arc<PathBudget>) {
         self.budget = budget;
+    }
+
+    /// Installs a shared cancellation token, checked periodically during
+    /// source expansion. May be applied at any time.
+    pub fn share_cancel(&mut self, cancel: Arc<CancelToken>) {
+        self.cancel = Some(cancel);
     }
 
     /// Number of arena steps allocated so far.
@@ -180,7 +191,15 @@ impl<'g> ProductExpansion<'g> {
         };
         queue.push_back((None, start, initial_seen));
 
+        let mut pops: usize = 0;
         while let Some((chain, state, seen)) = queue.pop_front() {
+            // Amortise the deadline's `Instant::now()` over many pops.
+            if pops & 127 == 0 {
+                if let Some(token) = &self.cancel {
+                    token.check()?;
+                }
+            }
+            pops += 1;
             let (here, cur_len) = match chain {
                 Some(id) => {
                     let step = self.arena.step(id);

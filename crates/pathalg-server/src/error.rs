@@ -58,16 +58,40 @@ pub enum ServiceError {
     Admission(AdmissionError),
     /// The evaluation itself failed (type error, exhausted budget, …).
     Evaluation(AlgebraError),
+    /// The leader evaluation panicked. The panic is caught at the execute
+    /// boundary ([`std::panic::catch_unwind`]), its payload captured here,
+    /// and the typed error fanned out to every coalesced waiter — one bad
+    /// request never poisons the service or hangs the herd.
+    InternalPanic(String),
+    /// The service refused the request before execution because its
+    /// concurrency cap ([`crate::service::ServiceConfig::max_concurrent`])
+    /// was already saturated — typed load shedding instead of unbounded
+    /// queueing.
+    Overloaded {
+        /// Leader evaluations in flight when the request arrived.
+        in_flight: usize,
+        /// The configured cap those executions saturated.
+        cap: usize,
+    },
 }
 
 impl ServiceError {
     /// Short machine-readable error class, used by the wire protocol's
     /// `ERR <kind>: <message>` line.
+    ///
+    /// Deadline and cancellation outcomes get their own classes (`timeout`,
+    /// `cancelled`) even though they travel as [`AlgebraError`] values, so
+    /// clients and traces can tell "your query was wrong" from "your query
+    /// ran out of time".
     pub fn kind(&self) -> &'static str {
         match self {
             ServiceError::Parse(_) => "parse",
             ServiceError::Admission(_) => "admission",
+            ServiceError::Evaluation(AlgebraError::DeadlineExceeded) => "timeout",
+            ServiceError::Evaluation(AlgebraError::Cancelled) => "cancelled",
             ServiceError::Evaluation(_) => "evaluation",
+            ServiceError::InternalPanic(_) => "internal",
+            ServiceError::Overloaded { .. } => "overloaded",
         }
     }
 }
@@ -78,6 +102,13 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServiceError::Admission(e) => write!(f, "{e}"),
             ServiceError::Evaluation(e) => write!(f, "evaluation error: {e}"),
+            ServiceError::InternalPanic(msg) => {
+                write!(f, "internal error: evaluation panicked: {msg}")
+            }
+            ServiceError::Overloaded { in_flight, cap } => write!(
+                f,
+                "overloaded: {in_flight} evaluations in flight at cap {cap}"
+            ),
         }
     }
 }

@@ -59,6 +59,6 @@ pub use protocol::{
     handle_line, handle_request, serve, Client, QueryReply, Request, Response, ServerHandle,
 };
 pub use service::{
-    CacheStatus, DedupRole, QueryOutcome, QueryResponse, QueryService, ServiceConfig,
+    CacheStatus, DedupRole, FailAction, QueryOutcome, QueryResponse, QueryService, ServiceConfig,
 };
 pub use trace::{QueryTrace, TraceRing};

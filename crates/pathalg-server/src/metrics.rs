@@ -39,6 +39,10 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     dedup_hits: AtomicU64,
     admission_rejected: AtomicU64,
+    timeouts: AtomicU64,
+    cancelled: AtomicU64,
+    panicked: AtomicU64,
+    shed: AtomicU64,
     /// `f64::to_bits` of the estimate that drove the most recent rejection
     /// (valid only when `admission_rejected > 0`).
     rejected_estimate_bits: AtomicU64,
@@ -125,6 +129,28 @@ impl Metrics {
         self.admission_rejected.load(Ordering::Relaxed)
     }
 
+    /// Requests whose deadline fired before evaluation finished (leaders
+    /// aborted mid-enumeration and waiters that timed out waiting alike).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Requests aborted by explicit cancellation (not deadline expiry).
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Leader evaluations that panicked and were isolated at the execute
+    /// boundary (the herd received a typed error instead of hanging).
+    pub fn panicked(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at the concurrency cap before execution started.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// The `(estimated paths, ceiling)` pair of the most recent admission
     /// rejection, so observed-vs-ceiling is reportable from the metrics
     /// alone. `None` until a rejection happens.
@@ -184,6 +210,22 @@ impl Metrics {
         self.admission_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn inc_timeouts(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_panicked(&self) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn inc_surface(&self, surface: QuerySurface) {
         self.by_surface[surface.index()].fetch_add(1, Ordering::Relaxed);
     }
@@ -206,6 +248,10 @@ impl Metrics {
             cache_misses: self.cache_misses(),
             dedup_hits: self.dedup_hits(),
             admission_rejected: self.admission_rejected(),
+            timeouts: self.timeouts(),
+            cancelled: self.cancelled(),
+            panicked: self.panicked(),
+            shed: self.shed(),
             last_rejection: self.last_rejection(),
             by_surface: std::array::from_fn(|i| self.by_surface[i].load(Ordering::Relaxed)),
             stages: std::array::from_fn(|i| self.stage_latency[i].snapshot()),
@@ -246,6 +292,14 @@ pub struct MetricsSnapshot {
     pub dedup_hits: u64,
     /// Requests refused at admission.
     pub admission_rejected: u64,
+    /// Requests whose deadline fired before evaluation finished.
+    pub timeouts: u64,
+    /// Requests aborted by explicit cancellation.
+    pub cancelled: u64,
+    /// Leader evaluations that panicked and were isolated.
+    pub panicked: u64,
+    /// Requests shed at the concurrency cap.
+    pub shed: u64,
     /// `(estimated paths, ceiling)` of the most recent rejection.
     pub last_rejection: Option<(f64, f64)>,
     /// Per-surface request counts, indexed by [`QuerySurface::index`].
@@ -267,13 +321,17 @@ impl MetricsSnapshot {
     pub fn expose(&self) -> String {
         use fmt::Write;
         let mut out = String::new();
-        let counters: [(&str, u64); 6] = [
+        let counters: [(&str, u64); 10] = [
             ("pathalg_requests_served_total", self.served),
             ("pathalg_executions_total", self.executions),
             ("pathalg_plan_cache_hits_total", self.cache_hits),
             ("pathalg_plan_cache_misses_total", self.cache_misses),
             ("pathalg_dedup_hits_total", self.dedup_hits),
             ("pathalg_admission_rejected_total", self.admission_rejected),
+            ("pathalg_requests_timeout_total", self.timeouts),
+            ("pathalg_requests_cancelled_total", self.cancelled),
+            ("pathalg_requests_panicked_total", self.panicked),
+            ("pathalg_requests_shed_total", self.shed),
         ];
         for (name, value) in counters {
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -327,13 +385,17 @@ impl fmt::Display for MetricsSnapshot {
         write!(
             f,
             "served={} executions={} cache_hits={} cache_misses={} dedup_hits={} \
-             admission_rejected={}",
+             admission_rejected={} timeouts={} cancelled={} panicked={} shed={}",
             self.served,
             self.executions,
             self.cache_hits,
             self.cache_misses,
             self.dedup_hits,
-            self.admission_rejected
+            self.admission_rejected,
+            self.timeouts,
+            self.cancelled,
+            self.panicked,
+            self.shed
         )?;
         for surface in QuerySurface::ALL {
             write!(
@@ -378,6 +440,32 @@ mod tests {
         assert!(line.contains("rpq=1"), "{line}");
         assert!(line.contains("steps=7"), "{line}");
         assert!(line.contains("parse=1"), "{line}");
+    }
+
+    #[test]
+    fn robustness_outcomes_are_counted_and_exposed() {
+        let m = Metrics::default();
+        m.inc_timeouts();
+        m.inc_timeouts();
+        m.inc_cancelled();
+        m.inc_panicked();
+        m.inc_shed();
+        assert_eq!(m.timeouts(), 2);
+        assert_eq!(m.cancelled(), 1);
+        assert_eq!(m.panicked(), 1);
+        assert_eq!(m.shed(), 1);
+        let text = m.expose();
+        assert!(text.contains("pathalg_requests_timeout_total 2"), "{text}");
+        assert!(
+            text.contains("pathalg_requests_cancelled_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("pathalg_requests_panicked_total 1"), "{text}");
+        assert!(text.contains("pathalg_requests_shed_total 1"), "{text}");
+        let line = m.snapshot().to_string();
+        assert!(line.contains("timeouts=2"), "{line}");
+        assert!(line.contains("shed=1"), "{line}");
+        assert!(!line.contains('\n'), "STATS framing is one line: {line}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! |---------------------------------|--------------------------------------|
 //! | `QUERY <gql>`                   | `OK <n> cache=<hit\|miss> dedup=<leader\|waiter> epoch=<e> trace=<id>` then `PATH <ids>` × n, then `END` — or `ERR <kind>: <message>` |
 //! | `QUERY GQL\|RPQ\|IR <payload>`  | same — the tag picks the query surface ([`QuerySurface`]) |
+//! | `QUERY [tag] DEADLINE <ms> <payload>` | same — the request fails with `ERR timeout: …` once `<ms>` milliseconds have elapsed |
 //! | `STATS`                         | `STATS <counters>` (single-line [`crate::MetricsSnapshot`] display form) |
 //! | `METRICS`                       | `METRICS`, then the Prometheus-style exposition lines ([`crate::Metrics::expose`]), then `END` |
 //! | `TRACE <id>`                    | `TRACE <id>`, then the per-request report lines ([`crate::QueryTrace`] display form), then `END` — or `ERR protocol: …` when the id fell out of the ring |
@@ -45,10 +46,14 @@ use std::thread::JoinHandle;
 /// One parsed protocol request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
-    /// `QUERY [GQL|RPQ|IR] <payload>` — run a query on the tagged surface.
+    /// `QUERY [GQL|RPQ|IR] [DEADLINE <ms>] <payload>` — run a query on the
+    /// tagged surface, optionally under a wire-settable deadline.
     Query {
         /// The surface the payload is written in.
         surface: QuerySurface,
+        /// Per-request deadline in milliseconds (min-combined with the
+        /// service's default); `None` runs under the default alone.
+        deadline_ms: Option<u64>,
         /// The query text (GQL, an RPQ rule, or a JSON IR document).
         text: String,
     },
@@ -94,7 +99,7 @@ impl Request {
             "QUIT" => Ok(Request::Quit),
             "QUERY" if !rest.is_empty() => {
                 // An optional surface tag before the payload; bare text is GQL.
-                let (surface, text) = match rest.split_once(' ') {
+                let (surface, rest) = match rest.split_once(' ') {
                     Some((tag, payload)) => match QuerySurface::from_tag(tag) {
                         Some(surface) => (surface, payload.trim()),
                         None => (QuerySurface::Gql, rest),
@@ -106,8 +111,22 @@ impl Request {
                         None => (QuerySurface::Gql, rest),
                     },
                 };
+                // An optional `DEADLINE <ms>` field before the payload.
+                let (deadline_ms, text) = match rest.strip_prefix("DEADLINE ") {
+                    Some(tail) => {
+                        let (ms, payload) = tail.trim_start().split_once(' ').ok_or_else(|| {
+                            "DEADLINE needs milliseconds and a query text".to_string()
+                        })?;
+                        let ms = ms.parse().map_err(|_| {
+                            format!("DEADLINE needs numeric milliseconds, got {ms}")
+                        })?;
+                        (Some(ms), payload.trim())
+                    }
+                    None => (None, rest),
+                };
                 Ok(Request::Query {
                     surface,
+                    deadline_ms,
                     text: text.to_string(),
                 })
             }
@@ -120,7 +139,14 @@ impl Request {
     /// [`Request::parse`]; queries always carry the explicit surface tag).
     pub fn render(&self) -> String {
         match self {
-            Request::Query { surface, text } => format!("QUERY {} {}", surface.tag(), text),
+            Request::Query {
+                surface,
+                deadline_ms,
+                text,
+            } => match deadline_ms {
+                Some(ms) => format!("QUERY {} DEADLINE {} {}", surface.tag(), ms, text),
+                None => format!("QUERY {} {}", surface.tag(), text),
+            },
             Request::Stats => "STATS".to_string(),
             Request::Metrics => "METRICS".to_string(),
             Request::Trace(id) => format!("TRACE {id}"),
@@ -371,19 +397,29 @@ pub fn handle_request(service: &QueryService, request: &Request) -> Option<Respo
                 message: format!("no retained trace with id {id}"),
             },
         }),
-        Request::Query { surface, text } => Some(match service.submit_on(*surface, text) {
-            Ok(response) => Response::Query(QueryReply {
-                cache: response.cache,
-                dedup: response.dedup,
-                epoch: response.epoch,
-                trace: Some(response.trace.id),
-                paths: response.outcome.canonical_lines(),
-            }),
-            Err(e) => Response::Error {
-                kind: e.kind().to_string(),
-                message: e.to_string().replace('\n', " "),
+        Request::Query {
+            surface,
+            deadline_ms,
+            text,
+        } => Some(
+            match service.submit_on_deadline(
+                *surface,
+                text,
+                deadline_ms.map(std::time::Duration::from_millis),
+            ) {
+                Ok(response) => Response::Query(QueryReply {
+                    cache: response.cache,
+                    dedup: response.dedup,
+                    epoch: response.epoch,
+                    trace: Some(response.trace.id),
+                    paths: response.outcome.canonical_lines(),
+                }),
+                Err(e) => Response::Error {
+                    kind: e.kind().to_string(),
+                    message: e.to_string().replace('\n', " "),
+                },
             },
-        }),
+        ),
     }
 }
 
@@ -485,12 +521,12 @@ pub fn serve(
                 let service = service.clone();
                 connections
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(|e| e.into_inner())
                     .push(std::thread::spawn(move || {
                         let _ = handle_connection(&service, stream);
                     }));
             }
-            for connection in connections.into_inner().unwrap() {
+            for connection in connections.into_inner().unwrap_or_else(|e| e.into_inner()) {
                 let _ = connection.join();
             }
         })
@@ -583,8 +619,20 @@ impl Client {
 
     /// [`Client::query`] for any query surface.
     pub fn query_on(&mut self, surface: QuerySurface, text: &str) -> io::Result<Response> {
+        self.query_deadline(surface, text, None)
+    }
+
+    /// [`Client::query_on`] with an optional wire-carried deadline in
+    /// milliseconds (`QUERY <tag> DEADLINE <ms> <text>`).
+    pub fn query_deadline(
+        &mut self,
+        surface: QuerySurface,
+        text: &str,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Response> {
         let response = self.send(&Request::Query {
             surface,
+            deadline_ms,
             text: text.to_string(),
         })?;
         Ok(response.expect("query requests always get a response"))
@@ -632,6 +680,7 @@ mod tests {
             Request::parse("QUERY MATCH ALL WALK p = (?x)-[:Knows]->(?y)"),
             Ok(Request::Query {
                 surface: QuerySurface::Gql,
+                deadline_ms: None,
                 text: "MATCH ALL WALK p = (?x)-[:Knows]->(?y)".to_string(),
             }),
             "bare QUERY defaults to the GQL surface"
@@ -640,6 +689,7 @@ mod tests {
             Request::parse("QUERY RPQ reach(x, y) :- :Knows+, trail."),
             Ok(Request::Query {
                 surface: QuerySurface::Rpq,
+                deadline_ms: None,
                 text: "reach(x, y) :- :Knows+, trail.".to_string(),
             })
         );
@@ -647,12 +697,55 @@ mod tests {
             Request::parse("QUERY IR {\"version\":\"query_ir_v1\"}"),
             Ok(Request::Query {
                 surface: QuerySurface::Ir,
+                deadline_ms: None,
                 text: "{\"version\":\"query_ir_v1\"}".to_string(),
             })
         );
         assert!(Request::parse("QUERY").is_err());
         assert!(Request::parse("QUERY RPQ").is_err(), "tag without payload");
         assert!(Request::parse("NONSENSE").is_err());
+        assert_eq!(
+            Request::parse("QUERY GQL DEADLINE 250 MATCH ALL WALK p = (?x)-[:Knows]->(?y)"),
+            Ok(Request::Query {
+                surface: QuerySurface::Gql,
+                deadline_ms: Some(250),
+                text: "MATCH ALL WALK p = (?x)-[:Knows]->(?y)".to_string(),
+            })
+        );
+        assert_eq!(
+            Request::parse("QUERY DEADLINE 10 MATCH ALL WALK p = (?x)-[:Knows]->(?y)"),
+            Ok(Request::Query {
+                surface: QuerySurface::Gql,
+                deadline_ms: Some(10),
+                text: "MATCH ALL WALK p = (?x)-[:Knows]->(?y)".to_string(),
+            }),
+            "DEADLINE works without a surface tag"
+        );
+        assert!(
+            Request::parse("QUERY GQL DEADLINE abc MATCH…").is_err(),
+            "milliseconds must be numeric"
+        );
+        assert!(
+            Request::parse("QUERY GQL DEADLINE 100").is_err(),
+            "DEADLINE without a payload"
+        );
+    }
+
+    #[test]
+    fn deadline_requests_round_trip_and_time_out_on_the_wire() {
+        let query = Request::parse("QUERY RPQ DEADLINE 75 reach(x, y) :- :Knows+.").unwrap();
+        assert_eq!(
+            query.render(),
+            "QUERY RPQ DEADLINE 75 reach(x, y) :- :Knows+."
+        );
+        assert_eq!(Request::parse(&query.render()), Ok(query));
+        // A zero deadline fails with the typed timeout kind end-to-end.
+        let svc = service();
+        let lines = handle_line(&svc, &format!("QUERY GQL DEADLINE 0 {SHORTEST}")).unwrap();
+        assert!(lines[0].starts_with("ERR timeout:"), "{}", lines[0]);
+        // And the same service still answers the same query afterwards.
+        let ok = handle_line(&svc, &format!("QUERY {SHORTEST}")).unwrap();
+        assert!(ok[0].starts_with("OK "), "{}", ok[0]);
     }
 
     #[test]
@@ -701,6 +794,7 @@ mod tests {
             &svc,
             &Request::Query {
                 surface: QuerySurface::Gql,
+                deadline_ms: None,
                 text: SHORTEST.to_string(),
             },
         )
@@ -716,6 +810,7 @@ mod tests {
             &svc,
             &Request::Query {
                 surface: QuerySurface::Gql,
+                deadline_ms: None,
                 text: "THIS IS NOT GQL".to_string(),
             },
         )

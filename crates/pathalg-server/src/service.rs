@@ -27,7 +27,8 @@ use crate::cache::{CacheKey, CachedPlan, Lru, PlanCache};
 use crate::error::{AdmissionError, ServiceError};
 use crate::metrics::Metrics;
 use crate::trace::{QueryTrace, TraceRing, DEFAULT_TRACE_CAPACITY};
-use pathalg_core::budget::RequestQuota;
+use pathalg_core::budget::{CancelToken, RequestQuota};
+use pathalg_core::error::AlgebraError;
 use pathalg_core::expr::PlanExpr;
 use pathalg_core::obs::{Stage, StageSpans, WorkCounters};
 use pathalg_core::ops::recursive::RecursionConfig;
@@ -40,8 +41,10 @@ use pathalg_graph::stats::GraphStats;
 use pathalg_parser::normalize::{plan_cache_key, PlanKey};
 use pathalg_parser::{lower_to_checked_plan, parse_surface, QuerySurface};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-request path quota granted for each worker thread of the execution
 /// configuration — the derivation of the default [`RequestQuota`] from
@@ -75,6 +78,15 @@ pub struct ServiceConfig {
     pub optimize: bool,
     /// Bound on the per-request trace ring (entries; 0 disables retention).
     pub trace_capacity: usize,
+    /// Deadline applied to every request that does not carry its own;
+    /// a per-request deadline is min-combined with it. `None` means
+    /// requests without their own deadline run unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Cap on concurrent *leader* evaluations. A would-be leader past the
+    /// cap is shed with a typed [`ServiceError::Overloaded`] before any
+    /// enumeration starts; waiters joining an in-flight evaluation are
+    /// always free. `None` disables shedding.
+    pub max_concurrent: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -94,6 +106,8 @@ impl ServiceConfig {
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             optimize: true,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            default_deadline: None,
+            max_concurrent: None,
         }
     }
 }
@@ -174,17 +188,40 @@ struct Flight {
     ready: Condvar,
 }
 
+/// Upper bound on one condvar sleep inside [`Flight::wait`], so a waiter
+/// notices an explicit [`CancelToken::cancel`] (which has no deadline to
+/// bound the wait) within one tick instead of blocking forever.
+const WAIT_TICK: Duration = Duration::from_millis(50);
+
 impl Flight {
-    fn wait(&self) -> Result<Arc<QueryOutcome>, ServiceError> {
-        let mut slot = self.slot.lock().unwrap();
-        while slot.is_none() {
-            slot = self.ready.wait(slot).unwrap();
+    /// Blocks until the leader publishes, the waiter's own deadline fires,
+    /// or its token is cancelled — a waiter never blocks past its own
+    /// deadline, whatever happens to the leader. All waits are
+    /// `wait_timeout` loops, and every lock acquisition recovers from
+    /// poison: a panicking peer cannot wedge the herd.
+    fn wait(&self, cancel: &CancelToken) -> Result<Arc<QueryOutcome>, ServiceError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            if let Err(e) = cancel.check() {
+                return Err(ServiceError::Evaluation(e));
+            }
+            let tick = match cancel.deadline() {
+                Some(at) => at.saturating_duration_since(Instant::now()).min(WAIT_TICK),
+                None => WAIT_TICK,
+            };
+            let (guard, _timed_out) = self
+                .ready
+                .wait_timeout(slot, tick)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = guard;
         }
-        slot.as_ref().unwrap().clone()
     }
 
     fn publish(&self, outcome: Result<Arc<QueryOutcome>, ServiceError>) {
-        *self.slot.lock().unwrap() = Some(outcome);
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
         self.ready.notify_all();
     }
 }
@@ -202,6 +239,31 @@ struct StatsSnapshot {
 /// the herd has provably coalesced behind it.
 pub type PreExecuteHook = Box<dyn Fn(&Metrics) + Send + Sync>;
 
+/// What an armed failpoint does when its site is hit — the fault-injection
+/// half of the chaos harness (the [`PreExecuteHook`] is the deterministic
+/// fence half). Failpoints are armed by name ([`QueryService::set_failpoint`])
+/// and fire inside the leader's execute window, so an injected panic
+/// exercises the real `catch_unwind` isolation path, not a simulation of it.
+#[derive(Clone, Debug)]
+pub enum FailAction {
+    /// Panic with this message when the failpoint is hit.
+    Panic(String),
+    /// Sleep this long when the failpoint is hit (simulates a slow
+    /// evaluation so deadline/shedding paths become deterministic).
+    Delay(Duration),
+}
+
+/// RAII permit of one leader execution against
+/// [`ServiceConfig::max_concurrent`]; dropping it frees the slot even when
+/// the evaluation panics (the unwind runs the drop).
+struct ExecutionPermit<'a>(&'a AtomicUsize);
+
+impl Drop for ExecutionPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
 /// A long-lived query service over one shared graph. See the module docs
 /// for the request pipeline; `QueryService` is `Send + Sync` and designed to
 /// be shared behind an `Arc` by any number of threads.
@@ -216,6 +278,8 @@ pub struct QueryService {
     metrics: Metrics,
     traces: TraceRing,
     pre_execute: RwLock<Option<PreExecuteHook>>,
+    failpoints: RwLock<HashMap<String, FailAction>>,
+    in_flight_executions: AtomicUsize,
 }
 
 impl QueryService {
@@ -234,6 +298,8 @@ impl QueryService {
             metrics: Metrics::default(),
             traces: TraceRing::new(config.trace_capacity),
             pre_execute: RwLock::new(None),
+            failpoints: RwLock::new(HashMap::new()),
+            in_flight_executions: AtomicUsize::new(0),
         }
     }
 
@@ -274,12 +340,15 @@ impl QueryService {
 
     /// The current stats epoch.
     pub fn epoch(&self) -> u64 {
-        self.snapshot.read().unwrap().epoch
+        self.snapshot
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .epoch
     }
 
     /// Number of plans currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// The effective recursion bounds of every request: the configured base
@@ -290,12 +359,47 @@ impl QueryService {
 
     /// Installs the deterministic test fence (see [`PreExecuteHook`]).
     pub fn set_pre_execute_hook(&self, hook: PreExecuteHook) {
-        *self.pre_execute.write().unwrap() = Some(hook);
+        *self.pre_execute.write().unwrap_or_else(|e| e.into_inner()) = Some(hook);
     }
 
     /// Removes the test fence.
     pub fn clear_pre_execute_hook(&self) {
-        *self.pre_execute.write().unwrap() = None;
+        *self.pre_execute.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Arms the named failpoint (see [`FailAction`]). Site currently wired:
+    /// `"execute"`, hit by the leader inside its `catch_unwind` window,
+    /// after the pre-execute fence and before the evaluator runs.
+    pub fn set_failpoint(&self, name: &str, action: FailAction) {
+        self.failpoints
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), action);
+    }
+
+    /// Disarms every failpoint.
+    pub fn clear_failpoints(&self) {
+        self.failpoints
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Fires the named failpoint if armed. The action is cloned out of the
+    /// registry first, so an injected panic never unwinds while holding the
+    /// registry lock.
+    fn hit_failpoint(&self, name: &str) {
+        let action = self
+            .failpoints
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned();
+        match action {
+            Some(FailAction::Panic(msg)) => panic!("failpoint {name}: {msg}"),
+            Some(FailAction::Delay(dur)) => std::thread::sleep(dur),
+            None => {}
+        }
     }
 
     /// Recomputes the statistics snapshot, advances the epoch, and purges
@@ -304,13 +408,16 @@ impl QueryService {
     /// with (it is `Arc`-shared); requests after the bump re-plan.
     pub fn bump_epoch(&self) -> u64 {
         let stats = Arc::new(GraphStats::compute(&self.graph));
-        let mut snapshot = self.snapshot.write().unwrap();
+        let mut snapshot = self.snapshot.write().unwrap_or_else(|e| e.into_inner());
         snapshot.epoch += 1;
         snapshot.stats = stats;
         let epoch = snapshot.epoch;
         // Purge while still holding the snapshot write lock, so no
         // concurrent request can re-populate the cache under an old epoch.
-        self.cache.lock().unwrap().retain_epoch(epoch);
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain_epoch(epoch);
         epoch
     }
 
@@ -319,6 +426,18 @@ impl QueryService {
     /// [`QueryService::submit_on`] with [`QuerySurface::Gql`].
     pub fn submit(&self, text: &str) -> Result<QueryResponse, ServiceError> {
         self.submit_on(QuerySurface::Gql, text)
+    }
+
+    /// [`QueryService::submit`] with a per-request deadline: the evaluation
+    /// (leader or waiter alike) fails with a typed timeout
+    /// ([`AlgebraError::DeadlineExceeded`]) once `deadline` has elapsed,
+    /// within one cooperative check of the enumeration noticing.
+    pub fn submit_with_deadline(
+        &self,
+        text: &str,
+        deadline: Duration,
+    ) -> Result<QueryResponse, ServiceError> {
+        self.submit_on_deadline(QuerySurface::Gql, text, Some(deadline))
     }
 
     /// Submits one query written in any surface. Every surface lowers
@@ -331,6 +450,33 @@ impl QueryService {
         surface: QuerySurface,
         text: &str,
     ) -> Result<QueryResponse, ServiceError> {
+        self.submit_on_deadline(surface, text, None)
+    }
+
+    /// [`QueryService::submit_on`] with an optional per-request deadline,
+    /// min-combined with [`ServiceConfig::default_deadline`].
+    pub fn submit_on_deadline(
+        &self,
+        surface: QuerySurface,
+        text: &str,
+        deadline: Option<Duration>,
+    ) -> Result<QueryResponse, ServiceError> {
+        self.submit_on_token(surface, text, self.request_token(deadline))
+    }
+
+    /// [`QueryService::submit_on`] under a caller-owned [`CancelToken`]:
+    /// the caller keeps a clone of the `Arc` and may
+    /// [`cancel`](CancelToken::cancel) it from another thread at any time;
+    /// the request then fails with a typed [`AlgebraError::Cancelled`]. Any
+    /// deadline carried by the token applies as usual. The config's
+    /// [`default_deadline`](ServiceConfig::default_deadline) is **not**
+    /// folded in here — the token is taken exactly as given.
+    pub fn submit_on_token(
+        &self,
+        surface: QuerySurface,
+        text: &str,
+        cancel: Arc<CancelToken>,
+    ) -> Result<QueryResponse, ServiceError> {
         self.metrics.inc_surface(surface);
         let mut spans = StageSpans::new();
         let started = Instant::now();
@@ -341,11 +487,11 @@ impl QueryService {
         let (plan, key) = match parsed {
             Ok(parsed) => parsed,
             Err(e) => {
-                self.record_failure(surface, text, spans, None, &e);
+                self.record_failure(surface, text, spans, None, &e, None);
                 return Err(e);
             }
         };
-        self.submit_keyed(surface, text, &plan, key, spans)
+        self.submit_keyed(surface, text, &plan, key, spans, cancel)
     }
 
     /// [`QueryService::submit`] for a hand-built (already checked) plan: the
@@ -359,7 +505,22 @@ impl QueryService {
             plan,
             key,
             StageSpans::new(),
+            self.request_token(None),
         )
+    }
+
+    /// The request's cancellation token: its deadline is the min of the
+    /// per-request deadline and the configured default, converted to an
+    /// absolute instant *now* — parse and plan time count against it too.
+    fn request_token(&self, requested: Option<Duration>) -> Arc<CancelToken> {
+        let timeout = match (requested, self.config.default_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Arc::new(match timeout {
+            Some(t) => CancelToken::with_deadline(t),
+            None => CancelToken::new(),
+        })
     }
 
     fn submit_keyed(
@@ -369,10 +530,11 @@ impl QueryService {
         plan: &PlanExpr,
         key: PlanKey,
         mut spans: StageSpans,
+        cancel: Arc<CancelToken>,
     ) -> Result<QueryResponse, ServiceError> {
         let recursion = self.effective_recursion();
         let (stats, epoch) = {
-            let snapshot = self.snapshot.read().unwrap();
+            let snapshot = self.snapshot.read().unwrap_or_else(|e| e.into_inner());
             (snapshot.stats.clone(), snapshot.epoch)
         };
         let cache_key: CacheKey = (key, epoch);
@@ -387,36 +549,70 @@ impl QueryService {
         spans.set(Stage::Admit, admit_span);
         self.metrics.record_stage(Stage::Admit, admit_span);
         if let Err(e) = admitted {
-            self.record_failure(surface, query, spans, Some(cache_status), &e);
+            self.record_failure(surface, query, spans, Some(cache_status), &e, None);
             return Err(e);
         }
 
-        // Join or open the flight for this (plan, epoch).
-        let (flight, role) = {
-            let mut flights = self.flights.lock().unwrap();
+        // Join or open the flight for this (plan, epoch). A would-be leader
+        // must also hold an execution permit — acquired under the flights
+        // lock so cap accounting and leadership are decided atomically; past
+        // the cap the request is shed before any flight is registered.
+        let joined = {
+            let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
             match flights.get(&cache_key) {
-                Some(flight) => (flight.clone(), DedupRole::Waiter),
-                None => {
-                    let flight = Arc::new(Flight::default());
-                    flights.insert(cache_key.clone(), flight.clone());
-                    (flight, DedupRole::Leader)
-                }
+                Some(flight) => Ok((flight.clone(), DedupRole::Waiter, None)),
+                None => match self.try_acquire_permit() {
+                    Ok(permit) => {
+                        let flight = Arc::new(Flight::default());
+                        flights.insert(cache_key.clone(), flight.clone());
+                        Ok((flight, DedupRole::Leader, permit))
+                    }
+                    Err(e) => Err(e),
+                },
+            }
+        };
+        let (flight, role, permit) = match joined {
+            Ok(joined) => joined,
+            Err(e) => {
+                self.metrics.inc_shed();
+                self.record_failure(surface, query, spans, Some(cache_status), &e, Some("shed"));
+                return Err(e);
             }
         };
         let outcome = match role {
             DedupRole::Waiter => {
                 // A waiter's trace gets NO execute span — it never ran one.
                 // Its evaluation cost is attributed to the leader's trace.
+                // The wait is bounded by the waiter's OWN deadline: a stuck
+                // or slow leader cannot hold it past that.
                 self.metrics.inc_dedup_hits();
-                flight.wait()
+                flight.wait(&cancel)
             }
             DedupRole::Leader => {
                 self.metrics.inc_executions();
-                if let Some(hook) = self.pre_execute.read().unwrap().as_ref() {
+                if let Some(hook) = self
+                    .pre_execute
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_ref()
+                {
                     hook(&self.metrics);
                 }
                 let stage = Instant::now();
-                let outcome = self.execute(&cached, &stats, recursion);
+                // Panic isolation: the `"execute"` failpoint and the
+                // evaluation itself run under `catch_unwind`, so one bad
+                // request becomes a typed, clonable error fanned out to the
+                // waiters instead of a poisoned service.
+                let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                    self.hit_failpoint("execute");
+                    self.execute(&cached, &stats, recursion, &cancel)
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        self.metrics.inc_panicked();
+                        Err(ServiceError::InternalPanic(panic_message(payload)))
+                    }
+                };
                 let execute_span = stage.elapsed();
                 spans.set(Stage::Execute, execute_span);
                 self.metrics.record_stage(Stage::Execute, execute_span);
@@ -425,8 +621,12 @@ impl QueryService {
                 }
                 // Unregister before publishing: a request arriving after the
                 // publish must start a fresh flight, not join a finished one.
-                self.flights.lock().unwrap().remove(&cache_key);
+                self.flights
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&cache_key);
                 flight.publish(outcome.clone());
+                drop(permit);
                 outcome
             }
         };
@@ -438,6 +638,12 @@ impl QueryService {
                 trace.dedup = Some(role);
                 trace.epoch = epoch;
                 trace.error = Some(e.to_string());
+                trace.outcome = outcome_of(&e);
+                match trace.outcome {
+                    Some("timeout") => self.metrics.inc_timeouts(),
+                    Some("cancelled") => self.metrics.inc_cancelled(),
+                    _ => {}
+                }
                 self.traces.push(trace);
                 return Err(e);
             }
@@ -461,6 +667,30 @@ impl QueryService {
         })
     }
 
+    /// Claims one execution slot against [`ServiceConfig::max_concurrent`],
+    /// or sheds with a typed [`ServiceError::Overloaded`]. `None` when no
+    /// cap is configured (nothing to release).
+    fn try_acquire_permit(&self) -> Result<Option<ExecutionPermit<'_>>, ServiceError> {
+        let Some(cap) = self.config.max_concurrent else {
+            return Ok(None);
+        };
+        let mut in_flight = self.in_flight_executions.load(Ordering::Acquire);
+        loop {
+            if in_flight >= cap {
+                return Err(ServiceError::Overloaded { in_flight, cap });
+            }
+            match self.in_flight_executions.compare_exchange(
+                in_flight,
+                in_flight + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(Some(ExecutionPermit(&self.in_flight_executions))),
+                Err(now) => in_flight = now,
+            }
+        }
+    }
+
     /// A fresh trace skeleton stamped with the next request id.
     fn new_trace(&self, surface: QuerySurface, query: &str, spans: StageSpans) -> QueryTrace {
         QueryTrace {
@@ -474,11 +704,12 @@ impl QueryService {
             work: WorkCounters::default(),
             paths: 0,
             error: None,
+            outcome: None,
         }
     }
 
     /// Retains the trace of a request that failed before reaching a flight
-    /// (parse or admission).
+    /// (parse, admission, or the concurrency cap).
     fn record_failure(
         &self,
         surface: QuerySurface,
@@ -486,10 +717,12 @@ impl QueryService {
         spans: StageSpans,
         cache: Option<CacheStatus>,
         error: &ServiceError,
+        outcome: Option<&'static str>,
     ) {
         let mut trace = self.new_trace(surface, query, spans);
         trace.cache = cache;
         trace.error = Some(error.to_string());
+        trace.outcome = outcome;
         self.traces.push(trace);
     }
 
@@ -511,7 +744,7 @@ impl QueryService {
         let (plan, key) = self.plan_of(surface, text)?;
         let recursion = self.effective_recursion();
         let (stats, epoch) = {
-            let snapshot = self.snapshot.read().unwrap();
+            let snapshot = self.snapshot.read().unwrap_or_else(|e| e.into_inner());
             (snapshot.stats.clone(), snapshot.epoch)
         };
         let cache_key: CacheKey = (key, epoch);
@@ -531,7 +764,12 @@ impl QueryService {
         text: &str,
     ) -> Result<(PlanExpr, PlanKey), ServiceError> {
         let alias = (surface, text.to_string());
-        if let Some(hit) = self.text_cache.lock().unwrap().get(&alias) {
+        if let Some(hit) = self
+            .text_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&alias)
+        {
             return Ok(hit);
         }
         let ir = parse_surface(surface, text).map_err(|e| ServiceError::Parse(e.to_string()))?;
@@ -539,7 +777,7 @@ impl QueryService {
         let key = plan_cache_key(&plan, &self.effective_recursion());
         self.text_cache
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .insert(alias, (plan.clone(), key.clone()));
         Ok((plan, key))
     }
@@ -554,7 +792,12 @@ impl QueryService {
         stats: &GraphStats,
         recursion: &RecursionConfig,
     ) -> (Arc<CachedPlan>, CacheStatus) {
-        if let Some(entry) = self.cache.lock().unwrap().get(cache_key) {
+        if let Some(entry) = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(cache_key)
+        {
             self.metrics.inc_cache_hits();
             return (entry, CacheStatus::Hit);
         }
@@ -577,7 +820,7 @@ impl QueryService {
         });
         self.cache
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .insert(cache_key.clone(), entry.clone());
         (entry, CacheStatus::Miss)
     }
@@ -602,15 +845,19 @@ impl QueryService {
     }
 
     /// Execution stage: the engine evaluator over the cached optimized plan,
-    /// under the request's tightened bounds and the epoch's statistics.
+    /// under the request's tightened bounds, the epoch's statistics and the
+    /// request's cancellation token (checked cooperatively at every
+    /// enumeration level across all engine strategies).
     fn execute(
         &self,
         cached: &CachedPlan,
         stats: &GraphStats,
         recursion: RecursionConfig,
+        cancel: &Arc<CancelToken>,
     ) -> Result<Arc<QueryOutcome>, ServiceError> {
         let mut evaluator = EngineEvaluator::new(&self.graph, recursion, self.config.execution)
-            .with_graph_stats(stats);
+            .with_graph_stats(stats)
+            .with_cancel(cancel.clone());
         let paths = evaluator
             .eval_paths(&cached.plan)
             .map_err(ServiceError::Evaluation)?;
@@ -622,6 +869,30 @@ impl QueryService {
             decisions,
             work,
         }))
+    }
+}
+
+/// The robustness class of a failed request, for the trace's `outcome`
+/// stamp: `None` for ordinary (parse/admission/evaluation) failures.
+fn outcome_of(error: &ServiceError) -> Option<&'static str> {
+    match error {
+        ServiceError::Evaluation(AlgebraError::DeadlineExceeded) => Some("timeout"),
+        ServiceError::Evaluation(AlgebraError::Cancelled) => Some("cancelled"),
+        ServiceError::InternalPanic(_) => Some("panic"),
+        ServiceError::Overloaded { .. } => Some("shed"),
+        _ => None,
+    }
+}
+
+/// Renders a caught panic payload (the common `&str`/`String` cases) into
+/// the [`ServiceError::InternalPanic`] message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -761,6 +1032,98 @@ mod tests {
         let err = svc.submit("NOT GQL AT ALL").unwrap_err();
         assert!(matches!(err, ServiceError::Parse(_)));
         assert_eq!(err.kind(), "parse");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_timeout_and_the_service_recovers() {
+        let svc = service();
+        let err = svc
+            .submit_with_deadline(SHORTEST, Duration::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Evaluation(AlgebraError::DeadlineExceeded)
+        );
+        assert_eq!(err.kind(), "timeout");
+        assert_eq!(svc.metrics().timeouts(), 1);
+        assert_eq!(
+            svc.latest_trace().unwrap().outcome,
+            Some("timeout"),
+            "trace says why the query died"
+        );
+        // The same service instance immediately serves the same query.
+        let ok = svc.submit(SHORTEST).unwrap();
+        assert!(!ok.outcome.paths.is_empty());
+        assert_eq!(ok.dedup, DedupRole::Leader, "no stale flight left behind");
+    }
+
+    #[test]
+    fn pre_cancelled_token_is_a_typed_cancellation() {
+        let svc = service();
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let err = svc
+            .submit_on_token(QuerySurface::Gql, SHORTEST, token)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Evaluation(AlgebraError::Cancelled));
+        assert_eq!(err.kind(), "cancelled");
+        assert_eq!(svc.metrics().cancelled(), 1);
+        assert_eq!(svc.latest_trace().unwrap().outcome, Some("cancelled"));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_typed() {
+        let svc = service();
+        svc.set_failpoint("execute", FailAction::Panic("chaos".to_string()));
+        let err = svc.submit(SHORTEST).unwrap_err();
+        assert!(matches!(err, ServiceError::InternalPanic(_)), "{err:?}");
+        assert_eq!(err.kind(), "internal");
+        assert!(err.to_string().contains("chaos"), "{err}");
+        assert_eq!(svc.metrics().panicked(), 1);
+        assert_eq!(svc.latest_trace().unwrap().outcome, Some("panic"));
+        // Disarm and the SAME instance keeps serving — no poison, no stale
+        // flight.
+        svc.clear_failpoints();
+        let ok = svc.submit(SHORTEST).unwrap();
+        assert!(!ok.outcome.paths.is_empty());
+        assert_eq!(svc.metrics().panicked(), 1, "one panic, not a cascade");
+    }
+
+    #[test]
+    fn saturated_cap_sheds_with_a_typed_overload() {
+        let config = ServiceConfig {
+            max_concurrent: Some(0),
+            ..ServiceConfig::default()
+        };
+        let svc = QueryService::new(Arc::new(figure1_graph()), config);
+        let err = svc.submit(SHORTEST).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Overloaded {
+                in_flight: 0,
+                cap: 0
+            }
+        );
+        assert_eq!(err.kind(), "overloaded");
+        assert_eq!(svc.metrics().shed(), 1);
+        assert_eq!(svc.metrics().executions(), 0, "shed before execute");
+        assert_eq!(svc.latest_trace().unwrap().outcome, Some("shed"));
+    }
+
+    #[test]
+    fn default_deadline_applies_when_the_request_has_none() {
+        let config = ServiceConfig {
+            default_deadline: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        };
+        let svc = QueryService::new(Arc::new(figure1_graph()), config);
+        let err = svc.submit(SHORTEST).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+        // A generous per-request deadline is min-combined with the default.
+        let err = svc
+            .submit_with_deadline(SHORTEST, Duration::from_secs(3600))
+            .unwrap_err();
+        assert_eq!(err.kind(), "timeout");
     }
 
     #[test]

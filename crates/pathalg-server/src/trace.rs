@@ -56,6 +56,12 @@ pub struct QueryTrace {
     pub paths: usize,
     /// The error the request failed with, if it did.
     pub error: Option<String>,
+    /// Why the request died, when it died for a robustness reason:
+    /// `"timeout"`, `"cancelled"`, `"panic"` or `"shed"`. `None` for
+    /// successes and ordinary (parse/admission/evaluation) failures, so
+    /// `TRACE <id>` distinguishes "your query was wrong" from "the service
+    /// cut it off".
+    pub outcome: Option<&'static str>,
 }
 
 impl fmt::Display for QueryTrace {
@@ -80,6 +86,9 @@ impl fmt::Display for QueryTrace {
                     DedupRole::Waiter => "waiter",
                 }
             )?;
+        }
+        if let Some(outcome) = self.outcome {
+            write!(f, " outcome={outcome}")?;
         }
         writeln!(f, " epoch={} paths={}", self.epoch, self.paths)?;
         writeln!(f, "  query: {}", self.query)?;
@@ -133,7 +142,7 @@ impl TraceRing {
     pub(crate) fn push(&self, trace: QueryTrace) -> Arc<QueryTrace> {
         let trace = Arc::new(trace);
         if self.capacity > 0 {
-            let mut ring = self.ring.lock().unwrap();
+            let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
             if ring.len() == self.capacity {
                 ring.pop_front();
             }
@@ -146,7 +155,7 @@ impl TraceRing {
     /// happens at the protocol boundary, after the trace was recorded.
     /// Handles given out before the patch keep the pre-render spans.
     pub(crate) fn set_render(&self, id: u64, span: Duration) {
-        let mut ring = self.ring.lock().unwrap();
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(slot) = ring.iter_mut().find(|t| t.id == id) {
             Arc::make_mut(slot).spans.set(Stage::Render, span);
         }
@@ -156,7 +165,7 @@ impl TraceRing {
     pub fn get(&self, id: u64) -> Option<Arc<QueryTrace>> {
         self.ring
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .find(|t| t.id == id)
             .cloned()
@@ -164,17 +173,26 @@ impl TraceRing {
 
     /// The most recently retained trace.
     pub fn latest(&self) -> Option<Arc<QueryTrace>> {
-        self.ring.lock().unwrap().back().cloned()
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .back()
+            .cloned()
     }
 
     /// Every retained trace, oldest first.
     pub fn all(&self) -> Vec<Arc<QueryTrace>> {
-        self.ring.lock().unwrap().iter().cloned().collect()
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Number of retained traces.
     pub fn len(&self) -> usize {
-        self.ring.lock().unwrap().len()
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when no trace is retained.
@@ -205,6 +223,7 @@ mod tests {
             work: WorkCounters::default(),
             paths: 2,
             error: None,
+            outcome: None,
         }
     }
 
@@ -261,5 +280,12 @@ mod tests {
         let report = failed.to_string();
         assert!(report.contains("error: parse error: nope"), "{report}");
         assert!(!report.contains("cache="), "{report}");
+        let timed_out = QueryTrace {
+            error: Some("evaluation error: deadline exceeded".to_string()),
+            outcome: Some("timeout"),
+            ..trace(9)
+        };
+        let report = timed_out.to_string();
+        assert!(report.contains(" outcome=timeout"), "{report}");
     }
 }

@@ -6,6 +6,7 @@
 //! paper's. Run `repro all` (or `cargo run -p repro -- all`) to regenerate
 //! everything; see EXPERIMENTS.md for the expected output.
 
+mod chaos;
 mod figures;
 mod obs;
 mod serve;
@@ -103,6 +104,11 @@ fn main() {
             "obs",
             "traced query: stage spans, work counters, METRICS exposition",
             obs::obs,
+        ),
+        (
+            "chaos",
+            "injected faults: deadline, cancel, panic isolation, load shedding",
+            chaos::chaos,
         ),
     ];
 

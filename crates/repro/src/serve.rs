@@ -24,6 +24,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut snb_persons: Option<usize> = None;
     let mut threads = 1usize;
     let mut metrics = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
@@ -42,10 +43,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--metrics" => metrics = true,
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
             other => {
                 return Err(format!(
                     "unknown serve option {other} (expected --socket PATH, --snb PERSONS, \
-                     --threads N, --metrics)"
+                     --threads N, --metrics, --deadline-ms MS)"
                 ))
             }
         }
@@ -63,14 +71,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
         graph.node_count(),
         graph.edge_count()
     );
-    let config = ServiceConfig::with_execution(ExecutionConfig::with_threads(threads));
+    let config = ServiceConfig {
+        default_deadline: deadline_ms.map(std::time::Duration::from_millis),
+        ..ServiceConfig::with_execution(ExecutionConfig::with_threads(threads))
+    };
     let service = Arc::new(QueryService::new(Arc::new(graph), config));
     // Bound to a name so the handle (and with it the socket file) lives for
     // the whole process; killing the process is the only way out.
     let _handle =
         serve(service.clone(), socket.clone()).map_err(|e| format!("bind {socket}: {e}"))?;
     println!("serving on {socket} ({threads} engine thread(s)); commands:");
+    if let Some(ms) = deadline_ms {
+        println!("default per-request deadline: {ms}ms");
+    }
     println!("  QUERY <gql>   run a query (OK/PATH…/END or ERR <kind>: …)");
+    println!("  QUERY [tag] DEADLINE <ms> <text>   per-request deadline");
     println!("  STATS         service counters (one line)");
     println!("  METRICS       Prometheus-style exposition (END-framed)");
     println!("  TRACE <id>    per-request stage/work report (ids on OK headers)");

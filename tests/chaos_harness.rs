@@ -1,0 +1,218 @@
+//! Fault-injection harness for the robustness layer (DESIGN.md §14).
+//!
+//! Drives the query service through the three fault classes that the
+//! cancellation / panic-isolation work must survive, each pinned at 1, 2
+//! and 8 engine worker threads:
+//!
+//! * **Leader panic fan-out** — the `"execute"` failpoint panics the dedup
+//!   leader mid-flight while a fenced herd is coalesced onto it. Every
+//!   member (leader and waiters alike) must receive the *typed*
+//!   [`ServiceError::InternalPanic`] before its own deadline — no hang, no
+//!   poisoned lock — and the same instance must serve the next query.
+//! * **Deadline mid-enumeration** — a delay failpoint pushes the leader's
+//!   evaluation past a deadline shorter than the closure drain's runtime,
+//!   so the *cooperative check inside the enumeration* is what fires: a
+//!   typed [`AlgebraError::DeadlineExceeded`], counted and outcome-stamped.
+//! * **Cancellation cleanliness** — after a deadline-aborted run the very
+//!   same service re-serves the identical query as a fresh leader (no stale
+//!   flight) with output byte-identical to an untouched reference service.
+
+use pathalg::algebra::error::AlgebraError;
+use pathalg::algebra::ops::recursive::RecursionConfig;
+use pathalg::graph::generator::structured::complete_graph;
+use pathalg::server::{DedupRole, FailAction, QueryService, ServiceConfig, ServiceError};
+use pathalg_engine::exec::ExecutionConfig;
+use std::sync::{Arc, Once};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The recursive workload every scenario submits: a trail closure over a
+/// complete Knows graph, expensive enough that a herd genuinely overlaps.
+const TRAIL: &str = "MATCH ALL TRAIL p = (?x)-[(:Knows)+]->(?y)";
+
+/// The thread counts every scenario is pinned at.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// A service over K_n with the admission gate off and bounded recursion —
+/// the same shape the concurrency harness uses.
+fn dense_service(n: usize, threads: usize, max_length: usize) -> Arc<QueryService> {
+    let mut config = ServiceConfig::with_execution(ExecutionConfig::with_threads(threads));
+    config.recursion = RecursionConfig {
+        max_length: Some(max_length),
+        max_paths: None,
+    };
+    config.admission_ceiling = None;
+    Arc::new(QueryService::new(
+        Arc::new(complete_graph(n, "Knows")),
+        config,
+    ))
+}
+
+/// Keeps the *expected* injected panics out of the test output while still
+/// reporting every other panic (assertion failures) through the default
+/// hook. Installed once per test binary — the armed failpoint's payload
+/// always starts with `"failpoint "`.
+fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("failpoint "));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Leader panic fan-out
+// ---------------------------------------------------------------------------
+
+/// The dedup leader panics mid-execute while a fenced herd is coalesced on
+/// its flight. Everyone gets the typed `InternalPanic` (the 30s request
+/// deadlines would have converted a hang into a timeout — seeing "internal"
+/// proves the fan-out beat them), exactly one panic is counted, every trace
+/// is outcome-stamped, and the disarmed service serves the next query.
+#[test]
+fn leader_panic_fans_out_typed_to_every_coalesced_waiter() {
+    silence_injected_panics();
+    const HERD: u64 = 6;
+    for threads in THREADS {
+        let svc = dense_service(7, threads, 5);
+        svc.set_failpoint("execute", FailAction::Panic("chaos".into()));
+        // The fence holds the leader inside its catch_unwind window until
+        // all waiters have registered, so the panic provably fans out to a
+        // fully assembled herd rather than racing it.
+        svc.set_pre_execute_hook(Box::new(|metrics| {
+            let fence = Instant::now() + Duration::from_secs(30);
+            while metrics.dedup_hits() < HERD - 1 {
+                assert!(Instant::now() < fence, "herd never assembled");
+                thread::sleep(Duration::from_millis(1));
+            }
+        }));
+        let errors: Vec<ServiceError> = thread::scope(|scope| {
+            let workers: Vec<_> = (0..HERD)
+                .map(|_| {
+                    let svc = svc.clone();
+                    scope.spawn(move || {
+                        svc.submit_with_deadline(TRAIL, Duration::from_secs(30))
+                            .expect_err("the armed failpoint must fail the whole herd")
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        svc.clear_pre_execute_hook();
+        svc.clear_failpoints();
+
+        assert_eq!(errors.len(), HERD as usize);
+        for err in &errors {
+            match err {
+                ServiceError::InternalPanic(message) => {
+                    assert!(
+                        message.contains("failpoint execute: chaos"),
+                        "threads={threads}: payload surfaced, got {message:?}"
+                    );
+                }
+                other => panic!("threads={threads}: expected InternalPanic, got {other:?}"),
+            }
+            assert_eq!(err.kind(), "internal", "not a timeout — fan-out beat it");
+            assert_eq!(err, &errors[0], "identical typed error for the herd");
+        }
+        assert_eq!(svc.metrics().panicked(), 1, "one leader panic counted");
+        assert_eq!(svc.metrics().executions(), 1, "one leader entered execute");
+        assert_eq!(svc.metrics().dedup_hits(), HERD - 1);
+        let stamped = svc
+            .traces()
+            .all()
+            .iter()
+            .filter(|t| t.outcome == Some("panic"))
+            .count();
+        assert_eq!(stamped, HERD as usize, "every member's trace is stamped");
+
+        // No poisoned lock, no stale flight: the same instance leads a
+        // fresh, successful evaluation of the very same query.
+        let recovered = svc.submit(TRAIL).expect("service survives its leader");
+        assert_eq!(recovered.dedup, DedupRole::Leader, "no stale flight");
+        assert!(!recovered.outcome.paths.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline mid-enumeration
+// ---------------------------------------------------------------------------
+
+/// A delay failpoint makes the closure drain outlast its deadline, so the
+/// expiry is noticed *by the cooperative check inside the enumeration* —
+/// surfacing as the typed timeout, counted and outcome-stamped — and the
+/// disarmed instance immediately serves the next query.
+#[test]
+fn deadline_fires_mid_enumeration_and_the_service_moves_on() {
+    for threads in THREADS {
+        let svc = dense_service(7, threads, 5);
+        // The leader reaches execute well before 25ms, sleeps past the
+        // deadline, and the evaluation's first cancellation check fires.
+        svc.set_failpoint("execute", FailAction::Delay(Duration::from_millis(120)));
+        let err = svc
+            .submit_with_deadline(TRAIL, Duration::from_millis(25))
+            .expect_err("the deadline must outrun the delayed drain");
+        match &err {
+            ServiceError::Evaluation(AlgebraError::DeadlineExceeded) => {}
+            other => panic!("threads={threads}: expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "timeout");
+        assert_eq!(svc.metrics().timeouts(), 1);
+        let trace = svc.latest_trace().expect("failed request leaves a trace");
+        assert_eq!(trace.outcome, Some("timeout"));
+
+        svc.clear_failpoints();
+        let next = svc.submit(TRAIL).expect("same instance serves the next");
+        assert_eq!(next.dedup, DedupRole::Leader, "aborted flight was removed");
+        assert!(!next.outcome.paths.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation cleanliness
+// ---------------------------------------------------------------------------
+
+/// A deadline-aborted run must leave nothing behind: the same service then
+/// re-serves the identical query as a fresh leader, byte-identical to an
+/// untouched reference service, and a second submit hits the plan cache
+/// with the same bytes again.
+#[test]
+fn aborted_run_is_reserved_byte_identically() {
+    for threads in THREADS {
+        let reference = dense_service(7, threads, 5)
+            .submit(TRAIL)
+            .expect("reference run")
+            .outcome
+            .canonical_lines();
+        assert!(!reference.is_empty());
+
+        let svc = dense_service(7, threads, 5);
+        svc.set_failpoint("execute", FailAction::Delay(Duration::from_millis(120)));
+        let err = svc
+            .submit_with_deadline(TRAIL, Duration::from_millis(25))
+            .expect_err("the aborted run");
+        assert_eq!(err.kind(), "timeout", "threads={threads}");
+        svc.clear_failpoints();
+
+        let first = svc.submit(TRAIL).expect("re-serve after the abort");
+        assert_eq!(first.dedup, DedupRole::Leader, "no stale flight survives");
+        assert_eq!(
+            first.outcome.canonical_lines(),
+            reference,
+            "threads={threads}: aborted run left no trace in the answer"
+        );
+        let second = svc.submit(TRAIL).expect("warm re-serve");
+        assert_eq!(second.outcome.canonical_lines(), reference);
+
+        assert_eq!(svc.metrics().timeouts(), 1, "exactly the aborted run");
+        assert_eq!(svc.metrics().served(), 2, "both re-serves succeeded");
+    }
+}
