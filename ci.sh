@@ -8,7 +8,7 @@
 #   ./ci.sh --bench-json  run every bench target under PATHALG_BENCH_MAX_MS
 #                         and write the perf-trajectory artifact
 #                         (bench id → ns/iter) at the repo root; the output
-#                         file is $PATHALG_BENCH_OUT (default BENCH_PR9.json)
+#                         file is $PATHALG_BENCH_OUT (default BENCH_PR10.json)
 #   ./ci.sh --perf-diff OLD.json NEW.json [--threshold X] [--geomean]
 #                         compare two trajectory artifacts: per-target
 #                         geometric-mean ratios over the shared ids, the
@@ -72,15 +72,18 @@ full() {
     step "repro chaos (fault-injection demo: deadline, cancel, panic, shed)"
     cargo run -q --release -p repro -- chaos
 
+    step "repro scale (nodes-vs-throughput table, capped at 10^4 persons for CI)"
+    cargo run -q --release -p repro -- scale --max 10000
+
     printf '\nci.sh: all checks passed\n'
 }
 
 # Runs every bench target with the vendored criterion's JSON-lines emitter
-# enabled, then assembles $PATHALG_BENCH_OUT (default BENCH_PR8.json): a flat
+# enabled, then assembles $PATHALG_BENCH_OUT (default BENCH_PR10.json): a flat
 # "target/bench-id" → ns/iter map. PATHALG_BENCH_MAX_MS caps the
 # per-benchmark measurement window.
 bench_json() {
-    local out="${PATHALG_BENCH_OUT:-BENCH_PR9.json}"
+    local out="${PATHALG_BENCH_OUT:-BENCH_PR10.json}"
     local jsonl="${out}.jsonl.tmp"
     rm -f "$jsonl" "$out"
 

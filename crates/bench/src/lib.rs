@@ -10,8 +10,9 @@
 use pathalg_core::condition::Condition;
 use pathalg_core::expr::PlanExpr;
 use pathalg_core::ops::recursive::PathSemantics;
+use pathalg_graph::csr::CsrGraph;
 use pathalg_graph::fixtures::figure1::Figure1;
-use pathalg_graph::generator::snb::{snb_like_graph, SnbConfig};
+use pathalg_graph::generator::snb::{snb_label_csr, snb_like_graph, SnbConfig};
 use pathalg_graph::generator::structured::{chain_graph, cycle_graph, ladder_graph};
 use pathalg_graph::graph::PropertyGraph;
 
@@ -24,6 +25,14 @@ pub fn figure1() -> Figure1 {
 /// deterministic for a fixed scale.
 pub fn snb(persons: usize) -> PropertyGraph {
     snb_like_graph(&SnbConfig::scale(persons, 0xBEEF + persons as u64))
+}
+
+/// The label-restricted CSR of [`snb`] streamed directly — byte-identical
+/// to `CsrGraph::with_label(&snb(persons), label)` but without ever
+/// materialising the property graph, which is what lets `scaling_million`
+/// and `repro scale` reach 10⁶ persons.
+pub fn snb_csr(persons: usize, label: &str) -> CsrGraph {
+    snb_label_csr(&SnbConfig::scale(persons, 0xBEEF + persons as u64), label)
 }
 
 /// A Knows-labelled chain of `n` nodes (acyclic, so even unbounded walks are

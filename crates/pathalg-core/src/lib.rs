@@ -35,6 +35,7 @@ pub mod display;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod fasthash;
 pub mod gql;
 pub mod obs;
 pub mod ops;

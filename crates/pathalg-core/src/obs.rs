@@ -57,11 +57,20 @@ pub struct WorkCounters {
     /// Batch results stitched back by the batch-order merge.
     /// Scheduling detail: excluded from [`Self::deterministic_line`].
     pub batches_merged: u64,
+    /// Peak bytes backing PMR step arenas (merged by **max**: the largest
+    /// single arena footprint seen). Depends on how sources were batched, so
+    /// it is a memory gauge, not part of [`Self::deterministic_line`].
+    pub arena_bytes_peak: u64,
+    /// Times a hoisted scratch structure (level buffers, visited-set blocks,
+    /// saturation buffers) was reused instead of freshly allocated. Depends
+    /// on batching, so excluded from [`Self::deterministic_line`].
+    pub scratch_reuse_count: u64,
 }
 
 impl WorkCounters {
-    /// Adds every counter of `other` into `self` (associative, so per-batch
-    /// and per-operator counters fold into request totals in any order).
+    /// Folds `other` into `self` (associative, so per-batch and per-operator
+    /// counters fold into request totals in any order). Every counter adds,
+    /// except `arena_bytes_peak`, which is a peak gauge and takes the max.
     pub fn merge(&mut self, other: &WorkCounters) {
         self.arena_steps += other.arena_steps;
         self.base_segments += other.base_segments;
@@ -73,6 +82,8 @@ impl WorkCounters {
         self.paths_kept += other.paths_kept;
         self.batches_scheduled += other.batches_scheduled;
         self.batches_merged += other.batches_merged;
+        self.arena_bytes_peak = self.arena_bytes_peak.max(other.arena_bytes_peak);
+        self.scratch_reuse_count += other.scratch_reuse_count;
     }
 
     /// True when nothing was counted (no lazy operator ran).
@@ -103,10 +114,12 @@ impl fmt::Display for WorkCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} batches={} merged={}",
+            "{} batches={} merged={} arena_bytes={} scratch_reuse={}",
             self.deterministic_line(),
             self.batches_scheduled,
-            self.batches_merged
+            self.batches_merged,
+            self.arena_bytes_peak,
+            self.scratch_reuse_count
         )
     }
 }
@@ -330,6 +343,28 @@ mod tests {
         assert_eq!(a.batches_scheduled, 3);
         assert!(!a.is_empty());
         assert!(WorkCounters::default().is_empty());
+    }
+
+    #[test]
+    fn arena_bytes_peak_merges_as_a_max_gauge() {
+        let mut a = WorkCounters {
+            arena_bytes_peak: 100,
+            scratch_reuse_count: 2,
+            ..WorkCounters::default()
+        };
+        a.merge(&WorkCounters {
+            arena_bytes_peak: 40,
+            scratch_reuse_count: 3,
+            ..WorkCounters::default()
+        });
+        assert_eq!(a.arena_bytes_peak, 100, "peak keeps the max");
+        assert_eq!(a.scratch_reuse_count, 5, "reuse events add");
+        let line = a.deterministic_line();
+        assert!(!line.contains("arena_bytes"), "{line}");
+        assert!(!line.contains("scratch_reuse"), "{line}");
+        let full = a.to_string();
+        assert!(full.contains("arena_bytes=100"), "{full}");
+        assert!(full.contains("scratch_reuse=5"), "{full}");
     }
 
     #[test]

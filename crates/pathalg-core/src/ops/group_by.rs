@@ -17,9 +17,9 @@
 //! Every `△` value is initialised to 1 — the group-by operator imposes no
 //! order; that is the order-by operator's job.
 
+use crate::fasthash::FastMap;
 use crate::pathset::PathSet;
 use crate::solution_space::{Group, GroupingKey, Partition, SolutionSpace};
-use std::collections::HashMap;
 use std::fmt;
 
 /// The grouping parameter ψ.
@@ -121,8 +121,8 @@ pub fn group_by(key: GroupKey, input: &PathSet) -> SolutionSpace {
     // Partition key and group key per path.
     let mut partitions: Vec<Partition> = Vec::new();
     let mut groups: Vec<Group> = Vec::new();
-    let mut partition_index: HashMap<(Option<u32>, Option<u32>), usize> = HashMap::new();
-    let mut group_index: HashMap<(usize, Option<usize>), usize> = HashMap::new();
+    let mut partition_index: FastMap<(Option<u32>, Option<u32>), usize> = FastMap::default();
+    let mut group_index: FastMap<(usize, Option<usize>), usize> = FastMap::default();
 
     for (idx, path) in paths.iter().enumerate() {
         let source = key.partitions_by_source().then(|| path.first());
@@ -205,7 +205,7 @@ pub fn group_counts_from_triples(
     // Flat group identity: raw source/target ids + length component.
     type FlatKey = (Option<u32>, Option<u32>, Option<usize>);
     let mut entries: Vec<(GroupingKey, usize)> = Vec::new();
-    let mut index: HashMap<FlatKey, usize> = HashMap::new();
+    let mut index: FastMap<FlatKey, usize> = FastMap::default();
     for (first, last, len) in triples {
         let source = key.partitions_by_source().then_some(first);
         let target = key.partitions_by_target().then_some(last);

@@ -12,15 +12,15 @@
 //!   a correctness oracle for tests and as the baseline of the join-strategy
 //!   ablation bench.
 
+use crate::fasthash::FastMap;
 use crate::path::Path;
 use crate::pathset::PathSet;
 use pathalg_graph::ids::NodeId;
-use std::collections::HashMap;
 
 /// Evaluates `left ⋈ right` with a hash-join strategy.
 pub fn join(left: &PathSet, right: &PathSet) -> PathSet {
     // Build a map from first-node to the right-hand paths starting there.
-    let mut by_first: HashMap<NodeId, Vec<&Path>> = HashMap::new();
+    let mut by_first: FastMap<NodeId, Vec<&Path>> = FastMap::default();
     for p in right.iter() {
         by_first.entry(p.first()).or_default().push(p);
     }

@@ -31,10 +31,10 @@
 //! every iteration while producing the same set.
 
 use crate::error::AlgebraError;
+use crate::fasthash::FastMap;
 use crate::path::Path;
 use crate::pathset::PathSet;
 use pathalg_graph::ids::NodeId;
-use std::collections::HashMap;
 use std::fmt;
 
 /// The path semantics (restrictor) under which ϕ is evaluated.
@@ -163,13 +163,13 @@ pub fn recursive(
     }
 
     // Index the base set by first node for the repeated self-join.
-    let mut base_by_first: HashMap<NodeId, Vec<Path>> = HashMap::new();
+    let mut base_by_first: FastMap<NodeId, Vec<Path>> = FastMap::default();
     for p in result.iter() {
         base_by_first.entry(p.first()).or_default().push(p.clone());
     }
 
     // For Shortest: the best (smallest) length known per (first, last) pair.
-    let mut best: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    let mut best: FastMap<(NodeId, NodeId), usize> = FastMap::default();
     if semantics == PathSemantics::Shortest {
         for p in result.iter() {
             let entry = best.entry((p.first(), p.last())).or_insert(p.len());
@@ -366,8 +366,8 @@ mod tests {
         //   (n1,n2):1  (n1,n3):2  (n1,n4):2  (n2,n3):1  (n2,n4):1
         //   (n3,n2):1  (n3,n4):2  (n2,n2):2  (n3,n3):2
         assert_eq!(shortest.len(), 9);
-        use std::collections::HashMap;
-        let mut by_pair: HashMap<_, Vec<usize>> = HashMap::new();
+        use crate::fasthash::FastMap;
+        let mut by_pair: FastMap<_, Vec<usize>> = FastMap::default();
         for p in shortest.iter() {
             by_pair
                 .entry((p.first(), p.last()))

@@ -12,33 +12,48 @@ use crate::error::AlgebraError;
 use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::ids::{EdgeId, NodeId};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-/// A path in a property graph: an alternating sequence of nodes and edges.
-///
-/// Two paths are equal iff they have the same sequence of node and edge
-/// identifiers, exactly as in the paper.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Path {
+/// The owned node/edge sequences of a path. Kept behind an [`Arc`] by
+/// [`Path`] so that cloning a path — which every set-building operator does
+/// per element (the `PathSet` dedup index, γ's up-front path table, π's
+/// per-group emission) — is a reference-count bump instead of two heap
+/// allocations. Paths are immutable after construction, so the sharing is
+/// never observable.
+#[derive(Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct PathRepr {
     nodes: Vec<NodeId>,
     edges: Vec<EdgeId>,
 }
 
+/// A path in a property graph: an alternating sequence of nodes and edges.
+///
+/// Two paths are equal iff they have the same sequence of node and edge
+/// identifiers, exactly as in the paper. (`Eq`/`Ord`/`Hash` all delegate to
+/// the identifier sequences through the shared repr; `Arc`'s impls
+/// short-circuit on pointer-identical clones.)
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    repr: Arc<PathRepr>,
+}
+
 impl Path {
+    #[inline]
+    fn from_repr(nodes: Vec<NodeId>, edges: Vec<EdgeId>) -> Self {
+        Self {
+            repr: Arc::new(PathRepr { nodes, edges }),
+        }
+    }
+
     /// Creates a path of length zero consisting of a single node.
     pub fn node(node: NodeId) -> Self {
-        Self {
-            nodes: vec![node],
-            edges: Vec::new(),
-        }
+        Self::from_repr(vec![node], Vec::new())
     }
 
     /// Creates a path of length one from an edge of the graph.
     pub fn edge(graph: &PropertyGraph, edge: EdgeId) -> Self {
         let (s, t) = graph.endpoints(edge);
-        Self {
-            nodes: vec![s, t],
-            edges: vec![edge],
-        }
+        Self::from_repr(vec![s, t], vec![edge])
     }
 
     /// Creates a path from explicit node and edge sequences.
@@ -57,7 +72,7 @@ impl Path {
                 edges.len()
             )));
         }
-        let path = Self { nodes, edges };
+        let path = Self::from_repr(nodes, edges);
         if let Some(g) = graph {
             path.validate(g)?;
         }
@@ -67,21 +82,21 @@ impl Path {
     /// Checks that the path is well-formed with respect to a graph: every
     /// node and edge exists and `ρ(ei) = (ni, ni+1)` for every edge.
     pub fn validate(&self, graph: &PropertyGraph) -> Result<(), AlgebraError> {
-        for &n in &self.nodes {
+        for &n in &self.repr.nodes {
             if !graph.contains_node(n) {
                 return Err(AlgebraError::InvalidPath(format!("unknown node {n}")));
             }
         }
-        for (i, &e) in self.edges.iter().enumerate() {
+        for (i, &e) in self.repr.edges.iter().enumerate() {
             if !graph.contains_edge(e) {
                 return Err(AlgebraError::InvalidPath(format!("unknown edge {e}")));
             }
             let (s, t) = graph.endpoints(e);
-            if s != self.nodes[i] || t != self.nodes[i + 1] {
+            if s != self.repr.nodes[i] || t != self.repr.nodes[i + 1] {
                 return Err(AlgebraError::InvalidPath(format!(
                     "edge {e} connects {s}->{t} but the path places it between {} and {}",
-                    self.nodes[i],
-                    self.nodes[i + 1]
+                    self.repr.nodes[i],
+                    self.repr.nodes[i + 1]
                 )));
             }
         }
@@ -91,13 +106,14 @@ impl Path {
     /// `First(p)`: the first node of the path.
     #[inline]
     pub fn first(&self) -> NodeId {
-        self.nodes[0]
+        self.repr.nodes[0]
     }
 
     /// `Last(p)`: the last node of the path.
     #[inline]
     pub fn last(&self) -> NodeId {
         *self
+            .repr
             .nodes
             .last()
             .expect("a path always has at least one node")
@@ -106,13 +122,13 @@ impl Path {
     /// `Len(p)`: the number of edges in the path.
     #[inline]
     pub fn len(&self) -> usize {
-        self.edges.len()
+        self.repr.edges.len()
     }
 
     /// True if the path has length zero (a single node).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.edges.is_empty()
+        self.repr.edges.is_empty()
     }
 
     /// `Node(p, i)` with the paper's 1-based indexing: the i-th node of the
@@ -121,7 +137,7 @@ impl Path {
         if i == 0 {
             return None;
         }
-        self.nodes.get(i - 1).copied()
+        self.repr.nodes.get(i - 1).copied()
     }
 
     /// `Edge(p, j)` with the paper's 1-based indexing: the j-th edge of the
@@ -130,30 +146,30 @@ impl Path {
         if j == 0 {
             return None;
         }
-        self.edges.get(j - 1).copied()
+        self.repr.edges.get(j - 1).copied()
     }
 
     /// The node sequence `n1 … nk+1`.
     pub fn nodes(&self) -> &[NodeId] {
-        &self.nodes
+        &self.repr.nodes
     }
 
     /// The edge sequence `e1 … ek`.
     pub fn edges(&self) -> &[EdgeId] {
-        &self.edges
+        &self.repr.edges
     }
 
     /// `λ(p)`: the concatenation of the edge labels along the path, as a
     /// vector of labels (unlabelled edges contribute `None`).
     pub fn label_sequence<'g>(&self, graph: &'g PropertyGraph) -> Vec<Option<&'g str>> {
-        self.edges.iter().map(|&e| graph.label(e)).collect()
+        self.repr.edges.iter().map(|&e| graph.label(e)).collect()
     }
 
     /// `λ(p)` rendered as the word formed by the edge labels, unlabelled edges
     /// rendered as `_`. This is the string the RPQ automaton reads.
     pub fn label_word(&self, graph: &PropertyGraph) -> String {
         let mut out = String::new();
-        for (i, &e) in self.edges.iter().enumerate() {
+        for (i, &e) in self.repr.edges.iter().enumerate() {
             if i > 0 {
                 out.push('·');
             }
@@ -173,13 +189,13 @@ impl Path {
                 right_first: other.first().to_string(),
             });
         }
-        let mut nodes = Vec::with_capacity(self.nodes.len() + other.nodes.len() - 1);
-        nodes.extend_from_slice(&self.nodes);
-        nodes.extend_from_slice(&other.nodes[1..]);
-        let mut edges = Vec::with_capacity(self.edges.len() + other.edges.len());
-        edges.extend_from_slice(&self.edges);
-        edges.extend_from_slice(&other.edges);
-        Ok(Path { nodes, edges })
+        let mut nodes = Vec::with_capacity(self.repr.nodes.len() + other.repr.nodes.len() - 1);
+        nodes.extend_from_slice(&self.repr.nodes);
+        nodes.extend_from_slice(&other.repr.nodes[1..]);
+        let mut edges = Vec::with_capacity(self.repr.edges.len() + other.repr.edges.len());
+        edges.extend_from_slice(&self.repr.edges);
+        edges.extend_from_slice(&other.repr.edges);
+        Ok(Path::from_repr(nodes, edges))
     }
 
     /// True if `Last(p1) = First(p2)`, i.e. [`Path::concat`] would succeed.
@@ -196,19 +212,19 @@ impl Path {
     /// asserts that `edge` really runs from `Last(p)` to `target` (the CSR
     /// index guarantees it by construction).
     pub fn with_step(&self, edge: EdgeId, target: NodeId) -> Path {
-        let mut nodes = Vec::with_capacity(self.nodes.len() + 1);
-        nodes.extend_from_slice(&self.nodes);
+        let mut nodes = Vec::with_capacity(self.repr.nodes.len() + 1);
+        nodes.extend_from_slice(&self.repr.nodes);
         nodes.push(target);
-        let mut edges = Vec::with_capacity(self.edges.len() + 1);
-        edges.extend_from_slice(&self.edges);
+        let mut edges = Vec::with_capacity(self.repr.edges.len() + 1);
+        edges.extend_from_slice(&self.repr.edges);
         edges.push(edge);
-        Path { nodes, edges }
+        Path::from_repr(nodes, edges)
     }
 
     /// True if the path repeats no node (the paper's *acyclic* restrictor).
     pub fn is_acyclic(&self) -> bool {
-        let mut seen: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
-        for &n in &self.nodes {
+        let mut seen: Vec<NodeId> = Vec::with_capacity(self.repr.nodes.len());
+        for &n in &self.repr.nodes {
             if seen.contains(&n) {
                 return false;
             }
@@ -220,10 +236,10 @@ impl Path {
     /// True if the path repeats no node except that the first and last node
     /// may coincide (the paper's *simple* restrictor).
     pub fn is_simple(&self) -> bool {
-        if self.nodes.len() <= 1 {
+        if self.repr.nodes.len() <= 1 {
             return true;
         }
-        let inner = &self.nodes[..self.nodes.len() - 1];
+        let inner = &self.repr.nodes[..self.repr.nodes.len() - 1];
         let mut seen: Vec<NodeId> = Vec::with_capacity(inner.len());
         for &n in inner {
             if seen.contains(&n) {
@@ -233,13 +249,13 @@ impl Path {
         }
         // The last node may equal the first, but not any interior node.
         let last = self.last();
-        !self.nodes[1..self.nodes.len() - 1].contains(&last)
+        !self.repr.nodes[1..self.repr.nodes.len() - 1].contains(&last)
     }
 
     /// True if the path repeats no edge (the paper's *trail* restrictor).
     pub fn is_trail(&self) -> bool {
-        let mut seen: Vec<EdgeId> = Vec::with_capacity(self.edges.len());
-        for &e in &self.edges {
+        let mut seen: Vec<EdgeId> = Vec::with_capacity(self.repr.edges.len());
+        for &e in &self.repr.edges {
             if seen.contains(&e) {
                 return false;
             }
@@ -252,12 +268,12 @@ impl Path {
     /// using raw identifiers.
     pub fn display_ids(&self) -> String {
         let mut out = String::from("(");
-        for i in 0..self.nodes.len() {
+        for i in 0..self.repr.nodes.len() {
             if i > 0 {
-                let _ = write!(out, ", {}", self.edges[i - 1]);
+                let _ = write!(out, ", {}", self.repr.edges[i - 1]);
                 out.push_str(", ");
             }
-            let _ = write!(out, "{}", self.nodes[i]);
+            let _ = write!(out, "{}", self.repr.nodes[i]);
         }
         out.push(')');
         out
@@ -273,13 +289,13 @@ impl Path {
                 .unwrap_or_else(|| n.to_string())
         };
         let mut out = String::new();
-        let _ = write!(out, "({})", node_name(self.nodes[0]));
-        for (i, &e) in self.edges.iter().enumerate() {
+        let _ = write!(out, "({})", node_name(self.repr.nodes[0]));
+        for (i, &e) in self.repr.edges.iter().enumerate() {
             let _ = write!(
                 out,
                 "-[{}]->({})",
                 graph.label(e).unwrap_or("_"),
-                node_name(self.nodes[i + 1])
+                node_name(self.repr.nodes[i + 1])
             );
         }
         out

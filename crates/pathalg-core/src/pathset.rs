@@ -6,6 +6,7 @@
 //! is deterministic and plans are easy to debug) while giving O(1) membership
 //! checks through an auxiliary hash set.
 
+use crate::fasthash::{FastBuild, FastSet};
 use crate::path::Path;
 use pathalg_graph::graph::PropertyGraph;
 use std::collections::HashSet;
@@ -15,7 +16,7 @@ use std::fmt;
 #[derive(Clone, Debug, Default)]
 pub struct PathSet {
     paths: Vec<Path>,
-    index: HashSet<Path>,
+    index: FastSet<Path>,
 }
 
 impl PathSet {
@@ -28,7 +29,7 @@ impl PathSet {
     pub fn with_capacity(n: usize) -> Self {
         Self {
             paths: Vec::with_capacity(n),
-            index: HashSet::with_capacity(n),
+            index: HashSet::with_capacity_and_hasher(n, FastBuild::default()),
         }
     }
 
@@ -51,13 +52,17 @@ impl PathSet {
     }
 
     /// Inserts a path; returns `true` if the path was not already present.
+    ///
+    /// Single hash per call: `HashSet::insert` already reports membership, so
+    /// the index is probed once, and the clone it keeps is a shared-handle
+    /// bump, not a copy of the id sequences.
     pub fn insert(&mut self, path: Path) -> bool {
-        if self.index.contains(&path) {
-            return false;
+        if self.index.insert(path.clone()) {
+            self.paths.push(path);
+            true
+        } else {
+            false
         }
-        self.index.insert(path.clone());
-        self.paths.push(path);
-        true
     }
 
     /// True if the set contains `path`.

@@ -27,12 +27,12 @@
 use crate::condition::{Accessor, CompareOp, Condition, Position};
 use crate::error::AlgebraError;
 use crate::expr::PlanExpr;
+use crate::fasthash::FastMap;
 use crate::ops::group_by::GroupKey;
 use crate::ops::recursive::PathSemantics;
 use crate::pathset::PathSet;
 use crate::pathset_repr::LazyPathStream;
 use pathalg_graph::ids::NodeId;
-use std::collections::HashMap;
 
 /// The slicing parameters pushed down into a lazy enumeration: which grouping
 /// the projection slices along and how many elements each level keeps.
@@ -244,7 +244,7 @@ pub enum SliceState {
 pub struct SliceCollector {
     spec: SliceSpec,
     groups: Vec<(PartitionKey, Vec<crate::path::Path>)>,
-    index: HashMap<PartitionKey, usize>,
+    index: FastMap<PartitionKey, usize>,
     /// Number of kept groups still below the `per_group` cap — kept
     /// incrementally so completion checks are O(1) per offered path.
     unfilled: usize,
@@ -260,7 +260,7 @@ impl SliceCollector {
         Self {
             spec: *spec,
             groups: Vec::new(),
-            index: HashMap::new(),
+            index: FastMap::default(),
             unfilled: 0,
         }
     }

@@ -28,13 +28,13 @@ pub mod frontier;
 
 use pathalg_core::budget::CancelToken;
 use pathalg_core::error::AlgebraError;
+use pathalg_core::fasthash::FastMap;
 use pathalg_core::ops::join::join;
 use pathalg_core::ops::recursive::{recursive, PathSemantics, RecursionConfig};
 use pathalg_core::ops::union::union;
 use pathalg_core::path::Path;
 use pathalg_core::pathset::PathSet;
 use pathalg_graph::ids::NodeId;
-use std::collections::HashMap;
 
 /// The default semi-naïve fixpoint (delegates to `pathalg-core`).
 pub fn phi_seminaive(
@@ -113,7 +113,7 @@ pub fn phi_dfs(
     base: &PathSet,
     config: &RecursionConfig,
 ) -> Result<PathSet, AlgebraError> {
-    let mut by_first: HashMap<NodeId, Vec<&Path>> = HashMap::new();
+    let mut by_first: FastMap<NodeId, Vec<&Path>> = FastMap::default();
     for p in base.iter() {
         if !p.is_empty() {
             by_first.entry(p.first()).or_default().push(p);
@@ -181,13 +181,13 @@ pub fn phi_bfs_shortest_with_cancel(
     config: &RecursionConfig,
     cancel: Option<&CancelToken>,
 ) -> Result<PathSet, AlgebraError> {
-    let mut by_first: HashMap<NodeId, Vec<&Path>> = HashMap::new();
+    let mut by_first: FastMap<NodeId, Vec<&Path>> = FastMap::default();
     for p in base.iter() {
         if !p.is_empty() {
             by_first.entry(p.first()).or_default().push(p);
         }
     }
-    let mut best: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    let mut best: FastMap<(NodeId, NodeId), usize> = FastMap::default();
     let mut all = PathSet::new();
     let mut frontier: Vec<Path> = Vec::new();
     for p in base.iter() {
@@ -261,7 +261,7 @@ fn within(path: &Path, config: &RecursionConfig) -> bool {
 /// full set through a second filtered pass.
 fn keep_shortest(paths: &PathSet) -> PathSet {
     // Per endpoint pair: the minimal length seen and the indexes holding it.
-    let mut groups: HashMap<(NodeId, NodeId), (usize, Vec<usize>)> = HashMap::new();
+    let mut groups: FastMap<(NodeId, NodeId), (usize, Vec<usize>)> = FastMap::default();
     for (i, p) in paths.iter().enumerate() {
         let entry = groups
             .entry((p.first(), p.last()))
@@ -419,7 +419,7 @@ mod tests {
         let kept = keep_shortest(&all);
         // Behaviour pin: per endpoint pair only the minimum length survives,
         // every tie at that length survives, and input order is preserved.
-        let mut best: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        let mut best: FastMap<(NodeId, NodeId), usize> = FastMap::default();
         for p in all.iter() {
             let e = best.entry((p.first(), p.last())).or_insert(p.len());
             *e = (*e).min(p.len());

@@ -46,6 +46,7 @@ use crate::exec::ExecutionConfig;
 use mini_pool::parallel_map_chunks;
 use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
+use pathalg_core::fasthash::{FastMap, FastSet};
 use pathalg_core::ops::recursive::{
     PathSemantics, RecursionConfig, UNBOUNDED_WALK_ITERATION_LIMIT,
 };
@@ -57,7 +58,6 @@ use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::ids::NodeId;
 use pathalg_rpq::automaton_eval::AutomatonEvaluator;
 use pathalg_rpq::regex::LabelRegex;
-use std::collections::{HashMap, HashSet};
 
 /// The parallel frontier implementation of `ϕ_semantics(base)`.
 ///
@@ -115,6 +115,10 @@ pub fn phi_frontier_with_cancel(
         index.sources(),
         |_, chunk| -> Result<Vec<Path>, AlgebraError> {
             let mut out = Vec::new();
+            // Per-batch level buffers, recycled across sources: the expansion
+            // loop drains `cur` into `out` and swaps in `next`, so after the
+            // first source the steady state performs no buffer allocation.
+            let mut levels = LevelBuffers::default();
             for &source in chunk {
                 if let Some(token) = cancel {
                     token.check()?;
@@ -128,6 +132,7 @@ pub fn phi_frontier_with_cancel(
                     &budget,
                     need_dedup,
                     &base_acyclic,
+                    &mut levels,
                     &mut out,
                 )?;
             }
@@ -173,7 +178,9 @@ pub fn phi_frontier_csr_with_cancel(
         &sources,
         |_, chunk| -> Result<Vec<Path>, AlgebraError> {
             let mut out = Vec::new();
-            // Per-batch scratch, reset in O(1) per source (epoch bump).
+            // Per-batch scratch: the Shortest visited set + distance table
+            // (reset per source — sparse or dense by fill factor) and the
+            // level buffers recycled across sources.
             let mut scratch = if semantics == PathSemantics::Shortest {
                 Some((
                     Frontier::new(csr.node_count()),
@@ -182,6 +189,7 @@ pub fn phi_frontier_csr_with_cancel(
             } else {
                 None
             };
+            let mut levels = LevelBuffers::default();
             for &source in chunk {
                 if let Some(token) = cancel {
                     token.check()?;
@@ -197,6 +205,7 @@ pub fn phi_frontier_csr_with_cancel(
                     &budget,
                     cancel,
                     scratch.as_mut(),
+                    &mut levels,
                     &mut out,
                 )?;
             }
@@ -240,6 +249,19 @@ pub fn automaton_frontier(
     );
 
     merge_batches(batches)
+}
+
+/// The two level buffers of one source expansion — `(path, is_acyclic)`
+/// pairs for the current and next BFS level — hoisted to per-batch scope so
+/// expanding a source reuses the previous source's capacity instead of
+/// allocating fresh `Vec`s. Both buffers are empty between sources (the loop
+/// drains `cur` into the output and swaps in `next`); a batch that aborts
+/// with an error never expands another source, so no explicit clearing is
+/// needed on the failure path.
+#[derive(Default)]
+struct LevelBuffers {
+    cur: Vec<(Path, bool)>,
+    next: Vec<(Path, bool)>,
 }
 
 /// Folds per-batch results into one `PathSet` in batch order; the first
@@ -324,19 +346,21 @@ fn expand_base_source(
     budget: &PathBudget,
     need_dedup: bool,
     base_acyclic: &[bool],
+    levels: &mut LevelBuffers,
     out: &mut Vec<Path>,
 ) -> Result<(), AlgebraError> {
     let walk_unbounded = semantics == PathSemantics::Walk && config.max_length.is_none();
     let start = out.len();
     // For Shortest: minimal known length per target (the source is fixed).
-    let mut best: HashMap<NodeId, usize> = HashMap::new();
-    let mut seen: Option<HashSet<Path>> = need_dedup.then(HashSet::new);
+    let mut best: FastMap<NodeId, usize> = FastMap::default();
+    let mut seen: Option<FastSet<Path>> = need_dedup.then(FastSet::default);
+    let LevelBuffers { cur, next } = levels;
+    debug_assert!(cur.is_empty() && next.is_empty());
 
     // Level 0: the admitted base paths starting here, in base order. Empty
     // paths are emitted (and seed the Shortest minimum) but never expanded:
     // `p ∘ q = q` for an empty `p`, and `q` is produced at this same source
     // anyway.
-    let mut cur: Vec<(Path, bool)> = Vec::new();
     for &qi in index.starting_at(source) {
         let p = admitted[qi as usize];
         if semantics == PathSemantics::Shortest {
@@ -373,8 +397,7 @@ fn expand_base_source(
                 paths_so_far: out.len() - start + cur.len(),
             });
         }
-        let mut next: Vec<(Path, bool)> = Vec::new();
-        for (p, p_acyclic) in &cur {
+        for (p, p_acyclic) in cur.iter() {
             for &qi in index.starting_at(p.last()) {
                 let q = admitted[qi as usize];
                 if q.is_empty() {
@@ -423,8 +446,8 @@ fn expand_base_source(
                 next.push((cand, true));
             }
         }
-        out.extend(cur.into_iter().map(|(p, _)| p));
-        cur = next;
+        out.extend(cur.drain(..).map(|(p, _)| p));
+        std::mem::swap(cur, next);
     }
 
     if semantics == PathSemantics::Shortest {
@@ -448,14 +471,16 @@ fn expand_csr_source(
     budget: &PathBudget,
     cancel: Option<&CancelToken>,
     mut scratch: Option<&mut (Frontier, Vec<usize>)>,
+    levels: &mut LevelBuffers,
     out: &mut Vec<Path>,
 ) -> Result<(), AlgebraError> {
     let walk_unbounded = semantics == PathSemantics::Walk && config.max_length.is_none();
     let start = out.len();
+    let LevelBuffers { cur, next } = levels;
+    debug_assert!(cur.is_empty() && next.is_empty());
 
     // Level 0: one length-1 path per outgoing CSR edge. A single edge is
     // always a trail and simple; it is acyclic unless it is a self-loop.
-    let mut cur: Vec<(Path, bool)> = Vec::new();
     if within_length(1, config) {
         let source_path = Path::node(source);
         let (targets, edges) = csr.neighbor_slices(source);
@@ -489,8 +514,7 @@ fn expand_csr_source(
                 paths_so_far: out.len() - start + cur.len(),
             });
         }
-        let mut next: Vec<(Path, bool)> = Vec::new();
-        for (p, p_acyclic) in &cur {
+        for (p, p_acyclic) in cur.iter() {
             let new_len = p.len() + 1;
             if !within_length(new_len, config) {
                 continue;
@@ -530,8 +554,8 @@ fn expand_csr_source(
                 next.push((p.with_step(e, t), true));
             }
         }
-        out.extend(cur.into_iter().map(|(p, _)| p));
-        cur = next;
+        out.extend(cur.drain(..).map(|(p, _)| p));
+        std::mem::swap(cur, next);
     }
 
     if semantics == PathSemantics::Shortest {

@@ -11,7 +11,7 @@ use crate::graph::PropertyGraph;
 use crate::ids::{EdgeId, NodeId};
 
 /// An immutable CSR view of (a label-restricted subset of) a graph's edges.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
@@ -23,6 +23,30 @@ impl CsrGraph {
     /// Builds a CSR over all edges of the graph.
     pub fn from_graph(graph: &PropertyGraph) -> Self {
         Self::build(graph, None)
+    }
+
+    /// Assembles a snapshot directly from its columns, for builders that
+    /// stream edges in CSR order without materialising a [`PropertyGraph`]
+    /// first (e.g. the million-scale generator
+    /// [`crate::generator::snb::snb_label_csr`]). `offsets` must have one
+    /// entry per node plus the terminating total, and `targets`/`edges` must
+    /// be parallel.
+    pub fn from_parts(
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        edges: Vec<EdgeId>,
+        label: Option<String>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets carry at least the total");
+        assert_eq!(*offsets.last().unwrap(), targets.len());
+        assert_eq!(targets.len(), edges.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            offsets,
+            targets,
+            edges,
+            label,
+        }
     }
 
     /// Builds a CSR restricted to edges carrying `label`.

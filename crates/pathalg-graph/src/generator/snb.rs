@@ -19,8 +19,9 @@
 //! so this generator preserves exactly the features the reproduced queries
 //! exercise.
 
+use crate::csr::CsrGraph;
 use crate::graph::{GraphBuilder, PropertyGraph};
-use crate::ids::NodeId;
+use crate::ids::{EdgeId, NodeId};
 use crate::value::Value;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -153,6 +154,96 @@ pub fn snb_like_graph(config: &SnbConfig) -> PropertyGraph {
     b.build()
 }
 
+/// Streams the label-restricted CSR of [`snb_like_graph`] directly, without
+/// materialising the property graph: byte-identical to
+/// `CsrGraph::with_label(&snb_like_graph(config), label)` but at a fraction
+/// of the footprint — no nodes, no properties, no adjacency lists, and none
+/// of the two other labels' edge columns. This is what makes the 10⁶-person
+/// workloads of `scaling_million` and `repro scale` feasible.
+///
+/// Two invariants make the single streaming pass possible:
+///
+/// 1. The generator's RNG draw sequence is replicated exactly — including
+///    draws whose edges are *not* kept (the `since` property of every
+///    `Knows` edge, and the other labels' endpoint draws) — so the kept
+///    edges land on the same `(source, target, EdgeId)` triples as in the
+///    materialised graph.
+/// 2. Within each label block, sources are generated in ascending node
+///    order (`Knows`/`Likes` iterate persons, `Has_creator` iterates
+///    messages, and message node ids follow person ids), which is exactly
+///    CSR fill order: the offsets column closes monotonically as edges
+///    stream in.
+pub fn snb_label_csr(config: &SnbConfig, label: &str) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (persons, messages) = (config.persons, config.messages);
+    let n = persons + messages;
+    let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
+    let kept = match label {
+        "Knows" if persons > 1 => persons * config.knows_per_person,
+        "Has_creator" if persons > 0 => messages,
+        "Likes" if messages > 0 => persons * config.likes_per_person,
+        _ => 0,
+    };
+    let mut targets: Vec<NodeId> = Vec::with_capacity(kept);
+    let mut edges: Vec<EdgeId> = Vec::with_capacity(kept);
+    let mut push = |source: usize, target: NodeId, edge: u32| {
+        while offsets.len() <= source {
+            offsets.push(targets.len());
+        }
+        targets.push(target);
+        edges.push(EdgeId(edge));
+    };
+
+    let mut edge_id = 0u32;
+    // Knows: replicate both endpoint draws (with the `q == p` rejection
+    // loop) and the discarded `since` property draw.
+    if persons > 1 {
+        let keep = label == "Knows";
+        for p in 0..persons {
+            for _ in 0..config.knows_per_person {
+                let mut q = rng.random_range(0..persons);
+                while q == p {
+                    q = rng.random_range(0..persons);
+                }
+                let _since = rng.random_range(2000..2025);
+                if keep {
+                    push(p, NodeId(q as u32), edge_id);
+                }
+                edge_id += 1;
+            }
+        }
+    }
+    // Has_creator: sources are the message nodes `persons + i`, ascending.
+    if persons > 0 {
+        let keep = label == "Has_creator";
+        for i in 0..messages {
+            let creator = rng.random_range(0..persons);
+            if keep {
+                push(persons + i, NodeId(creator as u32), edge_id);
+            }
+            edge_id += 1;
+        }
+    }
+    // Likes: person sources again, targets in the message id range.
+    if messages > 0 {
+        let keep = label == "Likes";
+        for p in 0..persons {
+            for _ in 0..config.likes_per_person {
+                let m = rng.random_range(0..messages);
+                if keep {
+                    push(p, NodeId((persons + m) as u32), edge_id);
+                }
+                edge_id += 1;
+            }
+        }
+    }
+
+    while offsets.len() <= n {
+        offsets.push(targets.len());
+    }
+    CsrGraph::from_parts(offsets, targets, edges, Some(label.to_owned()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +320,54 @@ mod tests {
         assert_eq!(stats.nodes_with_label("Message"), 200);
         assert!(stats.edges_with_label("Knows") > 0);
         assert!(stats.label_expansion("Knows") >= 1.0);
+    }
+
+    #[test]
+    fn streamed_label_csr_equals_the_materialised_one() {
+        let cfg = SnbConfig::scale(60, 0xBEEF);
+        let g = snb_like_graph(&cfg);
+        for label in ["Knows", "Has_creator", "Likes", "nope"] {
+            assert_eq!(
+                snb_label_csr(&cfg, label),
+                CsrGraph::with_label(&g, label),
+                "streamed {label} CSR diverged from the materialised build"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_label_csr_matches_on_degenerate_configs() {
+        for cfg in [
+            SnbConfig {
+                persons: 0,
+                messages: 5,
+                ..SnbConfig::default()
+            },
+            SnbConfig {
+                persons: 1,
+                messages: 0,
+                ..SnbConfig::default()
+            },
+            SnbConfig {
+                persons: 2,
+                messages: 1,
+                knows_per_person: 1,
+                likes_per_person: 1,
+                seed: 3,
+                ..SnbConfig::default()
+            },
+        ] {
+            let g = snb_like_graph(&cfg);
+            for label in ["Knows", "Has_creator", "Likes"] {
+                assert_eq!(
+                    snb_label_csr(&cfg, label),
+                    CsrGraph::with_label(&g, label),
+                    "persons={} messages={} {label}",
+                    cfg.persons,
+                    cfg.messages
+                );
+            }
+        }
     }
 
     #[test]

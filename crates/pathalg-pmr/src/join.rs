@@ -20,8 +20,15 @@
 //! per-target pruning, the unbounded-Walk infinite-answer detection and the
 //! `max_paths` accounting mirror `phi_frontier`'s composite-base expansion
 //! step for step (pinned in `tests/cross_validation.rs`).
+//!
+//! Like the CSR expansion, levels are synchronous — every boundary step in
+//! the current level closes a chain of `cur_len` edges — so lengths are
+//! threaded beside step ids instead of stored per step, and all per-level
+//! scratch (the `cur`/`next` candidate buffers and the per-parent segment
+//! boundary buffer) is owned by the expansion and recycled; the steady-state
+//! drain performs no heap allocation once the buffers have grown.
 
-use crate::arena::{StepArena, NO_PARENT};
+use crate::arena::StepArena;
 use crate::csr::ReachInfo;
 use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
@@ -49,12 +56,16 @@ pub(crate) struct JoinExpansion {
     /// unbounded Walk (a non-acyclic candidate proves the fixpoint is
     /// infinite). In lockstep with the arena.
     acyclic: Vec<bool>,
-    /// Segment-boundary steps of the current level.
+    /// Segment-boundary steps of the current level (`cur_len` edges each).
     cur: Vec<u32>,
+    /// Recycled buffer for the next level (swapped with `cur` per level).
+    next_buf: Vec<u32>,
+    cur_len: u32,
     cur_source: NodeId,
     iterations: usize,
     src_emitted: usize,
-    pending: VecDeque<u32>,
+    /// Emitted-but-unpulled boundary steps with their path lengths.
+    pending: VecDeque<(u32, u32)>,
     /// The `max_paths` accounting — owned by default, shared across batch
     /// workers under parallel enumeration ([`crate::parallel`]). Level-0
     /// segments are recorded (counted, never limit-checked), recursion
@@ -63,12 +74,23 @@ pub(crate) struct JoinExpansion {
     /// Cooperative cancellation, checked once per expansion level.
     cancel: Option<Arc<CancelToken>>,
     level0_segments: usize,
-    /// Shortest scratch: per-source best-known distance per target.
+    /// Recycled segment-boundary buffer, refilled per parent step by
+    /// [`descend_segment`].
+    bounds: Vec<(u32, bool)>,
+    /// Shortest scratch: per-source best-known distance per target (the
+    /// distance table is only allocated under Shortest) plus the recycled
+    /// saturation buffers.
     seen: Frontier,
     dist: Vec<usize>,
-    /// Reachability scratch over the `(node, phase)` product space.
+    sp_all: Vec<(u32, u32)>,
+    sp_cur: Vec<u32>,
+    sp_next: Vec<u32>,
+    /// Reachability scratch over the `(node, phase)` product space; the
+    /// distance table is sized on first use.
     reach_seen: Frontier,
     reach_dist: Vec<usize>,
+    /// Times a hoisted scratch buffer was reused instead of allocated.
+    scratch_reuse: u64,
 }
 
 impl JoinExpansion {
@@ -92,6 +114,8 @@ impl JoinExpansion {
             arena: StepArena::default(),
             acyclic: Vec::new(),
             cur: Vec::new(),
+            next_buf: Vec::new(),
+            cur_len: 0,
             cur_source: NodeId(0),
             iterations: 0,
             src_emitted: 0,
@@ -99,20 +123,30 @@ impl JoinExpansion {
             budget: Arc::new(PathBudget::new(config.max_paths)),
             cancel: None,
             level0_segments: 0,
+            bounds: Vec::new(),
             seen: Frontier::new(n),
-            dist: vec![0; n],
+            dist: if semantics == PathSemantics::Shortest {
+                vec![0; n]
+            } else {
+                Vec::new()
+            },
+            sp_all: Vec::new(),
+            sp_cur: Vec::new(),
+            sp_next: Vec::new(),
             reach_seen: Frontier::new(n * k),
-            reach_dist: vec![0; n * k],
+            reach_dist: Vec::new(),
+            scratch_reuse: 0,
         }
     }
 
-    /// The next emitted boundary step, with its source, in canonical order.
-    pub fn next_id(&mut self) -> Result<Option<(u32, NodeId)>, AlgebraError> {
+    /// The next emitted boundary step, with its source and path length, in
+    /// canonical order.
+    pub fn next_id(&mut self) -> Result<Option<(u32, NodeId, u32)>, AlgebraError> {
         if !self.ensure_pending()? {
             return Ok(None);
         }
-        let id = self.pending.pop_front().expect("ensure_pending");
-        Ok(Some((id, self.cur_source)))
+        let (id, len) = self.pending.pop_front().expect("ensure_pending");
+        Ok(Some((id, self.cur_source, len)))
     }
 
     /// Drops everything still queued or expandable for the current source.
@@ -124,6 +158,17 @@ impl JoinExpansion {
     /// Number of arena steps allocated so far (the generated-work measure).
     pub fn steps_generated(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Bytes currently backing the step arena (see `arena_bytes_peak`).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.bytes()
+    }
+
+    /// Scratch reuse events: hoisted buffers plus pooled/retained visited
+    /// sets (see `scratch_reuse_count`).
+    pub fn scratch_reuse(&self) -> u64 {
+        self.scratch_reuse + self.seen.reuse_count() + self.reach_seen.reuse_count()
     }
 
     /// Paths recorded against the (possibly shared) budget so far.
@@ -203,25 +248,32 @@ impl JoinExpansion {
             if self.semantics == PathSemantics::Shortest {
                 self.expand_source_shortest(s)?;
             } else {
-                let boundaries = self.level0_boundaries(s);
-                for (id, _) in boundaries {
+                self.level0_boundaries(s);
+                self.cur_len = self.hops.len() as u32;
+                for i in 0..self.bounds.len() {
+                    let (id, _) = self.bounds[i];
                     self.cur.push(id);
-                    self.pending.push_back(id);
+                    self.pending.push_back((id, self.cur_len));
                     self.src_emitted += 1;
                 }
             }
         }
     }
 
-    /// Level 0 of one source: one boundary step per admitted segment, in
-    /// lexicographic hop-adjacency order — exactly the join output restricted
-    /// to this source after the frontier's admission filter. Segments count
-    /// toward `max_paths` but never trip it (base paths are admitted
-    /// unconditionally, like the fixpoint's base insertion).
-    fn level0_boundaries(&mut self, s: NodeId) -> Vec<(u32, bool)> {
-        let mut boundaries = Vec::new();
+    /// Level 0 of one source: one boundary step per admitted segment, filled
+    /// into `self.bounds` in lexicographic hop-adjacency order — exactly the
+    /// join output restricted to this source after the frontier's admission
+    /// filter. Segments count toward `max_paths` but never trip it (base
+    /// paths are admitted unconditionally, like the fixpoint's base
+    /// insertion).
+    fn level0_boundaries(&mut self, s: NodeId) {
+        self.bounds.clear();
         if !self.within(self.hops.len()) {
-            return boundaries;
+            return;
+        }
+        let mut bounds = std::mem::take(&mut self.bounds);
+        if bounds.capacity() > 0 {
+            self.scratch_reuse += 1;
         }
         descend_segment(
             &self.hops,
@@ -233,17 +285,17 @@ impl JoinExpansion {
             0,
             None,
             s,
-            0,
             false,
-            &mut boundaries,
+            &mut bounds,
         );
-        self.budget.record(boundaries.len());
-        self.level0_segments += boundaries.len();
-        boundaries
+        self.budget.record(bounds.len());
+        self.level0_segments += bounds.len();
+        self.bounds = bounds;
     }
 
     /// One level of expansion for the current source (non-Shortest
-    /// semantics), mirroring `phi_frontier`'s composite-base level step.
+    /// semantics), mirroring `phi_frontier`'s composite-base level step. The
+    /// `cur`/`next` and boundary buffers are recycled across levels.
     fn advance_level(&mut self) -> Result<(), AlgebraError> {
         self.check_cancel()?;
         self.iterations += 1;
@@ -254,64 +306,83 @@ impl JoinExpansion {
             });
         }
         let cur = std::mem::take(&mut self.cur);
+        let mut next = std::mem::take(&mut self.next_buf);
+        if next.capacity() > 0 {
+            self.scratch_reuse += 1;
+        }
+        next.clear();
         let seg_len = self.hops.len();
-        let mut next: Vec<u32> = Vec::new();
-        for &pid in &cur {
-            let head = *self.arena.step(pid);
-            if !self.within(head.len as usize + seg_len) {
-                continue;
-            }
-            // A closed simple chain cannot be extended.
-            if matches!(
-                self.semantics,
-                PathSemantics::Simple | PathSemantics::Shortest
-            ) && head.target == self.cur_source
-            {
-                continue;
-            }
-            let p_acyclic = !self.walk_unbounded || self.acyclic[pid as usize];
-            let mut boundaries = Vec::new();
-            descend_segment(
-                &self.hops,
-                self.semantics,
-                self.cur_source,
-                self.walk_unbounded,
-                &mut self.arena,
-                &mut self.acyclic,
-                0,
-                Some(pid),
-                head.target,
-                head.len,
-                !p_acyclic,
-                &mut boundaries,
-            );
-            for (id, repeat) in boundaries {
-                if self.walk_unbounded && repeat {
-                    return Err(AlgebraError::RecursionLimitExceeded {
-                        bound: UNBOUNDED_WALK_ITERATION_LIMIT,
-                        paths_so_far: self.src_emitted + next.len(),
-                    });
+        let new_len = self.cur_len as usize + seg_len;
+        if self.within(new_len) {
+            let mut bounds = std::mem::take(&mut self.bounds);
+            for &pid in &cur {
+                let head_target = self.arena.target(pid);
+                // A closed simple chain cannot be extended.
+                if matches!(
+                    self.semantics,
+                    PathSemantics::Simple | PathSemantics::Shortest
+                ) && head_target == self.cur_source
+                {
+                    continue;
                 }
-                self.budget.claim(1)?;
-                next.push(id);
+                let p_acyclic = !self.walk_unbounded || self.acyclic[pid as usize];
+                bounds.clear();
+                descend_segment(
+                    &self.hops,
+                    self.semantics,
+                    self.cur_source,
+                    self.walk_unbounded,
+                    &mut self.arena,
+                    &mut self.acyclic,
+                    0,
+                    Some(pid),
+                    head_target,
+                    !p_acyclic,
+                    &mut bounds,
+                );
+                for &(id, repeat) in &bounds {
+                    if self.walk_unbounded && repeat {
+                        return Err(AlgebraError::RecursionLimitExceeded {
+                            bound: UNBOUNDED_WALK_ITERATION_LIMIT,
+                            paths_so_far: self.src_emitted + next.len(),
+                        });
+                    }
+                    self.budget.claim(1)?;
+                    next.push(id);
+                }
             }
+            self.bounds = bounds;
         }
         self.src_emitted += next.len();
-        self.pending.extend(next.iter().copied());
+        self.pending
+            .extend(next.iter().map(|&id| (id, new_len as u32)));
         self.cur = next;
+        self.next_buf = cur;
+        self.cur_len = new_len as u32;
         Ok(())
     }
 
     /// Shortest semantics saturates per source: the whole source is expanded
     /// eagerly (as `phi_frontier` does) and the minimal boundary steps are
-    /// queued in level order after the per-target distance filter.
+    /// queued in level order after the per-target distance filter. The
+    /// saturation buffers (`sp_*`) are recycled across sources.
     fn expand_source_shortest(&mut self, s: NodeId) -> Result<(), AlgebraError> {
         self.seen.reset();
-        let mut all: Vec<u32> = Vec::new();
+        let mut all = std::mem::take(&mut self.sp_all);
+        let mut cur = std::mem::take(&mut self.sp_cur);
+        let mut next = std::mem::take(&mut self.sp_next);
+        if all.capacity() + cur.capacity() + next.capacity() > 0 {
+            self.scratch_reuse += 1;
+        }
+        all.clear();
+        cur.clear();
+        next.clear();
         let seg_len = self.hops.len();
-        let mut cur: Vec<u32> = Vec::new();
-        for (id, _) in self.level0_boundaries(s) {
-            let t = self.arena.step(id).target;
+        self.level0_boundaries(s);
+        let mut cur_len = seg_len as u32;
+        for i in 0..self.bounds.len() {
+            let (id, _) = self.bounds[i];
+            let t = self.arena.target(id);
             if self.seen.insert(t) {
                 self.dist[t.index()] = seg_len;
             }
@@ -319,55 +390,57 @@ impl JoinExpansion {
         }
         while !cur.is_empty() {
             self.check_cancel()?;
-            let mut next: Vec<u32> = Vec::new();
-            for &pid in &cur {
-                let head = *self.arena.step(pid);
-                if !self.within(head.len as usize + seg_len) {
-                    continue;
-                }
-                if head.target == s {
-                    continue; // closed chains cannot be extended
-                }
-                let mut boundaries = Vec::new();
-                descend_segment(
-                    &self.hops,
-                    self.semantics,
-                    s,
-                    false,
-                    &mut self.arena,
-                    &mut self.acyclic,
-                    0,
-                    Some(pid),
-                    head.target,
-                    head.len,
-                    false,
-                    &mut boundaries,
-                );
-                for (id, _) in boundaries {
-                    let step = *self.arena.step(id);
-                    let (t, new_len) = (step.target, step.len as usize);
-                    if self.seen.contains(t) && new_len > self.dist[t.index()] {
-                        continue;
+            next.clear();
+            let new_len = cur_len as usize + seg_len;
+            if self.within(new_len) {
+                let mut bounds = std::mem::take(&mut self.bounds);
+                for &pid in &cur {
+                    let head_target = self.arena.target(pid);
+                    if head_target == s {
+                        continue; // closed chains cannot be extended
                     }
-                    if self.seen.insert(t) {
-                        self.dist[t.index()] = new_len;
+                    bounds.clear();
+                    descend_segment(
+                        &self.hops,
+                        self.semantics,
+                        s,
+                        false,
+                        &mut self.arena,
+                        &mut self.acyclic,
+                        0,
+                        Some(pid),
+                        head_target,
+                        false,
+                        &mut bounds,
+                    );
+                    for &(id, _) in &bounds {
+                        let t = self.arena.target(id);
+                        if self.seen.contains(t) && new_len > self.dist[t.index()] {
+                            continue;
+                        }
+                        if self.seen.insert(t) {
+                            self.dist[t.index()] = new_len;
+                        }
+                        self.budget.claim(1)?;
+                        next.push(id);
                     }
-                    self.budget.claim(1)?;
-                    next.push(id);
                 }
+                self.bounds = bounds;
             }
-            all.extend(cur);
-            cur = next;
+            all.extend(cur.iter().map(|&id| (id, cur_len)));
+            std::mem::swap(&mut cur, &mut next);
+            cur_len = new_len as u32;
         }
-        for id in all {
-            let step = *self.arena.step(id);
-            if self.seen.contains(step.target)
-                && self.dist[step.target.index()] == step.len as usize
-            {
-                self.pending.push_back(id);
+        for &(id, len) in &all {
+            let t = self.arena.target(id);
+            if self.seen.contains(t) && self.dist[t.index()] == len as usize {
+                self.pending.push_back((id, len));
                 self.src_emitted += 1;
             }
         }
+        self.sp_all = all;
+        self.sp_cur = cur;
+        self.sp_next = next;
         Ok(())
     }
 
@@ -383,15 +456,23 @@ impl JoinExpansion {
     pub fn reachability(&mut self, source: NodeId) -> ReachInfo {
         let k = self.hops.len();
         let bound = self.config.max_length.unwrap_or(usize::MAX);
+        let states = self.hops[0].node_count() * k;
+        if self.reach_dist.len() < states {
+            self.reach_dist.resize(states, 0);
+        }
         self.reach_seen.reset();
         let start = source.index() * k;
         self.reach_seen.insert(NodeId(start as u32));
         self.reach_dist[start] = 0;
-        let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
-        queue.push_back((source, 0));
         let mut min_closed: Option<usize> = None;
-        while let Some((u, ph)) = queue.pop_front() {
-            let d = self.reach_dist[u.index() * k + ph];
+        // The members list doubles as the BFS queue: it grows in insertion
+        // order, which *is* BFS order over the product states.
+        let mut head = 0;
+        while head < self.reach_seen.len() {
+            let state = self.reach_seen.members()[head].index();
+            head += 1;
+            let (u, ph) = (NodeId((state / k) as u32), state % k);
+            let d = self.reach_dist[state];
             if d >= bound {
                 continue;
             }
@@ -408,7 +489,6 @@ impl JoinExpansion {
                 let si = t.index() * k + np;
                 if self.reach_seen.insert(NodeId(si as u32)) {
                     self.reach_dist[si] = nd;
-                    queue.push_back((t, np));
                 }
             }
         }
@@ -425,7 +505,7 @@ impl JoinExpansion {
 }
 
 /// Recursively enumerates the admitted `hops[hop..]` continuations of the
-/// chain `(parent, node, len)`, pushing one arena step per edge and recording
+/// chain `(parent, node)`, pushing one arena step per edge and recording
 /// `(boundary step id, chain-has-repeat)` pairs in lexicographic adjacency
 /// order. The per-edge checks against the growing chain are exactly the
 /// frontier engine's two-stage admission (`admits(q)` on the segment plus
@@ -442,7 +522,6 @@ fn descend_segment(
     hop: usize,
     chain: Option<u32>,
     node: NodeId,
-    len: u32,
     repeat: bool,
     out: &mut Vec<(u32, bool)>,
 ) {
@@ -472,7 +551,7 @@ fn descend_segment(
             && (repeat
                 || t == source
                 || chain.is_some_and(|id| arena.chain_targets_contain(id, t)));
-        let id = arena.push(chain.unwrap_or(NO_PARENT), e, t, len + 1);
+        let id = arena.push(chain, e, t);
         if walk_unbounded {
             acyclic.push(!new_repeat);
         }
@@ -489,7 +568,6 @@ fn descend_segment(
                 hop + 1,
                 Some(id),
                 t,
-                len + 1,
                 new_repeat,
                 out,
             );
@@ -516,9 +594,9 @@ mod tests {
             RecursionConfig::default(),
         );
         let mut emitted = 0;
-        while let Some((id, source)) = exp.next_id().unwrap() {
-            let (first, _, len) = exp.arena.triple_of(id, source);
-            assert_eq!(first, source);
+        while let Some((id, source, len)) = exp.next_id().unwrap() {
+            let path = exp.arena.path_of(id, source, len as usize);
+            assert_eq!(path.nodes()[0], source);
             assert_eq!(len % 2, 0, "only segment boundaries are emitted");
             emitted += 1;
             if emitted > 100 {

@@ -116,8 +116,9 @@ pub(crate) struct Emit {
 
 #[derive(Clone, Copy, Debug)]
 enum Token {
-    /// An arena step of the CSR or join expansion.
-    Step(u32),
+    /// An arena step of the CSR or join expansion, with its path length
+    /// (lengths are threaded, not stored per step — see [`arena`]).
+    Step(u32, u32),
     Product(ProductItem),
 }
 
@@ -296,23 +297,17 @@ impl<'g> Pmr<'g> {
     pub(crate) fn next_emit(&mut self) -> Result<Option<Emit>, AlgebraError> {
         loop {
             let emit = match &mut self.inner {
-                Inner::Csr(e) => e.next_id()?.map(|(id, source)| {
-                    let (_, last, len) = e.arena.triple_of(id, source);
-                    Emit {
-                        source,
-                        last,
-                        len,
-                        token: Token::Step(id),
-                    }
+                Inner::Csr(e) => e.next_id()?.map(|(id, source, len)| Emit {
+                    source,
+                    last: e.arena.target(id),
+                    len: len as usize,
+                    token: Token::Step(id, len),
                 }),
-                Inner::Join(e) => e.next_id()?.map(|(id, source)| {
-                    let (_, last, len) = e.arena.triple_of(id, source);
-                    Emit {
-                        source,
-                        last,
-                        len,
-                        token: Token::Step(id),
-                    }
+                Inner::Join(e) => e.next_id()?.map(|(id, source, len)| Emit {
+                    source,
+                    last: e.arena.target(id),
+                    len: len as usize,
+                    token: Token::Step(id, len),
                 }),
                 Inner::Product(e) => e.next_item()?.map(|(item, source)| {
                     let (_, last, len) = e.triple(item, source);
@@ -341,8 +336,10 @@ impl<'g> Pmr<'g> {
 
     pub(crate) fn realize(&self, emit: &Emit) -> Path {
         match (&self.inner, emit.token) {
-            (Inner::Csr(e), Token::Step(id)) => e.arena.path_of(id, emit.source),
-            (Inner::Join(e), Token::Step(id)) => e.arena.path_of(id, emit.source),
+            (Inner::Csr(e), Token::Step(id, len)) => e.arena.path_of(id, emit.source, len as usize),
+            (Inner::Join(e), Token::Step(id, len)) => {
+                e.arena.path_of(id, emit.source, len as usize)
+            }
             (Inner::Product(e), Token::Product(item)) => e.realize(item, emit.source),
             _ => unreachable!("emit token matches the inner representation"),
         }
@@ -384,6 +381,38 @@ impl<'g> Pmr<'g> {
         }
     }
 
+    /// Bytes currently backing the step arena. The arena only grows, so this
+    /// is also its peak footprint (`arena_bytes_peak`).
+    pub fn arena_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Csr(e) => e.arena_bytes(),
+            Inner::Join(e) => e.arena_bytes(),
+            Inner::Product(e) => e.arena_bytes(),
+        }
+    }
+
+    /// Scratch reuse events so far: hoisted level/saturation buffers and
+    /// pooled or retained visited-set blocks (`scratch_reuse_count`).
+    pub fn scratch_reuse(&self) -> u64 {
+        match &self.inner {
+            Inner::Csr(e) => e.scratch_reuse(),
+            Inner::Join(e) => e.scratch_reuse(),
+            Inner::Product(e) => e.scratch_reuse(),
+        }
+    }
+
+    /// Reserves arena capacity for `steps` further steps up front, so a
+    /// drain whose step count is known (or bounded) performs no mid-flight
+    /// arena reallocation — see the zero-steady-state-allocation contract in
+    /// the crate docs.
+    pub fn reserve_steps(&mut self, steps: usize) {
+        match &mut self.inner {
+            Inner::Csr(e) => e.arena.reserve(steps),
+            Inner::Join(e) => e.arena.reserve(steps),
+            Inner::Product(e) => e.arena.reserve(steps),
+        }
+    }
+
     /// The deterministic work totals of everything pulled from this PMR so
     /// far: arena steps and base segments off the expansion state, emission
     /// and skip tallies from the pull loop, per-source abandonments, budget
@@ -405,6 +434,8 @@ impl<'g> Pmr<'g> {
             budget_claimed: self.budget_count() as u64,
             partitions_opened: self.counts.partitions,
             paths_kept: self.counts.kept,
+            arena_bytes_peak: self.arena_bytes() as u64,
+            scratch_reuse_count: self.scratch_reuse(),
             ..WorkCounters::default()
         }
     }
@@ -452,6 +483,31 @@ impl<'g> Pmr<'g> {
             out.insert(p);
         }
         Ok(out)
+    }
+
+    /// Drains the rest of the enumeration, counting paths without
+    /// reconstructing a single one — the cardinality of
+    /// [`Pmr::enumerate_all`] at arena cost. With the scratch buffers warm
+    /// and the arena pre-reserved ([`Pmr::reserve_steps`]) the drain performs
+    /// no heap allocation (pinned by the allocation-counter test).
+    pub fn count_all(&mut self) -> Result<usize, AlgebraError> {
+        let mut n = 0usize;
+        while self.next_emit()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Counts up to `max` further paths without reconstructing any — the
+    /// bounded form of [`Pmr::count_all`] for enumerations too large to
+    /// drain (the million-scale benches and the allocation-counter test
+    /// pull a fixed number of emits and stop).
+    pub fn count_batch(&mut self, max: usize) -> Result<usize, AlgebraError> {
+        let mut n = 0usize;
+        while n < max && self.next_emit()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// γψ group cardinalities over the whole multiset, computed from the

@@ -3,15 +3,21 @@
 //! Mirrors `pathalg_rpq::automaton_eval::AutomatonEvaluator::expand_source`
 //! — the same product-BFS discovery order, co-accepting pruning, duplicate
 //! elimination and Shortest per-target filter — but records the search tree
-//! as compact arena [`Step`]s and reconstructs only the paths a consumer
+//! as compact arena steps and reconstructs only the paths a consumer
 //! pulls. Laziness is per *source*: one source's product BFS runs eagerly
 //! when first touched (the automaton can accept the same path through
 //! different runs, so duplicate elimination needs the source's accepted set),
 //! while sources beyond the consumer's demand are never expanded at all.
+//!
+//! The BFS queue, the Shortest distance map and the accepted-item buffer are
+//! owned by the expansion and recycled across sources; the per-source dedup
+//! `PathSet` is the one inherently materialising piece (the automaton can
+//! accept one path through different runs) and stays source-scoped.
 
-use crate::arena::{StepArena, NO_PARENT};
+use crate::arena::StepArena;
 use pathalg_core::budget::{CancelToken, PathBudget};
 use pathalg_core::error::AlgebraError;
+use pathalg_core::fasthash::FastMap;
 use pathalg_core::ops::recursive::{PathSemantics, RecursionConfig};
 use pathalg_core::path::Path;
 use pathalg_core::pathset::PathSet;
@@ -19,18 +25,24 @@ use pathalg_graph::graph::PropertyGraph;
 use pathalg_graph::ids::NodeId;
 use pathalg_rpq::nfa::Nfa;
 use pathalg_rpq::regex::LabelRegex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One emitted element of a product expansion: the empty path at the current
-/// source (for nullable regexes) or an arena chain.
+/// source (for nullable regexes) or an arena chain with its edge count.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum ProductItem {
     /// The zero-length path at the source node.
     Empty,
-    /// The chain ending at this arena step.
-    Step(u32),
+    /// The chain ending at this arena step, with its path length.
+    Step(u32, u32),
 }
+
+/// A product-BFS queue entry: the chain so far (with its length), the
+/// automaton state, and — only under unbounded Walk — the product states on
+/// the partial path (a repeated product state that can still accept proves
+/// the answer is infinite).
+type Entry = (Option<u32>, u32, usize, Vec<(NodeId, usize)>);
 
 /// The per-source-lazy product expander (see the module docs).
 pub(crate) struct ProductExpansion<'g> {
@@ -54,6 +66,13 @@ pub(crate) struct ProductExpansion<'g> {
     /// per-source product BFS (the source expansion is the long-running
     /// unit of work here, unlike the level-ordered CSR/join expanders).
     cancel: Option<Arc<CancelToken>>,
+    /// Recycled per-source scratch: the BFS queue, the Shortest per-target
+    /// distance map, and the accepted-item buffer.
+    queue: VecDeque<Entry>,
+    best: FastMap<NodeId, usize>,
+    accepted: Vec<ProductItem>,
+    /// Times a hoisted scratch buffer was reused instead of allocated.
+    scratch_reuse: u64,
 }
 
 impl<'g> ProductExpansion<'g> {
@@ -80,6 +99,10 @@ impl<'g> ProductExpansion<'g> {
             cur_source: NodeId(0),
             budget: Arc::new(PathBudget::new(config.max_paths)),
             cancel: None,
+            queue: VecDeque::new(),
+            best: FastMap::default(),
+            accepted: Vec::new(),
+            scratch_reuse: 0,
         }
     }
 
@@ -139,6 +162,16 @@ impl<'g> ProductExpansion<'g> {
         self.arena.len()
     }
 
+    /// Bytes currently backing the step arena (see `arena_bytes_peak`).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.bytes()
+    }
+
+    /// Scratch reuse events (see `scratch_reuse_count`).
+    pub fn scratch_reuse(&self) -> u64 {
+        self.scratch_reuse
+    }
+
     /// Paths recorded against the (possibly shared) budget so far.
     pub(crate) fn budget_count(&self) -> usize {
         self.budget.count()
@@ -148,7 +181,7 @@ impl<'g> ProductExpansion<'g> {
     pub fn realize(&self, item: ProductItem, source: NodeId) -> Path {
         match item {
             ProductItem::Empty => Path::node(source),
-            ProductItem::Step(id) => self.arena.path_of(id, source),
+            ProductItem::Step(id, len) => self.arena.path_of(id, source, len as usize),
         }
     }
 
@@ -156,7 +189,7 @@ impl<'g> ProductExpansion<'g> {
     pub fn triple(&self, item: ProductItem, source: NodeId) -> (NodeId, NodeId, usize) {
         match item {
             ProductItem::Empty => (source, source, 0),
-            ProductItem::Step(id) => self.arena.triple_of(id, source),
+            ProductItem::Step(id, len) => (source, self.arena.target(id), len as usize),
         }
     }
 
@@ -170,29 +203,35 @@ impl<'g> ProductExpansion<'g> {
         // Dedup set: the same path can be accepted through different
         // automaton runs; scoped to this source, dropped afterwards.
         let mut result = PathSet::new();
-        let mut best: HashMap<NodeId, usize> = HashMap::new();
-        let mut accepted: Vec<ProductItem> = Vec::new();
+        let mut best = std::mem::take(&mut self.best);
+        let mut accepted = std::mem::take(&mut self.accepted);
+        let mut queue = std::mem::take(&mut self.queue);
+        if best.capacity() + accepted.capacity() + queue.capacity() > 0 {
+            self.scratch_reuse += 1;
+        }
+        best.clear();
+        accepted.clear();
+        queue.clear();
+        // Copy out the graph reference: its borrow is of the external graph,
+        // not of `self`, so the adjacency slices can be walked while the
+        // arena is extended — no per-pop edge-list copy.
+        let graph = self.graph;
 
         if self.accepts_empty && result.insert(Path::node(s)) {
             self.claim()?;
             accepted.push(ProductItem::Empty);
         }
 
-        // Queue entries: (chain, automaton state, product states on the
-        // partial path — tracked only under unbounded Walk, where a repeated
-        // product state that can still accept proves the answer is infinite).
-        type Entry = (Option<u32>, usize, Vec<(NodeId, usize)>);
-        let mut queue: VecDeque<Entry> = VecDeque::new();
         let start = self.nfa.start();
         let initial_seen = if self.walk_unbounded {
             vec![(s, start)]
         } else {
             Vec::new()
         };
-        queue.push_back((None, start, initial_seen));
+        queue.push_back((None, 0, start, initial_seen));
 
         let mut pops: usize = 0;
-        while let Some((chain, state, seen)) = queue.pop_front() {
+        while let Some((chain, cur_len, state, seen)) = queue.pop_front() {
             // Amortise the deadline's `Instant::now()` over many pops.
             if pops & 127 == 0 {
                 if let Some(token) = &self.cancel {
@@ -200,24 +239,20 @@ impl<'g> ProductExpansion<'g> {
                 }
             }
             pops += 1;
-            let (here, cur_len) = match chain {
-                Some(id) => {
-                    let step = self.arena.step(id);
-                    (step.target, step.len as usize)
-                }
-                None => (s, 0),
+            let here = match chain {
+                Some(id) => self.arena.target(id),
+                None => s,
             };
-            let out_edges: Vec<_> = self.graph.outgoing(here).to_vec();
-            for edge in out_edges {
-                let label = self.graph.label(edge);
+            for &edge in graph.outgoing(here) {
+                let label = graph.label(edge);
                 for next_state in self.nfa.step(state, label) {
                     if !self.co_accepting[next_state] {
                         continue;
                     }
-                    let t = self.graph.target(edge);
+                    let t = graph.target(edge);
                     let new_len = cur_len + 1;
                     if let Some(max) = self.config.max_length {
-                        if new_len > max {
+                        if new_len as usize > max {
                             continue;
                         }
                     }
@@ -248,17 +283,15 @@ impl<'g> ProductExpansion<'g> {
                             paths_so_far: result.len(),
                         });
                     }
-                    let id = self
-                        .arena
-                        .push(chain.unwrap_or(NO_PARENT), edge, t, new_len as u32);
+                    let id = self.arena.push(chain, edge, t);
                     if self.nfa.is_accepting(next_state) {
                         if self.semantics == PathSemantics::Shortest {
-                            let entry = best.entry(t).or_insert(new_len);
-                            *entry = (*entry).min(new_len);
+                            let entry = best.entry(t).or_insert(new_len as usize);
+                            *entry = (*entry).min(new_len as usize);
                         }
-                        if result.insert(self.arena.path_of(id, s)) {
+                        if result.insert(self.arena.path_of(id, s, new_len as usize)) {
                             self.claim()?;
-                            accepted.push(ProductItem::Step(id));
+                            accepted.push(ProductItem::Step(id, new_len));
                         }
                     }
                     let next_seen = if self.walk_unbounded {
@@ -268,16 +301,15 @@ impl<'g> ProductExpansion<'g> {
                     } else {
                         Vec::new()
                     };
-                    queue.push_back((Some(id), next_state, next_seen));
+                    queue.push_back((Some(id), new_len, next_state, next_seen));
                 }
             }
         }
 
-        for item in accepted {
+        for &item in &accepted {
             let keep = match (self.semantics, item) {
-                (PathSemantics::Shortest, ProductItem::Step(id)) => {
-                    let step = self.arena.step(id);
-                    best.get(&step.target) == Some(&(step.len as usize))
+                (PathSemantics::Shortest, ProductItem::Step(id, len)) => {
+                    best.get(&self.arena.target(id)) == Some(&(len as usize))
                 }
                 // Zero-length matches are kept unconditionally under
                 // Shortest, mirroring the Kleene-star translation.
@@ -287,6 +319,9 @@ impl<'g> ProductExpansion<'g> {
                 self.pending.push_back(item);
             }
         }
+        self.best = best;
+        self.accepted = accepted;
+        self.queue = queue;
         Ok(())
     }
 }

@@ -53,12 +53,17 @@ pub struct Metrics {
     work: WorkTotals,
 }
 
-/// Atomic mirror of [`WorkCounters`], in the same field order.
+/// Atomic mirror of [`WorkCounters`], in the same field order. The last
+/// slot before `scratch_reuse_count` is `arena_bytes_peak`, which folds in
+/// with `fetch_max` (it is a peak gauge, not a tally).
 #[derive(Debug, Default)]
-struct WorkTotals([AtomicU64; 10]);
+struct WorkTotals([AtomicU64; 12]);
+
+/// Index of the `arena_bytes_peak` slot, the one max-merged entry.
+const ARENA_BYTES_PEAK_SLOT: usize = 10;
 
 impl WorkTotals {
-    fn values(w: &WorkCounters) -> [u64; 10] {
+    fn values(w: &WorkCounters) -> [u64; 12] {
         [
             w.arena_steps,
             w.base_segments,
@@ -70,12 +75,18 @@ impl WorkTotals {
             w.paths_kept,
             w.batches_scheduled,
             w.batches_merged,
+            w.arena_bytes_peak,
+            w.scratch_reuse_count,
         ]
     }
 
     fn record(&self, w: &WorkCounters) {
-        for (slot, v) in self.0.iter().zip(Self::values(w)) {
-            slot.fetch_add(v, Ordering::Relaxed);
+        for (i, (slot, v)) in self.0.iter().zip(Self::values(w)).enumerate() {
+            if i == ARENA_BYTES_PEAK_SLOT {
+                slot.fetch_max(v, Ordering::Relaxed);
+            } else {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
         }
     }
 
@@ -92,6 +103,8 @@ impl WorkTotals {
             paths_kept: v[7],
             batches_scheduled: v[8],
             batches_merged: v[9],
+            arena_bytes_peak: v[10],
+            scratch_reuse_count: v[11],
         }
     }
 }
@@ -353,7 +366,7 @@ impl MetricsSnapshot {
             );
         }
         let _ = writeln!(out, "# TYPE pathalg_work_total counter");
-        let work: [(&str, u64); 10] = [
+        let work: [(&str, u64); 11] = [
             ("arena_steps", self.work.arena_steps),
             ("base_segments", self.work.base_segments),
             ("paths_emitted", self.work.paths_emitted),
@@ -364,10 +377,17 @@ impl MetricsSnapshot {
             ("paths_kept", self.work.paths_kept),
             ("batches_scheduled", self.work.batches_scheduled),
             ("batches_merged", self.work.batches_merged),
+            ("scratch_reuse_count", self.work.scratch_reuse_count),
         ];
         for (counter, value) in work {
             let _ = writeln!(out, "pathalg_work_total{{counter=\"{counter}\"}} {value}");
         }
+        let _ = writeln!(out, "# TYPE pathalg_arena_bytes_peak gauge");
+        let _ = writeln!(
+            out,
+            "pathalg_arena_bytes_peak {}",
+            self.work.arena_bytes_peak
+        );
         let _ = writeln!(out, "# TYPE pathalg_stage_latency_ns histogram");
         for stage in Stage::ALL {
             self.stage(stage).expose_into(
@@ -495,9 +515,27 @@ mod tests {
             paths_kept: 3,
             ..WorkCounters::default()
         });
+        m.record_work(&WorkCounters {
+            arena_bytes_peak: 4096,
+            scratch_reuse_count: 5,
+            ..WorkCounters::default()
+        });
+        m.record_work(&WorkCounters {
+            arena_bytes_peak: 1024,
+            scratch_reuse_count: 2,
+            ..WorkCounters::default()
+        });
         let text = m.expose();
         assert!(
             text.contains("pathalg_requests_total{surface=\"gql\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pathalg_arena_bytes_peak 4096"),
+            "peak folds in by max, not sum: {text}"
+        );
+        assert!(
+            text.contains("pathalg_work_total{counter=\"scratch_reuse_count\"} 7"),
             "{text}"
         );
         assert!(

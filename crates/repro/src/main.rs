@@ -9,6 +9,7 @@
 mod chaos;
 mod figures;
 mod obs;
+mod scale;
 mod serve;
 mod surfaces;
 mod tables;
@@ -22,6 +23,15 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve") {
         if let Err(message) = serve::run(&args[1..]) {
             eprintln!("serve: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    // `scale` takes a size option and can run for seconds at the full 10⁶
+    // row, so it too dispatches before the regeneration table.
+    if args.first().map(String::as_str) == Some("scale") {
+        if let Err(message) = scale::run(&args[1..]) {
+            eprintln!("scale: {message}");
             std::process::exit(1);
         }
         return;
@@ -131,6 +141,10 @@ fn main() {
             eprintln!("  {name:<15} {description}");
         }
         eprintln!("  {:<15} query service on a unix socket", "serve");
+        eprintln!(
+            "  {:<15} million-scale nodes-vs-throughput table ([--max N])",
+            "scale"
+        );
         std::process::exit(1);
     }
 }

@@ -1,0 +1,114 @@
+//! Zero-allocation pin for the lazy PMR's steady state (DESIGN.md §15).
+//!
+//! The compact arena, the pooled bitmap frontiers, and the recycled scratch
+//! buffers exist so that a drain's cost is the work of expansion — not the
+//! allocator. This test proves it with a counting global allocator: after a
+//! warm-up that fills every scratch buffer (one source's worth of levels)
+//! and with the arena pre-reserved via [`Pmr::reserve_steps`], draining the
+//! remaining sources of a uniform workload performs **zero** heap
+//! allocations.
+//!
+//! The workload is a directed cycle, where every source expands an
+//! identical single-chain frontier: the capacities warmed by the first
+//! source are exactly the capacities every later source needs, so "no
+//! allocation after warm-up" is deterministic rather than
+//! workload-dependent. This file holds a single test on purpose — the
+//! counter is process-global, and a sibling test allocating concurrently
+//! would produce false positives.
+
+use pathalg::algebra::ops::recursive::{PathSemantics, RecursionConfig};
+use pathalg::graph::csr::CsrGraph;
+use pathalg::graph::generator::structured::cycle_graph;
+use pathalg::pmr::Pmr;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation (frees are irrelevant here:
+/// freeing recycled scratch would itself be a bug, but the symptom we pin
+/// is the re-acquisition).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const NODES: usize = 32;
+const MAX_LEN: usize = 16;
+
+fn cycle_csr() -> CsrGraph {
+    CsrGraph::with_label(&cycle_graph(NODES, "k"), "k")
+}
+
+fn config() -> RecursionConfig {
+    RecursionConfig {
+        max_length: Some(MAX_LEN),
+        max_paths: None,
+    }
+}
+
+/// Paths the first source emits (= one full warm-up on the cycle, where
+/// every source yields exactly one chain per level).
+fn per_source(semantics: PathSemantics) -> usize {
+    match semantics {
+        // Levels 1..=MAX_LEN, one walk each.
+        PathSemantics::Walk => MAX_LEN,
+        // One shortest path per reachable target within the bound.
+        PathSemantics::Shortest => MAX_LEN,
+        other => unreachable!("workload not sized for {other:?}"),
+    }
+}
+
+#[test]
+fn steady_state_drain_performs_zero_allocations() {
+    for semantics in [PathSemantics::Walk, PathSemantics::Shortest] {
+        // Scout pass: learn the exact step count of this drain, so the
+        // measured pass can pre-reserve the arena.
+        let mut scout = Pmr::from_csr(cycle_csr(), semantics, config());
+        let total = scout.count_all().unwrap();
+        let steps = scout.steps_generated();
+        assert!(
+            total > per_source(semantics),
+            "workload must outlast warm-up"
+        );
+
+        let mut pmr = Pmr::from_csr(cycle_csr(), semantics, config());
+        pmr.reserve_steps(steps);
+        // Warm-up: drain the first source completely, filling the level
+        // buffers, the pending queue, and (for Shortest) the visited bitmap
+        // and distance table to their steady-state capacities.
+        let warm = pmr.count_batch(per_source(semantics)).unwrap();
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let rest = pmr.count_all().unwrap();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+        assert_eq!(warm + rest, total, "split drain lost paths ({semantics:?})");
+        assert_eq!(
+            after - before,
+            0,
+            "draining {rest} paths after warm-up must not allocate ({semantics:?})"
+        );
+    }
+}

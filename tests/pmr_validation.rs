@@ -19,7 +19,7 @@ use pathalg::engine::physical::frontier::phi_frontier_csr;
 use pathalg::graph::csr::CsrGraph;
 use pathalg::graph::fixtures::figure1::Figure1;
 use pathalg::graph::generator::random::{random_labeled_graph, RandomGraphConfig};
-use pathalg::graph::generator::snb::{snb_like_graph, SnbConfig};
+use pathalg::graph::generator::snb::{snb_label_csr, snb_like_graph, SnbConfig};
 use pathalg::graph::generator::structured::{chain_graph, cycle_graph, grid_graph, ladder_graph};
 use pathalg::graph::graph::PropertyGraph;
 use pathalg::pmr::Pmr;
@@ -372,5 +372,50 @@ proptest! {
         let mut pmr = Pmr::from_csr(csr, semantics, cfg);
         let out = pmr.sliced(&slice).unwrap();
         prop_assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    /// Random graphs: the counting drains (which never reconstruct a path)
+    /// traverse exactly the multiset the realising drain does — same
+    /// cardinality at any split point, and the same arena behind them.
+    #[test]
+    fn counting_drains_traverse_the_same_multiset(
+        g in small_graph(),
+        sem in 0usize..5,
+        k in 0usize..64,
+    ) {
+        let (semantics, cfg) = semantics_from_index(sem);
+        let csr = CsrGraph::with_label(&g, "a");
+        let mut realised = Pmr::from_csr(csr.clone(), semantics, cfg);
+        let all = realised.enumerate_all().unwrap();
+        let mut counted = Pmr::from_csr(csr, semantics, cfg);
+        let head = counted.count_batch(k).unwrap();
+        let rest = counted.count_all().unwrap();
+        prop_assert_eq!(head, all.len().min(k));
+        prop_assert_eq!(head + rest, all.len());
+        prop_assert_eq!(counted.arena_bytes(), realised.arena_bytes());
+    }
+
+    /// Random SNB shapes: the streamed label CSR is identical to building
+    /// the property graph and restricting it.
+    #[test]
+    fn streamed_snb_csr_equals_the_materialised_build(
+        persons in 0usize..32,
+        messages in 0usize..32,
+        seed in 0u64..1_000_000,
+        label_idx in 0usize..3,
+    ) {
+        let cfg = SnbConfig {
+            persons,
+            messages,
+            knows_per_person: 2,
+            likes_per_person: 1,
+            seed,
+            ..SnbConfig::default()
+        };
+        let label = ["Knows", "Has_creator", "Likes"][label_idx];
+        prop_assert_eq!(
+            snb_label_csr(&cfg, label),
+            CsrGraph::with_label(&snb_like_graph(&cfg), label)
+        );
     }
 }
